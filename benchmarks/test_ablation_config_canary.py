@@ -1,0 +1,98 @@
+"""Ablation — review + canary gates on configuration changes (§5.1).
+
+"At Facebook ... all configuration changes require code review and
+typically get tested on a small number of switches before being
+deployed ... these practices may contribute to the lower
+misconfiguration incident rate we observe compared to Wu et al."
+
+The bench pushes one batch of changes (some statically broken, some
+with latent behavioural defects) through three policies and compares
+shipped-defect rates: full pipeline, review-only, and neither gate
+(the Wu-et-al.-like world).
+"""
+
+from repro.config.changes import ChangeProposal
+from repro.config.model import DeviceConfig, RoutingRule
+from repro.config.pipeline import DeploymentPipeline, ReviewPolicy
+from repro.topology.devices import DeviceType
+from repro.viz.tables import format_table
+
+
+def make_fleet(n=40):
+    configs, types = {}, {}
+    for i in range(n):
+        name = f"csw.{i:03d}.c0.dc1.ra"
+        configs[name] = DeviceConfig(name)
+        types[name] = DeviceType.CSW
+    return configs, types
+
+
+def make_changes():
+    changes = []
+    for i in range(30):
+        if i % 10 == 0:
+            changes.append(ChangeProposal(
+                change_id=f"chg-{i:02d}", author="eng",
+                description="drops production traffic",
+                transform=lambda c: c.with_rules(
+                    [RoutingRule("10.0.0.0/8", (), action="drop")]
+                ),
+                target_types=(DeviceType.CSW,),
+            ))
+        elif i % 10 == 5:
+            changes.append(ChangeProposal(
+                change_id=f"chg-{i:02d}", author="eng",
+                description="latent defect",
+                transform=lambda c: c.with_load_balance_paths(8),
+                target_types=(DeviceType.CSW,),
+                latent_defect=True,
+            ))
+        else:
+            changes.append(ChangeProposal(
+                change_id=f"chg-{i:02d}", author="eng",
+                description="benign",
+                transform=lambda c: c.with_load_balance_paths(8),
+                target_types=(DeviceType.CSW,),
+            ))
+    return changes
+
+
+def run_policy(policy: ReviewPolicy):
+    configs, types = make_fleet()
+    pipeline = DeploymentPipeline(configs, types, policy=policy, seed=5)
+    return pipeline.process_batch(make_changes())
+
+
+def test_ablation_config_canary(benchmark, emit):
+    full = benchmark(run_policy, ReviewPolicy(
+        require_review=True, canary_size=3,
+        canary_detection_per_device=0.6,
+    ))
+    review_only = run_policy(ReviewPolicy(require_review=True,
+                                          canary_size=0))
+    neither = run_policy(ReviewPolicy(require_review=False, canary_size=0))
+
+    rows = [
+        ["review + canary", full.deployed, full.rejected_in_review,
+         full.rejected_in_canary, full.defects_shipped,
+         f"{full.defect_escape_rate:.1%}"],
+        ["review only", review_only.deployed,
+         review_only.rejected_in_review, review_only.rejected_in_canary,
+         review_only.defects_shipped,
+         f"{review_only.defect_escape_rate:.1%}"],
+        ["neither (Wu et al.-like)", neither.deployed,
+         neither.rejected_in_review, neither.rejected_in_canary,
+         neither.defects_shipped, f"{neither.defect_escape_rate:.1%}"],
+    ]
+    emit("ablation_config_canary", format_table(
+        ["Policy", "Deployed", "Rej. review", "Rej. canary",
+         "Defects shipped", "Escape rate"],
+        rows,
+        title="Ablation: configuration review and canary gates "
+              "(30 changes: 3 static defects, 3 latent defects)",
+    ))
+
+    # Each gate removes a defect class.
+    assert neither.defects_shipped > review_only.defects_shipped
+    assert review_only.defects_shipped >= full.defects_shipped
+    assert full.defect_escape_rate < neither.defect_escape_rate / 2

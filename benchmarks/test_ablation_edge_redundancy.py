@@ -1,0 +1,43 @@
+"""Ablation — links per edge (sections 3.2 and 6.1).
+
+The path-diversity design point: an edge fails only when all of its
+links fail, so the conditional risk of an edge-severing event falls
+geometrically with the link count.  The bench sweeps the planner and
+the simulated world across link counts.
+"""
+
+from repro.backbone.traffic import (
+    conditional_risk,
+    steady_state_unavailability,
+)
+from repro.viz.tables import format_table
+
+
+def sweep(link_counts, mtbf_h=1710.0, mttr_h=10.0):
+    u = steady_state_unavailability(mtbf_h, mttr_h)
+    return {n: conditional_risk([u] * n) for n in link_counts}
+
+
+def test_ablation_edge_redundancy(benchmark, emit):
+    risks = benchmark(sweep, [1, 2, 3, 4, 5])
+
+    rows = [
+        [n, f"{risk:.3e}",
+         "yes" if risk <= 1e-4 else "no"]
+        for n, risk in risks.items()
+    ]
+    emit("ablation_edge_redundancy", format_table(
+        ["Links per edge", "P(edge severed | independent faults)",
+         "Meets 99.99th pct target"],
+        rows,
+        title="Ablation: link redundancy vs. conditional risk "
+              "(median link: MTBF 1710 h, MTTR 10 h)",
+    ))
+
+    # Risk falls geometrically with redundancy.
+    assert risks[1] > risks[2] > risks[3] > risks[4]
+    # A single link does NOT meet the paper's 99.99th percentile
+    # planning target; three links (the published minimum) do with
+    # margin to spare for worse-than-median links.
+    assert risks[1] > 1e-4
+    assert risks[3] <= 1e-4

@@ -1,0 +1,35 @@
+"""Figure 11 — population breakdown by device type (section 5.5).
+
+Shape: RSWs dominate; 2015 inflection where CSW/CSA populations start
+to decrease and ESW/SSW/FSW populations appear and grow.
+"""
+
+from repro.core.design_comparison import population_breakdown
+from repro.topology.devices import DeviceType
+from repro.viz.tables import format_table
+
+
+def test_fig11_population(benchmark, emit, fleet):
+    breakdown = benchmark(population_breakdown, fleet)
+
+    header = ["Year"] + [t.value for t in DeviceType]
+    rows = [
+        [year] + [
+            f"{breakdown[year].get(t, 0.0):.4f}" for t in DeviceType
+        ]
+        for year in sorted(breakdown)
+    ]
+    emit("fig11_population", format_table(
+        header, rows,
+        title="Figure 11: fraction of switches by device type (log data)",
+    ))
+
+    for year, per_type in breakdown.items():
+        assert per_type[DeviceType.RSW] > 0.75
+    # The 2015 inflection.
+    assert DeviceType.FSW not in breakdown[2014]
+    assert DeviceType.FSW in breakdown[2015]
+    assert (fleet.count(2016, DeviceType.CSW)
+            < fleet.count(2015, DeviceType.CSW))
+    assert (fleet.count(2016, DeviceType.FSW)
+            > fleet.count(2015, DeviceType.FSW))

@@ -1,0 +1,30 @@
+"""Figure 14 — p75IRT versus normalized switch count (section 5.6).
+
+Shape: a positive correlation; larger networks increase the time
+humans take to resolve network incidents.
+"""
+
+from repro.core.switch_reliability import (
+    irt_fleet_correlation,
+    irt_vs_fleet_size,
+)
+from repro.viz.ascii import series_chart
+from repro.viz.tables import format_table
+
+
+def test_fig14_irt_vs_fleet(benchmark, emit, paper_store, fleet):
+    points = benchmark(irt_vs_fleet_size, paper_store, fleet)
+
+    table = format_table(
+        ["p75IRT (h)", "Normalized switches"],
+        [[f"{irt:.1f}", f"{norm:.3f}"] for irt, norm in points],
+        title="Figure 14: p75IRT vs. fleet size",
+    )
+    emit("fig14_irt_vs_fleet", table + "\n\n" + series_chart(points))
+
+    assert len(points) == 7
+    corr = irt_fleet_correlation(paper_store, fleet)
+    assert corr > 0.7, f"expected positive correlation, got {corr:.2f}"
+    # The axis ranges of the paper's figure: p75IRT reaches hundreds
+    # of hours at full fleet size.
+    assert max(irt for irt, _ in points) > 100

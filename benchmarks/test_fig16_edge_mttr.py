@@ -1,0 +1,40 @@
+"""Figure 16 — edge MTTR percentile curve and model (section 6.1).
+
+Paper: 50% of edges recover within 10 h, 90% within 71 h; a slow
+outlier takes hundreds of hours (608 h in the paper); model
+MTTR_edge(p) = 1.513 e^{4.256 p}, R² = 0.87.
+"""
+
+import pytest
+
+from repro.viz.tables import format_table
+
+
+def fit_edge_mttr(reliability):
+    return reliability.edge_mttr_model()
+
+
+def test_fig16_edge_mttr(benchmark, emit, reliability):
+    model = benchmark(fit_edge_mttr, reliability)
+    curve = reliability.edge_mttr
+
+    anchors = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+    rows = [
+        [f"{p:.0%}", f"{curve.value_at(p):.1f}", f"{model.predict(p):.1f}"]
+        for p in anchors
+    ]
+    emit("fig16_edge_mttr", format_table(
+        ["Percentile", "Measured MTTR (h)", "Model (h)"],
+        rows,
+        title=(f"Figure 16: edge MTTR; model {model} "
+               "(paper: 1.513*exp(4.256p), R^2=0.87)"),
+    ))
+
+    assert curve.p50 == pytest.approx(10, rel=0.35)
+    assert curve.p90 == pytest.approx(71, rel=0.4)
+    assert model.b == pytest.approx(4.256, rel=0.15)
+    assert model.r2 > 0.85
+    # Slow outlier: some edges take days to repair.
+    assert curve.max > 200
+    # "Typically recover on the order of hours."
+    assert 1 < curve.p50 < 48

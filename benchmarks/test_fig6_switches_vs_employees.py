@@ -1,0 +1,35 @@
+"""Figure 6 — normalized switches versus employees (section 5.3).
+
+Shape: switches grow in proportion to employees (a near-linear cloud),
+so engineer headcount does not explain SEV growth.
+"""
+
+import numpy as np
+
+from repro.core.severity import sevs_per_employee, switches_vs_employees
+from repro.viz.ascii import series_chart
+from repro.viz.tables import format_table
+
+
+def test_fig6_switches_vs_employees(benchmark, emit, fleet, employees,
+                                    paper_store):
+    points = benchmark(switches_vs_employees, fleet, employees)
+
+    table = format_table(
+        ["Employees", "Normalized switches"],
+        [[x, f"{y:.3f}"] for x, y in points],
+        title="Figure 6: switches vs. employees",
+    )
+    emit("fig6_switches_vs_employees",
+         table + "\n\n" + series_chart(points, title="scatter"))
+
+    xs, ys = zip(*points)
+    corr = float(np.corrcoef(xs, ys)[0, 1])
+    assert corr > 0.97, "switches must grow in proportion to employees"
+
+    # The companion observation: SEVs per employee trends like SEVs per
+    # device (peaks around the fabric deployment, then declines).
+    per_employee = sevs_per_employee(paper_store, employees)
+    peak = max(per_employee, key=per_employee.get)
+    assert peak in (2014, 2015)
+    assert per_employee[2017] < per_employee[peak]

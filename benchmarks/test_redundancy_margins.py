@@ -1,0 +1,51 @@
+"""Redundancy margins — the section 5.2/5.4 provisioning claims.
+
+"We currently provision eight Cores in each data center, which allows
+us to tolerate one unavailable Core ... without any impact" (§5.2) and
+"we use only one single RSW as the Top-Of-Rack switch ... handle RSW
+failures in software using replication" (§5.4).  The bench computes
+the tolerated-failure margin per device type for both designs.
+"""
+
+from repro.core.fault_tolerance import redundancy_report
+from repro.topology.cluster import build_cluster_network
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+from repro.viz.tables import format_table
+
+
+def compute_margins():
+    cluster = build_cluster_network("dc1", "ra", clusters=2,
+                                    racks_per_cluster=4, csas=2, cores=8)
+    fabric = build_fabric_network("dc3", "rb", pods=2, racks_per_pod=4,
+                                  ssws=8, esws=4, cores=8)
+    return (redundancy_report(cluster, max_check=3),
+            redundancy_report(fabric, max_check=3))
+
+
+def test_redundancy_margins(benchmark, emit):
+    cluster_report, fabric_report = benchmark(compute_margins)
+
+    rows = []
+    for design, report in (("cluster", cluster_report),
+                           ("fabric", fabric_report)):
+        for t, margin in report.items():
+            rows.append([
+                design, t.value, margin.population,
+                margin.tolerated_failures,
+                "yes" if margin.survives_maintenance else "no",
+            ])
+    emit("redundancy_margins", format_table(
+        ["Design", "Device", "Population", "Tolerated failures",
+         "Drainable"],
+        rows,
+        title="Sections 5.2/5.4: redundancy margins by device type",
+    ))
+
+    # The published design points.
+    assert cluster_report[DeviceType.CORE].survives_maintenance
+    assert cluster_report[DeviceType.CORE].population == 8
+    assert fabric_report[DeviceType.FSW].tolerated_failures == 3
+    # The single-TOR design: zero hardware margin on RSWs, by intent.
+    assert cluster_report[DeviceType.RSW].tolerated_failures == 0
+    assert fabric_report[DeviceType.RSW].tolerated_failures == 0

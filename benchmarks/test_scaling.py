@@ -1,0 +1,31 @@
+"""Pipeline throughput at corpus scale.
+
+Not a paper artifact — an engineering benchmark: how fast the full
+generate-and-analyze pipeline runs as the corpus scales, so regressions
+in the substrates (workflow, SQLite store, SQL analysis) are visible.
+"""
+
+import pytest
+
+from repro.core.root_causes import root_cause_breakdown
+from repro.core.switch_reliability import switch_reliability
+from repro.simulation.generator import IntraSimulator
+from repro.simulation.scenarios import paper_scenario
+
+
+def generate_and_analyze(scale: float):
+    scenario = paper_scenario(seed=2, scale=scale)
+    store = IntraSimulator(scenario).run()
+    breakdown = root_cause_breakdown(store)
+    reliability = switch_reliability(store, scenario.fleet)
+    return store, breakdown, reliability
+
+
+@pytest.mark.parametrize("scale", [0.25, 1.0])
+def test_scaling(benchmark, scale):
+    store, breakdown, reliability = benchmark.pedantic(
+        generate_and_analyze, args=(scale,), rounds=3, iterations=1,
+    )
+    assert len(store) == pytest.approx(2240 * scale, rel=0.05)
+    assert breakdown.total_attributions == len(store)
+    assert 2017 in reliability.mtbi_h

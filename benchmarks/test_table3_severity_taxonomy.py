@@ -1,0 +1,63 @@
+"""Table 3 — SEV levels and incident examples (section 4.2/5.3).
+
+Table 3 is definitional; the bench regenerates the taxonomy from the
+data model and verifies the workflow's high-water-mark rule, plus the
+three representative SEVs of section 4.2 flowing through the workflow.
+"""
+
+from repro.incidents.sev import SEVERITY_EXAMPLES, RootCause, Severity
+from repro.incidents.store import SEVStore
+from repro.incidents.workflow import SEVAuthoringWorkflow, SEVDraft
+from repro.viz.tables import format_table
+
+
+def author_representative_sevs():
+    """The three section 4.2 examples, authored through the workflow."""
+    store = SEVStore()
+    workflow = SEVAuthoringWorkflow(store)
+    examples = [
+        (Severity.SEV3, "rsw.017.pod3.dc1.ra", RootCause.BUG,
+         "Switch crash from software bug: port-disable path allocates a "
+         "hardware counter and crashes the RSW."),
+        (Severity.SEV2, "csa.002.agg.dc4.rb", RootCause.HARDWARE,
+         "Traffic drop from faulty hardware module: web and cache tiers "
+         "exhausted CPU; 2.4% of requests failed for five minutes."),
+        (Severity.SEV1, "core.003.plane.dc2.ra", RootCause.CONFIGURATION,
+         "Data center outage from incorrect load balancing policy after "
+         "a software upgrade."),
+    ]
+    for i, (severity, device, cause, description) in enumerate(examples):
+        workflow.author_and_publish(SEVDraft(
+            severity=severity, device_name=device,
+            opened_at_h=100.0 * (i + 1), resolved_at_h=100.0 * (i + 1) + 24,
+            root_causes=[cause], description=description,
+        ))
+    return store
+
+
+def test_table3_severity_taxonomy(benchmark, emit):
+    store = benchmark(author_representative_sevs)
+
+    rows = [
+        [severity.label, SEVERITY_EXAMPLES[severity][:70] + "..."]
+        for severity in sorted(Severity, reverse=True)
+    ]
+    emit("table3_severity_taxonomy", format_table(
+        ["Level", "Incident examples"],
+        rows,
+        title="Table 3: SEV levels",
+    ))
+
+    assert len(store) == 3
+    reports = list(store.all_reports())
+    assert {r.severity for r in reports} == set(Severity)
+    # The high-water-mark rule.
+    draft = SEVDraft(
+        severity=Severity.SEV2, device_name="rsw.001.p.d.r",
+        opened_at_h=0.0, resolved_at_h=1.0,
+        root_causes=[RootCause.BUG], description="x",
+    )
+    draft.escalate(Severity.SEV1)
+    draft.escalate(Severity.SEV3)
+    assert draft.severity is Severity.SEV1
+    store.close()

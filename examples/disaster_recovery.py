@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Preparing software systems for network incidents (section 5.7).
+
+Exercises the operational-readiness substrates: failure masking,
+fault-injection sweeps, storm and data-center-drain drills, and the
+configuration review/canary pipeline whose practice section 5.1
+credits for Facebook's low misconfiguration rate.
+
+    python examples/disaster_recovery.py
+"""
+
+from repro.config import (
+    ChangeProposal,
+    DeploymentPipeline,
+    DeviceConfig,
+    ReviewPolicy,
+    RoutingRule,
+)
+from repro.drtest import DatacenterDrainDrill, FaultInjector, StormDrill
+from repro.services import (
+    ImpactModel,
+    Placement,
+    masking_report,
+    place_uniform,
+    reference_catalog,
+)
+from repro.topology import DeviceType, build_fabric_network, build_graph
+from repro.viz import format_table
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    network = build_fabric_network("dc1", "ra", pods=4, racks_per_pod=24,
+                                   ssws=8, esws=4, cores=4)
+    catalog = reference_catalog()
+    placement = place_uniform(catalog, network)
+    model = ImpactModel(catalog, placement, build_graph(network))
+
+    section("Section 2: how much does redundancy mask?")
+    report = masking_report(model, network.devices.values())
+    print(format_table(
+        ["Device", "Masked single faults"],
+        [[t.value, f"{report.masked_fraction(t):.0%}"]
+         for t in DeviceType if t in report.per_type],
+    ))
+
+    section("Fault injection sweep (section 5.7)")
+    injector = FaultInjector(model)
+    injector.sweep_single(network)
+    injector.sweep_pairs(network, DeviceType.FSW, limit=30)
+    print(f"injections: {len(injector.results)}, "
+          f"survival rate {injector.survival_rate:.1%}")
+    worst = injector.worst_results(k=1)[0]
+    print(f"worst case: failing {len(worst.failed_devices)} device(s) -> "
+          f"{worst.worst_kind.value} for {list(worst.affected_services)}")
+
+    section("Storm drill: lose a quarter of the spine")
+    storm = StormDrill(model, network, seed=7)
+    outcome = storm.run(DeviceType.SSW, fraction=0.25)
+    print(f"{outcome.drill}: failed {outcome.failed_devices} devices, "
+          f"passed={outcome.passed}")
+
+    section("Data center drain drill")
+    multi_dc = Placement(replica_racks={
+        "photo-storage": ["rsw.000.pod0.dc1.ra", "rsw.001.pod0.dc1.ra",
+                          "rsw.000.pod0.dc2.ra"],
+        "frontend-web": ["rsw.002.pod0.dc1.ra", "rsw.003.pod0.dc1.ra",
+                         "rsw.001.pod0.dc2.ra", "rsw.002.pod0.dc2.ra"],
+    })
+    from repro.services import Service, ServiceCatalog, ServiceTier
+
+    dr_catalog = ServiceCatalog([
+        Service("photo-storage", ServiceTier.STORAGE, replicas=3,
+                cross_datacenter=True),
+        Service("frontend-web", ServiceTier.WEB, replicas=4),
+    ])
+    drill = DatacenterDrainDrill(dr_catalog, multi_dc)
+    for dc in ("dc1", "dc2"):
+        outcome = drill.run(dc)
+        kinds = {s: k.value for s, k in outcome.service_kinds.items()}
+        print(f"drain {dc}: passed={outcome.passed} {kinds}")
+
+    section("Configuration review + canary (section 5.1)")
+    configs = {
+        name: DeviceConfig(name)
+        for name, d in network.devices.items()
+        if d.device_type is DeviceType.FSW
+    }
+    types = {name: DeviceType.FSW for name in configs}
+    pipeline = DeploymentPipeline(
+        configs, types,
+        policy=ReviewPolicy(canary_size=3,
+                            canary_detection_per_device=0.7),
+        seed=11,
+    )
+    batch = [
+        ChangeProposal("chg-ecmp", "eng", "widen ECMP",
+                       lambda c: c.with_load_balance_paths(8),
+                       (DeviceType.FSW,)),
+        ChangeProposal("chg-oops", "eng", "fat-fingered drop rule",
+                       lambda c: c.with_rules(
+                           [RoutingRule("10.0.0.0/8", (), action="drop")]
+                       ),
+                       (DeviceType.FSW,)),
+        ChangeProposal("chg-latent", "eng", "subtle behavioural bug",
+                       lambda c: c.with_load_balance_paths(6),
+                       (DeviceType.FSW,), latent_defect=True),
+    ]
+    report = pipeline.process_batch(batch)
+    print(f"deployed={report.deployed}, "
+          f"rejected in review={report.rejected_in_review}, "
+          f"rejected in canary={report.rejected_in_canary}, "
+          f"defects shipped={report.defects_shipped}")
+    for change in batch:
+        print(f"  {change.change_id}: {change.state.value}"
+              + (f" ({change.rejection_reason})"
+                 if change.rejection_reason else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""repro — reproduction of "A Large Scale Study of Data Center Network
+Reliability" (Meza, Xu, Veeraraghavan, Mutlu; IMC 2018).
+
+The library rebuilds, from scratch, every system the study sits on —
+the intra data center topologies (cluster and fabric), the fleet
+growth model, the SEV database and authoring workflow, the automated
+remediation engine, the backbone (edges, fiber links, vendors, repair
+tickets, health monitor, traffic engineering) — plus a calibrated
+synthetic corpus generator standing in for the proprietary Facebook
+data, and the analysis pipeline that reproduces every table and
+figure of the paper.
+
+Quickstart::
+
+    from repro import paper_scenario, IntraSimulator, root_cause_breakdown
+
+    store = IntraSimulator(paper_scenario()).run()
+    table2 = root_cause_breakdown(store)
+    print(table2.distribution())
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    backbone_reliability,
+    capacity_report,
+    continent_table,
+    design_comparison,
+    incident_distribution,
+    incident_growth,
+    incident_rates,
+    irt_vs_fleet_size,
+    population_breakdown,
+    remediation_table,
+    root_cause_breakdown,
+    root_causes_by_device,
+    severity_by_device,
+    severity_rates_over_time,
+    sevs_per_employee,
+    switch_reliability,
+    switches_vs_employees,
+)
+from repro.backbone import BackboneMonitor, TicketDatabase, TrafficEngineer
+from repro.config import DeploymentPipeline, ReviewPolicy
+from repro.drtest import DatacenterDrainDrill, FaultInjector, StormDrill
+from repro.fleet import paper_employees, paper_fleet
+from repro.incidents import RootCause, SEVReport, SEVStore, Severity
+from repro.priorwork import compare_root_causes
+from repro.remediation import RemediationEngine
+from repro.services import (
+    ImpactModel,
+    masking_report,
+    place_uniform,
+    reference_catalog,
+)
+from repro.simulation import (
+    BackboneSimulator,
+    IntraSimulator,
+    paper_backbone_scenario,
+    paper_scenario,
+)
+from repro.topology import (
+    DeviceType,
+    NetworkDesign,
+    build_backbone,
+    build_cluster_network,
+    build_fabric_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackboneMonitor",
+    "BackboneSimulator",
+    "DatacenterDrainDrill",
+    "DeploymentPipeline",
+    "DeviceType",
+    "FaultInjector",
+    "ImpactModel",
+    "IntraSimulator",
+    "NetworkDesign",
+    "RemediationEngine",
+    "ReviewPolicy",
+    "RootCause",
+    "SEVReport",
+    "SEVStore",
+    "Severity",
+    "StormDrill",
+    "TicketDatabase",
+    "TrafficEngineer",
+    "__version__",
+    "backbone_reliability",
+    "build_backbone",
+    "build_cluster_network",
+    "build_fabric_network",
+    "capacity_report",
+    "compare_root_causes",
+    "continent_table",
+    "design_comparison",
+    "incident_distribution",
+    "incident_growth",
+    "incident_rates",
+    "irt_vs_fleet_size",
+    "masking_report",
+    "paper_backbone_scenario",
+    "paper_employees",
+    "paper_fleet",
+    "paper_scenario",
+    "place_uniform",
+    "population_breakdown",
+    "reference_catalog",
+    "remediation_table",
+    "root_cause_breakdown",
+    "root_causes_by_device",
+    "severity_by_device",
+    "severity_rates_over_time",
+    "sevs_per_employee",
+    "switch_reliability",
+    "switches_vs_employees",
+]

@@ -1,0 +1,154 @@
+"""Vendor notification e-mails (section 4.3.2).
+
+When a vendor starts repairing a link (or performing maintenance),
+Facebook is notified via a *structured* e-mail carrying the logical ID
+of the fiber link, the physical location of the affected circuits, the
+starting time, and the estimated duration; a second e-mail confirms
+completion.  The e-mails are automatically parsed and stored in a
+database.  This module defines that structured format and the parser
+feeding :mod:`repro.backbone.tickets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+_REQUIRED_HEADERS = ("Notification-Type", "Link-Id", "Vendor", "Event-Time-H")
+_NOTIFICATION_TYPES = ("REPAIR_START", "REPAIR_COMPLETE",
+                       "MAINTENANCE_START", "MAINTENANCE_COMPLETE")
+
+
+class EmailParseError(ValueError):
+    """A vendor e-mail failed structured parsing."""
+
+
+@dataclass(frozen=True)
+class VendorEmail:
+    """A parsed vendor notification."""
+
+    notification_type: str
+    link_id: str
+    vendor: str
+    event_time_h: float
+    location: str = ""
+    estimated_duration_h: Optional[float] = None
+    #: The vendor's work-order reference.  When present, completion
+    #: notifications are matched to starts by reference, which lets a
+    #: link carry overlapping work items (a cut during a maintenance
+    #: window) without ambiguity.
+    ticket_ref: Optional[str] = None
+
+    @property
+    def is_start(self) -> bool:
+        return self.notification_type.endswith("_START")
+
+    @property
+    def is_completion(self) -> bool:
+        return self.notification_type.endswith("_COMPLETE")
+
+    @property
+    def is_maintenance(self) -> bool:
+        return self.notification_type.startswith("MAINTENANCE")
+
+
+def format_start_email(
+    link_id: str,
+    vendor: str,
+    event_time_h: float,
+    location: str = "",
+    estimated_duration_h: Optional[float] = None,
+    maintenance: bool = False,
+    ticket_ref: Optional[str] = None,
+) -> str:
+    """Render the structured start notification a vendor sends."""
+    kind = "MAINTENANCE_START" if maintenance else "REPAIR_START"
+    lines = [
+        f"Notification-Type: {kind}",
+        f"Link-Id: {link_id}",
+        f"Vendor: {vendor}",
+        f"Event-Time-H: {event_time_h:.4f}",
+    ]
+    if ticket_ref:
+        lines.append(f"Ticket-Ref: {ticket_ref}")
+    if location:
+        lines.append(f"Location: {location}")
+    if estimated_duration_h is not None:
+        lines.append(f"Estimated-Duration-H: {estimated_duration_h:.4f}")
+    lines.append("")
+    lines.append(f"{vendor} is working on fiber link {link_id}.")
+    return "\n".join(lines)
+
+
+def format_completion_email(
+    link_id: str,
+    vendor: str,
+    event_time_h: float,
+    maintenance: bool = False,
+    ticket_ref: Optional[str] = None,
+) -> str:
+    """Render the completion confirmation."""
+    kind = "MAINTENANCE_COMPLETE" if maintenance else "REPAIR_COMPLETE"
+    lines = [
+        f"Notification-Type: {kind}",
+        f"Link-Id: {link_id}",
+        f"Vendor: {vendor}",
+        f"Event-Time-H: {event_time_h:.4f}",
+    ]
+    if ticket_ref:
+        lines.append(f"Ticket-Ref: {ticket_ref}")
+    lines.append("")
+    lines.append(f"{vendor} has completed work on fiber link {link_id}.")
+    return "\n".join(lines)
+
+
+def parse_vendor_email(raw: str) -> VendorEmail:
+    """Parse a structured vendor notification.
+
+    Headers precede a blank line; the free-text body after it is
+    ignored, as the production parser ignores it.
+    """
+    headers: Dict[str, str] = {}
+    for line in raw.splitlines():
+        if not line.strip():
+            break
+        if ":" not in line:
+            raise EmailParseError(f"malformed header line {line!r}")
+        key, value = line.split(":", 1)
+        headers[key.strip()] = value.strip()
+
+    missing = [h for h in _REQUIRED_HEADERS if h not in headers]
+    if missing:
+        raise EmailParseError(f"missing required headers: {missing}")
+
+    kind = headers["Notification-Type"]
+    if kind not in _NOTIFICATION_TYPES:
+        raise EmailParseError(f"unknown notification type {kind!r}")
+
+    try:
+        event_time_h = float(headers["Event-Time-H"])
+    except ValueError:
+        raise EmailParseError(
+            f"non-numeric Event-Time-H {headers['Event-Time-H']!r}"
+        ) from None
+    if event_time_h < 0:
+        raise EmailParseError("Event-Time-H precedes the study epoch")
+
+    estimated: Optional[float] = None
+    if "Estimated-Duration-H" in headers:
+        try:
+            estimated = float(headers["Estimated-Duration-H"])
+        except ValueError:
+            raise EmailParseError("non-numeric Estimated-Duration-H") from None
+        if estimated < 0:
+            raise EmailParseError("negative Estimated-Duration-H")
+
+    return VendorEmail(
+        notification_type=kind,
+        link_id=headers["Link-Id"],
+        vendor=headers["Vendor"],
+        event_time_h=event_time_h,
+        location=headers.get("Location", ""),
+        estimated_duration_h=estimated,
+        ticket_ref=headers.get("Ticket-Ref"),
+    )

@@ -1,0 +1,131 @@
+"""Backbone health monitoring (sections 4.3.2 and 6).
+
+Facebook "has extensive monitoring systems that check the health of
+every fiber link".  The monitor derives, from the ticket database:
+
+* **link outages** — one per completed ticket;
+* **edge failures** — the intervals during which *all* of an edge's
+  links are simultaneously down ("when all of an edge's links fail,
+  the edge fails", section 6).
+
+Both feed the section 6 reliability analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.backbone.tickets import TicketDatabase
+from repro.stats.intervals import OutageInterval, intersect_all, merge_intervals
+from repro.topology.backbone import BackboneTopology
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One observed link outage."""
+
+    link_id: str
+    vendor: str
+    interval: OutageInterval
+
+
+@dataclass(frozen=True)
+class EdgeFailure:
+    """One observed edge failure (all links down simultaneously)."""
+
+    edge: str
+    interval: OutageInterval
+
+
+class BackboneMonitor:
+    """Derives outages and failures from tickets over a topology."""
+
+    def __init__(self, topology: BackboneTopology, tickets: TicketDatabase) -> None:
+        self._topology = topology
+        self._tickets = tickets
+
+    # -- link level ------------------------------------------------------
+
+    def link_outages(self) -> List[LinkOutage]:
+        return [
+            LinkOutage(t.link_id, t.vendor, t.interval())
+            for t in self._tickets.completed()
+        ]
+
+    def outages_by_link(self) -> Dict[str, List[OutageInterval]]:
+        out: Dict[str, List[OutageInterval]] = {}
+        for outage in self.link_outages():
+            out.setdefault(outage.link_id, []).append(outage.interval)
+        return {link: merge_intervals(iv) for link, iv in out.items()}
+
+    def outages_by_vendor(self) -> Dict[str, List[OutageInterval]]:
+        """Outage intervals of the links each vendor operates.
+
+        Vendor MTBF/MTTR (section 6.2) are computed over this pooled
+        per-vendor event stream; overlapping tickets on *different*
+        links are distinct failures, so no merging happens here.
+        """
+        out: Dict[str, List[OutageInterval]] = {}
+        for outage in self.link_outages():
+            out.setdefault(outage.vendor, []).append(outage.interval)
+        return {v: sorted(iv) for v, iv in out.items()}
+
+    def link_is_down(self, link_id: str, at_h: float) -> bool:
+        for interval in self.outages_by_link().get(link_id, []):
+            if interval.start_h <= at_h < interval.end_h:
+                return True
+        return False
+
+    # -- edge level --------------------------------------------------------
+
+    def edge_failures(self) -> List[EdgeFailure]:
+        """Edge failures: intervals when every link of the edge is down.
+
+        Edges with no link outages (or whose links never all overlap)
+        produce no failures — path diversity absorbed the events.
+        """
+        by_link = self.outages_by_link()
+        failures: List[EdgeFailure] = []
+        for edge_name in self._topology.edges:
+            links = self._topology.links_of_edge(edge_name)
+            if not links:
+                continue
+            interval_sets = []
+            complete = True
+            for link in links:
+                outages = by_link.get(link.link_id)
+                if not outages:
+                    # A link with no outage at all keeps the edge up.
+                    complete = False
+                    break
+                interval_sets.append(outages)
+            if not complete:
+                continue
+            for interval in intersect_all(interval_sets):
+                if interval.duration_h > 0:
+                    failures.append(EdgeFailure(edge_name, interval))
+        return sorted(failures, key=lambda f: (f.edge, f.interval))
+
+    def failures_by_edge(self) -> Dict[str, List[OutageInterval]]:
+        out: Dict[str, List[OutageInterval]] = {}
+        for failure in self.edge_failures():
+            out.setdefault(failure.edge, []).append(failure.interval)
+        return out
+
+    def edge_is_up(self, edge: str, at_h: float) -> bool:
+        for interval in self.failures_by_edge().get(edge, []):
+            if interval.start_h <= at_h < interval.end_h:
+                return False
+        return True
+
+    # -- fleet summaries ---------------------------------------------------
+
+    def availability(self, link_id: str, window_h: float) -> float:
+        """Fraction of the window the link was up."""
+        if window_h <= 0:
+            raise ValueError("window must be positive")
+        down = sum(
+            i.duration_h for i in self.outages_by_link().get(link_id, [])
+        )
+        return max(0.0, 1.0 - down / window_h)

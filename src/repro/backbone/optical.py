@@ -1,0 +1,181 @@
+"""The optical layer beneath fiber links (section 3.2).
+
+"Each end-to-end fiber link is embodied by optical circuits that
+consist of multiple optical segments.  An optical segment corresponds
+to a fiber and carries multiple channels, where each channel
+corresponds to a different wavelength mapped to a specific router
+port."
+
+This module makes that abstraction concrete: circuits assembled from
+segments, wavelength channels mapped to router ports, and failure
+propagation — a cut segment takes down every channel riding it, and a
+link is down when no channel survives end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.topology.backbone import FiberLink, OpticalSegment
+
+#: ITU-grid-style wavelengths, in nanometres (a small C-band slice).
+_BASE_WAVELENGTH_NM = 1530.0
+_WAVELENGTH_STEP_NM = 0.8
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One wavelength on a circuit, mapped to a router port."""
+
+    index: int
+    wavelength_nm: float
+    a_port: str
+    b_port: str
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0:
+            raise ValueError("wavelength must be positive")
+
+
+@dataclass
+class OpticalCircuit:
+    """An end-to-end circuit: ordered segments carrying channels."""
+
+    circuit_id: str
+    link_id: str
+    segments: List[OpticalSegment]
+    channels: List[Channel] = field(default_factory=list)
+    cut_segments: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError(
+                f"circuit {self.circuit_id!r} needs at least one segment"
+            )
+
+    @property
+    def length_km(self) -> float:
+        return sum(s.length_km for s in self.segments)
+
+    @property
+    def intact(self) -> bool:
+        """A circuit carries traffic only when every segment is whole."""
+        return not self.cut_segments
+
+    def cut(self, segment_id: str) -> None:
+        if segment_id not in {s.segment_id for s in self.segments}:
+            raise KeyError(
+                f"segment {segment_id!r} is not part of circuit "
+                f"{self.circuit_id!r}"
+            )
+        self.cut_segments.add(segment_id)
+
+    def splice(self, segment_id: str) -> None:
+        """Repair a cut segment (the vendor's actual field work)."""
+        self.cut_segments.discard(segment_id)
+
+    def live_channels(self) -> List[Channel]:
+        return list(self.channels) if self.intact else []
+
+
+def build_circuit(
+    link: FiberLink,
+    channels: Optional[int] = None,
+    circuit_index: int = 0,
+) -> OpticalCircuit:
+    """Materialize a link's optical circuit with channel/port mapping.
+
+    ``channels`` defaults to the minimum channel count of the link's
+    segments (a channel must ride every segment).  Each channel gets
+    its own wavelength and a router port at both ends.
+    """
+    if not link.segments:
+        raise ValueError(f"link {link.link_id!r} has no optical segments")
+    capacity = min(s.channels for s in link.segments)
+    count = capacity if channels is None else channels
+    if count < 1:
+        raise ValueError("a circuit needs at least one channel")
+    if count > capacity:
+        raise ValueError(
+            f"link {link.link_id!r} segments carry at most {capacity} "
+            f"channels; {count} requested"
+        )
+    circuit = OpticalCircuit(
+        circuit_id=f"{link.link_id}/c{circuit_index}",
+        link_id=link.link_id,
+        segments=list(link.segments),
+    )
+    for i in range(count):
+        circuit.channels.append(Channel(
+            index=i,
+            wavelength_nm=_BASE_WAVELENGTH_NM + i * _WAVELENGTH_STEP_NM,
+            a_port=f"{link.a}:port{i}",
+            b_port=f"{link.b}:port{i}",
+        ))
+    return circuit
+
+
+@dataclass
+class OpticalPlant:
+    """All circuits of a backbone, with shared-segment bookkeeping.
+
+    Two circuits can ride the same physical fiber (a shared conduit);
+    cutting that segment takes both down — the correlated failure mode
+    behind edge-severing events.
+    """
+
+    circuits: Dict[str, OpticalCircuit] = field(default_factory=dict)
+    _riders: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add(self, circuit: OpticalCircuit) -> None:
+        if circuit.circuit_id in self.circuits:
+            raise ValueError(f"duplicate circuit {circuit.circuit_id!r}")
+        self.circuits[circuit.circuit_id] = circuit
+        for segment in circuit.segments:
+            self._riders.setdefault(segment.segment_id, set()).add(
+                circuit.circuit_id
+            )
+
+    def circuits_on_segment(self, segment_id: str) -> List[OpticalCircuit]:
+        return [
+            self.circuits[cid]
+            for cid in sorted(self._riders.get(segment_id, ()))
+        ]
+
+    def cut_segment(self, segment_id: str) -> List[str]:
+        """Cut one fiber; returns every link that lost its circuit."""
+        affected = self.circuits_on_segment(segment_id)
+        if not affected:
+            raise KeyError(f"no circuit rides segment {segment_id!r}")
+        downed = []
+        for circuit in affected:
+            was_intact = circuit.intact
+            circuit.cut(segment_id)
+            if was_intact:
+                downed.append(circuit.link_id)
+        return sorted(set(downed))
+
+    def splice_segment(self, segment_id: str) -> List[str]:
+        """Repair one fiber; returns links whose circuit came back."""
+        restored = []
+        for circuit in self.circuits_on_segment(segment_id):
+            circuit.splice(segment_id)
+            if circuit.intact:
+                restored.append(circuit.link_id)
+        return sorted(set(restored))
+
+    def down_links(self) -> List[str]:
+        return sorted({
+            c.link_id for c in self.circuits.values() if not c.intact
+        })
+
+    def shared_risk_groups(self, min_size: int = 2) -> Dict[str, List[str]]:
+        """Segments carrying multiple circuits: the SRLGs planners fear."""
+        return {
+            segment_id: sorted(
+                self.circuits[cid].link_id for cid in riders
+            )
+            for segment_id, riders in sorted(self._riders.items())
+            if len(riders) >= min_size
+        }

@@ -1,0 +1,217 @@
+"""WAN traffic classes and the four-plane cross-DC backbone.
+
+Section 3.2 splits backbone traffic in two:
+
+* **user-facing traffic** enters through *edge presences* (points of
+  presence) found via DNS, then rides the classic backbone of BBRs to
+  a data center region;
+* **cross data center traffic** — mostly bulk replication — is
+  "partitioned in the optical layer in four planes where each plane
+  has one backbone router per data center" and is centrally
+  traffic-engineered (the Express Backbone / B4-style design).
+
+This module models the plane partitioning: assigning cross-DC demands
+to planes, per-plane capacity accounting, and the failover behaviour
+when a plane (or its router at one data center) is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+#: The published plane count (section 3.2).
+PLANE_COUNT = 4
+
+
+@dataclass(frozen=True)
+class CrossDCDemand:
+    """A bulk transfer stream between two data center regions."""
+
+    name: str
+    source: str
+    destination: str
+    gbps: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError(f"demand {self.name!r} stays in one region")
+        if self.gbps <= 0:
+            raise ValueError(f"demand {self.name!r} needs positive volume")
+
+
+@dataclass
+class Plane:
+    """One optical plane: a BBR per data center plus plane capacity."""
+
+    index: int
+    capacity_gbps: float
+    routers: Dict[str, str] = field(default_factory=dict)
+    healthy: bool = True
+
+    def router_of(self, region: str) -> str:
+        try:
+            return self.routers[region]
+        except KeyError:
+            raise KeyError(
+                f"plane {self.index} has no router in region {region!r}"
+            ) from None
+
+    def serves(self, demand: CrossDCDemand) -> bool:
+        return (self.healthy
+                and demand.source in self.routers
+                and demand.destination in self.routers)
+
+
+class PlanedBackbone:
+    """The four-plane cross data center backbone."""
+
+    def __init__(self, regions: List[str],
+                 plane_capacity_gbps: float = 1000.0,
+                 planes: int = PLANE_COUNT) -> None:
+        if len(set(regions)) < 2:
+            raise ValueError("the cross-DC backbone needs >= 2 regions")
+        if planes < 1:
+            raise ValueError("need at least one plane")
+        self.regions = sorted(set(regions))
+        self.planes = [
+            Plane(
+                index=i,
+                capacity_gbps=plane_capacity_gbps,
+                routers={
+                    region: f"bbr.{i:03d}.plane{i}.{region}.wan"
+                    for region in self.regions
+                },
+            )
+            for i in range(planes)
+        ]
+        self._assignments: Dict[str, int] = {}
+        self._demands: Dict[str, CrossDCDemand] = {}
+
+    # -- traffic engineering ---------------------------------------------------
+
+    def healthy_planes(self) -> List[Plane]:
+        return [p for p in self.planes if p.healthy]
+
+    def _load(self) -> Dict[int, float]:
+        load: Dict[int, float] = {p.index: 0.0 for p in self.planes}
+        for name, plane_index in self._assignments.items():
+            load[plane_index] += self._demands[name].gbps
+        return load
+
+    def utilization(self) -> Dict[int, float]:
+        """Per-plane utilization fraction under current assignments."""
+        load = self._load()
+        return {
+            p.index: load[p.index] / p.capacity_gbps for p in self.planes
+        }
+
+    def assign(self, demand: CrossDCDemand) -> int:
+        """Centrally assign a demand to the least-utilized serving plane.
+
+        Returns the plane index; raises when no healthy plane can
+        carry the demand without exceeding capacity.
+        """
+        if demand.name in self._assignments:
+            raise ValueError(f"demand {demand.name!r} is already assigned")
+        load = self._load()
+        candidates = [
+            p for p in self.planes
+            if p.serves(demand)
+            and load[p.index] + demand.gbps <= p.capacity_gbps
+        ]
+        if not candidates:
+            raise CapacityExhausted(
+                f"no healthy plane can carry {demand.name!r} "
+                f"({demand.gbps} Gb/s {demand.source}->{demand.destination})"
+            )
+        best = min(candidates, key=lambda p: (load[p.index], p.index))
+        self._assignments[demand.name] = best.index
+        self._demands[demand.name] = demand
+        return best.index
+
+    def assign_all(self, demands: List[CrossDCDemand]) -> Dict[str, int]:
+        for demand in sorted(demands, key=lambda d: -d.gbps):
+            self.assign(demand)
+        return dict(self._assignments)
+
+    # -- failure handling ----------------------------------------------------------
+
+    def fail_plane(self, index: int) -> None:
+        self._plane(index).healthy = False
+
+    def restore_plane(self, index: int) -> None:
+        self._plane(index).healthy = True
+
+    def reassign_after_failures(
+        self, demands: List[CrossDCDemand]
+    ) -> Tuple[Dict[str, int], List[str]]:
+        """Re-run assignment after failures.
+
+        Returns (assignments, dropped demand names).  Dropping bulk
+        transfers under plane loss is the modeled behaviour: cross-DC
+        traffic is elastic, user-facing traffic is not (section 3.2).
+        """
+        self._assignments.clear()
+        self._demands.clear()
+        dropped = []
+        for demand in sorted(demands, key=lambda d: -d.gbps):
+            try:
+                self.assign(demand)
+            except CapacityExhausted:
+                dropped.append(demand.name)
+        return dict(self._assignments), sorted(dropped)
+
+    def surviving_capacity(self, source: str, destination: str) -> float:
+        return sum(
+            p.capacity_gbps
+            for p in self.healthy_planes()
+            if source in p.routers and destination in p.routers
+        )
+
+    def _plane(self, index: int) -> Plane:
+        for plane in self.planes:
+            if plane.index == index:
+                return plane
+        raise KeyError(f"no plane {index}")
+
+
+class CapacityExhausted(RuntimeError):
+    """No plane can carry a demand."""
+
+
+# ---------------------------------------------------------------------------
+# User-facing traffic (edge presences)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgePresence:
+    """A point of presence terminating user connections (section 3.2)."""
+
+    name: str
+    region_latency_ms: Dict[str, float]
+
+    def closest_region(self, exclude: Set[str] = frozenset()) -> str:
+        candidates = {
+            r: ms for r, ms in self.region_latency_ms.items()
+            if r not in exclude
+        }
+        if not candidates:
+            raise ValueError(f"POP {self.name!r} has no reachable region")
+        return min(sorted(candidates), key=lambda r: candidates[r])
+
+
+def route_user_traffic(
+    pops: List[EdgePresence], unavailable_regions: Set[str] = frozenset()
+) -> Dict[str, str]:
+    """DNS-style mapping of each POP to its best available region.
+
+    When a region is drained or disconnected, its POPs fail over to
+    the next-closest region at a latency cost — the user-facing
+    equivalent of the capacity-loss story.
+    """
+    return {
+        pop.name: pop.closest_region(exclude=unavailable_regions)
+        for pop in pops
+    }

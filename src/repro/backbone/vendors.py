@@ -1,0 +1,84 @@
+"""Fiber vendor model (section 6.2).
+
+Each fiber link is operated by a third-party vendor; vendor link
+reliability varies by orders of magnitude (the least reliable vendor's
+links fail on average once every 2 hours, the most reliable once every
+11,721 hours), and anecdotally vendors in high-competition markets are
+more reliable.  The directory assigns each synthetic vendor a market
+profile that the backbone simulator turns into failure/repair rates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+class MarketCompetition(enum.Enum):
+    """How contested the vendor's fiber market is (section 6.2)."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+@dataclass(frozen=True)
+class FiberVendor:
+    """A fiber vendor and its reliability profile.
+
+    ``mtbf_h``/``mttr_h`` are the vendor's *target* mean time between
+    link failures and mean repair time; the simulator draws actual
+    events around them, and the analysis pipeline re-estimates them
+    from tickets (Figures 17 and 18).
+    """
+
+    name: str
+    mtbf_h: float
+    mttr_h: float
+    competition: MarketCompetition = MarketCompetition.MEDIUM
+    home_market: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mtbf_h <= 0 or self.mttr_h <= 0:
+            raise ValueError(
+                f"vendor {self.name!r} needs positive MTBF/MTTR targets"
+            )
+
+
+class VendorDirectory:
+    """The set of vendors whose links form the backbone."""
+
+    def __init__(self, vendors: Optional[List[FiberVendor]] = None) -> None:
+        self._vendors: Dict[str, FiberVendor] = {}
+        for vendor in vendors or []:
+            self.add(vendor)
+
+    def add(self, vendor: FiberVendor) -> None:
+        if vendor.name in self._vendors:
+            raise ValueError(f"duplicate vendor {vendor.name!r}")
+        self._vendors[vendor.name] = vendor
+
+    def get(self, name: str) -> FiberVendor:
+        try:
+            return self._vendors[name]
+        except KeyError:
+            raise KeyError(f"unknown fiber vendor {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._vendors)
+
+    def __iter__(self) -> Iterator[FiberVendor]:
+        return iter(sorted(self._vendors.values(), key=lambda v: v.name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vendors
+
+    def names(self) -> List[str]:
+        return sorted(self._vendors)
+
+    def most_reliable(self) -> FiberVendor:
+        return max(self._vendors.values(), key=lambda v: v.mtbf_h)
+
+    def least_reliable(self) -> FiberVendor:
+        return min(self._vendors.values(), key=lambda v: v.mtbf_h)

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Exposes the pipeline without writing Python::
+
+    python -m repro report intra            # the intra DC study
+    python -m repro report backbone         # the backbone study
+    python -m repro export sevs out.csv     # generate + export SEVs
+    python -m repro export tickets out.json # generate + export tickets
+    python -m repro analyze sevs.csv        # analyze an imported corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    BackboneMonitor,
+    BackboneSimulator,
+    DeviceType,
+    IntraSimulator,
+    backbone_reliability,
+    continent_table,
+    design_comparison,
+    incident_distribution,
+    incident_growth,
+    paper_backbone_scenario,
+    paper_fleet,
+    paper_scenario,
+    root_cause_breakdown,
+    severity_by_device,
+    switch_reliability,
+)
+from repro.incidents import RootCause, SEVStore, Severity
+from repro.viz import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Large Scale Study of Data Center "
+                    "Network Reliability' (IMC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="generate a corpus and print "
+                                           "the study's key results")
+    report.add_argument("study", choices=["intra", "backbone", "full"])
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument("--scale", type=float, default=1.0,
+                        help="intra corpus scale factor")
+
+    export = sub.add_parser("export", help="generate a corpus and export it")
+    export.add_argument("dataset", choices=["sevs", "tickets"])
+    export.add_argument("path", help="output file (.csv or .json)")
+    export.add_argument("--seed", type=int, default=None)
+
+    analyze = sub.add_parser("analyze", help="analyze an exported SEV corpus")
+    analyze.add_argument("path", help="SEV export (.csv or .json)")
+
+    verify = sub.add_parser(
+        "verify",
+        help="regenerate both corpora and PASS/FAIL every paper anchor",
+    )
+    verify.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _intra_report(seed: Optional[int], scale: float) -> None:
+    scenario = (paper_scenario(seed=seed, scale=scale)
+                if seed is not None else paper_scenario(scale=scale))
+    store = IntraSimulator(scenario).run()
+    fleet = scenario.fleet
+    _print_intra_tables(store, fleet)
+
+
+def _print_intra_tables(store: SEVStore, fleet) -> None:
+    print(f"corpus: {len(store)} SEVs, years "
+          f"{store.years()[0]}-{store.years()[-1]}\n")
+
+    t2 = root_cause_breakdown(store)
+    print(format_table(
+        ["Root cause", "Share"],
+        [[c.value, f"{t2.fraction(c):.1%}"] for c in RootCause],
+        title="Table 2: root causes",
+    ))
+
+    last = store.years()[-1]
+    fig4 = severity_by_device(store, last)
+    print("\n" + format_table(
+        ["Severity", "Share"],
+        [[s.label, f"{fig4.level_share(s):.1%}"] for s in sorted(Severity)],
+        title=f"Figure 4: severity mix, {last}",
+    ))
+
+    dist = incident_distribution(store, baseline_year=last)
+    print("\n" + format_table(
+        ["Device", f"Share of {last}"],
+        [[t.value, f"{dist.fraction_of_year(last, t):.1%}"]
+         for t in DeviceType],
+        title="Figure 7: incidents by device type",
+    ))
+
+    first = store.years()[0]
+    if dist.year_total(first):
+        print(f"\ngrowth {first}->{last}: "
+              f"{incident_growth(store, first, last):.1f}x")
+
+    try:
+        sr = switch_reliability(store, fleet)
+        print("\n" + format_table(
+            ["Device", f"MTBI {last} (device-hours)"],
+            [[t.value, f"{sr.mtbi_h[last][t]:.3g}"]
+             for t in DeviceType if t in sr.mtbi_h.get(last, {})],
+            title="Figure 12: MTBI",
+        ))
+        comparison = design_comparison(store, fleet)
+        print(f"\nfabric/cluster incidents in {last}: "
+              f"{comparison.fabric_to_cluster_ratio(last):.0%}")
+    except (KeyError, ValueError):
+        # An imported corpus may not align with the built-in fleet
+        # model; the population-normalized figures need one.
+        print("\n(no fleet model for this corpus; skipping "
+              "population-normalized figures)")
+
+
+def _backbone_report(seed: Optional[int]) -> None:
+    scenario = (paper_backbone_scenario(seed=seed)
+                if seed is not None else paper_backbone_scenario())
+    corpus = BackboneSimulator(scenario).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    rel = backbone_reliability(monitor, corpus.window_h)
+
+    print(f"corpus: {len(corpus.tickets)} tickets, "
+          f"{len(corpus.topology.edges)} edges, "
+          f"{len(corpus.topology.links)} links\n")
+    print(format_table(
+        ["Curve", "p50", "p90", "model"],
+        [
+            ["edge MTBF (h)", f"{rel.edge_mtbf.p50:.0f}",
+             f"{rel.edge_mtbf.p90:.0f}", str(rel.edge_mtbf_model())],
+            ["edge MTTR (h)", f"{rel.edge_mttr.p50:.1f}",
+             f"{rel.edge_mttr.p90:.1f}", str(rel.edge_mttr_model())],
+            ["vendor MTBF (h)", f"{rel.vendor_mtbf.p50:.0f}",
+             f"{rel.vendor_mtbf.p90:.0f}", str(rel.vendor_mtbf_model())],
+            ["vendor MTTR (h)", f"{rel.vendor_mttr.p50:.1f}",
+             f"{rel.vendor_mttr.p90:.1f}", str(rel.vendor_mttr_model())],
+        ],
+        title="Figures 15-18",
+    ))
+    rows = continent_table(monitor, corpus.topology, corpus.window_h)
+    print("\n" + format_table(
+        ["Continent", "Share", "MTBF (h)", "MTTR (h)"],
+        [[r.continent.value, f"{r.share:.0%}",
+          f"{r.mtbf_h:.0f}" if r.mtbf_h else "-",
+          f"{r.mttr_h:.1f}" if r.mttr_h else "-"] for r in rows],
+        title="Table 4: continents",
+    ))
+
+
+def _export(dataset: str, path: str, seed: Optional[int]) -> None:
+    from repro.io import (
+        export_sevs_csv, export_sevs_json,
+        export_tickets_csv, export_tickets_json,
+    )
+
+    if dataset == "sevs":
+        scenario = (paper_scenario(seed=seed) if seed is not None
+                    else paper_scenario())
+        store = IntraSimulator(scenario).run()
+        writer = export_sevs_json if path.endswith(".json") else export_sevs_csv
+        count = writer(store, path)
+    else:
+        scenario = (paper_backbone_scenario(seed=seed) if seed is not None
+                    else paper_backbone_scenario())
+        corpus = BackboneSimulator(scenario).run()
+        writer = (export_tickets_json if path.endswith(".json")
+                  else export_tickets_csv)
+        count = writer(corpus.tickets, path)
+    print(f"wrote {count} {dataset} to {path}")
+
+
+def _analyze(path: str) -> None:
+    from repro.io import import_sevs_csv, import_sevs_json
+
+    reader = import_sevs_json if path.endswith(".json") else import_sevs_csv
+    store = reader(path)
+    _print_intra_tables(store, paper_fleet())
+
+
+def _full_report(seed: Optional[int], scale: float) -> None:
+    from repro.core import backbone_study_report, intra_study_report
+
+    scenario = (paper_scenario(seed=seed, scale=scale)
+                if seed is not None else paper_scenario(scale=scale))
+    store = IntraSimulator(scenario).run()
+    print(intra_study_report(store, scenario.fleet).render())
+
+    backbone_scenario = (paper_backbone_scenario(seed=seed)
+                         if seed is not None else paper_backbone_scenario())
+    corpus = BackboneSimulator(backbone_scenario).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    print("\n" + backbone_study_report(
+        monitor, corpus.topology, corpus.window_h
+    ).render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        if args.study == "intra":
+            _intra_report(args.seed, args.scale)
+        elif args.study == "backbone":
+            _backbone_report(args.seed)
+        else:
+            _full_report(args.seed, args.scale)
+    elif args.command == "export":
+        _export(args.dataset, args.path, args.seed)
+    elif args.command == "analyze":
+        _analyze(args.path)
+    elif args.command == "verify":
+        from repro.verify import render_verification, run_verification
+
+        checks = run_verification(seed=args.seed)
+        print(render_verification(checks))
+        if not all(c.passed for c in checks):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

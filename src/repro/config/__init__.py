@@ -1,0 +1,37 @@
+"""Network configuration management substrate.
+
+Section 5.1 credits operational practice for Facebook's comparatively
+low misconfiguration incident rate: "all configuration changes require
+code review and typically get tested on a small number of switches
+before being deployed to the fleet" — in contrast with Wu et al.,
+where configuration dominates the incident mix (38%).
+
+This package models that pipeline: device configurations, change
+proposals, mandatory code review, canary deployment to a small switch
+sample, and fleet-wide rollout, with defect detection at each gate.
+"""
+
+from repro.config.model import (
+    ConfigError,
+    DeviceConfig,
+    RoutingRule,
+    validate_config,
+)
+from repro.config.changes import ChangeProposal, ChangeState
+from repro.config.pipeline import (
+    DeploymentPipeline,
+    PipelineReport,
+    ReviewPolicy,
+)
+
+__all__ = [
+    "ChangeProposal",
+    "ChangeState",
+    "ConfigError",
+    "DeploymentPipeline",
+    "DeviceConfig",
+    "PipelineReport",
+    "ReviewPolicy",
+    "RoutingRule",
+    "validate_config",
+]

@@ -1,0 +1,72 @@
+"""Configuration change proposals.
+
+A change moves through the states of the section 5.1 pipeline:
+proposed -> reviewed -> canaried -> deployed, with rejection possible
+at review or canary.  A change carries a latent-defect flag used by
+the ablation benches: defects are what the review and canary gates
+exist to catch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.config.model import DeviceConfig
+
+
+class ChangeState(enum.Enum):
+    PROPOSED = "proposed"
+    IN_REVIEW = "in_review"
+    CANARY = "canary"
+    DEPLOYED = "deployed"
+    REJECTED = "rejected"
+    ROLLED_BACK = "rolled_back"
+
+
+_TRANSITIONS = {
+    ChangeState.PROPOSED: {ChangeState.IN_REVIEW},
+    ChangeState.IN_REVIEW: {ChangeState.CANARY, ChangeState.REJECTED,
+                            ChangeState.DEPLOYED},
+    ChangeState.CANARY: {ChangeState.DEPLOYED, ChangeState.REJECTED},
+    ChangeState.DEPLOYED: {ChangeState.ROLLED_BACK},
+    ChangeState.REJECTED: set(),
+    ChangeState.ROLLED_BACK: set(),
+}
+
+
+@dataclass
+class ChangeProposal:
+    """A proposed fleet-wide configuration change."""
+
+    change_id: str
+    author: str
+    description: str
+    #: Function applied to each target device's current config to
+    #: produce the new one.
+    transform: Callable[[DeviceConfig], DeviceConfig]
+    target_types: tuple
+    state: ChangeState = ChangeState.PROPOSED
+    #: A latent behavioural defect not visible to static validation —
+    #: the kind only a canary (or production) exposes.
+    latent_defect: bool = False
+    history: List[ChangeState] = field(default_factory=list)
+    rejection_reason: Optional[str] = None
+
+    def advance(self, new_state: ChangeState,
+                reason: Optional[str] = None) -> None:
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ValueError(
+                f"change {self.change_id!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.history.append(self.state)
+        self.state = new_state
+        if new_state is ChangeState.REJECTED:
+            self.rejection_reason = reason or "rejected"
+
+    @property
+    def terminal(self) -> bool:
+        return not _TRANSITIONS[self.state]

@@ -1,0 +1,119 @@
+"""Device configuration model.
+
+A minimal but real switch configuration: interface states, routing
+rules, and the properties whose violation produces the incident
+classes Table 2 lists under *configuration* ("routing rules blocking
+production traffic") and the section 4.2 SEV1 example (a load
+balancing policy that routes everything onto one path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+
+class ConfigError(ValueError):
+    """A configuration failed validation."""
+
+
+@dataclass(frozen=True)
+class RoutingRule:
+    """One routing rule: a prefix forwarded to a set of next hops."""
+
+    prefix: str
+    next_hops: tuple
+    action: str = "forward"  # "forward" | "drop"
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in ("forward", "drop"):
+            raise ConfigError(f"unknown action {self.action!r}")
+        if self.action == "forward" and not self.next_hops:
+            raise ConfigError(
+                f"rule for {self.prefix!r} forwards to no next hops"
+            )
+        if self.weight < 1:
+            raise ConfigError("rule weight must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """A versioned switch configuration."""
+
+    device_name: str
+    version: int = 1
+    interfaces_enabled: Dict[int, bool] = field(default_factory=dict)
+    rules: tuple = ()
+    load_balance_paths: int = 4
+
+    def with_rules(self, rules: List[RoutingRule]) -> "DeviceConfig":
+        return replace(self, rules=tuple(rules), version=self.version + 1)
+
+    def with_load_balance_paths(self, paths: int) -> "DeviceConfig":
+        return replace(self, load_balance_paths=paths,
+                       version=self.version + 1)
+
+    def with_interface(self, index: int, enabled: bool) -> "DeviceConfig":
+        interfaces = dict(self.interfaces_enabled)
+        interfaces[index] = enabled
+        return replace(self, interfaces_enabled=interfaces,
+                       version=self.version + 1)
+
+
+#: Production prefixes that must never be dropped (the Table 2
+#: "routing rules blocking production traffic" check).
+PRODUCTION_PREFIXES = ("10.0.0.0/8",)
+
+
+def validate_config(config: DeviceConfig) -> List[str]:
+    """Static checks a review or canary would run; empty = clean.
+
+    Detects the misconfiguration classes the paper describes:
+
+    * a drop rule covering production traffic;
+    * a load-balancing policy concentrating traffic on a single path
+      (the section 4.2 SEV1: "a DR began routing traffic on a single
+      path, overloading the ports associated with the path");
+    * all interfaces administratively disabled (isolated device);
+    * duplicate rules for one prefix with conflicting actions.
+    """
+    problems = []
+
+    for rule in config.rules:
+        if rule.action == "drop" and rule.prefix in PRODUCTION_PREFIXES:
+            problems.append(
+                f"rule drops production prefix {rule.prefix}"
+            )
+
+    if config.load_balance_paths < 2:
+        problems.append(
+            "load balancing policy concentrates traffic on "
+            f"{config.load_balance_paths} path(s)"
+        )
+
+    if config.interfaces_enabled and not any(
+        config.interfaces_enabled.values()
+    ):
+        problems.append("every interface is administratively disabled")
+
+    by_prefix: Dict[str, set] = {}
+    for rule in config.rules:
+        by_prefix.setdefault(rule.prefix, set()).add(rule.action)
+    for prefix, actions in by_prefix.items():
+        if len(actions) > 1:
+            problems.append(f"conflicting actions for prefix {prefix}")
+
+    return problems
+
+
+def apply_config(
+    current: Optional[DeviceConfig], new: DeviceConfig
+) -> DeviceConfig:
+    """Apply a new configuration version; versions must move forward."""
+    if current is not None and new.version <= current.version:
+        raise ConfigError(
+            f"stale config for {new.device_name!r}: version "
+            f"{new.version} <= deployed {current.version}"
+        )
+    return new

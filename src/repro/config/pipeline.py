@@ -1,0 +1,166 @@
+"""The review-and-canary deployment pipeline (section 5.1).
+
+"At Facebook ... all configuration changes require code review and
+typically get tested on a small number of switches before being
+deployed to the fleet.  These practices may contribute to the lower
+misconfiguration incident rate we observe compared to Wu et al."
+
+The pipeline runs a change through three gates:
+
+1. **static review** — ``validate_config`` on a representative device;
+2. **canary** — deploy to a small sample; latent behavioural defects
+   surface here with a probability that grows with the sample size;
+3. **fleet rollout** — apply to every target device.
+
+Defects that slip through every gate become configuration-caused
+incidents; the ``ReviewPolicy`` toggles let the ablation bench measure
+how much each gate buys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config.changes import ChangeProposal, ChangeState
+from repro.config.model import DeviceConfig, apply_config, validate_config
+
+
+@dataclass(frozen=True)
+class ReviewPolicy:
+    """Which gates are active, and how hard the canary looks."""
+
+    require_review: bool = True
+    canary_size: int = 3
+    #: Probability that a canaried device surfaces a latent defect.
+    canary_detection_per_device: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.canary_size < 0:
+            raise ValueError("canary_size must be non-negative")
+        if not 0.0 <= self.canary_detection_per_device <= 1.0:
+            raise ValueError("detection probability outside [0, 1]")
+
+
+@dataclass
+class PipelineReport:
+    """Outcome counters across a batch of changes."""
+
+    deployed: int = 0
+    rejected_in_review: int = 0
+    rejected_in_canary: int = 0
+    defects_shipped: int = 0
+    incidents: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (self.deployed + self.rejected_in_review
+                + self.rejected_in_canary)
+
+    @property
+    def defect_escape_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.defects_shipped / self.total
+
+
+class DeploymentPipeline:
+    """Drives configuration changes onto a device fleet."""
+
+    def __init__(
+        self,
+        configs: Dict[str, DeviceConfig],
+        device_types: Dict[str, "object"],
+        policy: Optional[ReviewPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        if set(configs) != set(device_types):
+            raise ValueError("configs and device_types must cover the "
+                             "same devices")
+        self._configs = dict(configs)
+        self._types = dict(device_types)
+        self.policy = policy or ReviewPolicy()
+        self._rng = random.Random(seed)
+
+    @property
+    def configs(self) -> Dict[str, DeviceConfig]:
+        return dict(self._configs)
+
+    def targets_of(self, change: ChangeProposal) -> List[str]:
+        return sorted(
+            name for name, t in self._types.items()
+            if t in change.target_types
+        )
+
+    def process(self, change: ChangeProposal,
+                report: Optional[PipelineReport] = None) -> PipelineReport:
+        """Run one change through every active gate."""
+        report = report or PipelineReport()
+        targets = self.targets_of(change)
+        if not targets:
+            change.advance(ChangeState.IN_REVIEW)
+            change.advance(ChangeState.REJECTED, "no target devices")
+            report.rejected_in_review += 1
+            return report
+
+        change.advance(ChangeState.IN_REVIEW)
+
+        # Gate 1: static review on a representative target.
+        if self.policy.require_review:
+            sample = self._configs[targets[0]]
+            problems = validate_config(change.transform(sample))
+            if problems:
+                change.advance(ChangeState.REJECTED, "; ".join(problems))
+                report.rejected_in_review += 1
+                return report
+
+        # Gate 2: canary on a small sample.
+        if self.policy.canary_size > 0:
+            change.advance(ChangeState.CANARY)
+            canaries = targets[: self.policy.canary_size]
+            caught = change.latent_defect and any(
+                self._rng.random() < self.policy.canary_detection_per_device
+                for _ in canaries
+            )
+            if caught:
+                change.advance(ChangeState.REJECTED,
+                               "canary surfaced a behavioural defect")
+                report.rejected_in_canary += 1
+                return report
+        else:
+            # Without a canary the change goes straight to the fleet.
+            pass
+
+        # Gate 3: fleet rollout.
+        for name in targets:
+            self._configs[name] = apply_config(
+                self._configs[name], change.transform(self._configs[name])
+            )
+        change.advance(ChangeState.DEPLOYED)
+        report.deployed += 1
+        statically_broken = any(
+            validate_config(self._configs[name]) for name in targets
+        )
+        if change.latent_defect or statically_broken:
+            report.defects_shipped += 1
+            report.incidents.append(change.change_id)
+        return report
+
+    def process_batch(self, changes: List[ChangeProposal]) -> PipelineReport:
+        report = PipelineReport()
+        for change in changes:
+            self.process(change, report)
+        return report
+
+    def rollback(self, change: ChangeProposal,
+                 previous: Dict[str, DeviceConfig]) -> None:
+        """Restore saved configs after a shipped defect."""
+        if change.state is not ChangeState.DEPLOYED:
+            raise ValueError("only deployed changes roll back")
+        missing = set(self.targets_of(change)) - set(previous)
+        if missing:
+            raise ValueError(f"no saved configs for {sorted(missing)}")
+        for name in self.targets_of(change):
+            self._configs[name] = previous[name]
+        change.advance(ChangeState.ROLLED_BACK)

@@ -1,0 +1,109 @@
+"""The paper's analyses.
+
+One module per analysis section:
+
+=========================  ==========================================
+Module                     Paper artifact
+=========================  ==========================================
+``root_causes``            Table 2, Figure 2 (section 5.1)
+``incident_rates``         Figure 3 (section 5.2)
+``severity``               Figures 4-6 (section 5.3)
+``distribution``           Figures 7-8 (section 5.4)
+``design_comparison``      Figures 9-11 (section 5.5)
+``switch_reliability``     Figures 12-14 (section 5.6)
+``remediation_stats``      Table 1 (section 4.1)
+``backbone_reliability``   Figures 15-18, Table 4 (section 6)
+``conditional_risk``       capacity planning consumer (section 6.1)
+=========================  ==========================================
+
+Every function takes the substrate objects (SEV store, fleet model,
+monitor, ...) and returns plain result dataclasses; nothing in here
+reads :mod:`repro.paperdata`.
+"""
+
+from repro.core.root_causes import (
+    RootCauseBreakdown,
+    root_cause_breakdown,
+    root_causes_by_device,
+)
+from repro.core.incident_rates import IncidentRateSeries, incident_rates
+from repro.core.severity import (
+    SeverityByDevice,
+    SeverityRateSeries,
+    sevs_per_employee,
+    severity_by_device,
+    severity_rates_over_time,
+    switches_vs_employees,
+)
+from repro.core.distribution import (
+    IncidentDistribution,
+    incident_distribution,
+    incident_growth,
+)
+from repro.core.design_comparison import (
+    DesignComparison,
+    design_comparison,
+    population_breakdown,
+)
+from repro.core.switch_reliability import (
+    SwitchReliability,
+    irt_vs_fleet_size,
+    switch_reliability,
+)
+from repro.core.remediation_stats import RemediationTable, remediation_table
+from repro.core.backbone_reliability import (
+    BackboneReliability,
+    ContinentRow,
+    backbone_reliability,
+    continent_table,
+)
+from repro.core.conditional_risk import CapacityReport, capacity_report
+from repro.core.fault_tolerance import (
+    RedundancyMargin,
+    redundancy_margin,
+    redundancy_report,
+)
+from repro.core.reports import (
+    BackboneStudyReport,
+    IntraStudyReport,
+    backbone_study_report,
+    intra_study_report,
+)
+
+__all__ = [
+    "BackboneReliability",
+    "BackboneStudyReport",
+    "CapacityReport",
+    "ContinentRow",
+    "DesignComparison",
+    "IncidentDistribution",
+    "IncidentRateSeries",
+    "IntraStudyReport",
+    "RedundancyMargin",
+    "RemediationTable",
+    "RootCauseBreakdown",
+    "SeverityByDevice",
+    "SeverityRateSeries",
+    "SwitchReliability",
+    "backbone_reliability",
+    "backbone_study_report",
+    "capacity_report",
+    "continent_table",
+    "design_comparison",
+    "incident_distribution",
+    "incident_growth",
+    "incident_rates",
+    "intra_study_report",
+    "irt_vs_fleet_size",
+    "population_breakdown",
+    "redundancy_margin",
+    "redundancy_report",
+    "remediation_table",
+    "root_cause_breakdown",
+    "root_causes_by_device",
+    "severity_by_device",
+    "severity_rates_over_time",
+    "sevs_per_employee",
+    "switch_reliability",
+    "switches_vs_employees",
+]

@@ -1,0 +1,126 @@
+"""Backbone reliability analyses (section 6, Figures 15-18, Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.backbone.monitor import BackboneMonitor
+from repro.stats.expfit import ExponentialModel
+from repro.stats.mtbf import mtbf_from_intervals
+from repro.stats.mttr import mean_time_to_recovery
+from repro.stats.percentile import PercentileCurve, curve_of_means
+from repro.topology.backbone import BackboneTopology, Continent
+
+
+@dataclass(frozen=True)
+class BackboneReliability:
+    """The four percentile curves of section 6 with their fitted models."""
+
+    edge_mtbf: PercentileCurve
+    edge_mttr: PercentileCurve
+    vendor_mtbf: PercentileCurve
+    vendor_mttr: PercentileCurve
+
+    def edge_mtbf_model(self) -> ExponentialModel:
+        """Figure 15's dotted line (462.88 * e^{2.3408 p} in the paper)."""
+        return self.edge_mtbf.fit_exponential()
+
+    def edge_mttr_model(self) -> ExponentialModel:
+        """Figure 16's dotted line (1.513 * e^{4.256 p})."""
+        return self.edge_mttr.fit_exponential()
+
+    def vendor_mtbf_model(self) -> ExponentialModel:
+        """Figure 17's dotted line (no constants published)."""
+        return self.vendor_mtbf.fit_exponential()
+
+    def vendor_mttr_model(self) -> ExponentialModel:
+        """Figure 18's dotted line (1.1345 * e^{4.7709 p})."""
+        return self.vendor_mttr.fit_exponential()
+
+
+def backbone_reliability(
+    monitor: BackboneMonitor, window_h: float
+) -> BackboneReliability:
+    """Compute the section 6 curves from the ticket-derived outages.
+
+    ``window_h`` is the observation window (eighteen months in the
+    study); it provides the MTBF scale for entities observed failing
+    only once.  Entities with no failures at all contribute no point,
+    as in the paper.
+    """
+    if window_h <= 0:
+        raise ValueError("the observation window must be positive")
+
+    edge_mtbf: Dict[str, float] = {}
+    edge_mttr: Dict[str, float] = {}
+    for edge, intervals in monitor.failures_by_edge().items():
+        edge_mtbf[edge] = mtbf_from_intervals(intervals, window_h)
+        edge_mttr[edge] = mean_time_to_recovery(intervals)
+
+    vendor_mtbf: Dict[str, float] = {}
+    vendor_mttr: Dict[str, float] = {}
+    for vendor, intervals in monitor.outages_by_vendor().items():
+        vendor_mtbf[vendor] = mtbf_from_intervals(intervals, window_h)
+        vendor_mttr[vendor] = mean_time_to_recovery(intervals)
+
+    if not edge_mtbf:
+        raise ValueError("no edge failures observed in the corpus")
+    if not vendor_mtbf:
+        raise ValueError("no link outages observed in the corpus")
+
+    return BackboneReliability(
+        edge_mtbf=curve_of_means(edge_mtbf),
+        edge_mttr=curve_of_means(edge_mttr),
+        vendor_mtbf=curve_of_means(vendor_mtbf),
+        vendor_mttr=curve_of_means(vendor_mttr),
+    )
+
+
+@dataclass(frozen=True)
+class ContinentRow:
+    """One Table 4 row."""
+
+    continent: Continent
+    edge_count: int
+    share: float
+    mtbf_h: Optional[float]
+    mttr_h: Optional[float]
+
+
+def continent_table(
+    monitor: BackboneMonitor,
+    topology: BackboneTopology,
+    window_h: float,
+) -> List[ContinentRow]:
+    """Compute Table 4: edge distribution and reliability by continent.
+
+    Per-continent MTBF/MTTR are means over the continent's edges that
+    failed at least once; continents whose edges never failed report
+    None for both.
+    """
+    failures = monitor.failures_by_edge()
+    total_edges = len(topology.edges)
+    rows = []
+    for continent in Continent:
+        edges = topology.edges_on(continent)
+        if not edges:
+            continue
+        mtbfs, mttrs = [], []
+        for edge in edges:
+            intervals = failures.get(edge.name)
+            if not intervals:
+                continue
+            mtbfs.append(mtbf_from_intervals(intervals, window_h))
+            mttrs.append(mean_time_to_recovery(intervals))
+        rows.append(
+            ContinentRow(
+                continent=continent,
+                edge_count=len(edges),
+                share=len(edges) / total_edges,
+                mtbf_h=sum(mtbfs) / len(mtbfs) if mtbfs else None,
+                mttr_h=sum(mttrs) / len(mttrs) if mttrs else None,
+            )
+        )
+    rows.sort(key=lambda r: -r.share)
+    return rows

@@ -1,0 +1,75 @@
+"""Conditional-risk capacity planning (section 6.1).
+
+"At Facebook, we use these models in capacity planning to calculate
+conditional risk, the likelihood of edge or link being unavailable
+given a set of failures.  We plan edge and link capacity to tolerate
+the 99.99th percentile of conditional risk."
+
+This module is the consumer of the fitted section 6 models: it runs
+the planner over every edge of a backbone topology and reports which
+edges need more links to meet the availability target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.backbone.traffic import CapacityPlan, TrafficEngineer
+from repro.core.backbone_reliability import BackboneReliability
+from repro.topology.backbone import BackboneTopology
+
+#: The paper's planning target: the 99.99th percentile of conditional risk.
+PLANNING_PERCENTILE = 0.9999
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Fleet-wide capacity planning outcome."""
+
+    plans: Dict[str, CapacityPlan]
+    percentile: float
+
+    @property
+    def compliant_edges(self) -> List[str]:
+        return sorted(
+            e for e, p in self.plans.items() if p.survives_target
+        )
+
+    @property
+    def deficient_edges(self) -> List[str]:
+        return sorted(
+            e for e, p in self.plans.items() if not p.survives_target
+        )
+
+    def recommended_links(self, edge: str) -> int:
+        try:
+            return self.plans[edge].recommended_links
+        except KeyError:
+            raise KeyError(f"no capacity plan for edge {edge!r}") from None
+
+
+def capacity_report(
+    topology: BackboneTopology,
+    reliability: BackboneReliability,
+    percentile: float = PLANNING_PERCENTILE,
+    link_percentile: float = 0.5,
+) -> CapacityReport:
+    """Plan every edge's link count against the fitted models.
+
+    The per-link unavailability comes from the *measured* edge MTBF
+    and MTTR models (the planner consumes the same fits the paper
+    publishes), evaluated at ``link_percentile`` — the planner's
+    median link assumption.
+    """
+    engineer = TrafficEngineer(topology)
+    mtbf_model = reliability.edge_mtbf_model()
+    mttr_model = reliability.edge_mttr_model()
+    plans = {
+        edge: engineer.plan_capacity(
+            edge, mtbf_model, mttr_model,
+            percentile=percentile, link_percentile=link_percentile,
+        )
+        for edge in topology.edges
+    }
+    return CapacityReport(plans=plans, percentile=percentile)

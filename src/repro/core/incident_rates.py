@@ -1,0 +1,75 @@
+"""Incident rates by device type (section 5.2, Figure 3).
+
+The incident rate of a device type is ``r = i / n``: incidents caused
+by the type over the active population of the type.  The rate can
+exceed 1.0 — each device of the type caused more than one incident on
+average — which is exactly what CSAs did in 2013 and 2014.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fleet.population import FleetModel
+from repro.incidents.query import SEVQuery
+from repro.incidents.store import SEVStore
+from repro.stats.timeseries import YearlyCounts
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class IncidentRateSeries:
+    """Per-year, per-type incident rates (the Figure 3 series)."""
+
+    rates: Dict[int, Dict[DeviceType, float]]
+
+    @property
+    def years(self) -> List[int]:
+        return sorted(self.rates)
+
+    def rate(self, year: int, device_type: DeviceType) -> float:
+        return self.rates.get(year, {}).get(device_type, 0.0)
+
+    def series(self, device_type: DeviceType) -> Dict[int, float]:
+        return {year: self.rate(year, device_type) for year in self.years}
+
+    def max_rate_type(self, year: int) -> DeviceType:
+        per_type = self.rates.get(year, {})
+        if not per_type:
+            raise KeyError(f"no rates for year {year}")
+        return max(per_type, key=lambda t: (per_type[t], t.value))
+
+    def ordered_by_bisection(self, year: int) -> List[DeviceType]:
+        """Device types present that year, highest bisection rank first.
+
+        Section 5.2's first observation compares rates along this
+        ordering (Cores and CSAs versus RSWs).
+        """
+        per_type = self.rates.get(year, {})
+        return sorted(per_type, key=lambda t: -t.bisection_rank)
+
+
+def incident_rates(store: SEVStore, fleet: FleetModel) -> IncidentRateSeries:
+    """Compute Figure 3 from the SEV database and fleet populations."""
+    counts = YearlyCounts()
+    for year, per_type in SEVQuery(store).count_by_year_and_type().items():
+        for device_type, n in per_type.items():
+            counts.add(year, device_type, n)
+
+    rates: Dict[int, Dict[DeviceType, float]] = {}
+    for year in counts.years:
+        if year not in fleet.snapshots:
+            continue
+        per_type: Dict[DeviceType, float] = {}
+        for device_type in DeviceType:
+            population = fleet.count(year, device_type)
+            if population == 0:
+                # A type absent from the fleet that year has no point
+                # on the figure.
+                continue
+            per_type[device_type] = counts.per_capita(
+                year, device_type, population
+            )
+        rates[year] = per_type
+    return IncidentRateSeries(rates=rates)

@@ -1,0 +1,65 @@
+"""Remediation statistics (section 4.1, Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.remediation.engine import RemediationEngine
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class RemediationRow:
+    """One Table 1 row."""
+
+    device_type: DeviceType
+    repair_ratio: float
+    avg_priority: float
+    avg_wait_h: float
+    avg_repair_s: float
+    escalation_one_in: float
+
+
+@dataclass(frozen=True)
+class RemediationTable:
+    """Table 1: automated remediation summarized per device type."""
+
+    rows: Dict[DeviceType, RemediationRow]
+
+    def row(self, device_type: DeviceType) -> RemediationRow:
+        try:
+            return self.rows[device_type]
+        except KeyError:
+            raise KeyError(
+                f"no remediation data for {device_type.value}"
+            ) from None
+
+    def ordered(self) -> List[RemediationRow]:
+        """Rows ordered as the paper prints them: Core, FSW, RSW."""
+        order = (DeviceType.CORE, DeviceType.FSW, DeviceType.RSW)
+        return [self.rows[t] for t in order if t in self.rows]
+
+    def highest_priority_type(self) -> DeviceType:
+        """The type repaired at the highest priority (Cores)."""
+        return min(
+            self.rows, key=lambda t: (self.rows[t].avg_priority, t.value)
+        )
+
+
+def remediation_table(engine: RemediationEngine) -> RemediationTable:
+    """Summarize an engine's history into Table 1."""
+    rows = {}
+    for device_type in DeviceType:
+        stats = engine.stats(device_type)
+        if stats.issues == 0:
+            continue
+        rows[device_type] = RemediationRow(
+            device_type=device_type,
+            repair_ratio=stats.repair_ratio,
+            avg_priority=stats.avg_priority,
+            avg_wait_h=stats.avg_wait_h,
+            avg_repair_s=stats.avg_repair_s,
+            escalation_one_in=stats.escalation_one_in,
+        )
+    return RemediationTable(rows=rows)

@@ -1,0 +1,87 @@
+"""Root cause analysis (section 5.1, Table 2, Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.incidents.query import SEVQuery
+from repro.incidents.sev import RootCause
+from repro.incidents.store import SEVStore
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class RootCauseBreakdown:
+    """Table 2: root cause counts and fractions over the study."""
+
+    counts: Dict[RootCause, int]
+
+    @property
+    def total_attributions(self) -> int:
+        """Total root-cause attributions.
+
+        Exceeds the SEV count when SEVs carry multiple causes, exactly
+        as Table 2's counting rule implies.
+        """
+        return sum(self.counts.values())
+
+    def fraction(self, cause: RootCause) -> float:
+        total = self.total_attributions
+        if total == 0:
+            return 0.0
+        return self.counts.get(cause, 0) / total
+
+    def distribution(self) -> Dict[RootCause, float]:
+        return {cause: self.fraction(cause) for cause in RootCause}
+
+    @property
+    def human_to_hardware_ratio(self) -> float:
+        """Human-induced (bug + misconfiguration) over hardware.
+
+        Section 5.1 observes human-induced software issues occur at
+        nearly double the rate of hardware failures.
+        """
+        hardware = self.counts.get(RootCause.HARDWARE, 0)
+        human = (self.counts.get(RootCause.BUG, 0)
+                 + self.counts.get(RootCause.CONFIGURATION, 0))
+        if hardware == 0:
+            return float("inf") if human else 0.0
+        return human / hardware
+
+    @property
+    def dominant_determined_cause(self) -> RootCause:
+        """The largest category other than undetermined (maintenance
+        in the paper)."""
+        determined = {
+            c: n for c, n in self.counts.items()
+            if c is not RootCause.UNDETERMINED
+        }
+        if not determined:
+            raise ValueError("no determined root causes in the corpus")
+        return max(determined, key=lambda c: (determined[c], c.value))
+
+
+def root_cause_breakdown(
+    store: SEVStore, year: Optional[int] = None
+) -> RootCauseBreakdown:
+    """Compute Table 2 from the SEV database."""
+    return RootCauseBreakdown(counts=SEVQuery(store).count_by_root_cause(year))
+
+
+def root_causes_by_device(
+    store: SEVStore,
+) -> Dict[RootCause, Dict[DeviceType, float]]:
+    """Figure 2: per root cause, the fraction of incidents by device type.
+
+    Each root-cause row is normalized across device types, matching
+    the figure's stacked-fraction rendering.
+    """
+    raw = SEVQuery(store).count_by_root_cause_and_type()
+    fractions: Dict[RootCause, Dict[DeviceType, float]] = {}
+    for cause, per_type in raw.items():
+        total = sum(per_type.values())
+        if total == 0:
+            continue
+        fractions[cause] = {t: n / total for t, n in per_type.items()}
+    return fractions

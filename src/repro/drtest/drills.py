@@ -1,0 +1,114 @@
+"""Disaster recovery drills.
+
+Two published drill shapes (section 5.7 and [46]):
+
+* **storm** — a burst of correlated device failures inside one data
+  center, modeling a maintenance accident or power event;
+* **data center drain** — disconnect an entire data center and verify
+  the services that span data centers survive on the remainder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.services.catalog import ServiceCatalog
+from repro.services.impact import ImpactKind, ImpactModel
+from repro.services.placement import Placement
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class DrillOutcome:
+    """Result of one drill run."""
+
+    drill: str
+    failed_devices: int
+    service_kinds: Dict[str, ImpactKind]
+
+    @property
+    def services_down(self) -> List[str]:
+        return sorted(
+            s for s, k in self.service_kinds.items()
+            if k is ImpactKind.DOWNTIME
+        )
+
+    @property
+    def passed(self) -> bool:
+        """A drill passes when nothing went fully down."""
+        return not self.services_down
+
+
+class StormDrill:
+    """Fail a random fraction of one device type simultaneously."""
+
+    def __init__(self, model: ImpactModel, network, seed: int = 0) -> None:
+        self._model = model
+        self._network = network
+        self._rng = random.Random(seed)
+
+    def run(self, device_type: DeviceType, fraction: float) -> DrillOutcome:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        names = sorted(
+            d.name for d in self._network.devices.values()
+            if d.device_type is device_type
+        )
+        if not names:
+            raise ValueError(f"no {device_type.value} devices to storm")
+        count = max(1, int(round(fraction * len(names))))
+        victims = self._rng.sample(names, count)
+        assessment = self._model.assess(victims)
+        return DrillOutcome(
+            drill=f"storm:{device_type.value}:{fraction:.0%}",
+            failed_devices=count,
+            service_kinds={
+                s: i.kind for s, i in assessment.impacts.items()
+            },
+        )
+
+
+class DatacenterDrainDrill:
+    """Disconnect an entire data center (section 5.7's hardest drill).
+
+    Works over a multi-datacenter placement: services whose replicas
+    are spread across data centers should survive; anything pinned to
+    the drained building goes down — which is exactly what the drill
+    exists to find before a real disaster does.
+    """
+
+    def __init__(self, catalog: ServiceCatalog,
+                 placement: Placement) -> None:
+        self._catalog = catalog
+        self._placement = placement
+
+    def run(self, datacenter: str) -> DrillOutcome:
+        """Drain every rack whose name marks it as in ``datacenter``.
+
+        Rack membership comes from the naming convention: the fourth
+        name field is the data center.
+        """
+        kinds: Dict[str, ImpactKind] = {}
+        drained_racks = set()
+        for service in self._catalog:
+            racks = self._placement.racks_of(service.name)
+            in_dc = {r for r in racks if r.split(".")[3] == datacenter}
+            drained_racks |= in_dc
+            remaining = len(racks) - len(in_dc)
+            if remaining == 0:
+                kinds[service.name] = ImpactKind.DOWNTIME
+            elif in_dc:
+                kinds[service.name] = (
+                    ImpactKind.LOST_CAPACITY
+                    if remaining < len(racks) / 2
+                    else ImpactKind.RETRIES
+                )
+            else:
+                kinds[service.name] = ImpactKind.NONE
+        return DrillOutcome(
+            drill=f"drain:{datacenter}",
+            failed_devices=len(drained_racks),
+            service_kinds=kinds,
+        )

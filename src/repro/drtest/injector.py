@@ -1,0 +1,92 @@
+"""Fault injection sweeps.
+
+Systematically fails devices (alone or in combinations) and records
+the service-level outcome of each injection — the chaos-engineering
+loop the paper cites ([9], [73]).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.services.impact import ImpactAssessment, ImpactKind, ImpactModel
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """One injection and its observed outcome."""
+
+    failed_devices: Tuple[str, ...]
+    worst_kind: ImpactKind
+    affected_services: Tuple[str, ...]
+
+    @property
+    def survived(self) -> bool:
+        """No downtime anywhere: the fleet tolerated the injection."""
+        return self.worst_kind is not ImpactKind.DOWNTIME
+
+
+@dataclass
+class FaultInjector:
+    """Runs injections against an impact model."""
+
+    model: ImpactModel
+    results: List[InjectionResult] = field(default_factory=list)
+
+    def inject(self, devices: Iterable[str]) -> InjectionResult:
+        failed = tuple(sorted(devices))
+        if not failed:
+            raise ValueError("an injection needs at least one device")
+        assessment: ImpactAssessment = self.model.assess(failed)
+        result = InjectionResult(
+            failed_devices=failed,
+            worst_kind=assessment.worst_kind,
+            affected_services=tuple(assessment.affected_services),
+        )
+        self.results.append(result)
+        return result
+
+    def sweep_single(self, network,
+                     device_type: Optional[DeviceType] = None
+                     ) -> List[InjectionResult]:
+        """Fail every device (optionally of one type), one at a time."""
+        names = sorted(
+            d.name for d in network.devices.values()
+            if device_type is None or d.device_type is device_type
+        )
+        return [self.inject([name]) for name in names]
+
+    def sweep_pairs(self, network, device_type: DeviceType,
+                    limit: int = 50, seed: int = 0
+                    ) -> List[InjectionResult]:
+        """Fail random pairs of same-type devices (correlated faults)."""
+        names = sorted(
+            d.name for d in network.devices.values()
+            if d.device_type is device_type
+        )
+        pairs = list(itertools.combinations(names, 2))
+        rng = random.Random(seed)
+        rng.shuffle(pairs)
+        return [self.inject(pair) for pair in pairs[:limit]]
+
+    # -- summaries -------------------------------------------------------
+
+    @property
+    def survival_rate(self) -> float:
+        if not self.results:
+            raise ValueError("no injections run yet")
+        return sum(r.survived for r in self.results) / len(self.results)
+
+    def worst_results(self, k: int = 5) -> List[InjectionResult]:
+        order = [ImpactKind.DOWNTIME, ImpactKind.LOST_CAPACITY,
+                 ImpactKind.RETRIES, ImpactKind.INCREASED_LATENCY,
+                 ImpactKind.NONE]
+        rank = {kind: i for i, kind in enumerate(order)}
+        return sorted(
+            self.results,
+            key=lambda r: (rank[r.worst_kind], -len(r.affected_services)),
+        )[:k]

@@ -1,0 +1,51 @@
+"""Employee headcount series (Figure 6 denominator).
+
+Section 5.3 tests whether more engineers working on network devices
+led to more SEVs, using the publicly available full-time employee
+counts [71] as a proxy for engineers.  The series is public input
+data, so carrying it here (via :mod:`repro.paperdata`) does not leak
+any result the pipeline is supposed to recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import paperdata
+
+
+@dataclass
+class EmployeeModel:
+    """Per-year employee counts with interpolation."""
+
+    by_year: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def years(self) -> List[int]:
+        return sorted(self.by_year)
+
+    def count(self, year: int) -> int:
+        if year in self.by_year:
+            return self.by_year[year]
+        years = self.years
+        if not years:
+            raise KeyError("employee model is empty")
+        if year < years[0] or year > years[-1]:
+            raise KeyError(f"year {year} outside employee series "
+                           f"{years[0]}-{years[-1]}")
+        # Linear interpolation between the surrounding known years.
+        lo = max(y for y in years if y < year)
+        hi = min(y for y in years if y > year)
+        frac = (year - lo) / (hi - lo)
+        return int(round(self.by_year[lo]
+                         + frac * (self.by_year[hi] - self.by_year[lo])))
+
+    def normalized(self, year: int) -> float:
+        peak = max(self.by_year.values())
+        return self.count(year) / peak
+
+
+def paper_employees() -> EmployeeModel:
+    """The public 2011-2017 headcount series used by Figure 6."""
+    return EmployeeModel(by_year=dict(paperdata.EMPLOYEES_BY_YEAR))

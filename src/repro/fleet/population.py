@@ -1,0 +1,170 @@
+"""Fleet population model.
+
+The paper never discloses absolute fleet sizes ("orders of magnitude
+larger than similar studies", section 5.3), so the reproduction uses a
+scaled synthetic fleet whose *shape* matches every published constraint:
+
+* the population mix and its evolution (Figure 11): RSWs dominate, the
+  fabric types appear in 2015 and grow, CSWs/CSAs peak around 2015 and
+  then decline;
+* the 2017 mean-time-between-incident anchors (Figure 12): the ratio of
+  population to incident count per type reproduces Core 39,495 h,
+  RSW 9,958,828 h, fabric-average 2,636,818 h, and cluster-average
+  822,518 h when combined with the calibrated incident counts in
+  :mod:`repro.simulation.scenarios`;
+* the CSA population is small enough that 2013/2014 incident counts
+  exceed it (incident rates of 1.7 and 1.5, section 5.2);
+* total switch count grows in proportion to employees (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.topology.devices import (
+    CLUSTER_TYPES,
+    FABRIC_TYPES,
+    DeviceType,
+    NetworkDesign,
+)
+
+#: Hours in the paper's device-hours normalization (a 365-day year).
+HOURS_PER_YEAR = 8760.0
+
+#: Calibrated device counts per year.  See the module docstring for the
+#: constraints each row satisfies.
+_PAPER_POPULATIONS: Dict[int, Dict[DeviceType, int]] = {
+    2011: {
+        DeviceType.CORE: 120, DeviceType.CSA: 30, DeviceType.CSW: 4_000,
+        DeviceType.ESW: 0, DeviceType.SSW: 0, DeviceType.FSW: 0,
+        DeviceType.RSW: 20_000,
+    },
+    2012: {
+        DeviceType.CORE: 180, DeviceType.CSA: 35, DeviceType.CSW: 7_000,
+        DeviceType.ESW: 0, DeviceType.SSW: 0, DeviceType.FSW: 0,
+        DeviceType.RSW: 35_000,
+    },
+    2013: {
+        DeviceType.CORE: 260, DeviceType.CSA: 40, DeviceType.CSW: 11_000,
+        DeviceType.ESW: 0, DeviceType.SSW: 0, DeviceType.FSW: 0,
+        DeviceType.RSW: 55_000,
+    },
+    2014: {
+        DeviceType.CORE: 380, DeviceType.CSA: 60, DeviceType.CSW: 17_000,
+        DeviceType.ESW: 0, DeviceType.SSW: 0, DeviceType.FSW: 0,
+        DeviceType.RSW: 90_000,
+    },
+    2015: {
+        DeviceType.CORE: 540, DeviceType.CSA: 100, DeviceType.CSW: 26_000,
+        DeviceType.ESW: 400, DeviceType.SSW: 500, DeviceType.FSW: 2_000,
+        DeviceType.RSW: 130_000,
+    },
+    2016: {
+        DeviceType.CORE: 720, DeviceType.CSA: 90, DeviceType.CSW: 25_000,
+        DeviceType.ESW: 1_200, DeviceType.SSW: 1_500, DeviceType.FSW: 8_000,
+        DeviceType.RSW: 160_000,
+    },
+    2017: {
+        DeviceType.CORE: 920, DeviceType.CSA: 80, DeviceType.CSW: 24_900,
+        DeviceType.ESW: 3_500, DeviceType.SSW: 4_000, DeviceType.FSW: 18_000,
+        DeviceType.RSW: 190_952,
+    },
+}
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Active device counts for a single year."""
+
+    year: int
+    counts: Dict[DeviceType, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, device_type: DeviceType) -> int:
+        return self.counts.get(device_type, 0)
+
+    def fraction(self, device_type: DeviceType) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.count(device_type) / total
+
+    def device_hours(self, device_type: DeviceType) -> float:
+        """Device-hours contributed by a type over the year."""
+        return self.count(device_type) * HOURS_PER_YEAR
+
+    def design_count(self, design: NetworkDesign) -> int:
+        types = CLUSTER_TYPES if design is NetworkDesign.CLUSTER else FABRIC_TYPES
+        if design is NetworkDesign.SHARED:
+            raise ValueError("SHARED is not a countable design")
+        return sum(self.count(t) for t in types)
+
+
+@dataclass
+class FleetModel:
+    """Per-year fleet snapshots with the paper's normalization helpers."""
+
+    snapshots: Dict[int, FleetSnapshot] = field(default_factory=dict)
+
+    @property
+    def years(self) -> List[int]:
+        return sorted(self.snapshots)
+
+    def snapshot(self, year: int) -> FleetSnapshot:
+        try:
+            return self.snapshots[year]
+        except KeyError:
+            raise KeyError(f"no fleet snapshot for year {year}") from None
+
+    def count(self, year: int, device_type: DeviceType) -> int:
+        return self.snapshot(year).count(device_type)
+
+    def total(self, year: int) -> int:
+        return self.snapshot(year).total
+
+    def fraction(self, year: int, device_type: DeviceType) -> float:
+        return self.snapshot(year).fraction(device_type)
+
+    def device_hours(self, year: int, device_type: DeviceType) -> float:
+        return self.snapshot(year).device_hours(device_type)
+
+    def design_count(self, year: int, design: NetworkDesign) -> int:
+        return self.snapshot(year).design_count(design)
+
+    def normalized_total(self, year: int) -> float:
+        """Total switches normalized to the largest year (Figures 6, 14)."""
+        peak = max(self.total(y) for y in self.years)
+        if peak == 0:
+            return 0.0
+        return self.total(year) / peak
+
+    def add_snapshot(self, snapshot: FleetSnapshot) -> None:
+        if snapshot.year in self.snapshots:
+            raise ValueError(f"duplicate snapshot for year {snapshot.year}")
+        self.snapshots[snapshot.year] = snapshot
+
+
+def paper_fleet(scale: float = 1.0, years: Iterable[int] = ()) -> FleetModel:
+    """The calibrated 2011-2017 fleet, optionally scaled.
+
+    ``scale`` multiplies every count (rounding to the nearest device);
+    it exists so tests can run tiny fleets through the same model.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    wanted = set(years) or set(_PAPER_POPULATIONS)
+    unknown = wanted - set(_PAPER_POPULATIONS)
+    if unknown:
+        raise KeyError(f"no calibrated populations for years {sorted(unknown)}")
+    model = FleetModel()
+    for year in sorted(wanted):
+        counts = {
+            t: int(round(n * scale))
+            for t, n in _PAPER_POPULATIONS[year].items()
+        }
+        model.add_snapshot(FleetSnapshot(year=year, counts=counts))
+    return model

@@ -1,0 +1,156 @@
+"""Root-cause text classification and label auditing.
+
+Section 5.1 flags a methodology risk: "Human classification of root
+causes implies SEVs can be misclassified [53, 64]" (the TroubleMiner
+line of work).  This module provides the audit tool that concern
+implies: a transparent keyword classifier that reads a SEV's free-text
+description, proposes a root cause, and measures agreement with the
+author-chosen labels — Cohen's kappa plus a per-category confusion
+matrix — so the "rest of our analysis does not depend on the accuracy
+of root cause classification" claim can be checked rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.incidents.sev import RootCause, SEVReport
+
+#: Keyword evidence per category.  Order within a category is
+#: irrelevant; when multiple categories match, the one with the most
+#: matched keywords wins (ties resolve to UNDETERMINED, mirroring how
+#: reviewers treat ambiguous reports).
+_KEYWORDS: Dict[RootCause, Tuple[str, ...]] = {
+    RootCause.MAINTENANCE: (
+        "maintenance", "upgrade", "upgrading", "firmware update",
+        "software update", "drain", "decommission", "recabl",
+    ),
+    RootCause.HARDWARE: (
+        "faulty hardware", "hardware module", "memory module", "processor",
+        "optic", "fan failure", "power supply", "faulty port", "psu",
+    ),
+    RootCause.CONFIGURATION: (
+        "misconfig", "configuration", "config change", "routing rule",
+        "load balancing policy", "acl", "bgp policy", "wrong setting",
+    ),
+    RootCause.BUG: (
+        "software bug", "firmware bug", "crash", "logical error",
+        "race condition", "memory leak", "counter allocation",
+        "null pointer", "assertion",
+    ),
+    RootCause.ACCIDENTS: (
+        "wrong device", "wrong network device", "accidental",
+        "unintended action", "power cycled the wrong", "disconnect",
+        "mislabel", "fat-finger",
+    ),
+    RootCause.CAPACITY: (
+        "capacity", "overload", "insufficient", "exhausted", "high load",
+        "congestion",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One classified description."""
+
+    cause: RootCause
+    matched_keywords: Tuple[str, ...]
+
+    @property
+    def confident(self) -> bool:
+        return (self.cause is not RootCause.UNDETERMINED
+                and len(self.matched_keywords) > 0)
+
+
+def classify_description(description: str) -> Classification:
+    """Propose a root cause from a SEV's free text."""
+    text = description.lower()
+    scores: Dict[RootCause, List[str]] = {}
+    for cause, keywords in _KEYWORDS.items():
+        hits = [kw for kw in keywords if kw in text]
+        if hits:
+            scores[cause] = hits
+    if not scores:
+        return Classification(RootCause.UNDETERMINED, ())
+    best = max(scores.values(), key=len)
+    winners = [c for c, hits in scores.items() if len(hits) == len(best)]
+    if len(winners) > 1:
+        return Classification(RootCause.UNDETERMINED,
+                              tuple(sorted(best)))
+    return Classification(winners[0], tuple(sorted(scores[winners[0]])))
+
+
+@dataclass
+class AgreementReport:
+    """Author-label vs. classifier agreement over a corpus."""
+
+    total: int = 0
+    agreements: int = 0
+    confusion: Dict[Tuple[RootCause, RootCause], int] = field(
+        default_factory=dict
+    )
+
+    @property
+    def observed_agreement(self) -> float:
+        if self.total == 0:
+            raise ValueError("no classified reports")
+        return self.agreements / self.total
+
+    @property
+    def kappa(self) -> float:
+        """Cohen's kappa: agreement corrected for chance."""
+        if self.total == 0:
+            raise ValueError("no classified reports")
+        po = self.observed_agreement
+        author_marginals: Dict[RootCause, int] = {}
+        model_marginals: Dict[RootCause, int] = {}
+        for (author, model), n in self.confusion.items():
+            author_marginals[author] = author_marginals.get(author, 0) + n
+            model_marginals[model] = model_marginals.get(model, 0) + n
+        pe = sum(
+            (author_marginals.get(c, 0) / self.total)
+            * (model_marginals.get(c, 0) / self.total)
+            for c in RootCause
+        )
+        if pe >= 1.0:
+            return 1.0
+        return (po - pe) / (1.0 - pe)
+
+    def disagreements(self) -> List[Tuple[RootCause, RootCause, int]]:
+        """(author label, classifier label, count), largest first."""
+        rows = [
+            (author, model, n)
+            for (author, model), n in self.confusion.items()
+            if author is not model
+        ]
+        return sorted(rows, key=lambda r: (-r[2], r[0].value, r[1].value))
+
+
+def audit_labels(reports: Iterable[SEVReport],
+                 skip_undetermined: bool = True) -> AgreementReport:
+    """Compare author root causes with the classifier's proposals.
+
+    Multi-cause SEVs count as agreeing when the classifier matches any
+    author cause.  Author-undetermined SEVs are skipped by default:
+    there is no label to audit.
+    """
+    report = AgreementReport()
+    for sev in reports:
+        author_causes = sev.effective_root_causes()
+        if skip_undetermined and author_causes == (
+            RootCause.UNDETERMINED,
+        ):
+            continue
+        proposal = classify_description(sev.description).cause
+        primary = author_causes[0]
+        report.total += 1
+        if proposal in author_causes:
+            report.agreements += 1
+            key = (proposal, proposal)
+        else:
+            key = (primary, proposal)
+        report.confusion[key] = report.confusion.get(key, 0) + 1
+    return report

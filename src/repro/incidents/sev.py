@@ -1,0 +1,174 @@
+"""SEV data model (section 4.2, Tables 2 and 3).
+
+A SEV report records the incident's root cause(s), the offending
+device, when the root cause manifested and when engineers fixed it,
+and the incident's effect on services.  Severity ranges from SEV3
+(lowest, no external outage) to SEV1 (highest, widespread external
+outage); a SEV's level is the high-water mark and is never downgraded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.topology.devices import DeviceType
+from repro.topology.naming import device_type_from_name
+
+
+class Severity(enum.IntEnum):
+    """SEV severity levels.  Lower number = higher severity."""
+
+    SEV1 = 1
+    SEV2 = 2
+    SEV3 = 3
+
+    @property
+    def label(self) -> str:
+        return f"SEV{int(self)}"
+
+
+#: Table 3 -- incident examples for each SEV level.
+SEVERITY_EXAMPLES = {
+    Severity.SEV3: (
+        "Redundant or contained system failures, system impairments that "
+        "do not affect or only minimally affect customer experience, "
+        "internal tool failures."
+    ),
+    Severity.SEV2: (
+        "Service outages that affect a particular Facebook feature, "
+        "regional network impairment, critical internal tool outages "
+        "that put the site at risk."
+    ),
+    Severity.SEV1: (
+        "Entire Facebook product or service outage, data center outage, "
+        "major portions of the site are unavailable, outages that affect "
+        "multiple products or services."
+    ),
+}
+
+
+class RootCause(enum.Enum):
+    """Root cause categories of Table 2.
+
+    The category is a mandatory field in the SEV authoring workflow
+    (section 4.3.1).  A SEV with multiple root causes counts toward
+    multiple categories; a SEV with none is counted undetermined.
+    """
+
+    MAINTENANCE = "maintenance"
+    HARDWARE = "hardware"
+    CONFIGURATION = "configuration"
+    BUG = "bug"
+    ACCIDENTS = "accidents"
+    CAPACITY = "capacity"
+    UNDETERMINED = "undetermined"
+
+    @property
+    def description(self) -> str:
+        return _ROOT_CAUSE_DESCRIPTIONS[self]
+
+    @property
+    def human_induced(self) -> bool:
+        """Bugs and misconfiguration: the paper's 'human errors' bucket
+        (section 5.1 observes 2x more human errors than hardware errors).
+        """
+        return self in (RootCause.CONFIGURATION, RootCause.BUG)
+
+
+_ROOT_CAUSE_DESCRIPTIONS = {
+    RootCause.MAINTENANCE: (
+        "Routine maintenance (for example, upgrading the software and "
+        "firmware of network devices)."
+    ),
+    RootCause.HARDWARE: (
+        "Failing devices (for example, faulty memory modules, processors, "
+        "and ports)."
+    ),
+    RootCause.CONFIGURATION: (
+        "Incorrect or unintended configurations (for example, routing "
+        "rules blocking production traffic)."
+    ),
+    RootCause.BUG: "Logical errors in network device software or firmware.",
+    RootCause.ACCIDENTS: (
+        "Unintended actions (for example, disconnecting or power cycling "
+        "the wrong network device)."
+    ),
+    RootCause.CAPACITY: "High load due to insufficient capacity planning.",
+    RootCause.UNDETERMINED: "Inconclusive root cause.",
+}
+
+
+@dataclass
+class SEVReport:
+    """A reviewed SEV report, the unit of the intra data center study.
+
+    Times are hours since the study epoch (2011-01-01 00:00) so the
+    seven-year corpus stays cheap to bucket and difference; the
+    ``opened_year`` property recovers the calendar year the analyses
+    group by.
+    """
+
+    sev_id: str
+    severity: Severity
+    device_name: str
+    opened_at_h: float
+    resolved_at_h: float
+    root_causes: Tuple[RootCause, ...] = ()
+    description: str = ""
+    service_impact: str = ""
+    reviewed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.resolved_at_h < self.opened_at_h:
+            raise ValueError(
+                f"SEV {self.sev_id!r} resolves before it opens "
+                f"({self.resolved_at_h} < {self.opened_at_h})"
+            )
+        if self.opened_at_h < 0:
+            raise ValueError(f"SEV {self.sev_id!r} opens before the epoch")
+
+    @property
+    def device_type(self) -> Optional[DeviceType]:
+        """Classify by name prefix, exactly as section 4.3.1 does."""
+        return device_type_from_name(self.device_name)
+
+    @property
+    def duration_h(self) -> float:
+        """Incident resolution time in hours.
+
+        Section 5.6: engineers document *resolution* time, which
+        exceeds repair time and includes prevention work.
+        """
+        return self.resolved_at_h - self.opened_at_h
+
+    @property
+    def opened_year(self) -> int:
+        return year_of_hours(self.opened_at_h)
+
+    def effective_root_causes(self) -> Tuple[RootCause, ...]:
+        """Root causes as counted by Table 2: none means undetermined."""
+        if not self.root_causes:
+            return (RootCause.UNDETERMINED,)
+        return self.root_causes
+
+
+#: The study epoch: the SEV database dates to January 2011 (section 4.2).
+EPOCH_YEAR = 2011
+
+_HOURS_PER_YEAR = 8760.0
+
+
+def hours_of_year(year: int, offset_h: float = 0.0) -> float:
+    """Hours since the epoch for the start of ``year`` plus an offset."""
+    if year < EPOCH_YEAR:
+        raise ValueError(f"year {year} precedes the study epoch {EPOCH_YEAR}")
+    return (year - EPOCH_YEAR) * _HOURS_PER_YEAR + offset_h
+
+
+def year_of_hours(hours: float) -> int:
+    """Calendar year containing an hours-since-epoch timestamp."""
+    if hours < 0:
+        raise ValueError("timestamps precede the study epoch")
+    return EPOCH_YEAR + int(hours // _HOURS_PER_YEAR)

@@ -1,0 +1,160 @@
+"""SQLite-backed SEV report store.
+
+The production dataset "resides in a MySQL database ... we use SQL
+queries to analyze the SEV report dataset" (section 4.2).  The store
+keeps that shape: reports live in a relational table (plus a join
+table for the multi-valued root-cause field) and the analysis layer
+(:mod:`repro.incidents.query`) is written as SQL.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Iterator, List, Optional
+
+from repro.incidents.sev import RootCause, Severity, SEVReport
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sevs (
+    sev_id        TEXT PRIMARY KEY,
+    severity      INTEGER NOT NULL CHECK (severity BETWEEN 1 AND 3),
+    device_name   TEXT NOT NULL,
+    device_type   TEXT,
+    opened_at_h   REAL NOT NULL CHECK (opened_at_h >= 0),
+    resolved_at_h REAL NOT NULL,
+    opened_year   INTEGER NOT NULL,
+    duration_h    REAL NOT NULL CHECK (duration_h >= 0),
+    description   TEXT NOT NULL DEFAULT '',
+    service_impact TEXT NOT NULL DEFAULT '',
+    reviewed      INTEGER NOT NULL DEFAULT 1
+);
+CREATE TABLE IF NOT EXISTS sev_root_causes (
+    sev_id     TEXT NOT NULL REFERENCES sevs(sev_id) ON DELETE CASCADE,
+    root_cause TEXT NOT NULL,
+    PRIMARY KEY (sev_id, root_cause)
+);
+CREATE INDEX IF NOT EXISTS idx_sevs_year ON sevs(opened_year);
+CREATE INDEX IF NOT EXISTS idx_sevs_type ON sevs(device_type);
+CREATE INDEX IF NOT EXISTS idx_rc_cause ON sev_root_causes(root_cause);
+"""
+
+
+class SEVStore:
+    """A SEV report database.
+
+    By default the store is in-memory; pass a path to persist.  The
+    store owns its connection and is also a context manager.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SEVStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection, for the SQL query layer."""
+        return self._conn
+
+    # -- writes ------------------------------------------------------
+
+    def insert(self, report: SEVReport) -> None:
+        device_type = report.device_type
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO sevs (sev_id, severity, device_name, "
+                "device_type, opened_at_h, resolved_at_h, opened_year, "
+                "duration_h, description, service_impact, reviewed) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    report.sev_id,
+                    int(report.severity),
+                    report.device_name,
+                    device_type.value if device_type else None,
+                    report.opened_at_h,
+                    report.resolved_at_h,
+                    report.opened_year,
+                    report.duration_h,
+                    report.description,
+                    report.service_impact,
+                    1 if report.reviewed else 0,
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO sev_root_causes (sev_id, root_cause) "
+                "VALUES (?, ?)",
+                [(report.sev_id, rc.value) for rc in report.root_causes],
+            )
+
+    def insert_many(self, reports: Iterable[SEVReport]) -> int:
+        count = 0
+        for report in reports:
+            self.insert(report)
+            count += 1
+        return count
+
+    # -- reads -------------------------------------------------------
+
+    def __len__(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM sevs").fetchone()
+        return n
+
+    def get(self, sev_id: str) -> Optional[SEVReport]:
+        row = self._conn.execute(
+            "SELECT sev_id, severity, device_name, opened_at_h, "
+            "resolved_at_h, description, service_impact, reviewed "
+            "FROM sevs WHERE sev_id = ?",
+            (sev_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        causes = tuple(
+            RootCause(value)
+            for (value,) in self._conn.execute(
+                "SELECT root_cause FROM sev_root_causes "
+                "WHERE sev_id = ? ORDER BY root_cause",
+                (sev_id,),
+            )
+        )
+        return SEVReport(
+            sev_id=row[0],
+            severity=Severity(row[1]),
+            device_name=row[2],
+            opened_at_h=row[3],
+            resolved_at_h=row[4],
+            root_causes=causes,
+            description=row[5],
+            service_impact=row[6],
+            reviewed=bool(row[7]),
+        )
+
+    def all_reports(self) -> Iterator[SEVReport]:
+        ids = [
+            sev_id
+            for (sev_id,) in self._conn.execute(
+                "SELECT sev_id FROM sevs ORDER BY opened_at_h, sev_id"
+            )
+        ]
+        for sev_id in ids:
+            report = self.get(sev_id)
+            assert report is not None
+            yield report
+
+    def years(self) -> List[int]:
+        return [
+            y
+            for (y,) in self._conn.execute(
+                "SELECT DISTINCT opened_year FROM sevs ORDER BY opened_year"
+            )
+        ]

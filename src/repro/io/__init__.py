@@ -1,0 +1,31 @@
+"""Dataset interchange.
+
+Export/import for the two corpora — SEV reports and fiber repair
+tickets — as CSV and JSON, so downstream users can analyze generated
+corpora with their own tools or load external incident datasets
+through the same pipeline.
+"""
+
+from repro.io.sev_io import (
+    export_sevs_csv,
+    export_sevs_json,
+    import_sevs_csv,
+    import_sevs_json,
+)
+from repro.io.ticket_io import (
+    export_tickets_csv,
+    export_tickets_json,
+    import_tickets_csv,
+    import_tickets_json,
+)
+
+__all__ = [
+    "export_sevs_csv",
+    "export_sevs_json",
+    "export_tickets_csv",
+    "export_tickets_json",
+    "import_sevs_csv",
+    "import_sevs_json",
+    "import_tickets_csv",
+    "import_tickets_json",
+]

@@ -1,0 +1,86 @@
+"""SEV corpus interchange."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.incidents.sev import RootCause, SEVReport, Severity
+from repro.incidents.store import SEVStore
+
+_FIELDS = [
+    "sev_id", "severity", "device_name", "opened_at_h", "resolved_at_h",
+    "root_causes", "description", "service_impact", "reviewed",
+]
+
+PathLike = Union[str, Path]
+
+
+def _report_row(report: SEVReport) -> dict:
+    return {
+        "sev_id": report.sev_id,
+        "severity": int(report.severity),
+        "device_name": report.device_name,
+        "opened_at_h": report.opened_at_h,
+        "resolved_at_h": report.resolved_at_h,
+        "root_causes": ";".join(c.value for c in report.root_causes),
+        "description": report.description,
+        "service_impact": report.service_impact,
+        "reviewed": int(report.reviewed),
+    }
+
+
+def _row_report(row: dict) -> SEVReport:
+    causes = tuple(
+        RootCause(v) for v in str(row["root_causes"]).split(";") if v
+    )
+    return SEVReport(
+        sev_id=str(row["sev_id"]),
+        severity=Severity(int(row["severity"])),
+        device_name=str(row["device_name"]),
+        opened_at_h=float(row["opened_at_h"]),
+        resolved_at_h=float(row["resolved_at_h"]),
+        root_causes=causes,
+        description=str(row.get("description", "")),
+        service_impact=str(row.get("service_impact", "")),
+        reviewed=bool(int(row.get("reviewed", 1))),
+    )
+
+
+def export_sevs_csv(store: SEVStore, path: PathLike) -> int:
+    """Write every report to CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for report in store.all_reports():
+            writer.writerow(_report_row(report))
+            count += 1
+    return count
+
+
+def import_sevs_csv(path: PathLike, store: SEVStore = None) -> SEVStore:
+    """Load a CSV written by :func:`export_sevs_csv`."""
+    store = store or SEVStore()
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            store.insert(_row_report(row))
+    return store
+
+
+def export_sevs_json(store: SEVStore, path: PathLike) -> int:
+    rows = [_report_row(r) for r in store.all_reports()]
+    Path(path).write_text(json.dumps({"sevs": rows}, indent=1))
+    return len(rows)
+
+
+def import_sevs_json(path: PathLike, store: SEVStore = None) -> SEVStore:
+    store = store or SEVStore()
+    payload = json.loads(Path(path).read_text())
+    if "sevs" not in payload:
+        raise ValueError(f"{path}: not a SEV export (missing 'sevs' key)")
+    for row in payload["sevs"]:
+        store.insert(_row_report(row))
+    return store

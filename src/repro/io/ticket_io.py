@@ -1,0 +1,81 @@
+"""Repair ticket interchange."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
+
+_FIELDS = [
+    "ticket_id", "link_id", "vendor", "ticket_type", "started_at_h",
+    "completed_at_h", "location",
+]
+
+PathLike = Union[str, Path]
+
+
+def _ticket_row(ticket: RepairTicket) -> dict:
+    if ticket.open:
+        raise ValueError(
+            f"cannot export open ticket {ticket.ticket_id!r}; close it first"
+        )
+    return {
+        "ticket_id": ticket.ticket_id,
+        "link_id": ticket.link_id,
+        "vendor": ticket.vendor,
+        "ticket_type": ticket.ticket_type.value,
+        "started_at_h": ticket.started_at_h,
+        "completed_at_h": ticket.completed_at_h,
+        "location": ticket.location,
+    }
+
+
+def _row_into(db: TicketDatabase, row: dict) -> None:
+    db.add_completed(
+        link_id=str(row["link_id"]),
+        vendor=str(row["vendor"]),
+        started_at_h=float(row["started_at_h"]),
+        completed_at_h=float(row["completed_at_h"]),
+        ticket_type=TicketType(str(row["ticket_type"])),
+        location=str(row.get("location", "")),
+    )
+
+
+def export_tickets_csv(db: TicketDatabase, path: PathLike) -> int:
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for ticket in db.completed():
+            writer.writerow(_ticket_row(ticket))
+            count += 1
+    return count
+
+
+def import_tickets_csv(path: PathLike,
+                       db: TicketDatabase = None) -> TicketDatabase:
+    db = db or TicketDatabase()
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            _row_into(db, row)
+    return db
+
+
+def export_tickets_json(db: TicketDatabase, path: PathLike) -> int:
+    rows = [_ticket_row(t) for t in db.completed()]
+    Path(path).write_text(json.dumps({"tickets": rows}, indent=1))
+    return len(rows)
+
+
+def import_tickets_json(path: PathLike,
+                        db: TicketDatabase = None) -> TicketDatabase:
+    db = db or TicketDatabase()
+    payload = json.loads(Path(path).read_text())
+    if "tickets" not in payload:
+        raise ValueError(f"{path}: not a ticket export (missing 'tickets')")
+    for row in payload["tickets"]:
+        _row_into(db, row)
+    return db

@@ -1,0 +1,220 @@
+"""Published constants from Meza et al., IMC 2018.
+
+Every number the paper publishes lives here, keyed to the section, table,
+or figure where it appears.  The analysis pipeline (``repro.core``) never
+imports this module; it is used only by
+
+* the synthetic-workload generators (``repro.simulation``,
+  ``repro.backbone``) to calibrate the corpus they emit, and
+* the benchmark harness, to compare measured values against the paper.
+
+Keeping the published targets out of the analysis code is what makes the
+reproduction meaningful: the pipeline recovers these numbers from data,
+it does not copy them.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Study scope (Abstract, section 4.3)
+# ---------------------------------------------------------------------------
+
+#: Years covered by the intra data center SEV study (section 4.2).
+INTRA_STUDY_YEARS = tuple(range(2011, 2018))
+
+#: First and last month of the inter data center (backbone) study
+#: (section 4.3.2): October 2016 through April 2018, eighteen months.
+BACKBONE_STUDY_START = (2016, 10)
+BACKBONE_STUDY_END = (2018, 4)
+BACKBONE_STUDY_MONTHS = 18
+
+#: Year the data center fabric design began to be deployed (sections 5.3,
+#: 5.5; marked "Fabric deployed" on Figures 3, 5, 7-13).
+FABRIC_DEPLOYMENT_YEAR = 2015
+
+#: Year automated repair of RSWs (later FSWs and some Cores) began
+#: (section 4.1.1, marked on Figure 3).
+AUTOMATED_REPAIR_YEAR = 2013
+
+# ---------------------------------------------------------------------------
+# Table 1 -- automated remediation (section 4.1.3)
+# ---------------------------------------------------------------------------
+
+#: Fraction of issues fixed by automated remediation, per device type.
+REPAIR_RATIO = {"core": 0.75, "fsw": 0.995, "rsw": 0.997}
+
+#: Average repair priority (0 = highest, 3 = lowest).
+REPAIR_AVG_PRIORITY = {"core": 0.0, "fsw": 2.25, "rsw": 2.22}
+
+#: Average wait before the scheduled repair runs, in seconds.
+REPAIR_AVG_WAIT_S = {
+    "core": 4 * 60.0,          # four minutes
+    "fsw": 3 * 24 * 3600.0,    # three days
+    "rsw": 1 * 24 * 3600.0,    # one day
+}
+
+#: Average time the repair itself takes, in seconds.
+REPAIR_AVG_DURATION_S = {"core": 30.1, "fsw": 4.45, "rsw": 2.91}
+
+#: Escalation ratios for April 2018 (section 4.1.2): one out of every N
+#: issues could not be fixed automatically and needed a human.
+ESCALATION_ONE_IN = {"rsw": 397, "fsw": 214, "core": 4}
+
+#: Automated repair action mix (section 4.1.3): the most frequent 90% of
+#: automated repairs, by remediation share.
+REMEDIATION_ACTION_MIX = {
+    "port_cycle": 0.50,        # port ping failure -> turn port off and on
+    "config_backup": 0.324,    # config backup failure -> restart service
+    "fan_alert": 0.045,        # fan failure -> alert technician
+    "liveness_task": 0.040,    # device unreachable -> open technician task
+    "other": 0.091,            # remaining long tail
+}
+
+# ---------------------------------------------------------------------------
+# Table 2 -- root causes of intra data center incidents, 2011-2018
+# ---------------------------------------------------------------------------
+
+ROOT_CAUSE_DISTRIBUTION = {
+    "maintenance": 0.17,
+    "hardware": 0.13,
+    "configuration": 0.13,
+    "bug": 0.12,
+    "accidents": 0.10,
+    "capacity": 0.05,
+    "undetermined": 0.29,
+}
+
+# ---------------------------------------------------------------------------
+# Figures 3-8 -- incident rates, severity, distribution
+# ---------------------------------------------------------------------------
+
+#: Share of 2017 service-level incidents by device type (sections 5.4-5.5,
+#: Figures 4 and 7).  The paper publishes Core ~34%, RSW ~28%, FSW 8%,
+#: ESW 3%, SSW 2% explicitly; the remaining ~25% belongs to the cluster
+#: types.  The CSA/CSW split of that remainder is a calibration choice
+#: (CSA near zero, consistent with Figure 3's post-2015 CSA rate
+#: collapse and the tiny CSA population).
+INCIDENT_SHARE_2017 = {
+    "core": 0.34,
+    "rsw": 0.28,
+    "fsw": 0.08,
+    "esw": 0.03,
+    "ssw": 0.02,
+    "csa": 0.008,
+    "csw": 0.242,
+}
+
+#: 2017 severity mix across all network SEVs (Figure 4: N=82%, 13%, 5%).
+SEVERITY_MIX_2017 = {"sev3": 0.82, "sev2": 0.13, "sev1": 0.05}
+
+#: Per-device severity mixes called out in section 5.3.
+SEVERITY_MIX_CORE = {"sev3": 0.81, "sev2": 0.15, "sev1": 0.04}
+SEVERITY_MIX_RSW = {"sev3": 0.85, "sev2": 0.10, "sev1": 0.05}
+
+#: CSA incident rate exceeded 1.0 in 2013 and 2014 (section 5.2):
+#: about 1.7 and 1.5 incidents per device respectively.
+CSA_INCIDENT_RATE = {2013: 1.7, 2014: 1.5}
+
+#: Total network device SEVs grew 9.4x from 2011 to 2017 (section 5.4).
+SEV_GROWTH_2011_TO_2017 = 9.4
+
+#: In 2017 fabric devices produced about half the incidents of cluster
+#: devices (section 5.5).
+FABRIC_TO_CLUSTER_INCIDENTS_2017 = 0.50
+
+#: Annual incident rate for ESW/SSW/FSW/RSW/CSW in 2017 was below 1%
+#: (section 5.2).
+LOW_RATE_DEVICES_2017_CEILING = 0.01
+
+# ---------------------------------------------------------------------------
+# Figure 12 -- mean time between incidents (section 5.6)
+# ---------------------------------------------------------------------------
+
+#: 2017 MTBI extremes in device-hours: Cores lowest, RSWs highest.
+MTBI_2017_HOURS = {"core": 39_495.0, "rsw": 9_958_828.0}
+
+#: 2017 network-design MTBI averages in device-hours (fabric fails 3.2x
+#: less often than cluster).
+MTBI_2017_FABRIC_HOURS = 2_636_818.0
+MTBI_2017_CLUSTER_HOURS = 822_518.0
+FABRIC_MTBI_ADVANTAGE = 3.2
+
+# ---------------------------------------------------------------------------
+# Section 6.1 -- edge reliability
+# ---------------------------------------------------------------------------
+
+#: Edge MTBF percentile anchors, in hours.
+EDGE_MTBF_P50_H = 1710.0
+EDGE_MTBF_P90_H = 3521.0
+EDGE_MTBF_STD_H = 1320.0
+EDGE_MTBF_MIN_H = 253.0
+EDGE_MTBF_MAX_H = 8025.0
+
+#: Fitted model MTBF_edge(p) = 462.88 * exp(2.3408 * p), R^2 = 0.94.
+EDGE_MTBF_MODEL = {"a": 462.88, "b": 2.3408, "r2": 0.94}
+
+#: Edge MTTR percentile anchors, in hours.
+EDGE_MTTR_P50_H = 10.0
+EDGE_MTTR_P90_H = 71.0
+EDGE_MTTR_STD_H = 112.0
+EDGE_MTTR_MIN_H = 1.0
+EDGE_MTTR_MAX_H = 608.0
+
+#: Fitted model MTTR_edge(p) = 1.513 * exp(4.256 * p), R^2 = 0.87.
+EDGE_MTTR_MODEL = {"a": 1.513, "b": 4.256, "r2": 0.87}
+
+#: Minimum links per edge (section 6): an edge connects with at least
+#: three links and fails only when all of them are down.
+MIN_LINKS_PER_EDGE = 3
+
+# ---------------------------------------------------------------------------
+# Section 6.2 -- link reliability by fiber vendor
+# ---------------------------------------------------------------------------
+
+VENDOR_MTBF_P50_H = 2326.0
+VENDOR_MTBF_P90_H = 5709.0
+VENDOR_MTBF_STD_H = 2207.0
+VENDOR_MTBF_MIN_H = 2.0
+VENDOR_MTBF_MAX_H = 11_721.0
+
+VENDOR_MTTR_P50_H = 13.0
+VENDOR_MTTR_P90_H = 60.0
+VENDOR_MTTR_STD_H = 56.0
+VENDOR_MTTR_MIN_H = 1.0
+VENDOR_MTTR_MAX_H = 744.0
+
+#: Fitted model MTTR_vendor(p) = 1.1345 * exp(4.7709 * p), R^2 = 0.98.
+VENDOR_MTTR_MODEL = {"a": 1.1345, "b": 4.7709, "r2": 0.98}
+
+# ---------------------------------------------------------------------------
+# Table 4 -- edge reliability by continent (section 6.3)
+# ---------------------------------------------------------------------------
+
+#: Per-continent edge share, average MTBF (hours), average MTTR (hours).
+CONTINENT_TABLE = {
+    "north_america": {"share": 0.37, "mtbf_h": 1848.0, "mttr_h": 17.0},
+    "europe": {"share": 0.33, "mtbf_h": 2029.0, "mttr_h": 19.0},
+    "asia": {"share": 0.14, "mtbf_h": 2352.0, "mttr_h": 11.0},
+    "south_america": {"share": 0.10, "mtbf_h": 1579.0, "mttr_h": 9.0},
+    "africa": {"share": 0.04, "mtbf_h": 5400.0, "mttr_h": 22.0},
+    "australia": {"share": 0.02, "mtbf_h": 1642.0, "mttr_h": 2.0},
+}
+
+#: Standard deviation of continent-average edge MTTR (section 6.3).
+CONTINENT_MTTR_STD_H = 7.0
+
+# ---------------------------------------------------------------------------
+# Figure 6 -- employees vs. switches (section 5.3)
+# ---------------------------------------------------------------------------
+
+#: Full-time Facebook employees per year (Statista [71], as used by the
+#: paper to normalize Figure 6; values are public).
+EMPLOYEES_BY_YEAR = {
+    2011: 3200,
+    2012: 4619,
+    2013: 6337,
+    2014: 9199,
+    2015: 12_691,
+    2016: 17_048,
+    2017: 25_105,
+}

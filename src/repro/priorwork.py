@@ -1,0 +1,105 @@
+"""Prior-work comparison data (section 5.1, section 7).
+
+The paper positions its root-cause findings against two earlier
+studies, quoting their published distributions:
+
+* Turner et al. [74] ("California Fault Lines"): 5% unknown issues
+  (Table 5) and a 9% configuration share;
+* Wu et al. [75] (NetPilot): 23% unknown issues and a dominant 38%
+  configuration share (Table 1).
+
+These published numbers are *inputs* to the comparison, not outputs of
+our pipeline, so they live here (not in :mod:`repro.core`) alongside
+the comparison helper the section 5.1 discussion performs: Facebook's
+review-and-canary practice lands its configuration share between
+Turner's and Wu's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.incidents.sev import RootCause
+
+
+@dataclass(frozen=True)
+class PriorStudy:
+    """A prior study's published root-cause shares."""
+
+    name: str
+    venue: str
+    configuration_share: float
+    undetermined_share: float
+    hardware_share: float
+
+    def __post_init__(self) -> None:
+        for share in (self.configuration_share, self.undetermined_share,
+                      self.hardware_share):
+            if not 0.0 <= share <= 1.0:
+                raise ValueError(f"share {share} outside [0, 1]")
+
+
+TURNER_ET_AL = PriorStudy(
+    name="Turner et al.",
+    venue="SIGCOMM 2010",
+    configuration_share=0.09,
+    undetermined_share=0.05,
+    hardware_share=0.20,
+)
+
+WU_ET_AL = PriorStudy(
+    name="Wu et al. (NetPilot)",
+    venue="SIGCOMM 2012",
+    configuration_share=0.38,
+    undetermined_share=0.23,
+    hardware_share=0.18,
+)
+
+PRIOR_STUDIES = (TURNER_ET_AL, WU_ET_AL)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    study: str
+    metric: str
+    theirs: float
+    ours: float
+
+    @property
+    def delta(self) -> float:
+        return self.ours - self.theirs
+
+
+def compare_root_causes(
+    distribution: Dict[RootCause, float]
+) -> List[ComparisonRow]:
+    """Compare a measured Table 2 distribution with the prior studies.
+
+    Returns the rows section 5.1 discusses: undetermined versus both
+    studies' unknown shares, configuration versus both, and hardware
+    ("within 7% of us").
+    """
+    ours_config = distribution.get(RootCause.CONFIGURATION, 0.0)
+    ours_undet = distribution.get(RootCause.UNDETERMINED, 0.0)
+    ours_hw = distribution.get(RootCause.HARDWARE, 0.0)
+    rows = []
+    for study in PRIOR_STUDIES:
+        rows.append(ComparisonRow(study.name, "configuration",
+                                  study.configuration_share, ours_config))
+        rows.append(ComparisonRow(study.name, "undetermined",
+                                  study.undetermined_share, ours_undet))
+        rows.append(ComparisonRow(study.name, "hardware",
+                                  study.hardware_share, ours_hw))
+    return rows
+
+
+def configuration_between_prior_studies(
+    distribution: Dict[RootCause, float]
+) -> bool:
+    """The section 5.1 conclusion: Facebook's configuration share sits
+    above Turner et al.'s 9% but far below Wu et al.'s 38%, which the
+    paper attributes to the review-and-canary operational practice."""
+    share = distribution.get(RootCause.CONFIGURATION, 0.0)
+    return (TURNER_ET_AL.configuration_share
+            <= share < WU_ET_AL.configuration_share)

@@ -1,0 +1,42 @@
+"""Automated remediation substrate.
+
+Section 4.1: starting in 2013 Facebook automated the remediation of
+common failure modes for RSWs, later FSWs, and certain Core models.
+The system shields the infrastructure from the vast majority of
+issues: repairs are prioritized, scheduled, executed by software, and
+escalated to a human technician only when software cannot fix them.
+Incidents that survive this filter are what the intra data center
+study analyzes.
+"""
+
+from repro.remediation.actions import RepairAction, RepairOutcome, execute_action
+from repro.remediation.policy import RepairPolicy, ScheduledRepair
+from repro.remediation.tickets import TechnicianTicket, TicketQueue
+from repro.remediation.backlog import (
+    RepairQueue,
+    fleet_escalation_rate,
+    technicians_needed,
+)
+from repro.remediation.engine import (
+    DeviceIssue,
+    IssueKind,
+    RemediationEngine,
+    RemediationStats,
+)
+
+__all__ = [
+    "DeviceIssue",
+    "IssueKind",
+    "RemediationEngine",
+    "RemediationStats",
+    "RepairAction",
+    "RepairQueue",
+    "RepairOutcome",
+    "RepairPolicy",
+    "ScheduledRepair",
+    "TechnicianTicket",
+    "TicketQueue",
+    "execute_action",
+    "fleet_escalation_rate",
+    "technicians_needed",
+]

@@ -1,0 +1,95 @@
+"""Repair actions (section 4.1.3).
+
+The most frequent 90% of automated repairs, with their published
+shares of all remediations:
+
+* **port cycle** (50%) — device port ping failures repaired by turning
+  the port off and on again;
+* **config service restart** (32.4%) — configuration file backup
+  failures repaired by restarting the configuration service and
+  reestablishing a secure shell connection;
+* **fan alert** (4.5%) — fan failures remediated by extracting failure
+  details and alerting a technician;
+* **liveness task** (4.0%) — device unreachable from the liveness
+  monitor; details are collected and a task assigned to a technician.
+
+The remaining tail is modeled as a generic ``OTHER`` action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.devices import Device
+
+
+class RepairAction(enum.Enum):
+    """Automated repair playbooks."""
+
+    PORT_CYCLE = "port_cycle"
+    CONFIG_SERVICE_RESTART = "config_backup"
+    FAN_ALERT = "fan_alert"
+    LIVENESS_TASK = "liveness_task"
+    DEVICE_RESTART = "device_restart"
+    STORAGE_RESTORE = "storage_restore"
+    OTHER = "other"
+
+    @property
+    def needs_technician(self) -> bool:
+        """Actions whose playbook ends at a human (fan, liveness)."""
+        return self in (RepairAction.FAN_ALERT, RepairAction.LIVENESS_TASK)
+
+
+@dataclass
+class RepairOutcome:
+    """Result of executing a repair action on a device."""
+
+    action: RepairAction
+    fixed: bool
+    detail: str = ""
+    technician_notified: bool = False
+
+
+def execute_action(
+    action: RepairAction, device: Optional[Device] = None
+) -> RepairOutcome:
+    """Execute one repair playbook against a device model.
+
+    When ``device`` is None the action is treated as a pure bookkeeping
+    repair (the simulator's fleet is statistical, not instantiated).
+    """
+    if action is RepairAction.PORT_CYCLE:
+        if device is not None and device.ports:
+            for port in device.ports:
+                if not port.up:
+                    port.cycle()
+        return RepairOutcome(action, fixed=True,
+                             detail="port turned off and on again")
+    if action is RepairAction.CONFIG_SERVICE_RESTART:
+        return RepairOutcome(
+            action, fixed=True,
+            detail="configuration service restarted; ssh reestablished",
+        )
+    if action is RepairAction.FAN_ALERT:
+        return RepairOutcome(
+            action, fixed=False, technician_notified=True,
+            detail="failure details extracted; technician alerted to "
+                   "examine the faulty fan",
+        )
+    if action is RepairAction.LIVENESS_TASK:
+        return RepairOutcome(
+            action, fixed=False, technician_notified=True,
+            detail="device details collected; task assigned to technician",
+        )
+    if action is RepairAction.DEVICE_RESTART:
+        if device is not None:
+            device.undrain()
+        return RepairOutcome(action, fixed=True, detail="device restarted")
+    if action is RepairAction.STORAGE_RESTORE:
+        return RepairOutcome(
+            action, fixed=True,
+            detail="persistent storage deleted and restored",
+        )
+    return RepairOutcome(action, fixed=True, detail="generic remediation")

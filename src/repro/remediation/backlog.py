@@ -1,0 +1,113 @@
+"""Repair-workforce queueing model (section 5.6).
+
+"Facebook designs its switches to ensure their rate of failure does
+not overwhelm engineers or automated repair systems."  This module
+makes that design constraint checkable: an M/M/c queue of repair work
+against a technician pool, with the standard steady-state results
+(utilization, Erlang-C waiting probability, mean queue length and
+wait), and the predicate the fleet designer cares about — is the pool
+overwhelmed at this failure rate?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairQueue:
+    """An M/M/c repair queue.
+
+    ``arrival_per_h`` is the issue arrival rate; ``service_per_h`` is
+    one technician's repair completion rate; ``technicians`` is c.
+    """
+
+    arrival_per_h: float
+    service_per_h: float
+    technicians: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_per_h < 0:
+            raise ValueError("arrival rate must be non-negative")
+        if self.service_per_h <= 0:
+            raise ValueError("service rate must be positive")
+        if self.technicians < 1:
+            raise ValueError("need at least one technician")
+
+    @property
+    def offered_load(self) -> float:
+        """Erlang load a = lambda / mu."""
+        return self.arrival_per_h / self.service_per_h
+
+    @property
+    def utilization(self) -> float:
+        """rho = a / c; >= 1 means the queue grows without bound."""
+        return self.offered_load / self.technicians
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    def _p0(self) -> float:
+        a, c = self.offered_load, self.technicians
+        total = sum(a ** k / math.factorial(k) for k in range(c))
+        total += (a ** c / math.factorial(c)) / (1.0 - self.utilization)
+        return 1.0 / total
+
+    def waiting_probability(self) -> float:
+        """Erlang-C: probability an arriving issue must wait."""
+        self._require_stable()
+        a, c = self.offered_load, self.technicians
+        return ((a ** c / math.factorial(c))
+                / (1.0 - self.utilization) * self._p0())
+
+    def mean_queue_length(self) -> float:
+        self._require_stable()
+        rho = self.utilization
+        return self.waiting_probability() * rho / (1.0 - rho)
+
+    def mean_wait_h(self) -> float:
+        self._require_stable()
+        if self.arrival_per_h == 0:
+            return 0.0
+        return self.mean_queue_length() / self.arrival_per_h
+
+    def _require_stable(self) -> None:
+        if not self.stable:
+            raise ValueError(
+                f"queue is unstable: utilization {self.utilization:.2f} "
+                ">= 1 (the workforce is overwhelmed)"
+            )
+
+
+def technicians_needed(
+    arrival_per_h: float,
+    service_per_h: float,
+    max_wait_h: float,
+    ceiling: int = 10_000,
+) -> int:
+    """Smallest technician pool meeting a mean-wait target.
+
+    The capacity-planning question behind the section 5.6 design rule:
+    given the fleet's escalation rate and a target time-to-touch, how
+    many humans does the repair organisation need?
+    """
+    if max_wait_h <= 0:
+        raise ValueError("the wait target must be positive")
+    c = max(1, math.ceil(arrival_per_h / service_per_h))
+    while c <= ceiling:
+        queue = RepairQueue(arrival_per_h, service_per_h, c)
+        if queue.stable and queue.mean_wait_h() <= max_wait_h:
+            return c
+        c += 1
+    raise ValueError(f"no pool up to {ceiling} meets the target")
+
+
+def fleet_escalation_rate(
+    incidents_per_year: int, hours_per_year: float = 8760.0
+) -> float:
+    """Convert a yearly incident count to an hourly arrival rate."""
+    if incidents_per_year < 0:
+        raise ValueError("incident count must be non-negative")
+    return incidents_per_year / hours_per_year

@@ -1,0 +1,278 @@
+"""The automated remediation engine (sections 3.1 and 4.1).
+
+Centralized management software continuously checks for device
+misbehavior; a skipped heartbeat or an inconsistent setting raises an
+alarm.  The engine triages the issue, schedules a repair at the
+assigned priority, executes the playbook, and — if software cannot fix
+the problem — opens a support ticket for a human.  Issues the engine
+cannot resolve are the candidates that become network incidents, which
+is precisely the population the paper studies (section 4.1.3: "we
+focus our analysis on the class of incidents that can not be solved by
+automated repair").
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.remediation.actions import RepairAction, RepairOutcome, execute_action
+from repro.remediation.policy import RepairPolicy, RepairSchedule, ScheduledRepair
+from repro.remediation.tickets import TicketQueue
+from repro.topology.devices import Device, DeviceType
+
+
+class IssueKind(enum.Enum):
+    """Detected issue classes, mapped to their repair playbooks."""
+
+    PORT_PING_FAILURE = "port_ping_failure"
+    CONFIG_BACKUP_FAILURE = "config_backup_failure"
+    FAN_FAILURE = "fan_failure"
+    LIVENESS_FAILURE = "liveness_failure"
+    OTHER = "other"
+
+    @property
+    def action(self) -> RepairAction:
+        return _ACTION_OF_KIND[self]
+
+
+_ACTION_OF_KIND = {
+    IssueKind.PORT_PING_FAILURE: RepairAction.PORT_CYCLE,
+    IssueKind.CONFIG_BACKUP_FAILURE: RepairAction.CONFIG_SERVICE_RESTART,
+    IssueKind.FAN_FAILURE: RepairAction.FAN_ALERT,
+    IssueKind.LIVENESS_FAILURE: RepairAction.LIVENESS_TASK,
+    IssueKind.OTHER: RepairAction.OTHER,
+}
+
+#: Issue mix observed across remediations (section 4.1.3).
+DEFAULT_ISSUE_MIX: Dict[IssueKind, float] = {
+    IssueKind.PORT_PING_FAILURE: 0.50,
+    IssueKind.CONFIG_BACKUP_FAILURE: 0.324,
+    IssueKind.FAN_FAILURE: 0.045,
+    IssueKind.LIVENESS_FAILURE: 0.040,
+    IssueKind.OTHER: 0.091,
+}
+
+#: Table 1 repair ratios: the fraction of issues remediation fixes.
+DEFAULT_SUCCESS_RATIO: Dict[DeviceType, float] = {
+    DeviceType.CORE: 0.75,
+    DeviceType.FSW: 0.995,
+    DeviceType.RSW: 0.997,
+}
+
+
+@dataclass
+class DeviceIssue:
+    """A detected device issue entering the remediation pipeline."""
+
+    issue_id: str
+    device_name: str
+    device_type: DeviceType
+    raised_at_h: float
+    kind: IssueKind = IssueKind.OTHER
+    device: Optional[Device] = None
+
+
+@dataclass
+class _Completed:
+    issue: DeviceIssue
+    priority: int
+    wait_h: float
+    repair_s: float
+    outcome: RepairOutcome
+    escalated: bool
+
+
+@dataclass
+class RemediationStats:
+    """Aggregate statistics in the shape of Table 1."""
+
+    issues: int = 0
+    remediated: int = 0
+    escalated: int = 0
+    priorities: List[int] = field(default_factory=list)
+    waits_h: List[float] = field(default_factory=list)
+    repairs_s: List[float] = field(default_factory=list)
+
+    @property
+    def repair_ratio(self) -> float:
+        if self.issues == 0:
+            return 0.0
+        return self.remediated / self.issues
+
+    @property
+    def avg_priority(self) -> float:
+        if not self.priorities:
+            return 0.0
+        return sum(self.priorities) / len(self.priorities)
+
+    @property
+    def avg_wait_h(self) -> float:
+        if not self.waits_h:
+            return 0.0
+        return sum(self.waits_h) / len(self.waits_h)
+
+    @property
+    def avg_repair_s(self) -> float:
+        if not self.repairs_s:
+            return 0.0
+        return sum(self.repairs_s) / len(self.repairs_s)
+
+    @property
+    def escalation_one_in(self) -> float:
+        """Issues per escalation: the section 4.1.2 "1 out of every N"."""
+        if self.escalated == 0:
+            return float("inf")
+        return self.issues / self.escalated
+
+
+class RemediationEngine:
+    """Triage, schedule, repair, escalate.
+
+    ``enabled`` exists for the ablation benches: with the engine
+    disabled every issue escalates, modeling the pre-2013 fleet.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RepairPolicy] = None,
+        success_ratio: Optional[Dict[DeviceType, float]] = None,
+        issue_mix: Optional[Dict[IssueKind, float]] = None,
+        tickets: Optional[TicketQueue] = None,
+        enabled: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self._policy = policy or RepairPolicy(seed=seed)
+        self._success = dict(success_ratio or DEFAULT_SUCCESS_RATIO)
+        self._mix = dict(issue_mix or DEFAULT_ISSUE_MIX)
+        self.tickets = tickets or TicketQueue()
+        self.enabled = enabled
+        self._rng = random.Random(seed)
+        self._schedule = RepairSchedule()
+        self._pending: Dict[str, Tuple[DeviceIssue, float]] = {}
+        self._stats: Dict[DeviceType, RemediationStats] = {}
+        self._completed: List[_Completed] = []
+
+    # -- public API ----------------------------------------------------
+
+    def sample_issue_kind(self) -> IssueKind:
+        kinds = list(self._mix)
+        weights = [self._mix[k] for k in kinds]
+        return self._rng.choices(kinds, weights=weights)[0]
+
+    def covers(self, device_type: DeviceType) -> bool:
+        """Whether automated repair is deployed for this type."""
+        return (
+            self.enabled
+            and device_type.supports_automated_repair
+            and device_type in self._success
+        )
+
+    def submit(self, issue: DeviceIssue) -> None:
+        """Triage an issue and schedule its repair (or escalate now)."""
+        stats = self._stats_for(issue.device_type)
+        stats.issues += 1
+        if not self.covers(issue.device_type):
+            self._escalate(issue, stats)
+            return
+        priority = self._policy.priority(issue.device_type)
+        wait_h = self._policy.wait_hours(issue.device_type, priority)
+        self._schedule.push(
+            ScheduledRepair(
+                priority=priority,
+                ready_at_h=issue.raised_at_h + wait_h,
+                issue_id=issue.issue_id,
+                device_type=issue.device_type,
+                action=issue.kind.action,
+            )
+        )
+        self._pending[issue.issue_id] = (issue, wait_h)
+        stats.priorities.append(priority)
+        stats.waits_h.append(wait_h)
+
+    def advance(self, now_h: float) -> List[RepairOutcome]:
+        """Execute every repair whose scheduled time has arrived."""
+        outcomes = []
+        for scheduled in self._schedule.pop_ready(now_h):
+            issue, wait_h = self._pending.pop(scheduled.issue_id)
+            outcomes.append(self._execute(issue, scheduled, wait_h))
+        return outcomes
+
+    def drain(self) -> List[RepairOutcome]:
+        """Execute everything still scheduled, regardless of time."""
+        return self.advance(float("inf"))
+
+    def handle(self, issue: DeviceIssue) -> bool:
+        """Submit and immediately resolve one issue.
+
+        Returns True when remediation fixed the issue, False when it
+        escalated (and may become a network incident).
+        """
+        before = self._stats_for(issue.device_type).escalated
+        self.submit(issue)
+        self.drain()
+        return self._stats_for(issue.device_type).escalated == before
+
+    def stats(self, device_type: DeviceType) -> RemediationStats:
+        return self._stats_for(device_type)
+
+    @property
+    def completed(self) -> List[_Completed]:
+        return list(self._completed)
+
+    # -- internals -------------------------------------------------------
+
+    def _stats_for(self, device_type: DeviceType) -> RemediationStats:
+        return self._stats.setdefault(device_type, RemediationStats())
+
+    def _execute(
+        self, issue: DeviceIssue, scheduled: ScheduledRepair, wait_h: float
+    ) -> RepairOutcome:
+        stats = self._stats_for(issue.device_type)
+        repair_s = self._policy.repair_seconds(issue.device_type)
+        stats.repairs_s.append(repair_s)
+        outcome = execute_action(scheduled.action, issue.device)
+        # Technician-terminated playbooks (fan, liveness) still count as
+        # remediations: the automation handled the issue end to end.
+        succeeded = self._rng.random() < self._success[issue.device_type]
+        if outcome.fixed or outcome.technician_notified:
+            if succeeded:
+                stats.remediated += 1
+                self._completed.append(
+                    _Completed(issue, scheduled.priority, wait_h, repair_s,
+                               outcome, escalated=False)
+                )
+                if outcome.technician_notified:
+                    self.tickets.open_ticket(
+                        issue.device_name, issue.device_type,
+                        issue.raised_at_h + wait_h, outcome.detail,
+                    )
+                return outcome
+        self._escalate(issue, stats, scheduled.priority, wait_h, repair_s,
+                       outcome)
+        return outcome
+
+    def _escalate(
+        self,
+        issue: DeviceIssue,
+        stats: RemediationStats,
+        priority: int = 0,
+        wait_h: float = 0.0,
+        repair_s: float = 0.0,
+        outcome: Optional[RepairOutcome] = None,
+    ) -> None:
+        stats.escalated += 1
+        self.tickets.open_ticket(
+            issue.device_name, issue.device_type, issue.raised_at_h,
+            f"automated repair failed for {issue.kind.value}; "
+            "human investigation required",
+        )
+        self._completed.append(
+            _Completed(
+                issue, priority, wait_h, repair_s,
+                outcome or RepairOutcome(issue.kind.action, fixed=False),
+                escalated=True,
+            )
+        )

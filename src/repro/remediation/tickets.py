@@ -1,0 +1,76 @@
+"""Technician ticket queue.
+
+When an automated repair fails — or the playbook itself ends at a
+human (fan replacement, unreachable device) — the management software
+opens a support ticket for investigation by a human (section 3.1).
+The issues that reach this queue are the ones that can become network
+incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.topology.devices import DeviceType
+
+
+@dataclass
+class TechnicianTicket:
+    """A support ticket assigned to a human technician."""
+
+    ticket_id: str
+    device_name: str
+    device_type: DeviceType
+    opened_at_h: float
+    summary: str
+    closed_at_h: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.closed_at_h is None
+
+    def close(self, at_h: float) -> None:
+        if not self.open:
+            raise ValueError(f"ticket {self.ticket_id!r} is already closed")
+        if at_h < self.opened_at_h:
+            raise ValueError("a ticket cannot close before it opens")
+        self.closed_at_h = at_h
+
+
+class TicketQueue:
+    """An append-only queue of technician tickets."""
+
+    def __init__(self) -> None:
+        self._tickets: List[TechnicianTicket] = []
+        self._seq = 0
+
+    def open_ticket(
+        self,
+        device_name: str,
+        device_type: DeviceType,
+        at_h: float,
+        summary: str,
+    ) -> TechnicianTicket:
+        ticket = TechnicianTicket(
+            ticket_id=f"task-{self._seq:06d}",
+            device_name=device_name,
+            device_type=device_type,
+            opened_at_h=at_h,
+            summary=summary,
+        )
+        self._seq += 1
+        self._tickets.append(ticket)
+        return ticket
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __iter__(self) -> Iterator[TechnicianTicket]:
+        return iter(self._tickets)
+
+    def open_tickets(self) -> List[TechnicianTicket]:
+        return [t for t in self._tickets if t.open]
+
+    def for_type(self, device_type: DeviceType) -> List[TechnicianTicket]:
+        return [t for t in self._tickets if t.device_type is device_type]

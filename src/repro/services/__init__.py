@@ -1,0 +1,45 @@
+"""Service-level substrate.
+
+The paper's central argument (section 2) is that network reliability
+can only be understood through its *service-level effects*: most
+device- and link-level faults are masked by redundancy, path
+diversity, and fault-tolerance logic, and the remainder surface as
+emergent misbehavior in the software systems running on the network —
+web servers, caches, storage, data processing.
+
+This package models that software layer: a service topology placed on
+network devices, a failure-masking model that decides which device
+faults surface at all, and the impact taxonomy (timeouts, lost
+capacity, retries, latency) the SEV reports describe.
+"""
+
+from repro.services.catalog import (
+    Service,
+    ServiceCatalog,
+    ServiceTier,
+    reference_catalog,
+)
+from repro.services.placement import Placement, place_service, place_uniform
+from repro.services.impact import (
+    ImpactAssessment,
+    ImpactKind,
+    ImpactModel,
+    ServiceImpact,
+)
+from repro.services.masking import MaskingReport, masking_report
+
+__all__ = [
+    "ImpactAssessment",
+    "ImpactKind",
+    "ImpactModel",
+    "MaskingReport",
+    "Placement",
+    "Service",
+    "ServiceCatalog",
+    "ServiceImpact",
+    "ServiceTier",
+    "masking_report",
+    "place_service",
+    "place_uniform",
+    "reference_catalog",
+]

@@ -1,0 +1,117 @@
+"""Service catalog.
+
+Section 4.1 names the production system families whose observable
+misbehavior defines a network incident: frontend web servers, caching
+systems, storage systems, data processing systems, and real-time
+monitoring systems.  The catalog models those families with the two
+properties the impact analysis needs: how replicated the service is
+(replicas across racks mask single-RSW loss, section 5.4) and whether
+its traffic crosses data centers (cross-DC services feel Core and
+backbone failures).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+class ServiceTier(enum.Enum):
+    """The production system families of section 4.1."""
+
+    WEB = "web"
+    CACHE = "cache"
+    STORAGE = "storage"
+    DATA_PROCESSING = "data_processing"
+    MONITORING = "monitoring"
+
+
+@dataclass(frozen=True)
+class Service:
+    """A software service deployed on the data center network."""
+
+    name: str
+    tier: ServiceTier
+    #: Independent replicas, spread across racks.  Section 5.4: at
+    #: Facebook's scale it is more cost-effective to handle RSW
+    #: failures in software using replication than to deploy redundant
+    #: TOR switches.
+    replicas: int
+    #: Whether the service's traffic crosses data centers (bulk
+    #: replication, consistency traffic: section 3.2).
+    cross_datacenter: bool = False
+    #: Requests per second served at full capacity (scaled units).
+    capacity_rps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"service {self.name!r} needs >= 1 replica")
+        if self.capacity_rps <= 0:
+            raise ValueError(f"service {self.name!r} needs positive capacity")
+
+    @property
+    def tolerates_single_rack_loss(self) -> bool:
+        """Replication across >= 2 racks masks a single RSW failure."""
+        return self.replicas >= 2
+
+
+class ServiceCatalog:
+    """The set of services running on a network."""
+
+    def __init__(self, services: Optional[List[Service]] = None) -> None:
+        self._services: Dict[str, Service] = {}
+        for service in services or []:
+            self.add(service)
+
+    def add(self, service: Service) -> None:
+        if service.name in self._services:
+            raise ValueError(f"duplicate service {service.name!r}")
+        self._services[service.name] = service
+
+    def get(self, name: str) -> Service:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise KeyError(f"unknown service {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(sorted(self._services.values(), key=lambda s: s.name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def of_tier(self, tier: ServiceTier) -> List[Service]:
+        return [s for s in self if s.tier is tier]
+
+    def cross_datacenter_services(self) -> List[Service]:
+        return [s for s in self if s.cross_datacenter]
+
+
+def reference_catalog() -> ServiceCatalog:
+    """A catalog shaped like section 4.1's production families.
+
+    Replica counts reflect the published fault-tolerance strategies:
+    the web and cache tiers are wide and absorb rack loss by shedding
+    to peers; storage replicates three ways; monitoring is deliberately
+    independent of the systems it watches.
+    """
+    return ServiceCatalog([
+        Service("frontend-web", ServiceTier.WEB, replicas=64,
+                capacity_rps=50_000.0),
+        Service("social-cache", ServiceTier.CACHE, replicas=32,
+                capacity_rps=200_000.0),
+        Service("photo-storage", ServiceTier.STORAGE, replicas=3,
+                cross_datacenter=True, capacity_rps=8_000.0),
+        Service("warm-blob-storage", ServiceTier.STORAGE, replicas=3,
+                cross_datacenter=True, capacity_rps=4_000.0),
+        Service("batch-processing", ServiceTier.DATA_PROCESSING,
+                replicas=16, cross_datacenter=True, capacity_rps=2_000.0),
+        Service("stream-processing", ServiceTier.DATA_PROCESSING,
+                replicas=8, cross_datacenter=True, capacity_rps=6_000.0),
+        Service("timeseries-monitoring", ServiceTier.MONITORING,
+                replicas=4, capacity_rps=12_000.0),
+    ])

@@ -1,0 +1,96 @@
+"""Service placement onto racks.
+
+Impact analysis needs to know which racks carry which service's
+replicas: a failed RSW only threatens the replicas behind it, and the
+section 5.4 argument — one TOR per rack, replication in software —
+only works if no service concentrates its replicas under one switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.services.catalog import Service, ServiceCatalog
+from repro.topology.devices import DeviceType
+
+
+@dataclass
+class Placement:
+    """Replica locations: service name -> list of RSW names."""
+
+    replica_racks: Dict[str, List[str]] = field(default_factory=dict)
+
+    def racks_of(self, service: str) -> List[str]:
+        try:
+            return self.replica_racks[service]
+        except KeyError:
+            raise KeyError(f"service {service!r} is not placed") from None
+
+    def services_on(self, rack: str) -> Set[str]:
+        return {
+            name
+            for name, racks in self.replica_racks.items()
+            if rack in racks
+        }
+
+    def replicas_lost(self, service: str, failed_racks: Set[str]) -> int:
+        return sum(1 for r in self.racks_of(service) if r in failed_racks)
+
+    def replicas_remaining(self, service: str,
+                           failed_racks: Set[str]) -> int:
+        return len(self.racks_of(service)) - self.replicas_lost(
+            service, failed_racks
+        )
+
+    def validate_anti_affinity(self) -> List[str]:
+        """Services with two or more replicas sharing one rack.
+
+        Co-located replicas defeat the replication-over-redundant-TOR
+        strategy; a correct placement returns an empty list.
+        """
+        offenders = []
+        for name, racks in self.replica_racks.items():
+            if len(set(racks)) != len(racks):
+                offenders.append(name)
+        return sorted(offenders)
+
+
+def place_uniform(catalog: ServiceCatalog, network) -> Placement:
+    """Round-robin replicas across the network's racks.
+
+    Raises when a service has more replicas than the network has racks
+    (anti-affinity would be impossible).
+    """
+    racks = sorted(
+        d.name for d in network.devices.values()
+        if d.device_type is DeviceType.RSW
+    )
+    if not racks:
+        raise ValueError("the network has no racks to place on")
+
+    placement = Placement()
+    offset = 0
+    for service in catalog:
+        if service.replicas > len(racks):
+            raise ValueError(
+                f"service {service.name!r} wants {service.replicas} "
+                f"replicas but the network has only {len(racks)} racks"
+            )
+        chosen = [
+            racks[(offset + i) % len(racks)] for i in range(service.replicas)
+        ]
+        offset += service.replicas
+        placement.replica_racks[service.name] = chosen
+    return placement
+
+
+def place_service(placement: Placement, service: Service,
+                  racks: List[str]) -> None:
+    """Explicitly place one service; enforces the replica count."""
+    if len(racks) != service.replicas:
+        raise ValueError(
+            f"{service.name!r} needs {service.replicas} racks, got "
+            f"{len(racks)}"
+        )
+    placement.replica_racks[service.name] = list(racks)

@@ -1,0 +1,52 @@
+"""Synthetic workload generation.
+
+The paper's raw data — seven years of SEV reports and eighteen months
+of fiber repair tickets — is proprietary.  This package generates a
+synthetic corpus with the published statistical shape (populations,
+per-type incident counts, severity and root-cause mixes, edge/vendor
+MTBF and MTTR spreads) so the analysis pipeline in :mod:`repro.core`
+can exercise every table and figure end to end.
+
+Only this package and the benchmarks read :mod:`repro.paperdata`; the
+analyses recover the numbers from the generated corpus.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.failures import (
+    deterministic_times,
+    largest_remainder_allocation,
+    poisson_times,
+)
+from repro.simulation.scenarios import (
+    BackboneScenario,
+    IntraScenario,
+    no_drain_policy_scenario,
+    paper_backbone_scenario,
+    paper_scenario,
+    shifted_fabric_scenario,
+)
+from repro.simulation.generator import IntraSimulator, RemediationMonthResult
+from repro.simulation.backbone_sim import BackboneCorpus, BackboneSimulator
+from repro.simulation.fleetsim import FleetSimReport, FleetSimulator
+
+__all__ = [
+    "BackboneCorpus",
+    "BackboneScenario",
+    "BackboneSimulator",
+    "Event",
+    "EventQueue",
+    "FleetSimReport",
+    "FleetSimulator",
+    "IntraScenario",
+    "IntraSimulator",
+    "RemediationMonthResult",
+    "SimClock",
+    "deterministic_times",
+    "largest_remainder_allocation",
+    "no_drain_policy_scenario",
+    "paper_backbone_scenario",
+    "paper_scenario",
+    "poisson_times",
+    "shifted_fabric_scenario",
+]

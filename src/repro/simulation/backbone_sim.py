@@ -1,0 +1,390 @@
+"""The backbone corpus generator.
+
+Generates eighteen months of fiber activity over a synthetic backbone
+and feeds it through the production-shaped pipeline: every event
+becomes a pair of structured vendor e-mails, which are parsed and
+ingested into the ticket database exactly as section 4.3.2 describes.
+
+Two failure processes produce the activity:
+
+* **Edge-severing episodes** — correlated outages (a conduit cut plus
+  the maintenance already in flight) that take *all* of an edge's
+  links down simultaneously.  Their rate and duration are drawn from
+  the published per-edge MTBF/MTTR exponential percentile models, so
+  the monitor's derived edge failures recover Figures 15 and 16.
+* **Independent link failures** — uncorrelated single-link events that
+  add vendor-level noise without failing edges.
+
+Vendor reliability emerges from which edges a vendor's links ride on
+(reliable market, reliable links), reproducing the Figure 17/18
+spread; one designated flaky vendor reproduces the 2-hour-MTBF
+outlier of section 6.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.backbone.emails import (
+    format_completion_email,
+    format_start_email,
+    parse_vendor_email,
+)
+from repro.backbone.tickets import TicketDatabase
+from repro.backbone.vendors import FiberVendor, MarketCompetition, VendorDirectory
+from repro.simulation.failures import poisson_times
+from repro.simulation.scenarios import BackboneScenario
+from repro.topology.backbone import (
+    BackboneTopology,
+    Continent,
+    EdgeNode,
+    FiberLink,
+)
+
+#: Continent label used in the e-mails' Location header.
+_CONTINENT_LOCATION = {
+    Continent.NORTH_AMERICA: "North America",
+    Continent.EUROPE: "Europe",
+    Continent.ASIA: "Asia",
+    Continent.SOUTH_AMERICA: "South America",
+    Continent.AFRICA: "Africa",
+    Continent.AUSTRALIA: "Australia",
+}
+
+
+@dataclass
+class _PlannedTicket:
+    link_id: str
+    vendor: str
+    start_h: float
+    end_h: float
+    maintenance: bool
+    location: str
+
+
+@dataclass
+class BackboneCorpus:
+    """The generated backbone world and its ticket database."""
+
+    topology: BackboneTopology
+    vendors: VendorDirectory
+    tickets: TicketDatabase
+    window_h: float
+    edge_targets: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+class BackboneSimulator:
+    """Generates the eighteen-month backbone ticket corpus."""
+
+    def __init__(self, scenario: BackboneScenario) -> None:
+        self._scenario = scenario
+        self._rng = random.Random(scenario.seed)
+
+    # -- world construction -------------------------------------------------
+
+    def build_world(self) -> Tuple[BackboneTopology, VendorDirectory,
+                                   Dict[str, Tuple[float, float]]]:
+        """Build the topology, vendor directory, and per-edge targets.
+
+        Each edge draws a percentile slot for MTBF and for MTTR; the
+        model value at that slot, scaled by the continent factor, is
+        the edge's target.  Each link gets its own vendor whose
+        quality tracks the reliability of the edge it serves.
+        """
+        sc = self._scenario
+        topology = BackboneTopology()
+        names: List[str] = []
+        index = 0
+        for continent in sorted(sc.continent_edges, key=lambda c: c.value):
+            for _ in range(sc.continent_edges[continent]):
+                name = f"edge{index:03d}"
+                topology.add_edge_node(
+                    EdgeNode(name=name, continent=continent,
+                             is_datacenter_region=(index % 3 == 0))
+                )
+                names.append(name)
+                index += 1
+
+        # Percentile slots are stratified *within* each continent: a
+        # continent's k edges get evenly spread slots over [0, 1], so
+        # its mean lands on (continent factor x model mean) regardless
+        # of luck, while the global population still spans the model's
+        # full range.
+        edge_targets: Dict[str, Tuple[float, float]] = {}
+        by_continent: Dict[Continent, List[str]] = {}
+        for name in names:
+            by_continent.setdefault(
+                topology.edges[name].continent, []
+            ).append(name)
+        for continent, members in sorted(
+            by_continent.items(), key=lambda kv: kv[0].value
+        ):
+            k = len(members)
+            mtbf_slots = [(i + 0.5) / k for i in range(k)]
+            mttr_slots = [(i + 0.5) / k for i in range(k)]
+            self._rng.shuffle(mtbf_slots)
+            self._rng.shuffle(mttr_slots)
+            for name, p_mtbf, p_mttr in zip(members, mtbf_slots, mttr_slots):
+                mtbf = (sc.edge_mtbf_model.predict(p_mtbf)
+                        * sc.continent_mtbf_factor[continent])
+                mtbf = min(mtbf, sc.mtbf_cap_fraction * sc.window_h)
+                mttr = (sc.edge_mttr_model.predict(p_mttr)
+                        * sc.continent_mttr_factor[continent])
+                edge_targets[name] = (mtbf, mttr)
+
+        # The slow-to-repair outlier: the worst-MTTR edge of the
+        # largest continent gets the remote-island treatment.
+        if sc.outlier_edge_mttr_h > 0:
+            biggest = max(by_continent, key=lambda c: len(by_continent[c]))
+            slowest = max(
+                by_continent[biggest], key=lambda nm: edge_targets[nm][1]
+            )
+            edge_targets[slowest] = (
+                edge_targets[slowest][0], sc.outlier_edge_mttr_h
+            )
+
+        vendors = VendorDirectory()
+        link_seq = 0
+
+        def new_vendor(quality: float, home: str) -> FiberVendor:
+            mttr = sc.vendor_mttr_model.predict(min(max(quality, 0.0), 1.0))
+            competition = (
+                MarketCompetition.HIGH if quality < 1 / 3 else
+                MarketCompetition.MEDIUM if quality < 2 / 3 else
+                MarketCompetition.LOW
+            )
+            vendor = FiberVendor(
+                name=f"vendor{len(vendors):03d}",
+                mtbf_h=sc.independent_link_mtbf_h,
+                mttr_h=mttr,
+                competition=competition,
+                home_market=home,
+            )
+            vendors.add(vendor)
+            return vendor
+
+        def add_link(a: str, b: str) -> None:
+            nonlocal link_seq
+            # Vendor quality tracks the MTTR percentile of the edge it
+            # mostly serves: good markets, fast repairs.
+            _, mttr_a = edge_targets[a]
+            quality = min(mttr_a / (sc.edge_mttr_model.predict(1.0) + 1e-9),
+                          1.0)
+            vendor = new_vendor(
+                quality, _CONTINENT_LOCATION[topology.edges[a].continent]
+            )
+            topology.add_link(
+                FiberLink(
+                    link_id=f"fbl-{link_seq:04d}", a=a, b=b,
+                    vendor=vendor.name,
+                    capacity_gbps=float(self._rng.choice([100, 200, 400])),
+                )
+            )
+            link_seq += 1
+
+        # A ring guarantees connectivity and gives every edge 2 links.
+        for i, name in enumerate(names):
+            add_link(name, names[(i + 1) % len(names)])
+        # Chords until every edge has the scenario's minimum degree.
+        while True:
+            deficient = [
+                nm for nm in names
+                if len(topology.links_of_edge(nm)) < sc.links_per_edge
+            ]
+            if not deficient:
+                break
+            a = deficient[0]
+            candidates = [nm for nm in names if nm != a]
+            add_link(a, self._rng.choice(candidates))
+
+        # The flaky outlier vendor operates one extra link on the first
+        # edge; its link flaps but alone never fails the edge.
+        if sc.include_flaky_vendor:
+            flaky = FiberVendor(
+                name="vendor-flaky",
+                mtbf_h=sc.flaky_vendor_mtbf_h,
+                mttr_h=sc.flaky_vendor_mttr_h,
+                competition=MarketCompetition.LOW,
+                home_market="remote",
+            )
+            vendors.add(flaky)
+            topology.add_link(
+                FiberLink(
+                    link_id=f"fbl-{link_seq:04d}", a=names[0], b=names[1],
+                    vendor=flaky.name, capacity_gbps=100.0,
+                )
+            )
+
+        topology.validate()
+        return topology, vendors, edge_targets
+
+    # -- episode scheduling ------------------------------------------------
+
+    def _episode_schedule(
+        self, mtbf_h: float, mttr_h: float
+    ) -> List[Tuple[float, float]]:
+        """(start, duration) pairs for one edge's severing episodes.
+
+        In low-noise mode the episode count is the expected count (with
+        the fractional part resolved by one Bernoulli draw), start
+        times are slot-jittered, and the exponential duration draws are
+        rescaled so their sample mean equals the edge's MTTR target —
+        giving smooth percentile curves like the paper's empirical
+        aggregates.  Otherwise both processes are raw Poisson and
+        exponential.
+        """
+        sc = self._scenario
+        if not sc.low_noise:
+            times = poisson_times(1.0 / mtbf_h, 0.0, sc.window_h, self._rng)
+            return [
+                (t, min(self._rng.expovariate(1.0 / mttr_h),
+                        sc.window_h / 4))
+                for t in times
+            ]
+        expected = sc.window_h / mtbf_h
+        count = int(expected)
+        if self._rng.random() < expected - count:
+            count += 1
+        # Every edge in the study registered enough failures for an
+        # MTBF estimate (two starts), so the censored top of the
+        # distribution still yields a point.
+        count = max(count, 2)
+        from repro.simulation.failures import deterministic_times
+
+        times = deterministic_times(count, 0.0, sc.window_h, self._rng)
+        durations = [self._rng.expovariate(1.0) for _ in times]
+        if durations:
+            mean = sum(durations) / len(durations)
+            durations = [
+                min(d / mean * mttr_h, sc.window_h / 4) for d in durations
+            ]
+        return list(zip(times, durations))
+
+    # -- corpus generation ------------------------------------------------------
+
+    def run(self, via_emails: bool = True) -> BackboneCorpus:
+        """Generate the corpus.
+
+        ``via_emails`` routes every event through the structured
+        e-mail format and parser (the production path).  Setting it
+        False inserts tickets directly, which is faster for property
+        tests.
+        """
+        sc = self._scenario
+        topology, vendors, edge_targets = self.build_world()
+        planned: List[_PlannedTicket] = []
+
+        # Edge-severing episodes.  Overlapping tickets on one link are
+        # legal (a cut during someone else's maintenance window); the
+        # ticket references keep start/completion pairing unambiguous.
+        for edge_name in sorted(topology.edges):
+            mtbf, mttr = edge_targets[edge_name]
+            mtbf *= sc.mtbf_calibration
+            links = topology.links_of_edge(edge_name)
+            location = _CONTINENT_LOCATION[
+                topology.edges[edge_name].continent
+            ]
+            last_end = 0.0
+            for t, duration in self._episode_schedule(mtbf, mttr):
+                # Keep an edge's own episodes disjoint so each remains
+                # a distinct observed failure.
+                t = max(t, last_end + 1.0)
+                duration = min(duration, sc.window_h - t - 1.0)
+                if duration <= 0:
+                    continue
+                last_end = t + duration
+                for j, link in enumerate(links):
+                    if j == 0:
+                        # The final cut: exactly the severing interval,
+                        # so the monitor's intersection recovers it.
+                        start, end = t, t + duration
+                    else:
+                        start = max(
+                            t - self._rng.uniform(0.0, 0.2 * duration + 0.5),
+                            0.0,
+                        )
+                        end = (t + duration
+                               + self._rng.uniform(0.0, 0.2 * duration + 0.5))
+                    planned.append(
+                        _PlannedTicket(
+                            link_id=link.link_id,
+                            vendor=link.vendor,
+                            start_h=start,
+                            end_h=end,
+                            maintenance=(
+                                j > 0
+                                and self._rng.random() < sc.maintenance_fraction
+                            ),
+                            location=location,
+                        )
+                    )
+
+        # Independent single-link failures (Poisson; adds vendor noise
+        # but cannot fail an edge on its own).
+        for link in sorted(topology.links.values(), key=lambda l: l.link_id):
+            vendor = vendors.get(link.vendor)
+            rate = 1.0 / vendor.mtbf_h
+            location = _CONTINENT_LOCATION[topology.edges[link.a].continent]
+            for t in poisson_times(rate, 0.0, sc.window_h, self._rng):
+                duration = self._rng.expovariate(1.0 / vendor.mttr_h)
+                duration = max(duration, 0.05)
+                if t + duration >= sc.window_h:
+                    continue
+                planned.append(
+                    _PlannedTicket(
+                        link_id=link.link_id,
+                        vendor=link.vendor,
+                        start_h=t,
+                        end_h=t + duration,
+                        maintenance=self._rng.random()
+                        < sc.maintenance_fraction / 2,
+                        location=location,
+                    )
+                )
+
+        tickets = TicketDatabase()
+        if via_emails:
+            notifications = []
+            for ref, p in enumerate(planned):
+                ticket_ref = f"wo-{ref:06d}"
+                notifications.append(
+                    (p.start_h, format_start_email(
+                        p.link_id, p.vendor, p.start_h,
+                        location=p.location,
+                        estimated_duration_h=p.end_h - p.start_h,
+                        maintenance=p.maintenance,
+                        ticket_ref=ticket_ref,
+                    ))
+                )
+                notifications.append(
+                    (p.end_h, format_completion_email(
+                        p.link_id, p.vendor, p.end_h,
+                        maintenance=p.maintenance,
+                        ticket_ref=ticket_ref,
+                    ))
+                )
+            notifications.sort(key=lambda pair: pair[0])
+            for _, raw in notifications:
+                tickets.ingest(parse_vendor_email(raw))
+        else:
+            from repro.backbone.tickets import TicketType
+
+            for p in sorted(planned, key=lambda q: q.start_h):
+                tickets.add_completed(
+                    p.link_id, p.vendor, p.start_h, p.end_h,
+                    ticket_type=(
+                        TicketType.MAINTENANCE if p.maintenance
+                        else TicketType.REPAIR
+                    ),
+                    location=p.location,
+                )
+
+        return BackboneCorpus(
+            topology=topology,
+            vendors=vendors,
+            tickets=tickets,
+            window_h=sc.window_h,
+            edge_targets=edge_targets,
+        )

@@ -1,0 +1,74 @@
+"""Simulation clock.
+
+Simulation time is hours since the study epoch (2011-01-01), matching
+the timestamp convention of :mod:`repro.incidents.sev`.
+"""
+
+from __future__ import annotations
+
+from repro.incidents.sev import EPOCH_YEAR, hours_of_year, year_of_hours
+
+HOURS_PER_DAY = 24.0
+HOURS_PER_YEAR = 8760.0
+HOURS_PER_MONTH = HOURS_PER_YEAR / 12.0
+
+
+class SimClock:
+    """A monotonically advancing clock in hours since the epoch."""
+
+    def __init__(self, start_h: float = 0.0) -> None:
+        if start_h < 0:
+            raise ValueError("the clock cannot start before the epoch")
+        self._now_h = start_h
+
+    @property
+    def now_h(self) -> float:
+        return self._now_h
+
+    @property
+    def year(self) -> int:
+        return year_of_hours(self._now_h)
+
+    def advance(self, hours: float) -> float:
+        """Move time forward; rejects travel into the past."""
+        if hours < 0:
+            raise ValueError("the clock only moves forward")
+        self._now_h += hours
+        return self._now_h
+
+    def advance_to(self, time_h: float) -> float:
+        if time_h < self._now_h:
+            raise ValueError(
+                f"cannot rewind the clock from {self._now_h} to {time_h}"
+            )
+        self._now_h = time_h
+        return self._now_h
+
+    def advance_to_year(self, year: int) -> float:
+        """Jump to the start of a calendar year."""
+        return self.advance_to(hours_of_year(year))
+
+    @staticmethod
+    def month_window(year: int, month: int) -> tuple:
+        """(start_h, end_h) of a calendar month, twelve equal slices.
+
+        The study's month-scale windows (the April 2018 remediation
+        slice of section 4.1.2) do not need calendar-exact month
+        lengths, so a month is modeled as one twelfth of a year.
+        """
+        if not 1 <= month <= 12:
+            raise ValueError(f"month {month} outside 1-12")
+        start = hours_of_year(year, (month - 1) * HOURS_PER_MONTH)
+        return start, start + HOURS_PER_MONTH
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_h={self._now_h:.2f}, year={self.year})"
+
+
+__all__ = [
+    "EPOCH_YEAR",
+    "HOURS_PER_DAY",
+    "HOURS_PER_MONTH",
+    "HOURS_PER_YEAR",
+    "SimClock",
+]

@@ -1,0 +1,75 @@
+"""Discrete-event queue.
+
+A minimal, deterministic event queue: events fire in time order, ties
+break by insertion order so runs with a fixed seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event: fires at ``at_h`` with a payload."""
+
+    at_h: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    action: Optional[Callable[["Event"], None]] = field(
+        compare=False, default=None
+    )
+
+
+class EventQueue:
+    """Time-ordered queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    def schedule(
+        self,
+        at_h: float,
+        kind: str,
+        payload: Any = None,
+        action: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        if at_h < 0:
+            raise ValueError("events cannot precede the epoch")
+        event = Event(at_h=at_h, seq=next(self._seq), kind=kind,
+                      payload=payload, action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def run_until(self, end_h: float) -> List[Event]:
+        """Fire (and return) every event scheduled before ``end_h``.
+
+        Events with an ``action`` have it invoked; actions may schedule
+        further events.
+        """
+        fired = []
+        while self._heap and self._heap[0].at_h <= end_h:
+            event = heapq.heappop(self._heap)
+            if event.action is not None:
+                event.action(event)
+            fired.append(event)
+        return fired
+
+    def run_all(self) -> List[Event]:
+        return self.run_until(float("inf"))

@@ -1,0 +1,104 @@
+"""Failure-process primitives.
+
+Two ways to place events in time:
+
+* :func:`poisson_times` — a homogeneous Poisson process, the natural
+  model for memoryless failures (the paper finds backbone time to
+  failure "closely follows exponential functions");
+* :func:`deterministic_times` — exactly ``n`` events jittered inside
+  equal slots, used where the calibration must reproduce a published
+  count exactly rather than in expectation.
+
+Plus :func:`largest_remainder_allocation`, the integer apportionment
+used to split a count across categories with published fractions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+def poisson_times(
+    rate_per_h: float, start_h: float, end_h: float, rng: random.Random
+) -> List[float]:
+    """Event times of a Poisson process with the given rate."""
+    if rate_per_h < 0:
+        raise ValueError("rate must be non-negative")
+    if end_h < start_h:
+        raise ValueError("window must not be inverted")
+    if rate_per_h == 0:
+        return []
+    times = []
+    t = start_h
+    while True:
+        t += rng.expovariate(rate_per_h)
+        if t >= end_h:
+            return times
+        times.append(t)
+
+
+def deterministic_times(
+    n: int, start_h: float, end_h: float, rng: random.Random
+) -> List[float]:
+    """Exactly ``n`` times, one uniform draw inside each equal slot.
+
+    The slotting keeps inter-event gaps well behaved (no empty years,
+    no same-hour pileups) while the jitter keeps the corpus from
+    looking like a metronome.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if end_h < start_h:
+        raise ValueError("window must not be inverted")
+    if n == 0:
+        return []
+    slot = (end_h - start_h) / n
+    return sorted(
+        start_h + (i + rng.random()) * slot for i in range(n)
+    )
+
+
+def largest_remainder_allocation(
+    total: int, weights: Dict[K, float]
+) -> Dict[K, int]:
+    """Apportion ``total`` across categories proportionally to weights.
+
+    Uses the largest-remainder method so the integer counts sum to the
+    total exactly and each category's share is within one unit of its
+    exact proportional share.  Weights need not sum to one.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not weights:
+        raise ValueError("no categories to allocate across")
+    weight_sum = sum(weights.values())
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be non-negative")
+
+    quotas = {k: total * w / weight_sum for k, w in weights.items()}
+    counts = {k: int(q) for k, q in quotas.items()}
+    shortfall = total - sum(counts.values())
+    by_remainder = sorted(
+        weights, key=lambda k: (quotas[k] - counts[k]), reverse=True
+    )
+    for k in by_remainder[:shortfall]:
+        counts[k] += 1
+    return counts
+
+
+def interleave_categories(
+    counts: Dict[K, int], rng: random.Random
+) -> List[K]:
+    """A shuffled category sequence realizing exact counts."""
+    sequence: List[K] = []
+    for key, n in counts.items():
+        if n < 0:
+            raise ValueError("counts must be non-negative")
+        sequence.extend([key] * n)
+    rng.shuffle(sequence)
+    return sequence

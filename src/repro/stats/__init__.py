@@ -1,0 +1,58 @@
+"""Statistics toolkit.
+
+Implements the estimators the paper uses: mean time between
+failures/incidents, mean time to repair, percentile curves of
+per-entity means (the x-axes of Figures 15-18), least-squares
+exponential fits with coefficient of determination, and the yearly
+bucketing behind the longitudinal figures.
+"""
+
+from repro.stats.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean_ci,
+    median_ci,
+)
+from repro.stats.expfit import ExponentialModel, fit_exponential_percentile
+from repro.stats.exponentiality import (
+    ExponentialityResult,
+    interarrival_times,
+    test_exponentiality,
+)
+from repro.stats.intervals import (
+    OutageInterval,
+    merge_intervals,
+    total_downtime,
+)
+from repro.stats.mtbf import (
+    mean_time_between,
+    mtbf_from_intervals,
+    mtbi_device_hours,
+)
+from repro.stats.mttr import mean_time_to_recovery, percentile
+from repro.stats.percentile import PercentileCurve, curve_of_means
+from repro.stats.timeseries import YearlyCounts, yearly_fraction
+
+__all__ = [
+    "ConfidenceInterval",
+    "ExponentialModel",
+    "ExponentialityResult",
+    "OutageInterval",
+    "PercentileCurve",
+    "YearlyCounts",
+    "bootstrap_ci",
+    "curve_of_means",
+    "fit_exponential_percentile",
+    "interarrival_times",
+    "mean_ci",
+    "mean_time_between",
+    "mean_time_to_recovery",
+    "median_ci",
+    "merge_intervals",
+    "mtbf_from_intervals",
+    "mtbi_device_hours",
+    "percentile",
+    "test_exponentiality",
+    "total_downtime",
+    "yearly_fraction",
+]

@@ -1,0 +1,85 @@
+"""Outage intervals.
+
+Backbone analyses work on intervals: a repair ticket opens when a link
+goes down and closes when the vendor confirms the repair (section
+4.3.2).  Edge failures are derived by intersecting the outage
+intervals of an edge's links (an edge fails only when *all* its links
+are down, section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class OutageInterval:
+    """A closed outage interval in hours since the study epoch."""
+
+    start_h: float
+    end_h: float
+
+    def __post_init__(self) -> None:
+        if self.end_h < self.start_h:
+            raise ValueError(
+                f"interval ends before it starts ({self.end_h} < {self.start_h})"
+            )
+
+    @property
+    def duration_h(self) -> float:
+        return self.end_h - self.start_h
+
+    def overlaps(self, other: "OutageInterval") -> bool:
+        return self.start_h < other.end_h and other.start_h < self.end_h
+
+    def intersect(self, other: "OutageInterval") -> "OutageInterval":
+        if not self.overlaps(other):
+            raise ValueError("intervals do not overlap")
+        return OutageInterval(
+            max(self.start_h, other.start_h), min(self.end_h, other.end_h)
+        )
+
+
+def merge_intervals(intervals: Iterable[OutageInterval]) -> List[OutageInterval]:
+    """Union of intervals: merge everything that overlaps or touches."""
+    ordered = sorted(intervals)
+    merged: List[OutageInterval] = []
+    for interval in ordered:
+        if merged and interval.start_h <= merged[-1].end_h:
+            last = merged.pop()
+            merged.append(
+                OutageInterval(last.start_h, max(last.end_h, interval.end_h))
+            )
+        else:
+            merged.append(interval)
+    return merged
+
+
+def intersect_all(
+    interval_sets: Sequence[Sequence[OutageInterval]],
+) -> List[OutageInterval]:
+    """Intervals during which *every* input set has an outage.
+
+    This is the edge-failure condition: the periods when all of an
+    edge's links are simultaneously down.
+    """
+    if not interval_sets:
+        return []
+    current = merge_intervals(interval_sets[0])
+    for intervals in interval_sets[1:]:
+        merged = merge_intervals(intervals)
+        current = [
+            a.intersect(b)
+            for a in current
+            for b in merged
+            if a.overlaps(b)
+        ]
+        if not current:
+            return []
+    return merge_intervals(current)
+
+
+def total_downtime(intervals: Iterable[OutageInterval]) -> float:
+    """Total hours covered by the union of the intervals."""
+    return sum(i.duration_h for i in merge_intervals(intervals))

@@ -1,0 +1,49 @@
+"""Mean time to recovery and percentile helpers.
+
+MTTR for an edge or vendor is the mean duration of its outages
+(section 6).  The intra data center counterpart is the *incident
+resolution time*, summarized at its 75th percentile (p75IRT) "to
+prevent occasional months-long incident recovery times from
+dominating the mean" (section 5.6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.stats.intervals import OutageInterval
+
+
+def mean_time_to_recovery(intervals: Iterable[OutageInterval]) -> float:
+    """Mean outage duration in hours."""
+    durations = [i.duration_h for i in intervals]
+    if not durations:
+        raise ValueError("MTTR needs at least one outage interval")
+    return sum(durations) / len(durations)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Percentile with linear interpolation between order statistics.
+
+    ``fraction`` is in [0, 1]; ``percentile(values, 0.75)`` is the
+    paper's p75.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction {fraction} outside [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    # Formulated so equal neighbours interpolate exactly (no float
+    # drift above the larger of the two order statistics).
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+def p75(values: Sequence[float]) -> float:
+    """The paper's p75 summary statistic (section 5.6)."""
+    return percentile(values, 0.75)

@@ -1,0 +1,86 @@
+"""Yearly time-series helpers.
+
+The longitudinal figures (3, 5, 7-13) bucket incidents by year and
+normalize by a population or by a fixed baseline year.  These helpers
+implement those normalizations once so every analysis module shares
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+@dataclass
+class YearlyCounts:
+    """Counts keyed by (year, category)."""
+
+    counts: Dict[int, Dict[Hashable, int]] = field(default_factory=dict)
+
+    def add(self, year: int, key: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        self.counts.setdefault(year, {})[key] = (
+            self.counts.get(year, {}).get(key, 0) + count
+        )
+
+    @property
+    def years(self) -> List[int]:
+        return sorted(self.counts)
+
+    def get(self, year: int, key: Hashable) -> int:
+        return self.counts.get(year, {}).get(key, 0)
+
+    def year_total(self, year: int) -> int:
+        return sum(self.counts.get(year, {}).values())
+
+    def fraction_of_year(self, year: int, key: Hashable) -> float:
+        """Share of a year's events in one category (Figure 7)."""
+        total = self.year_total(year)
+        if total == 0:
+            return 0.0
+        return self.get(year, key) / total
+
+    def normalized_to_baseline(
+        self, year: int, key: Hashable, baseline_year: int
+    ) -> float:
+        """Counts normalized to a fixed baseline year's total.
+
+        Figures 8 and 9 use the total number of SEVs in 2017 as the
+        fixed baseline so growth across years stays visible.
+        """
+        baseline = self.year_total(baseline_year)
+        if baseline == 0:
+            raise ValueError(f"baseline year {baseline_year} has no events")
+        return self.get(year, key) / baseline
+
+    def per_capita(
+        self, year: int, key: Hashable, population: int
+    ) -> float:
+        """Events per member of a population (Figures 3, 5, 10).
+
+        A category with zero population and zero events yields 0.0; a
+        category with events but no population is a calibration error
+        and raises.
+        """
+        count = self.get(year, key)
+        if population == 0:
+            if count == 0:
+                return 0.0
+            raise ValueError(
+                f"{count} events for {key!r} in {year} but population is 0"
+            )
+        return count / population
+
+
+def yearly_fraction(
+    counts: Dict[int, int], baseline_year: int
+) -> Dict[int, float]:
+    """Normalize a year->count mapping by a fixed baseline year."""
+    if baseline_year not in counts or counts[baseline_year] == 0:
+        raise ValueError(f"baseline year {baseline_year} has no events")
+    base = counts[baseline_year]
+    return {year: n / base for year, n in counts.items()}

@@ -1,0 +1,46 @@
+"""Switch software substrate.
+
+Section 3.1 describes the software side of the fabric: simple custom
+switches running Facebook's own stack (FBOSS [5, 69]) under
+centralized management software that "continuously checks for device
+misbehavior.  A skipped heartbeat or an inconsistent network setting
+raise alarms for management software to handle."  Repairs include
+restarting device interfaces, restarting the device itself, and
+deleting and restoring a device's persistent storage.
+
+This package models that layer: the on-switch agent (heartbeats,
+settings, persistent storage, port control), firmware images with
+latent bugs (the section 4.2 SEV3: a crash when the software disables
+a port), and the central health monitor that turns misbehavior into
+:class:`~repro.remediation.engine.DeviceIssue` submissions.
+"""
+
+from repro.switchagent.agent import (
+    AgentCrash,
+    AgentState,
+    AgentUnavailable,
+    SwitchAgent,
+)
+from repro.switchagent.firmware import (
+    FirmwareBug,
+    FirmwareImage,
+    FirmwareRegistry,
+    fboss_image,
+    vendor_image,
+)
+from repro.switchagent.monitor import AlarmKind, HealthAlarm, HealthMonitor
+
+__all__ = [
+    "AgentCrash",
+    "AgentState",
+    "AgentUnavailable",
+    "AlarmKind",
+    "FirmwareBug",
+    "FirmwareImage",
+    "FirmwareRegistry",
+    "HealthAlarm",
+    "HealthMonitor",
+    "SwitchAgent",
+    "fboss_image",
+    "vendor_image",
+]

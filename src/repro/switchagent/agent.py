@@ -1,0 +1,142 @@
+"""The on-switch software agent.
+
+Models the behaviors the central management software watches and the
+repair actions it applies (section 3.1): heartbeats, a persistent
+settings store, port enable/disable, interface restart, device
+restart, and delete-and-restore of persistent storage.  Firmware bugs
+manifest through the corresponding operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.switchagent.firmware import FirmwareBug, FirmwareImage
+
+
+class AgentState(enum.Enum):
+    RUNNING = "running"
+    HUNG = "hung"
+    CRASHED = "crashed"
+
+
+@dataclass
+class SwitchAgent:
+    """One switch's software agent."""
+
+    device_name: str
+    firmware: FirmwareImage
+    state: AgentState = AgentState.RUNNING
+    last_heartbeat_h: float = 0.0
+    uptime_start_h: float = 0.0
+    ports_enabled: Dict[int, bool] = field(default_factory=dict)
+    settings: Dict[str, str] = field(default_factory=dict)
+    settings_corrupt: bool = False
+    crash_count: int = 0
+
+    # -- liveness ----------------------------------------------------------
+
+    def heartbeat(self, now_h: float) -> bool:
+        """Emit a heartbeat; returns False when the agent cannot.
+
+        The HEARTBEAT_WEDGE bug wedges the heartbeat thread after 30
+        days of uptime.
+        """
+        if self.state is not AgentState.RUNNING:
+            return False
+        if (self.firmware.has_bug(FirmwareBug.HEARTBEAT_WEDGE)
+                and now_h - self.uptime_start_h > 30 * 24.0):
+            self.state = AgentState.HUNG
+            return False
+        self.last_heartbeat_h = now_h
+        return True
+
+    # -- port control --------------------------------------------------------
+
+    def enable_port(self, index: int) -> None:
+        self._require_running("enable port")
+        self.ports_enabled[index] = True
+
+    def disable_port(self, index: int) -> None:
+        """Disable a port — the section 4.2 SEV3 crash path."""
+        self._require_running("disable port")
+        if self.firmware.has_bug(FirmwareBug.PORT_DISABLE_CRASH):
+            self.state = AgentState.CRASHED
+            self.crash_count += 1
+            raise AgentCrash(
+                f"{self.device_name}: hardware counter allocation failed "
+                "while disabling a port; agent crashed"
+            )
+        self.ports_enabled[index] = False
+
+    def restart_interfaces(self) -> None:
+        """The lightest automated repair: bounce every port."""
+        self._require_running("restart interfaces")
+        for index in self.ports_enabled:
+            self.ports_enabled[index] = True
+
+    # -- settings ------------------------------------------------------------
+
+    def write_setting(self, key: str, value: str) -> None:
+        self._require_running("write setting")
+        self.settings[key] = value
+
+    def settings_consistent(self, expected: Dict[str, str]) -> bool:
+        """Whether the device's settings match the fleet's intent.
+
+        An inconsistent network setting is one of the two alarm
+        triggers of section 3.1.
+        """
+        if self.settings_corrupt:
+            return False
+        return all(self.settings.get(k) == v for k, v in expected.items())
+
+    # -- repairs ---------------------------------------------------------------
+
+    def restart(self, now_h: float) -> None:
+        """Restart the device (automated repair level 2).
+
+        An unclean restart under the SETTINGS_CORRUPTION bug corrupts
+        the persistent store — the failure the delete-and-restore
+        repair exists for.
+        """
+        if (self.state is AgentState.CRASHED
+                and self.firmware.has_bug(FirmwareBug.SETTINGS_CORRUPTION)):
+            self.settings_corrupt = True
+        self.state = AgentState.RUNNING
+        self.uptime_start_h = now_h
+        self.last_heartbeat_h = now_h
+
+    def restore_storage(self, golden: Dict[str, str]) -> None:
+        """Delete and restore persistent storage (repair level 3)."""
+        self.settings = dict(golden)
+        self.settings_corrupt = False
+
+    def upgrade_firmware(self, image: FirmwareImage, now_h: float) -> None:
+        """Apply a firmware upgrade: the routine-maintenance path."""
+        if not image.newer_than(self.firmware):
+            raise ValueError(
+                f"{self.device_name}: refusing downgrade to "
+                f"{image.version_string}"
+            )
+        self.firmware = image
+        self.restart(now_h)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_running(self, operation: str) -> None:
+        if self.state is not AgentState.RUNNING:
+            raise AgentUnavailable(
+                f"{self.device_name}: cannot {operation}; agent is "
+                f"{self.state.value}"
+            )
+
+
+class AgentCrash(RuntimeError):
+    """The agent crashed mid-operation."""
+
+
+class AgentUnavailable(RuntimeError):
+    """The agent is not running."""

@@ -1,0 +1,114 @@
+"""Firmware images and their bugs.
+
+Firmware matters to the study twice: *maintenance* (upgrading device
+software and firmware) is the single largest determined root cause
+(Table 2), and *bugs* — "logical errors in network device software or
+firmware" — contribute 12%.  The section 4.2 SEV3 example is modeled
+literally: "an attempt to allocate a new hardware counter failed,
+triggering a hardware fault" whenever the software disabled a port.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class FirmwareBug(enum.Enum):
+    """Latent firmware defects and the operation that triggers them."""
+
+    #: Crash when disabling a port (the section 4.2 SEV3 example:
+    #: hardware counter allocation fails on the port-disable path).
+    PORT_DISABLE_CRASH = "port_disable_crash"
+    #: Heartbeat thread wedges after long uptime.
+    HEARTBEAT_WEDGE = "heartbeat_wedge"
+    #: Persistent settings store corrupts on unclean restart.
+    SETTINGS_CORRUPTION = "settings_corruption"
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A versioned firmware build for a switch platform."""
+
+    name: str
+    version: Tuple[int, int, int]
+    vendor_stack: bool = False
+    bugs: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if len(self.version) != 3 or any(v < 0 for v in self.version):
+            raise ValueError(f"bad firmware version {self.version}")
+
+    @property
+    def version_string(self) -> str:
+        return ".".join(str(v) for v in self.version)
+
+    def has_bug(self, bug: FirmwareBug) -> bool:
+        return bug in self.bugs
+
+    def newer_than(self, other: "FirmwareImage") -> bool:
+        return self.version > other.version
+
+
+class FirmwareRegistry:
+    """Tracks released images and which one each platform should run.
+
+    The upgrade workflow mirrors the paper's maintenance story: the
+    registry knows the *blessed* image per platform; agents running
+    something older are upgrade candidates, and upgrading is exactly
+    the "routine maintenance" that dominates Table 2 when it goes
+    wrong.
+    """
+
+    def __init__(self) -> None:
+        self._images: Dict[str, List[FirmwareImage]] = {}
+        self._blessed: Dict[str, FirmwareImage] = {}
+
+    def release(self, platform: str, image: FirmwareImage,
+                bless: bool = True) -> None:
+        history = self._images.setdefault(platform, [])
+        if any(existing.version == image.version for existing in history):
+            raise ValueError(
+                f"{platform}: version {image.version_string} already released"
+            )
+        if history and not image.newer_than(history[-1]):
+            raise ValueError(
+                f"{platform}: releases must be monotonically newer "
+                f"({image.version_string} after "
+                f"{history[-1].version_string})"
+            )
+        history.append(image)
+        if bless:
+            self._blessed[platform] = image
+
+    def blessed(self, platform: str) -> FirmwareImage:
+        try:
+            return self._blessed[platform]
+        except KeyError:
+            raise KeyError(f"no blessed image for platform {platform!r}") from None
+
+    def history(self, platform: str) -> List[FirmwareImage]:
+        return list(self._images.get(platform, []))
+
+    def needs_upgrade(self, platform: str,
+                      running: FirmwareImage) -> bool:
+        return self.blessed(platform).newer_than(running)
+
+
+def fboss_image(version: Tuple[int, int, int] = (1, 0, 0),
+                bugs: Optional[frozenset] = None) -> FirmwareImage:
+    """An FBOSS-style image: Facebook's own stack, no vendor firmware."""
+    return FirmwareImage(
+        name="fboss", version=version, vendor_stack=False,
+        bugs=bugs or frozenset(),
+    )
+
+
+def vendor_image(version: Tuple[int, int, int] = (8, 2, 1),
+                 bugs: Optional[frozenset] = None) -> FirmwareImage:
+    """A proprietary third-party vendor image (Cores/CSAs, section 5.2)."""
+    return FirmwareImage(
+        name="vendor-os", version=version, vendor_stack=True,
+        bugs=bugs or frozenset(),
+    )

@@ -1,0 +1,124 @@
+"""Central health monitoring of switch agents.
+
+"Centralized management software continuously checks for device
+misbehavior.  A skipped heartbeat or an inconsistent network setting
+raise alarms for management software to handle" (section 3.1).  The
+monitor scans a fleet of agents, raises alarms, converts them to
+:class:`~repro.remediation.engine.DeviceIssue` submissions, and —
+completing the loop — applies the escalating repair ladder:
+restart interfaces, restart the device, delete and restore storage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.remediation.engine import DeviceIssue, IssueKind, RemediationEngine
+from repro.switchagent.agent import AgentState, SwitchAgent
+from repro.topology.naming import device_type_from_name
+
+
+class AlarmKind(enum.Enum):
+    SKIPPED_HEARTBEAT = "skipped_heartbeat"
+    INCONSISTENT_SETTINGS = "inconsistent_settings"
+
+
+@dataclass(frozen=True)
+class HealthAlarm:
+    """One raised alarm."""
+
+    device_name: str
+    kind: AlarmKind
+    raised_at_h: float
+
+
+class HealthMonitor:
+    """Scans agents, raises alarms, drives the repair ladder."""
+
+    def __init__(
+        self,
+        heartbeat_timeout_h: float = 0.5,
+        expected_settings: Optional[Dict[str, str]] = None,
+        golden_settings: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if heartbeat_timeout_h <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        self.heartbeat_timeout_h = heartbeat_timeout_h
+        self.expected_settings = dict(expected_settings or {})
+        self._golden = dict(golden_settings or expected_settings or {})
+        self.alarms: List[HealthAlarm] = []
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self, agents: List[SwitchAgent], now_h: float) -> List[HealthAlarm]:
+        """One monitoring sweep; returns the newly raised alarms."""
+        raised = []
+        for agent in agents:
+            agent.heartbeat(now_h)
+            if now_h - agent.last_heartbeat_h > self.heartbeat_timeout_h:
+                raised.append(HealthAlarm(
+                    agent.device_name, AlarmKind.SKIPPED_HEARTBEAT, now_h
+                ))
+            elif self.expected_settings and not agent.settings_consistent(
+                self.expected_settings
+            ):
+                raised.append(HealthAlarm(
+                    agent.device_name, AlarmKind.INCONSISTENT_SETTINGS,
+                    now_h,
+                ))
+        self.alarms.extend(raised)
+        return raised
+
+    # -- the repair ladder ---------------------------------------------------
+
+    def repair(self, agent: SwitchAgent, alarm: HealthAlarm,
+               now_h: float) -> bool:
+        """Apply the escalating repair ladder; True when healthy after.
+
+        Section 3.1: "Repairs include restarting device interfaces,
+        restarting the device itself, and deleting and restoring a
+        device's persistent storage."
+        """
+        # Rung 1: interface restart only helps a running agent.
+        if agent.state is AgentState.RUNNING:
+            agent.restart_interfaces()
+            if self._healthy(agent, now_h):
+                return True
+        # Rung 2: restart the device.
+        agent.restart(now_h)
+        if self._healthy(agent, now_h):
+            return True
+        # Rung 3: delete and restore persistent storage.
+        agent.restore_storage(self._golden)
+        agent.restart(now_h)
+        return self._healthy(agent, now_h)
+
+    def _healthy(self, agent: SwitchAgent, now_h: float) -> bool:
+        if not agent.heartbeat(now_h):
+            return False
+        if self.expected_settings:
+            return agent.settings_consistent(self.expected_settings)
+        return True
+
+    # -- engine integration -----------------------------------------------------
+
+    def submit_alarm(self, engine: RemediationEngine, alarm: HealthAlarm,
+                     issue_id: str) -> None:
+        """Convert an alarm into a remediation-engine issue."""
+        device_type = device_type_from_name(alarm.device_name)
+        if device_type is None:
+            raise ValueError(
+                f"alarm for unclassifiable device {alarm.device_name!r}"
+            )
+        kind = (IssueKind.LIVENESS_FAILURE
+                if alarm.kind is AlarmKind.SKIPPED_HEARTBEAT
+                else IssueKind.CONFIG_BACKUP_FAILURE)
+        engine.submit(DeviceIssue(
+            issue_id=issue_id,
+            device_name=alarm.device_name,
+            device_type=device_type,
+            raised_at_h=alarm.raised_at_h,
+            kind=kind,
+        ))

@@ -1,0 +1,123 @@
+"""Classic cluster-based Clos network (section 3.1, Figure 1 Region A).
+
+A *cluster* is the basic unit of deployment.  Each cluster comprises
+four cluster switches (CSWs), each aggregating physically contiguous
+rack switches (RSWs) over 10 Gb/s links.  A cluster switch aggregator
+(CSA) aggregates CSWs and keeps inter-cluster traffic within the data
+center; core devices aggregate CSAs and carry inter data center
+traffic.
+
+The design's two published limitations are reflected in the model:
+hard-wired proprietary switches require manual in-place repair (the
+``vendor_sourced`` flag on the device types drives the remediation
+engine's escalation behaviour) and the hierarchy is strict (each RSW
+uplinks to exactly the four CSWs of its cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.topology.devices import Device, DeviceType
+from repro.topology.naming import make_device_name
+
+#: Each cluster comprises four cluster switches (section 3.1).
+CSWS_PER_CLUSTER = 4
+
+
+@dataclass
+class ClusterNetwork:
+    """A data center built from the classic cluster design."""
+
+    datacenter: str
+    region: str
+    devices: Dict[str, Device] = field(default_factory=dict)
+    links: List[Tuple[str, str]] = field(default_factory=list)
+    clusters: List[str] = field(default_factory=list)
+
+    def add_device(self, device: Device) -> None:
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+
+    def add_link(self, a: str, b: str) -> None:
+        if a not in self.devices or b not in self.devices:
+            raise KeyError(f"link endpoints must exist: {a!r} -- {b!r}")
+        self.links.append((a, b))
+
+    def devices_of_type(self, device_type: DeviceType) -> Iterator[Device]:
+        return (d for d in self.devices.values() if d.device_type is device_type)
+
+    def count(self, device_type: DeviceType) -> int:
+        return sum(1 for _ in self.devices_of_type(device_type))
+
+
+def build_cluster_network(
+    datacenter: str,
+    region: str,
+    clusters: int = 4,
+    racks_per_cluster: int = 64,
+    csas: int = 2,
+    cores: int = 8,
+    deployed_year: int = 2011,
+) -> ClusterNetwork:
+    """Construct a cluster-design data center.
+
+    Defaults give the published shape: four CSWs per cluster, CSAs
+    aggregating all CSWs, and eight Cores (section 5.2 notes eight
+    Cores are provisioned per data center so one can be lost to
+    maintenance without impact).
+    """
+    if clusters < 1 or racks_per_cluster < 1 or csas < 1 or cores < 1:
+        raise ValueError("all cluster network dimensions must be positive")
+
+    net = ClusterNetwork(datacenter=datacenter, region=region)
+
+    core_names = []
+    for i in range(cores):
+        name = make_device_name(DeviceType.CORE, i, "plane", datacenter, region)
+        net.add_device(
+            Device(name, DeviceType.CORE, datacenter, region, deployed_year)
+        )
+        core_names.append(name)
+
+    csa_names = []
+    for i in range(csas):
+        name = make_device_name(DeviceType.CSA, i, "agg", datacenter, region)
+        net.add_device(
+            Device(name, DeviceType.CSA, datacenter, region, deployed_year)
+        )
+        csa_names.append(name)
+        for core in core_names:
+            net.add_link(name, core)
+
+    for c in range(clusters):
+        cluster_unit = f"cluster{c}"
+        net.clusters.append(cluster_unit)
+        csw_names = []
+        for i in range(CSWS_PER_CLUSTER):
+            name = make_device_name(
+                DeviceType.CSW, c * CSWS_PER_CLUSTER + i, cluster_unit,
+                datacenter, region,
+            )
+            net.add_device(
+                Device(name, DeviceType.CSW, datacenter, region, deployed_year)
+            )
+            csw_names.append(name)
+            for csa in csa_names:
+                net.add_link(name, csa)
+        for r in range(racks_per_cluster):
+            name = make_device_name(
+                DeviceType.RSW, c * racks_per_cluster + r, cluster_unit,
+                datacenter, region,
+            )
+            net.add_device(
+                Device(name, DeviceType.RSW, datacenter, region, deployed_year)
+            )
+            # Physically contiguous RSWs uplink to every CSW in their
+            # cluster (section 3.1).
+            for csw in csw_names:
+                net.add_link(name, csw)
+
+    return net

@@ -1,0 +1,196 @@
+"""Network device model.
+
+The paper classifies intra data center incidents by the type of the
+offending device (section 4.3.1).  Seven device types appear throughout
+the study (Figure 1):
+
+========  =============================  ==================
+Type      Role                           Network design
+========  =============================  ==================
+``CORE``  Core network router            shared by both
+``CSA``   Cluster switch aggregator      cluster (classic)
+``CSW``   Cluster switch                 cluster (classic)
+``ESW``   Edge switch                    fabric
+``SSW``   Spine switch                   fabric
+``FSW``   Fabric switch                  fabric
+``RSW``   Top-of-rack switch             shared by both
+========  =============================  ==================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class DeviceType(enum.Enum):
+    """The seven network device types studied in the paper."""
+
+    CORE = "core"
+    CSA = "csa"
+    CSW = "csw"
+    ESW = "esw"
+    SSW = "ssw"
+    FSW = "fsw"
+    RSW = "rsw"
+
+    @property
+    def design(self) -> "NetworkDesign":
+        """The network design this device type belongs to."""
+        return _DESIGN_OF_TYPE[self]
+
+    @property
+    def is_cluster(self) -> bool:
+        """True for devices specific to the classic cluster design."""
+        return self.design is NetworkDesign.CLUSTER
+
+    @property
+    def is_fabric(self) -> bool:
+        """True for devices specific to the data center fabric design."""
+        return self.design is NetworkDesign.FABRIC
+
+    @property
+    def supports_automated_repair(self) -> bool:
+        """Whether the automated repair system covers this type.
+
+        Section 4.1.1: automated repair is employed for RSWs, FSWs, and
+        a small percentage of Core devices.
+        """
+        return self in (DeviceType.RSW, DeviceType.FSW, DeviceType.CORE)
+
+    @property
+    def bisection_rank(self) -> int:
+        """Relative bisection-bandwidth rank (higher = more aggregate
+        bandwidth and a larger blast radius when the device fails).
+
+        Section 5.2 observes that devices with higher bisection
+        bandwidth (Cores, CSAs) have higher incident rates than devices
+        with lower bisection bandwidth (RSWs).
+        """
+        return _BISECTION_RANK[self]
+
+    @property
+    def vendor_sourced(self) -> bool:
+        """True for proprietary third-party vendor switches.
+
+        Section 5.2: nearly all Cores and CSAs are third-party vendor
+        switches, while fabric devices are built from commodity chips.
+        """
+        return self in (DeviceType.CORE, DeviceType.CSA, DeviceType.CSW)
+
+
+class NetworkDesign(enum.Enum):
+    """Which intra data center design a device belongs to (section 3.1)."""
+
+    CLUSTER = "cluster"
+    FABRIC = "fabric"
+    SHARED = "shared"
+
+
+_DESIGN_OF_TYPE = {
+    DeviceType.CORE: NetworkDesign.SHARED,
+    DeviceType.CSA: NetworkDesign.CLUSTER,
+    DeviceType.CSW: NetworkDesign.CLUSTER,
+    DeviceType.ESW: NetworkDesign.FABRIC,
+    DeviceType.SSW: NetworkDesign.FABRIC,
+    DeviceType.FSW: NetworkDesign.FABRIC,
+    DeviceType.RSW: NetworkDesign.SHARED,
+}
+
+_BISECTION_RANK = {
+    DeviceType.CORE: 6,
+    DeviceType.CSA: 5,
+    DeviceType.ESW: 4,
+    DeviceType.SSW: 3,
+    DeviceType.CSW: 2,
+    DeviceType.FSW: 1,
+    DeviceType.RSW: 0,
+}
+
+#: Device types that make up the classic cluster network (section 4.3.1).
+CLUSTER_TYPES = (DeviceType.CSA, DeviceType.CSW)
+
+#: Device types that make up the data center fabric (section 4.3.1).
+FABRIC_TYPES = (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW)
+
+
+class DeviceRole(enum.Enum):
+    """Operational state of a device in the fleet."""
+
+    ACTIVE = "active"
+    DRAINED = "drained"
+    PROVISIONING = "provisioning"
+    RETIRED = "retired"
+
+
+@dataclass
+class Port:
+    """A single switch port.
+
+    Port ping failures are the single largest source of automated
+    remediations (50%, section 4.1.3), so ports are modeled explicitly.
+    """
+
+    index: int
+    speed_gbps: float = 10.0
+    up: bool = True
+    peer: Optional[str] = None
+
+    def cycle(self) -> None:
+        """Turn the port off and on again (the classic repair)."""
+        self.up = False
+        self.up = True
+
+
+@dataclass
+class Device:
+    """A network device in the fleet.
+
+    Attributes mirror the fields the paper's analyses key off: the
+    machine-readable name (whose prefix encodes the type, section
+    4.3.1), the type itself, the containing data center and region, and
+    the year the device entered service (used by the population model).
+    """
+
+    name: str
+    device_type: DeviceType
+    datacenter: str = ""
+    region: str = ""
+    deployed_year: int = 2011
+    role: DeviceRole = DeviceRole.ACTIVE
+    ports: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        prefix = self.name.split(".", 1)[0]
+        if prefix != self.device_type.value:
+            raise ValueError(
+                f"device name {self.name!r} does not carry the "
+                f"{self.device_type.value!r} prefix required by the "
+                "fleet naming convention"
+            )
+
+    @property
+    def design(self) -> NetworkDesign:
+        return self.device_type.design
+
+    @property
+    def is_active(self) -> bool:
+        return self.role is DeviceRole.ACTIVE
+
+    def drain(self) -> None:
+        """Remove the device from service ahead of maintenance.
+
+        Section 5.2: draining devices prior to maintenance (adopted
+        around 2014) limits the likelihood of repair affecting
+        production traffic.
+        """
+        self.role = DeviceRole.DRAINED
+
+    def undrain(self) -> None:
+        self.role = DeviceRole.ACTIVE
+
+    def add_ports(self, count: int, speed_gbps: float = 10.0) -> None:
+        start = len(self.ports)
+        for i in range(count):
+            self.ports.append(Port(index=start + i, speed_gbps=speed_gbps))

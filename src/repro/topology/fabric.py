@@ -1,0 +1,180 @@
+"""Data center fabric network (section 3.1, Figure 1 Region B).
+
+A *pod* is the basic unit of deployment.  Each RSW connects to four
+fabric switches (FSWs) — the published 1:4 RSW:FSW uplink ratio.
+Spine switches (SSWs) aggregate a software-defined number of FSWs, and
+each SSW connects to a set of edge switches (ESWs); Cores connect ESWs
+between data centers.
+
+The fabric's published properties are modeled:
+
+* simple custom switches — fabric device types report
+  ``vendor_sourced == False``, which the remediation engine uses to
+  grant them full automated-repair coverage;
+* fungible resources — SSW/ESW attachment is a parameter, not a fixed
+  hierarchy, and :meth:`FabricNetwork.rebalance_spine` re-assigns it;
+* stacked devices — :meth:`FabricNetwork.stack` records same-type
+  devices ganged into a higher-bandwidth virtual device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.topology.devices import Device, DeviceType
+from repro.topology.naming import make_device_name
+
+#: Each RSW connects to four FSWs (section 3.1).
+FSWS_PER_RSW = 4
+
+
+@dataclass
+class FabricNetwork:
+    """A data center built from the fabric design."""
+
+    datacenter: str
+    region: str
+    devices: Dict[str, Device] = field(default_factory=dict)
+    links: List[Tuple[str, str]] = field(default_factory=list)
+    pods: List[str] = field(default_factory=list)
+    stacks: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add_device(self, device: Device) -> None:
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+
+    def add_link(self, a: str, b: str) -> None:
+        if a not in self.devices or b not in self.devices:
+            raise KeyError(f"link endpoints must exist: {a!r} -- {b!r}")
+        self.links.append((a, b))
+
+    def devices_of_type(self, device_type: DeviceType) -> Iterator[Device]:
+        return (d for d in self.devices.values() if d.device_type is device_type)
+
+    def count(self, device_type: DeviceType) -> int:
+        return sum(1 for _ in self.devices_of_type(device_type))
+
+    def stack(self, virtual_name: str, member_names: List[str]) -> None:
+        """Gang same-type devices into a higher-bandwidth virtual device.
+
+        Section 3.1 item (4): stacking lets fabric port density scale
+        faster than proprietary devices.
+        """
+        if not member_names:
+            raise ValueError("a stack needs at least one member")
+        types = {self.devices[n].device_type for n in member_names}
+        if len(types) != 1:
+            raise ValueError("all stack members must share one device type")
+        self.stacks[virtual_name] = list(member_names)
+
+    def rebalance_spine(self, fsws_per_ssw: int) -> None:
+        """Re-assign the FSW->SSW attachment, exercising fungibility.
+
+        Control software manages SSWs like a fungible pool; this
+        recomputes the SSW uplinks for every FSW with a new fan-in.
+        """
+        if fsws_per_ssw < 1:
+            raise ValueError("fsws_per_ssw must be positive")
+        ssws = sorted(d.name for d in self.devices_of_type(DeviceType.SSW))
+        fsws = sorted(d.name for d in self.devices_of_type(DeviceType.FSW))
+        if not ssws:
+            raise ValueError("cannot rebalance a fabric with no SSWs")
+        self.links = [
+            (a, b)
+            for (a, b) in self.links
+            if not _is_fsw_ssw_link(self.devices, a, b)
+        ]
+        for i, fsw in enumerate(fsws):
+            ssw = ssws[(i // fsws_per_ssw) % len(ssws)]
+            self.add_link(fsw, ssw)
+
+
+def _is_fsw_ssw_link(devices: Dict[str, Device], a: str, b: str) -> bool:
+    ta, tb = devices[a].device_type, devices[b].device_type
+    return {ta, tb} == {DeviceType.FSW, DeviceType.SSW}
+
+
+def build_fabric_network(
+    datacenter: str,
+    region: str,
+    pods: int = 8,
+    racks_per_pod: int = 48,
+    ssws: int = 16,
+    esws: int = 8,
+    cores: int = 8,
+    deployed_year: int = 2015,
+) -> FabricNetwork:
+    """Construct a fabric-design data center.
+
+    Each pod gets four FSWs (so every RSW reaches its four pod FSWs),
+    SSWs aggregate FSWs across pods, and each SSW connects to every
+    ESW; Cores aggregate ESWs.
+    """
+    if pods < 1 or racks_per_pod < 1 or ssws < 1 or esws < 1 or cores < 1:
+        raise ValueError("all fabric network dimensions must be positive")
+
+    net = FabricNetwork(datacenter=datacenter, region=region)
+
+    core_names = []
+    for i in range(cores):
+        name = make_device_name(DeviceType.CORE, i, "plane", datacenter, region)
+        net.add_device(
+            Device(name, DeviceType.CORE, datacenter, region, deployed_year)
+        )
+        core_names.append(name)
+
+    esw_names = []
+    for i in range(esws):
+        name = make_device_name(DeviceType.ESW, i, "edgeagg", datacenter, region)
+        net.add_device(
+            Device(name, DeviceType.ESW, datacenter, region, deployed_year)
+        )
+        esw_names.append(name)
+        for core in core_names:
+            net.add_link(name, core)
+
+    ssw_names = []
+    for i in range(ssws):
+        name = make_device_name(DeviceType.SSW, i, "spine", datacenter, region)
+        net.add_device(
+            Device(name, DeviceType.SSW, datacenter, region, deployed_year)
+        )
+        ssw_names.append(name)
+        for esw in esw_names:
+            net.add_link(name, esw)
+
+    fsw_index = 0
+    rsw_index = 0
+    for p in range(pods):
+        pod_unit = f"pod{p}"
+        net.pods.append(pod_unit)
+        fsw_names = []
+        for _ in range(FSWS_PER_RSW):
+            name = make_device_name(
+                DeviceType.FSW, fsw_index, pod_unit, datacenter, region
+            )
+            fsw_index += 1
+            net.add_device(
+                Device(name, DeviceType.FSW, datacenter, region, deployed_year)
+            )
+            fsw_names.append(name)
+            # Each FSW uplinks to a software-defined set of SSWs; the
+            # default attaches each FSW to every fourth spine.
+            for s, ssw in enumerate(ssw_names):
+                if s % FSWS_PER_RSW == len(fsw_names) - 1:
+                    net.add_link(name, ssw)
+        for _ in range(racks_per_pod):
+            name = make_device_name(
+                DeviceType.RSW, rsw_index, pod_unit, datacenter, region
+            )
+            rsw_index += 1
+            net.add_device(
+                Device(name, DeviceType.RSW, datacenter, region, deployed_year)
+            )
+            # The published 1:4 RSW-to-FSW connectivity.
+            for fsw in fsw_names:
+                net.add_link(name, fsw)
+
+    return net

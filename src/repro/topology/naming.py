@@ -1,0 +1,82 @@
+"""Fleet naming convention.
+
+Section 4.3.1: every network device is named with a unique,
+machine-understandable string prefixed with the device type, for
+example every rack switch has a name prefixed with ``rsw.``.  The
+study classifies SEVs by parsing that prefix, so the convention is a
+load-bearing part of the methodology and is reproduced here exactly.
+
+A full name looks like ``rsw.042.pod7.dc1.regionA``: type prefix,
+zero-padded index, containment path from the smallest unit outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.devices import DeviceType
+
+_PREFIXES = {t.value: t for t in DeviceType}
+
+
+@dataclass(frozen=True)
+class DeviceName:
+    """A parsed device name."""
+
+    device_type: DeviceType
+    index: int
+    unit: str
+    datacenter: str
+    region: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.device_type.value}.{self.index:03d}."
+            f"{self.unit}.{self.datacenter}.{self.region}"
+        )
+
+
+def make_device_name(
+    device_type: DeviceType,
+    index: int,
+    unit: str,
+    datacenter: str,
+    region: str,
+) -> str:
+    """Build a canonical device name string.
+
+    ``unit`` is the deployment unit: a cluster name in the classic
+    design, a pod name in the fabric design, or ``plane`` scoped names
+    for Cores.
+    """
+    return str(DeviceName(device_type, index, unit, datacenter, region))
+
+
+def parse_device_name(name: str) -> DeviceName:
+    """Parse a canonical device name; raises ValueError on bad input."""
+    parts = name.split(".")
+    if len(parts) != 5:
+        raise ValueError(f"malformed device name {name!r}: expected 5 fields")
+    prefix, index_str, unit, datacenter, region = parts
+    if prefix not in _PREFIXES:
+        raise ValueError(f"unknown device type prefix {prefix!r} in {name!r}")
+    if not index_str.isdigit():
+        raise ValueError(f"non-numeric device index {index_str!r} in {name!r}")
+    return DeviceName(
+        device_type=_PREFIXES[prefix],
+        index=int(index_str),
+        unit=unit,
+        datacenter=datacenter,
+        region=region,
+    )
+
+
+def device_type_from_name(name: str) -> Optional[DeviceType]:
+    """Classify a device by its name prefix, as the study does.
+
+    Returns None when the prefix is not a known device type, mirroring
+    how non-network names fall out of the SEV classification.
+    """
+    prefix = name.split(".", 1)[0]
+    return _PREFIXES.get(prefix)

@@ -1,0 +1,94 @@
+"""Regions and data centers (section 3).
+
+Facebook's network consists of interconnected *data center regions*;
+each region contains buildings called *data centers*, built with either
+the cluster design or the fabric design.  Both designs reach the WAN
+backbone through backbone routers located in edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Union
+
+from repro.topology.cluster import ClusterNetwork, build_cluster_network
+from repro.topology.devices import Device, DeviceType, NetworkDesign
+from repro.topology.fabric import FabricNetwork, build_fabric_network
+
+IntraNetwork = Union[ClusterNetwork, FabricNetwork]
+
+
+@dataclass
+class DataCenter:
+    """A single data center building and its intra DC network."""
+
+    name: str
+    region: str
+    design: NetworkDesign
+    network: IntraNetwork
+
+    @property
+    def devices(self) -> Dict[str, Device]:
+        return self.network.devices
+
+    def count(self, device_type: DeviceType) -> int:
+        return self.network.count(device_type)
+
+
+@dataclass
+class Region:
+    """A data center region: one or more data centers plus edge uplink."""
+
+    name: str
+    datacenters: List[DataCenter] = field(default_factory=list)
+    edge: str = ""
+
+    def add_datacenter(self, dc: DataCenter) -> None:
+        if dc.region != self.name:
+            raise ValueError(
+                f"data center {dc.name!r} belongs to region {dc.region!r}, "
+                f"not {self.name!r}"
+            )
+        self.datacenters.append(dc)
+
+    def all_devices(self) -> Iterator[Device]:
+        for dc in self.datacenters:
+            yield from dc.devices.values()
+
+    def count(self, device_type: DeviceType) -> int:
+        return sum(dc.count(device_type) for dc in self.datacenters)
+
+    @property
+    def designs(self) -> List[NetworkDesign]:
+        return [dc.design for dc in self.datacenters]
+
+
+def build_region(
+    name: str,
+    design: NetworkDesign,
+    datacenters: int = 2,
+    edge: str = "",
+    deployed_year: int = 2011,
+    **network_kwargs,
+) -> Region:
+    """Build a region whose data centers all share one design.
+
+    Mirrors Figure 1, where Region A is entirely cluster-based and
+    Region B is entirely fabric-based.  Extra keyword arguments are
+    forwarded to the network builder.
+    """
+    if design is NetworkDesign.SHARED:
+        raise ValueError("a region must be CLUSTER or FABRIC, not SHARED")
+    region = Region(name=name, edge=edge or f"edge-{name}")
+    for i in range(datacenters):
+        dc_name = f"{name}-dc{i + 1}"
+        if design is NetworkDesign.CLUSTER:
+            net: IntraNetwork = build_cluster_network(
+                dc_name, name, deployed_year=deployed_year, **network_kwargs
+            )
+        else:
+            net = build_fabric_network(
+                dc_name, name, deployed_year=deployed_year, **network_kwargs
+            )
+        region.add_datacenter(DataCenter(dc_name, name, design, net))
+    return region

@@ -1,0 +1,136 @@
+"""The full Figure 1 world.
+
+One object holding everything the paper's architecture diagram shows:
+a classic cluster region (Region A), a fabric region (Region B), the
+WAN backbone of edges and fiber links between them, and the edge
+presences that terminate user traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.backbone.planes import EdgePresence, PlanedBackbone
+from repro.topology.backbone import (
+    BackboneTopology,
+    Continent,
+    EdgeNode,
+    FiberLink,
+)
+from repro.topology.devices import DeviceType, NetworkDesign
+from repro.topology.region import Region, build_region
+
+
+@dataclass
+class World:
+    """Everything in Figure 1."""
+
+    regions: List[Region]
+    backbone: BackboneTopology
+    cross_dc: PlanedBackbone
+    pops: List[EdgePresence] = field(default_factory=list)
+
+    def region(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"unknown region {name!r}")
+
+    def total_devices(self) -> int:
+        return sum(
+            len(dc.devices) for r in self.regions for dc in r.datacenters
+        )
+
+    def device_counts(self) -> Dict[DeviceType, int]:
+        counts: Dict[DeviceType, int] = {}
+        for region in self.regions:
+            for t in DeviceType:
+                counts[t] = counts.get(t, 0) + region.count(t)
+        return counts
+
+    def designs(self) -> Dict[str, List[NetworkDesign]]:
+        return {r.name: r.designs for r in self.regions}
+
+
+def build_paper_world(
+    cluster_racks_per_cluster: int = 16,
+    fabric_racks_per_pod: int = 16,
+    extra_edges: int = 2,
+    seed: int = 0,
+) -> World:
+    """Build the architecture of Figure 1.
+
+    Region A: two cluster-design data centers.  Region B: two
+    fabric-design data centers.  Each region has an edge; the edges
+    (plus ``extra_edges`` transit-only edges) are meshed with at least
+    three fiber links each; the four-plane cross-DC backbone spans the
+    regions; two POPs terminate user traffic.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+
+    region_a = build_region(
+        "regiona", NetworkDesign.CLUSTER, datacenters=2,
+        clusters=2, racks_per_cluster=cluster_racks_per_cluster,
+    )
+    region_b = build_region(
+        "regionb", NetworkDesign.FABRIC, datacenters=2,
+        pods=2, racks_per_pod=fabric_racks_per_pod,
+    )
+
+    backbone = BackboneTopology()
+    edge_names = []
+    for i, region in enumerate((region_a, region_b)):
+        backbone.add_edge_node(EdgeNode(
+            name=region.edge,
+            continent=(Continent.NORTH_AMERICA if i == 0
+                       else Continent.EUROPE),
+            is_datacenter_region=True,
+        ))
+        edge_names.append(region.edge)
+    for i in range(extra_edges):
+        name = f"edge-transit{i}"
+        backbone.add_edge_node(EdgeNode(
+            name=name,
+            continent=rng.choice([Continent.NORTH_AMERICA,
+                                  Continent.EUROPE, Continent.ASIA]),
+        ))
+        edge_names.append(name)
+
+    link_seq = 0
+
+    def add_link(a: str, b: str) -> None:
+        nonlocal link_seq
+        backbone.add_link(FiberLink(
+            link_id=f"wl-{link_seq:03d}", a=a, b=b,
+            vendor=f"vendor{link_seq % 4:02d}",
+            capacity_gbps=100.0,
+        ))
+        link_seq += 1
+
+    # Ring plus chords until every edge has >= 3 links.
+    for i, name in enumerate(edge_names):
+        add_link(name, edge_names[(i + 1) % len(edge_names)])
+    while True:
+        deficient = [
+            n for n in edge_names if len(backbone.links_of_edge(n)) < 3
+        ]
+        if not deficient:
+            break
+        a = deficient[0]
+        add_link(a, rng.choice([n for n in edge_names if n != a]))
+    backbone.validate()
+
+    cross_dc = PlanedBackbone(["regiona", "regionb"])
+    pops = [
+        EdgePresence("pop-east", {"regiona": 12.0, "regionb": 80.0}),
+        EdgePresence("pop-west", {"regiona": 70.0, "regionb": 18.0}),
+    ]
+    return World(
+        regions=[region_a, region_b],
+        backbone=backbone,
+        cross_dc=cross_dc,
+        pops=pops,
+    )

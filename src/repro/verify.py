@@ -1,0 +1,158 @@
+"""One-shot reproduction verification.
+
+Runs both pipelines and checks every headline anchor against the
+published value, printing a PASS/FAIL line per artifact.  This is the
+``python -m repro verify`` backend — the quickest way to confirm a
+checkout still reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import paperdata
+from repro.backbone.monitor import BackboneMonitor
+from repro.core import (
+    backbone_reliability,
+    design_comparison,
+    incident_growth,
+    incident_rates,
+    root_cause_breakdown,
+    severity_by_device,
+    severity_rates_over_time,
+    switch_reliability,
+)
+from repro.incidents.sev import RootCause, Severity
+from repro.simulation.backbone_sim import BackboneSimulator
+from repro.simulation.generator import IntraSimulator
+from repro.simulation.scenarios import paper_backbone_scenario, paper_scenario
+from repro.topology.devices import DeviceType
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified anchor."""
+
+    artifact: str
+    claim: str
+    paper: float
+    measured: float
+    tolerance: float
+    relative: bool = True
+
+    @property
+    def passed(self) -> bool:
+        if self.relative:
+            if self.paper == 0:
+                return self.measured == 0
+            return abs(self.measured - self.paper) <= (
+                self.tolerance * abs(self.paper)
+            )
+        return abs(self.measured - self.paper) <= self.tolerance
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (f"[{status}] {self.artifact:<8} {self.claim:<46} "
+                f"paper={self.paper:<12.4g} measured={self.measured:.4g}")
+
+
+def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
+    """Generate fresh corpora and evaluate every anchor."""
+    checks: List[Check] = []
+
+    scenario = paper_scenario(seed=seed)
+    store = IntraSimulator(scenario).run()
+    fleet = scenario.fleet
+
+    t2 = root_cause_breakdown(store).distribution()
+    for cause_name, share in paperdata.ROOT_CAUSE_DISTRIBUTION.items():
+        checks.append(Check(
+            "Table 2", f"{cause_name} share", share,
+            t2[RootCause(cause_name)], 0.02, relative=False,
+        ))
+
+    rates = incident_rates(store, fleet)
+    for year, rate in paperdata.CSA_INCIDENT_RATE.items():
+        checks.append(Check(
+            "Fig 3", f"CSA incident rate {year}", rate,
+            rates.rate(year, DeviceType.CSA), 0.05,
+        ))
+
+    fig4 = severity_by_device(store, 2017)
+    for sev_name, share in paperdata.SEVERITY_MIX_2017.items():
+        severity = Severity[sev_name.upper()]
+        checks.append(Check(
+            "Fig 4", f"2017 {sev_name} share", share,
+            fig4.level_share(severity), 0.02, relative=False,
+        ))
+
+    checks.append(Check(
+        "Fig 5", "per-device rate inflection year",
+        paperdata.FABRIC_DEPLOYMENT_YEAR,
+        severity_rates_over_time(store, fleet).inflection_year(),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Fig 8", "SEV growth 2011-2017",
+        paperdata.SEV_GROWTH_2011_TO_2017,
+        incident_growth(store, 2011, 2017), 0.03,
+    ))
+
+    designs = design_comparison(store, fleet)
+    checks.append(Check(
+        "Fig 9", "fabric/cluster incidents 2017",
+        paperdata.FABRIC_TO_CLUSTER_INCIDENTS_2017,
+        designs.fabric_to_cluster_ratio(2017), 0.06, relative=False,
+    ))
+
+    sr = switch_reliability(store, fleet)
+    checks.append(Check(
+        "Fig 12", "Core MTBI 2017 (h)",
+        paperdata.MTBI_2017_HOURS["core"],
+        sr.mtbi(2017, DeviceType.CORE), 0.03,
+    ))
+    checks.append(Check(
+        "Fig 12", "RSW MTBI 2017 (h)",
+        paperdata.MTBI_2017_HOURS["rsw"],
+        sr.mtbi(2017, DeviceType.RSW), 0.03,
+    ))
+    checks.append(Check(
+        "Fig 12", "fabric MTBI advantage",
+        paperdata.FABRIC_MTBI_ADVANTAGE,
+        sr.fabric_advantage(2017), 0.06,
+    ))
+
+    corpus = BackboneSimulator(
+        paper_backbone_scenario(seed=backbone_seed)
+    ).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    rel = backbone_reliability(monitor, corpus.window_h)
+    checks.append(Check(
+        "Fig 15", "edge MTBF p50 (h)", paperdata.EDGE_MTBF_P50_H,
+        rel.edge_mtbf.p50, 0.15,
+    ))
+    checks.append(Check(
+        "Fig 15", "edge MTBF model slope b",
+        paperdata.EDGE_MTBF_MODEL["b"], rel.edge_mtbf_model().b, 0.15,
+    ))
+    checks.append(Check(
+        "Fig 16", "edge MTTR p50 (h)", paperdata.EDGE_MTTR_P50_H,
+        rel.edge_mttr.p50, 0.35,
+    ))
+    checks.append(Check(
+        "Fig 16", "edge MTTR model slope b",
+        paperdata.EDGE_MTTR_MODEL["b"], rel.edge_mttr_model().b, 0.15,
+    ))
+    checks.append(Check(
+        "Fig 18", "vendor MTTR p50 (h)", paperdata.VENDOR_MTTR_P50_H,
+        rel.vendor_mttr.p50, 0.4,
+    ))
+    return checks
+
+
+def render_verification(checks: List[Check]) -> str:
+    lines = [c.line() for c in checks]
+    passed = sum(c.passed for c in checks)
+    lines.append(f"\n{passed}/{len(checks)} anchors reproduced")
+    return "\n".join(lines)

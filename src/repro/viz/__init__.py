@@ -1,0 +1,18 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows and series the paper
+reports; these helpers render them as aligned tables and ASCII bar
+charts so a terminal diff against the paper is possible.
+"""
+
+from repro.viz.tables import format_table
+from repro.viz.ascii import bar_chart, series_chart
+from repro.viz.report_builder import build_report, collect_artifacts
+
+__all__ = [
+    "bar_chart",
+    "build_report",
+    "collect_artifacts",
+    "format_table",
+    "series_chart",
+]

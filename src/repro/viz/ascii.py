@@ -1,0 +1,64 @@
+"""ASCII charts for the figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+
+def bar_chart(
+    values: Dict[str, float], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal bars scaled to the largest value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        if value < 0:
+            raise ValueError("bar charts need non-negative values")
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{key.ljust(label_w)} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    points: Sequence[Tuple[float, float]],
+    height: int = 10,
+    width: int = 60,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """A scatter rendering of (x, y) points on a character grid."""
+    if not points:
+        raise ValueError("nothing to chart")
+    if height < 2 or width < 2:
+        raise ValueError("the grid must be at least 2x2")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        if any(y <= 0 for y in ys):
+            raise ValueError("log scale needs positive y values")
+        ys = [math.log10(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [title] if title else []
+    y_label_hi = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    y_label_lo = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    lines.append(f"y max {y_label_hi}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"y min {y_label_lo}; x {x_lo:.3g} .. {x_hi:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Combine bench artifacts into one report document.
+
+Every bench writes its rendered table/series to ``benchmarks/out/``;
+this utility stitches them into a single Markdown document ordered by
+experiment id, producing the side-by-side-with-the-paper artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Render order: tables, figures by number, then the extras.
+_ORDER = (
+    "table1", "table2", "table3", "table4",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18",
+    "masking", "exponentiality", "redundancy", "label_audit",
+    "ablation",
+)
+
+
+def _sort_key(path: Path) -> tuple:
+    name = path.stem
+    for rank, prefix in enumerate(_ORDER):
+        if name.startswith(prefix):
+            return (rank, name)
+    return (len(_ORDER), name)
+
+
+def collect_artifacts(directory: PathLike) -> List[Path]:
+    """The artifact files in render order."""
+    base = Path(directory)
+    if not base.is_dir():
+        raise FileNotFoundError(f"no artifact directory at {base}")
+    return sorted(base.glob("*.txt"), key=_sort_key)
+
+
+def build_report(
+    directory: PathLike,
+    title: str = "Reproduction report",
+    out_path: Optional[PathLike] = None,
+) -> str:
+    """Build (and optionally write) the combined Markdown report."""
+    artifacts = collect_artifacts(directory)
+    if not artifacts:
+        raise FileNotFoundError(
+            f"{directory} has no artifacts; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    sections = [f"# {title}", ""]
+    for path in artifacts:
+        body = path.read_text().rstrip()
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+        sections.append("")
+    text = "\n".join(sections)
+    if out_path is not None:
+        Path(out_path).write_text(text)
+    return text

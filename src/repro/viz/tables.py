@@ -1,0 +1,52 @@
+"""Aligned text tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned, pipe-separated table.
+
+    Numeric cells are compacted; column widths fit the widest cell.
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+    rendered: List[List[str]] = [[_render_cell(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} "
+                "headers"
+            )
+        rendered.append([_render_cell(c) for c in row])
+
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cell.ljust(widths[i]) for i, cell in enumerate(rendered[0])
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Tests for vendor e-mail formatting and parsing (section 4.3.2)."""
+
+import pytest
+
+from repro.backbone.emails import (
+    EmailParseError,
+    format_completion_email,
+    format_start_email,
+    parse_vendor_email,
+)
+
+
+class TestRoundTrip:
+    def test_repair_start(self):
+        raw = format_start_email("fbl-0001", "vendor01", 123.5,
+                                 location="Europe",
+                                 estimated_duration_h=8.0)
+        email = parse_vendor_email(raw)
+        assert email.notification_type == "REPAIR_START"
+        assert email.link_id == "fbl-0001"
+        assert email.vendor == "vendor01"
+        assert email.event_time_h == pytest.approx(123.5)
+        assert email.location == "Europe"
+        assert email.estimated_duration_h == pytest.approx(8.0)
+        assert email.is_start and not email.is_completion
+        assert not email.is_maintenance
+
+    def test_maintenance_start(self):
+        raw = format_start_email("fbl-0002", "v", 10.0, maintenance=True)
+        email = parse_vendor_email(raw)
+        assert email.is_maintenance and email.is_start
+
+    def test_completion(self):
+        raw = format_completion_email("fbl-0001", "vendor01", 131.5)
+        email = parse_vendor_email(raw)
+        assert email.is_completion
+        assert email.notification_type == "REPAIR_COMPLETE"
+
+    def test_ticket_ref_round_trip(self):
+        raw = format_start_email("fbl-1", "v", 1.0, ticket_ref="wo-42")
+        assert parse_vendor_email(raw).ticket_ref == "wo-42"
+        raw = format_completion_email("fbl-1", "v", 2.0, ticket_ref="wo-42")
+        assert parse_vendor_email(raw).ticket_ref == "wo-42"
+
+    def test_ref_absent_when_not_given(self):
+        raw = format_start_email("fbl-1", "v", 1.0)
+        assert parse_vendor_email(raw).ticket_ref is None
+
+
+class TestParserRobustness:
+    def test_body_ignored(self):
+        raw = format_start_email("fbl-1", "v", 1.0) + "\nExtra: not-a-header"
+        email = parse_vendor_email(raw)
+        assert email.link_id == "fbl-1"
+
+    def test_missing_header(self):
+        raw = "Notification-Type: REPAIR_START\nLink-Id: x\n\nbody"
+        with pytest.raises(EmailParseError, match="missing required"):
+            parse_vendor_email(raw)
+
+    def test_unknown_type(self):
+        raw = ("Notification-Type: PIGEON\nLink-Id: x\nVendor: v\n"
+               "Event-Time-H: 1.0\n\n")
+        with pytest.raises(EmailParseError, match="unknown notification"):
+            parse_vendor_email(raw)
+
+    def test_malformed_header_line(self):
+        with pytest.raises(EmailParseError, match="malformed"):
+            parse_vendor_email("this is not a header\n\n")
+
+    def test_non_numeric_time(self):
+        raw = ("Notification-Type: REPAIR_START\nLink-Id: x\nVendor: v\n"
+               "Event-Time-H: noon\n\n")
+        with pytest.raises(EmailParseError, match="non-numeric"):
+            parse_vendor_email(raw)
+
+    def test_negative_time(self):
+        raw = ("Notification-Type: REPAIR_START\nLink-Id: x\nVendor: v\n"
+               "Event-Time-H: -5\n\n")
+        with pytest.raises(EmailParseError, match="epoch"):
+            parse_vendor_email(raw)
+
+    def test_negative_duration(self):
+        raw = ("Notification-Type: REPAIR_START\nLink-Id: x\nVendor: v\n"
+               "Event-Time-H: 5\nEstimated-Duration-H: -1\n\n")
+        with pytest.raises(EmailParseError, match="negative"):
+            parse_vendor_email(raw)

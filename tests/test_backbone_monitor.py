@@ -1,0 +1,108 @@
+"""Tests for the backbone health monitor (edge-failure derivation)."""
+
+import pytest
+
+from repro.backbone.monitor import BackboneMonitor
+from repro.backbone.tickets import TicketDatabase
+from repro.topology.backbone import (
+    BackboneTopology,
+    Continent,
+    EdgeNode,
+    FiberLink,
+)
+
+
+@pytest.fixture()
+def world():
+    """Three edges in a triangle with doubled links (degree 4 each)."""
+    topo = BackboneTopology()
+    for i in range(3):
+        topo.add_edge_node(EdgeNode(f"e{i}", Continent.EUROPE))
+    pairs = [("e0", "e1"), ("e1", "e2"), ("e2", "e0")] * 2
+    for i, (a, b) in enumerate(pairs):
+        topo.add_link(FiberLink(f"l{i}", a, b, vendor=f"v{i % 3}"))
+    return topo, TicketDatabase()
+
+
+class TestLinkLevel:
+    def test_outages_from_tickets(self, world):
+        topo, db = world
+        db.add_completed("l0", "v0", 10.0, 14.0)
+        db.add_completed("l0", "v0", 50.0, 51.0)
+        monitor = BackboneMonitor(topo, db)
+        outages = monitor.outages_by_link()
+        assert len(outages["l0"]) == 2
+        assert monitor.link_is_down("l0", 12.0)
+        assert not monitor.link_is_down("l0", 20.0)
+
+    def test_vendor_pooling(self, world):
+        topo, db = world
+        db.add_completed("l0", "v0", 10.0, 14.0)
+        db.add_completed("l3", "v0", 30.0, 31.0)
+        db.add_completed("l1", "v1", 5.0, 6.0)
+        monitor = BackboneMonitor(topo, db)
+        by_vendor = monitor.outages_by_vendor()
+        assert len(by_vendor["v0"]) == 2
+        assert len(by_vendor["v1"]) == 1
+
+    def test_availability(self, world):
+        topo, db = world
+        db.add_completed("l0", "v0", 0.0, 10.0)
+        monitor = BackboneMonitor(topo, db)
+        assert monitor.availability("l0", 100.0) == pytest.approx(0.9)
+        assert monitor.availability("l1", 100.0) == 1.0
+        with pytest.raises(ValueError):
+            monitor.availability("l0", 0.0)
+
+
+class TestEdgeFailures:
+    def links_of(self, topo, edge):
+        return [l.link_id for l in topo.links_of_edge(edge)]
+
+    def test_partial_outage_is_not_edge_failure(self, world):
+        topo, db = world
+        links = self.links_of(topo, "e0")
+        # All but one link down: the edge stays up.
+        for link in links[:-1]:
+            db.add_completed(link, "v", 10.0, 20.0)
+        monitor = BackboneMonitor(topo, db)
+        assert monitor.edge_failures() == []
+        assert monitor.edge_is_up("e0", 15.0)
+
+    def test_all_links_down_is_edge_failure(self, world):
+        topo, db = world
+        for link in self.links_of(topo, "e0"):
+            db.add_completed(link, "v", 10.0, 20.0)
+        monitor = BackboneMonitor(topo, db)
+        failures = [f for f in monitor.edge_failures() if f.edge == "e0"]
+        assert len(failures) == 1
+        assert failures[0].interval.start_h == pytest.approx(10.0)
+        assert failures[0].interval.end_h == pytest.approx(20.0)
+        assert not monitor.edge_is_up("e0", 15.0)
+
+    def test_intersection_is_overlap_only(self, world):
+        topo, db = world
+        links = self.links_of(topo, "e0")
+        for i, link in enumerate(links):
+            db.add_completed(link, "v", 10.0 - i, 20.0 + i)
+        monitor = BackboneMonitor(topo, db)
+        failures = [f for f in monitor.edge_failures() if f.edge == "e0"]
+        assert failures[0].interval.start_h == pytest.approx(10.0)
+        assert failures[0].interval.end_h == pytest.approx(20.0)
+
+    def test_staggered_outages_do_not_fail_edge(self, world):
+        topo, db = world
+        for i, link in enumerate(self.links_of(topo, "e0")):
+            db.add_completed(link, "v", i * 100.0, i * 100.0 + 10.0)
+        monitor = BackboneMonitor(topo, db)
+        assert [f for f in monitor.edge_failures() if f.edge == "e0"] == []
+
+    def test_repeated_failures_counted(self, world):
+        topo, db = world
+        links = self.links_of(topo, "e0")
+        for base in (10.0, 200.0):
+            for link in links:
+                db.add_completed(link, "v", base, base + 5.0)
+        monitor = BackboneMonitor(topo, db)
+        by_edge = monitor.failures_by_edge()
+        assert len(by_edge["e0"]) == 2

@@ -1,0 +1,147 @@
+"""Tests for the optical layer (circuits, segments, channels)."""
+
+import pytest
+
+from repro.backbone.optical import (
+    Channel,
+    OpticalCircuit,
+    OpticalPlant,
+    build_circuit,
+)
+from repro.topology.backbone import FiberLink, OpticalSegment
+
+
+def link(link_id="fbl-1", a="e0", b="e1", segments=2, channels=40):
+    return FiberLink(
+        link_id=link_id, a=a, b=b, vendor="v0",
+        segments=[
+            OpticalSegment(f"{link_id}-s{i}", length_km=100.0 * (i + 1),
+                           channels=channels)
+            for i in range(segments)
+        ],
+    )
+
+
+class TestBuildCircuit:
+    def test_default_channel_count(self):
+        circuit = build_circuit(link(channels=40))
+        assert len(circuit.channels) == 40
+        assert circuit.intact
+
+    def test_channel_wavelengths_unique(self):
+        circuit = build_circuit(link())
+        wavelengths = [c.wavelength_nm for c in circuit.channels]
+        assert len(set(wavelengths)) == len(wavelengths)
+
+    def test_channel_port_mapping(self):
+        # "each channel corresponds to a different wavelength mapped
+        # to a specific router port."
+        circuit = build_circuit(link(), channels=4)
+        assert circuit.channels[2].a_port == "e0:port2"
+        assert circuit.channels[2].b_port == "e1:port2"
+
+    def test_length(self):
+        circuit = build_circuit(link(segments=3))
+        assert circuit.length_km == pytest.approx(100 + 200 + 300)
+
+    def test_channel_capacity_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            build_circuit(link(channels=8), channels=16)
+        with pytest.raises(ValueError):
+            build_circuit(link(), channels=0)
+
+    def test_segmentless_link_rejected(self):
+        bare = FiberLink("fbl-x", "e0", "e1", vendor="v")
+        with pytest.raises(ValueError, match="no optical segments"):
+            build_circuit(bare)
+
+
+class TestCircuitFailure:
+    def test_cut_downs_all_channels(self):
+        circuit = build_circuit(link(), channels=8)
+        circuit.cut(circuit.segments[0].segment_id)
+        assert not circuit.intact
+        assert circuit.live_channels() == []
+
+    def test_splice_restores(self):
+        circuit = build_circuit(link(), channels=8)
+        seg = circuit.segments[1].segment_id
+        circuit.cut(seg)
+        circuit.splice(seg)
+        assert circuit.intact
+        assert len(circuit.live_channels()) == 8
+
+    def test_unknown_segment_rejected(self):
+        circuit = build_circuit(link())
+        with pytest.raises(KeyError):
+            circuit.cut("ghost")
+
+    def test_multiple_cuts_need_multiple_splices(self):
+        circuit = build_circuit(link(segments=3))
+        circuit.cut(circuit.segments[0].segment_id)
+        circuit.cut(circuit.segments[2].segment_id)
+        circuit.splice(circuit.segments[0].segment_id)
+        assert not circuit.intact
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            Channel(0, -1.0, "a:0", "b:0")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalCircuit("c0", "l0", segments=[])
+
+
+class TestOpticalPlant:
+    def make_plant(self):
+        plant = OpticalPlant()
+        shared = OpticalSegment("conduit-x", length_km=50.0, channels=40)
+        l1 = FiberLink("fbl-1", "e0", "e1", vendor="v",
+                       segments=[shared,
+                                 OpticalSegment("s1", channels=40)])
+        l2 = FiberLink("fbl-2", "e0", "e2", vendor="v",
+                       segments=[shared,
+                                 OpticalSegment("s2", channels=40)])
+        l3 = FiberLink("fbl-3", "e1", "e2", vendor="v",
+                       segments=[OpticalSegment("s3", channels=40)])
+        for l in (l1, l2, l3):
+            plant.add(build_circuit(l, channels=4))
+        return plant
+
+    def test_shared_conduit_cut_downs_both_links(self):
+        plant = self.make_plant()
+        downed = plant.cut_segment("conduit-x")
+        # The correlated failure mode: one cut, two links down.
+        assert downed == ["fbl-1", "fbl-2"]
+        assert plant.down_links() == ["fbl-1", "fbl-2"]
+
+    def test_splice_restores_both(self):
+        plant = self.make_plant()
+        plant.cut_segment("conduit-x")
+        restored = plant.splice_segment("conduit-x")
+        assert restored == ["fbl-1", "fbl-2"]
+        assert plant.down_links() == []
+
+    def test_private_segment_cut_downs_one(self):
+        plant = self.make_plant()
+        assert plant.cut_segment("s3") == ["fbl-3"]
+
+    def test_shared_risk_groups(self):
+        plant = self.make_plant()
+        srlgs = plant.shared_risk_groups()
+        assert srlgs == {"conduit-x": ["fbl-1", "fbl-2"]}
+
+    def test_unknown_segment(self):
+        with pytest.raises(KeyError):
+            self.make_plant().cut_segment("nope")
+
+    def test_duplicate_circuit_rejected(self):
+        plant = self.make_plant()
+        with pytest.raises(ValueError, match="duplicate"):
+            plant.add(build_circuit(link(link_id="fbl-1"), channels=2))
+
+    def test_repeat_cut_reported_once(self):
+        plant = self.make_plant()
+        plant.cut_segment("conduit-x")
+        # Cutting again downs nothing new.
+        assert plant.cut_segment("conduit-x") == []

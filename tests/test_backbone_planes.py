@@ -1,0 +1,130 @@
+"""Tests for the four-plane cross-DC backbone and user traffic routing."""
+
+import pytest
+
+from repro.backbone.planes import (
+    PLANE_COUNT,
+    CapacityExhausted,
+    CrossDCDemand,
+    EdgePresence,
+    PlanedBackbone,
+    route_user_traffic,
+)
+
+
+def demand(name, gbps, src="regionA", dst="regionB"):
+    return CrossDCDemand(name=name, source=src, destination=dst, gbps=gbps)
+
+
+@pytest.fixture()
+def backbone():
+    return PlanedBackbone(["regionA", "regionB", "regionC"],
+                          plane_capacity_gbps=100.0)
+
+
+class TestConstruction:
+    def test_four_planes_by_default(self, backbone):
+        assert len(backbone.planes) == PLANE_COUNT == 4
+
+    def test_one_router_per_region_per_plane(self, backbone):
+        # "each plane has one backbone router per data center"
+        for plane in backbone.planes:
+            assert set(plane.routers) == {"regionA", "regionB", "regionC"}
+            names = set(plane.routers.values())
+            assert len(names) == 3
+            assert all(n.startswith("bbr.") for n in names)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanedBackbone(["only"])
+        with pytest.raises(ValueError):
+            PlanedBackbone(["a", "b"], planes=0)
+
+
+class TestDemandValidation:
+    def test_same_region_rejected(self):
+        with pytest.raises(ValueError, match="one region"):
+            demand("x", 10, src="regionA", dst="regionA")
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ValueError):
+            demand("x", 0)
+
+
+class TestAssignment:
+    def test_least_loaded_plane_wins(self, backbone):
+        demands = [demand(f"d{i}", 30.0) for i in range(4)]
+        assignments = backbone.assign_all(demands)
+        # Four equal demands spread across four planes.
+        assert sorted(assignments.values()) == [0, 1, 2, 3]
+
+    def test_capacity_respected(self, backbone):
+        demands = [demand(f"d{i}", 90.0) for i in range(4)]
+        backbone.assign_all(demands)
+        with pytest.raises(CapacityExhausted):
+            backbone.assign(demand("overflow", 50.0))
+
+    def test_utilization(self, backbone):
+        backbone.assign_all([demand("d0", 50.0)])
+        util = backbone.utilization()
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == 0.0
+
+    def test_duplicate_assignment_rejected(self, backbone):
+        backbone.assign(demand("d0", 10.0))
+        with pytest.raises(ValueError, match="already assigned"):
+            backbone.assign(demand("d0", 10.0))
+
+
+class TestPlaneFailure:
+    def test_failed_plane_not_used(self, backbone):
+        backbone.fail_plane(0)
+        assignments = backbone.assign_all(
+            [demand(f"d{i}", 30.0) for i in range(3)]
+        )
+        assert 0 not in assignments.values()
+
+    def test_reassignment_drops_excess_bulk(self, backbone):
+        demands = [demand(f"d{i}", 80.0) for i in range(4)]
+        backbone.assign_all(demands)
+        backbone.fail_plane(0)
+        backbone.fail_plane(1)
+        assignments, dropped = backbone.reassign_after_failures(demands)
+        assert len(assignments) == 2
+        assert len(dropped) == 2
+
+    def test_restore_plane(self, backbone):
+        backbone.fail_plane(2)
+        backbone.restore_plane(2)
+        assert len(backbone.healthy_planes()) == 4
+
+    def test_surviving_capacity(self, backbone):
+        assert backbone.surviving_capacity("regionA", "regionB") == 400.0
+        backbone.fail_plane(0)
+        assert backbone.surviving_capacity("regionA", "regionB") == 300.0
+
+    def test_unknown_plane(self, backbone):
+        with pytest.raises(KeyError):
+            backbone.fail_plane(9)
+
+
+class TestUserTraffic:
+    def make_pops(self):
+        return [
+            EdgePresence("pop-nyc", {"regionA": 10.0, "regionB": 40.0}),
+            EdgePresence("pop-ams", {"regionA": 80.0, "regionB": 15.0}),
+        ]
+
+    def test_closest_region_wins(self):
+        mapping = route_user_traffic(self.make_pops())
+        assert mapping == {"pop-nyc": "regionA", "pop-ams": "regionB"}
+
+    def test_failover_on_region_loss(self):
+        mapping = route_user_traffic(self.make_pops(),
+                                     unavailable_regions={"regionA"})
+        assert mapping["pop-nyc"] == "regionB"
+
+    def test_no_reachable_region(self):
+        with pytest.raises(ValueError, match="no reachable"):
+            route_user_traffic(self.make_pops(),
+                               unavailable_regions={"regionA", "regionB"})

@@ -1,0 +1,135 @@
+"""Tests for the repair ticket database."""
+
+import pytest
+
+from repro.backbone.emails import (
+    format_completion_email,
+    format_start_email,
+    parse_vendor_email,
+)
+from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
+
+
+def start(link="fbl-1", vendor="v0", t=10.0, ref=None, maintenance=False):
+    return parse_vendor_email(
+        format_start_email(link, vendor, t, ticket_ref=ref,
+                           maintenance=maintenance)
+    )
+
+
+def complete(link="fbl-1", vendor="v0", t=20.0, ref=None):
+    return parse_vendor_email(
+        format_completion_email(link, vendor, t, ticket_ref=ref)
+    )
+
+
+class TestIngestByLink:
+    def test_pairing(self):
+        db = TicketDatabase()
+        db.ingest(start())
+        ticket = db.ingest(complete())
+        assert not ticket.open
+        assert ticket.duration_h == pytest.approx(10.0)
+        assert len(db.completed()) == 1
+
+    def test_duplicate_start_rejected(self):
+        db = TicketDatabase()
+        db.ingest(start())
+        with pytest.raises(ValueError, match="already has an open"):
+            db.ingest(start(t=12.0))
+
+    def test_completion_without_start_rejected(self):
+        db = TicketDatabase()
+        with pytest.raises(ValueError, match="without an open"):
+            db.ingest(complete())
+
+    def test_out_of_order_completion_rejected(self):
+        db = TicketDatabase()
+        db.ingest(start(t=10.0))
+        with pytest.raises(ValueError, match="precedes"):
+            db.ingest(complete(t=5.0))
+        # The ticket stays open and can still be completed properly.
+        db.ingest(complete(t=15.0))
+        assert len(db.completed()) == 1
+
+    def test_maintenance_type(self):
+        db = TicketDatabase()
+        db.ingest(start(maintenance=True))
+        ticket = db.completed()[0] if db.completed() else db.open_tickets()[0]
+        assert ticket.ticket_type is TicketType.MAINTENANCE
+
+
+class TestIngestByRef:
+    def test_overlapping_work_on_one_link(self):
+        db = TicketDatabase()
+        db.ingest(start(t=10.0, ref="wo-1"))
+        db.ingest(start(t=12.0, ref="wo-2"))
+        db.ingest(complete(t=30.0, ref="wo-1"))
+        db.ingest(complete(t=25.0, ref="wo-2"))
+        durations = sorted(t.duration_h for t in db.completed())
+        assert durations == pytest.approx([13.0, 20.0])
+
+    def test_duplicate_ref_rejected(self):
+        db = TicketDatabase()
+        db.ingest(start(ref="wo-1"))
+        with pytest.raises(ValueError, match="duplicate start"):
+            db.ingest(start(t=12.0, ref="wo-1"))
+
+    def test_unknown_ref_completion_rejected(self):
+        db = TicketDatabase()
+        with pytest.raises(ValueError, match="unknown ticket ref"):
+            db.ingest(complete(ref="wo-9"))
+
+    def test_ref_link_mismatch_rejected(self):
+        db = TicketDatabase()
+        db.ingest(start(link="fbl-1", ref="wo-1"))
+        with pytest.raises(ValueError, match="belongs to link"):
+            db.ingest(complete(link="fbl-2", ref="wo-1"))
+        # Ticket stays open after the rejected completion.
+        assert len(db.open_tickets()) == 1
+
+
+class TestDirectInsertionAndQueries:
+    def make_db(self):
+        db = TicketDatabase()
+        db.add_completed("fbl-1", "v0", 0.0, 5.0)
+        db.add_completed("fbl-1", "v0", 100.0, 101.0)
+        db.add_completed("fbl-2", "v1", 50.0, 60.0,
+                         ticket_type=TicketType.MAINTENANCE)
+        return db
+
+    def test_add_completed_validates(self):
+        db = TicketDatabase()
+        with pytest.raises(ValueError):
+            db.add_completed("fbl-1", "v0", 10.0, 5.0)
+
+    def test_for_link(self):
+        db = self.make_db()
+        assert len(db.for_link("fbl-1")) == 2
+        assert db.for_link("ghost") == []
+
+    def test_for_vendor(self):
+        db = self.make_db()
+        assert len(db.for_vendor("v1")) == 1
+
+    def test_vendors_and_links(self):
+        db = self.make_db()
+        assert db.vendors() == ["v0", "v1"]
+        assert db.links() == ["fbl-1", "fbl-2"]
+
+    def test_in_window(self):
+        db = self.make_db()
+        assert len(db.in_window(0.0, 60.0)) == 2
+        assert len(db.in_window(49.0, 51.0)) == 1
+
+    def test_interval_of_open_ticket_raises(self):
+        ticket = RepairTicket("t", "l", "v", TicketType.REPAIR, 1.0)
+        with pytest.raises(ValueError, match="open"):
+            ticket.interval()
+        with pytest.raises(ValueError, match="open"):
+            _ = ticket.duration_h
+
+    def test_len_and_iter(self):
+        db = self.make_db()
+        assert len(db) == 3
+        assert len(list(db)) == 3

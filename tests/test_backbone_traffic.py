@@ -1,0 +1,139 @@
+"""Tests for traffic engineering and conditional risk (sections 3.2, 6.1)."""
+
+import pytest
+
+from repro.backbone.traffic import (
+    TrafficEngineer,
+    conditional_risk,
+    steady_state_unavailability,
+)
+from repro.stats.expfit import ExponentialModel
+from repro.topology.backbone import (
+    BackboneTopology,
+    Continent,
+    EdgeNode,
+    FiberLink,
+)
+
+
+@pytest.fixture()
+def topo():
+    topo = BackboneTopology()
+    for i in range(4):
+        topo.add_edge_node(EdgeNode(f"e{i}", Continent.ASIA))
+    links = [
+        ("l0", "e0", "e1", 100.0), ("l1", "e1", "e2", 100.0),
+        ("l2", "e2", "e3", 100.0), ("l3", "e3", "e0", 100.0),
+        ("l4", "e0", "e2", 50.0), ("l5", "e1", "e3", 50.0),
+    ]
+    for lid, a, b, cap in links:
+        topo.add_link(FiberLink(lid, a, b, vendor="v", capacity_gbps=cap))
+    return topo
+
+
+class TestUnavailability:
+    def test_steady_state(self):
+        # MTBF 1710 h, MTTR 10 h: down ~0.58% of the time.
+        u = steady_state_unavailability(1710.0, 10.0)
+        assert u == pytest.approx(10.0 / 1720.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            steady_state_unavailability(0.0, 1.0)
+        with pytest.raises(ValueError):
+            steady_state_unavailability(1.0, -1.0)
+
+
+class TestConditionalRisk:
+    def test_independent_product(self):
+        assert conditional_risk([0.1, 0.1, 0.1]) == pytest.approx(1e-3)
+
+    def test_conditioning_removes_worst(self):
+        # Given one failure, risk is the product of the rest.
+        assert conditional_risk([0.5, 0.1, 0.2], already_failed=1) == (
+            pytest.approx(0.02)
+        )
+
+    def test_all_failed_is_certain(self):
+        assert conditional_risk([0.1, 0.2], already_failed=2) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            conditional_risk([0.1], already_failed=2)
+        with pytest.raises(ValueError):
+            conditional_risk([1.5])
+
+
+class TestReroute:
+    def test_no_failure_shortest_path(self, topo):
+        result = TrafficEngineer(topo).reroute("e0", "e2", [])
+        assert result.connected
+        assert result.baseline_hops == 1
+        assert result.rerouted_hops == 1
+        assert result.latency_stretch == 1.0
+
+    def test_reroute_increases_latency(self, topo):
+        # Losing the direct e0-e2 link forces a two-hop path.
+        result = TrafficEngineer(topo).reroute("e0", "e2", ["l4"])
+        assert result.connected
+        assert result.rerouted_hops == 2
+        assert result.latency_stretch == 2.0
+
+    def test_partition_detected(self, topo):
+        result = TrafficEngineer(topo).reroute(
+            "e0", "e2", ["l0", "l3", "l4"]
+        )
+        assert not result.connected
+        assert result.latency_stretch == float("inf")
+        assert result.capacity_gbps == 0.0
+
+    def test_unknown_edge_raises(self, topo):
+        with pytest.raises(KeyError):
+            TrafficEngineer(topo).reroute("e0", "ghost", [])
+
+    def test_capacity_loss(self, topo):
+        engineer = TrafficEngineer(topo)
+        assert engineer.capacity_loss("e0", "e2", []) == pytest.approx(0.0)
+        loss = engineer.capacity_loss("e0", "e2", ["l4"])
+        assert 0.0 < loss < 1.0
+        full = engineer.capacity_loss("e0", "e2", ["l0", "l3", "l4"])
+        assert full == pytest.approx(1.0)
+
+
+class TestCapacityPlanning:
+    def test_plan_reaches_target(self, topo):
+        mtbf = ExponentialModel(a=462.88, b=2.3408, r2=0.94)
+        mttr = ExponentialModel(a=1.513, b=4.256, r2=0.87)
+        plan = TrafficEngineer(topo).plan_capacity("e0", mtbf, mttr)
+        assert plan.survives_target
+        assert plan.unavailability <= 1e-4
+        assert plan.recommended_links >= 2
+
+    def test_stricter_percentile_needs_more_links(self, topo):
+        # An implausibly awful link forces the planner to add links.
+        mtbf = ExponentialModel(a=2.0, b=0.1, r2=1.0)
+        mttr = ExponentialModel(a=10.0, b=0.1, r2=1.0)
+        engineer = TrafficEngineer(topo)
+        loose = engineer.plan_capacity("e0", mtbf, mttr, percentile=0.9)
+        strict = engineer.plan_capacity("e0", mtbf, mttr, percentile=0.9999)
+        assert strict.recommended_links >= loose.recommended_links
+
+    def test_invalid_percentile(self, topo):
+        mtbf = ExponentialModel(a=1.0, b=1.0, r2=1.0)
+        with pytest.raises(ValueError):
+            TrafficEngineer(topo).plan_capacity("e0", mtbf, mtbf,
+                                                percentile=1.0)
+
+
+class TestPartitionReport:
+    def test_healthy_single_component(self, topo):
+        partitioned, components = TrafficEngineer(topo).partition_report([])
+        assert not partitioned
+        assert len(components) == 1
+
+    def test_cut_everything(self, topo):
+        partitioned, components = TrafficEngineer(topo).partition_report(
+            list(topo.links)
+        )
+        assert partitioned
+        assert len(components) == 4

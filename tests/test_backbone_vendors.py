@@ -1,0 +1,58 @@
+"""Tests for the fiber vendor directory."""
+
+import pytest
+
+from repro.backbone.vendors import (
+    FiberVendor,
+    MarketCompetition,
+    VendorDirectory,
+)
+
+
+def vendor(name="v0", mtbf=2000.0, mttr=13.0):
+    return FiberVendor(name=name, mtbf_h=mtbf, mttr_h=mttr)
+
+
+class TestFiberVendor:
+    def test_valid(self):
+        v = vendor()
+        assert v.competition is MarketCompetition.MEDIUM
+
+    def test_rejects_non_positive_targets(self):
+        with pytest.raises(ValueError):
+            FiberVendor("v", mtbf_h=0.0, mttr_h=1.0)
+        with pytest.raises(ValueError):
+            FiberVendor("v", mtbf_h=1.0, mttr_h=-1.0)
+
+
+class TestDirectory:
+    def test_add_and_get(self):
+        directory = VendorDirectory([vendor("a"), vendor("b")])
+        assert directory.get("a").name == "a"
+        assert len(directory) == 2
+        assert "a" in directory and "z" not in directory
+
+    def test_duplicate_rejected(self):
+        directory = VendorDirectory([vendor("a")])
+        with pytest.raises(ValueError, match="duplicate"):
+            directory.add(vendor("a"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown fiber vendor"):
+            VendorDirectory().get("ghost")
+
+    def test_iteration_sorted(self):
+        directory = VendorDirectory([vendor("b"), vendor("a")])
+        assert [v.name for v in directory] == ["a", "b"]
+        assert directory.names() == ["a", "b"]
+
+    def test_reliability_extremes(self):
+        # Section 6.2: the least reliable vendor's links fail every
+        # 2 hours, the most reliable every 11,721 hours.
+        directory = VendorDirectory([
+            vendor("flaky", mtbf=2.0),
+            vendor("mid", mtbf=2326.0),
+            vendor("stellar", mtbf=11_721.0),
+        ])
+        assert directory.least_reliable().name == "flaky"
+        assert directory.most_reliable().name == "stellar"

@@ -1,0 +1,152 @@
+"""Calibration self-tests.
+
+The scenario presets and the fleet model are co-calibrated: these
+tests state each joint constraint explicitly, so a future edit to
+either table that silently breaks an anchor fails here with a message
+naming the constraint, not three analyses away.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.fleet.population import HOURS_PER_YEAR, paper_fleet
+from repro.simulation.scenarios import paper_backbone_scenario, paper_scenario
+from repro.topology.devices import (
+    CLUSTER_TYPES,
+    FABRIC_TYPES,
+    DeviceType,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_scenario()
+
+
+@pytest.fixture(scope="module")
+def populations():
+    return paper_fleet()
+
+
+class TestJointMTBIConstraints:
+    """Figure 12 anchors follow from populations / incident counts."""
+
+    def expected_mtbi(self, populations, scenario, year, device_type):
+        n = populations.count(year, device_type)
+        i = scenario.incident_counts[year][device_type]
+        return n * HOURS_PER_YEAR / i
+
+    def test_core_2017(self, populations, scenario):
+        assert self.expected_mtbi(
+            populations, scenario, 2017, DeviceType.CORE
+        ) == pytest.approx(paperdata.MTBI_2017_HOURS["core"], rel=0.02)
+
+    def test_rsw_2017(self, populations, scenario):
+        assert self.expected_mtbi(
+            populations, scenario, 2017, DeviceType.RSW
+        ) == pytest.approx(paperdata.MTBI_2017_HOURS["rsw"], rel=0.02)
+
+    def test_design_averages(self, populations, scenario):
+        def design_avg(types):
+            values = [
+                self.expected_mtbi(populations, scenario, 2017, t)
+                for t in types
+            ]
+            return sum(values) / len(values)
+
+        assert design_avg(FABRIC_TYPES) == pytest.approx(
+            paperdata.MTBI_2017_FABRIC_HOURS, rel=0.03
+        )
+        assert design_avg(CLUSTER_TYPES) == pytest.approx(
+            paperdata.MTBI_2017_CLUSTER_HOURS, rel=0.03
+        )
+
+
+class TestShareConstraints:
+    def test_2017_shares(self, scenario):
+        total = scenario.total_incidents(2017)
+        for type_name, share in paperdata.INCIDENT_SHARE_2017.items():
+            device_type = DeviceType(type_name)
+            count = scenario.incident_counts[2017].get(device_type, 0)
+            assert count / total == pytest.approx(share, abs=0.02), (
+                f"2017 share of {type_name} drifted from the paper"
+            )
+
+    def test_growth(self, scenario):
+        growth = scenario.total_incidents(2017) / scenario.total_incidents(2011)
+        assert growth == pytest.approx(
+            paperdata.SEV_GROWTH_2011_TO_2017, abs=0.1
+        )
+
+    def test_csa_rates(self, populations, scenario):
+        for year, rate in paperdata.CSA_INCIDENT_RATE.items():
+            i = scenario.incident_counts[year][DeviceType.CSA]
+            n = populations.count(year, DeviceType.CSA)
+            assert i / n == pytest.approx(rate, abs=0.05)
+
+    def test_fabric_half_of_cluster_2017(self, scenario):
+        cluster = sum(
+            scenario.incident_counts[2017].get(t, 0) for t in CLUSTER_TYPES
+        )
+        fabric = sum(
+            scenario.incident_counts[2017].get(t, 0) for t in FABRIC_TYPES
+        )
+        assert fabric / cluster == pytest.approx(
+            paperdata.FABRIC_TO_CLUSTER_INCIDENTS_2017, abs=0.05
+        )
+
+    def test_low_rate_ceiling_2017(self, populations, scenario):
+        for t in (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW,
+                  DeviceType.RSW, DeviceType.CSW):
+            i = scenario.incident_counts[2017].get(t, 0)
+            n = populations.count(2017, t)
+            assert i / n < paperdata.LOW_RATE_DEVICES_2017_CEILING
+
+
+class TestSeverityMixConstraint:
+    def test_pooled_2017_mix(self, scenario):
+        """The per-type mixes must pool to Figure 4's 82/13/5."""
+        from repro.incidents.sev import Severity
+
+        weighted = {s: 0.0 for s in Severity}
+        total = 0
+        for device_type, count in scenario.incident_counts[2017].items():
+            for severity, share in scenario.severity_mix[device_type].items():
+                weighted[severity] += share * count
+            total += count
+        for severity, target in (
+            (Severity.SEV3, paperdata.SEVERITY_MIX_2017["sev3"]),
+            (Severity.SEV2, paperdata.SEVERITY_MIX_2017["sev2"]),
+            (Severity.SEV1, paperdata.SEVERITY_MIX_2017["sev1"]),
+        ):
+            assert weighted[severity] / total == pytest.approx(
+                target, abs=0.01
+            )
+
+
+class TestBackboneConstraints:
+    def test_continent_shares_exact(self):
+        scenario = paper_backbone_scenario()
+        total = scenario.edge_count
+        for continent, count in scenario.continent_edges.items():
+            published = paperdata.CONTINENT_TABLE[continent.value]["share"]
+            assert count / total == pytest.approx(published, abs=0.005)
+
+    def test_window_is_eighteen_months(self):
+        scenario = paper_backbone_scenario()
+        assert scenario.window_h / 730.0 == pytest.approx(
+            paperdata.BACKBONE_STUDY_MONTHS
+        )
+
+    def test_models_are_verbatim(self):
+        scenario = paper_backbone_scenario()
+        assert scenario.edge_mtbf_model.a == paperdata.EDGE_MTBF_MODEL["a"]
+        assert scenario.edge_mtbf_model.b == paperdata.EDGE_MTBF_MODEL["b"]
+        assert scenario.edge_mttr_model.a == paperdata.EDGE_MTTR_MODEL["a"]
+        assert scenario.vendor_mttr_model.b == (
+            paperdata.VENDOR_MTTR_MODEL["b"]
+        )
+
+    def test_min_links_per_edge(self):
+        scenario = paper_backbone_scenario()
+        assert scenario.links_per_edge >= paperdata.MIN_LINKS_PER_EDGE

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_intra_report(self, capsys):
+        assert main(["report", "intra", "--scale", "0.1", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "maintenance" in out
+        assert "Figure 12" in out
+
+    def test_backbone_report(self, capsys):
+        assert main(["report", "backbone", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "edge MTBF" in out
+        assert "Table 4" in out
+        assert "north_america" in out
+
+    def test_full_report(self, capsys):
+        assert main(["report", "full", "--scale", "0.2",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figures 15-18" in out
+        assert "Growth (Figure 8)" in out
+
+
+class TestVerify:
+    def test_verify_passes_on_default_seeds(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+        assert "anchors reproduced" in out
+
+
+class TestExportAnalyze:
+    def test_sev_csv_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "sevs.csv")
+        assert main(["export", "sevs", path, "--seed", "4"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_sev_json(self, tmp_path, capsys):
+        path = str(tmp_path / "sevs.json")
+        assert main(["export", "sevs", path, "--seed", "4"]) == 0
+        assert main(["analyze", path]) == 0
+
+    def test_ticket_export(self, tmp_path, capsys):
+        path = str(tmp_path / "tickets.csv")
+        assert main(["export", "tickets", path, "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tickets" in out
+
+
+class TestParsing:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_study(self):
+        with pytest.raises(SystemExit):
+            main(["report", "everything"])
+
+    def test_missing_args(self):
+        with pytest.raises(SystemExit):
+            main(["export", "sevs"])

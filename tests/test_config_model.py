@@ -1,0 +1,88 @@
+"""Tests for the device configuration model."""
+
+import pytest
+
+from repro.config.model import (
+    ConfigError,
+    DeviceConfig,
+    RoutingRule,
+    apply_config,
+    validate_config,
+)
+
+
+class TestRoutingRule:
+    def test_valid_forward(self):
+        rule = RoutingRule("10.0.0.0/8", ("csw.001", "csw.002"))
+        assert rule.action == "forward"
+
+    def test_drop_needs_no_hops(self):
+        RoutingRule("192.168.0.0/16", (), action="drop")
+
+    def test_forward_without_hops_rejected(self):
+        with pytest.raises(ConfigError, match="no next hops"):
+            RoutingRule("10.0.0.0/8", ())
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigError, match="unknown action"):
+            RoutingRule("10.0.0.0/8", ("x",), action="teleport")
+
+    def test_weight_positive(self):
+        with pytest.raises(ConfigError):
+            RoutingRule("10.0.0.0/8", ("x",), weight=0)
+
+
+class TestValidation:
+    def test_clean_config(self):
+        config = DeviceConfig("csw.001.c0.dc1.ra")
+        assert validate_config(config) == []
+
+    def test_production_drop_detected(self):
+        # Table 2's configuration example: routing rules blocking
+        # production traffic.
+        config = DeviceConfig("csw.001.c0.dc1.ra").with_rules([
+            RoutingRule("10.0.0.0/8", (), action="drop")
+        ])
+        problems = validate_config(config)
+        assert any("production" in p for p in problems)
+
+    def test_single_path_load_balancing_detected(self):
+        # The section 4.2 SEV1: traffic routed onto a single path.
+        config = DeviceConfig("core.001.plane.dc1.ra")
+        bad = config.with_load_balance_paths(1)
+        problems = validate_config(bad)
+        assert any("single" in p or "1 path" in p for p in problems)
+
+    def test_all_interfaces_down_detected(self):
+        config = DeviceConfig("rsw.001.p.d.r")
+        for i in range(4):
+            config = config.with_interface(i, False)
+        problems = validate_config(config)
+        assert any("disabled" in p for p in problems)
+
+    def test_conflicting_rules_detected(self):
+        config = DeviceConfig("csw.001.c0.dc1.ra").with_rules([
+            RoutingRule("172.16.0.0/12", ("a",)),
+            RoutingRule("172.16.0.0/12", (), action="drop"),
+        ])
+        problems = validate_config(config)
+        assert any("conflicting" in p for p in problems)
+
+
+class TestVersioning:
+    def test_mutations_bump_version(self):
+        config = DeviceConfig("rsw.001.p.d.r")
+        assert config.with_interface(0, True).version == 2
+        assert config.with_load_balance_paths(8).version == 2
+
+    def test_apply_rejects_stale(self):
+        current = DeviceConfig("rsw.001.p.d.r", version=5)
+        stale = DeviceConfig("rsw.001.p.d.r", version=5)
+        with pytest.raises(ConfigError, match="stale"):
+            apply_config(current, stale)
+
+    def test_apply_fresh(self):
+        current = DeviceConfig("rsw.001.p.d.r", version=5)
+        fresh = DeviceConfig("rsw.001.p.d.r", version=6)
+        assert apply_config(current, fresh) is fresh
+        assert apply_config(None, current) is current

@@ -1,0 +1,185 @@
+"""Tests for change proposals and the review/canary pipeline."""
+
+import pytest
+
+from repro.config.changes import ChangeProposal, ChangeState
+from repro.config.model import DeviceConfig, RoutingRule
+from repro.config.pipeline import (
+    DeploymentPipeline,
+    ReviewPolicy,
+)
+from repro.topology.devices import DeviceType
+
+
+def fleet_configs(n=10):
+    configs = {}
+    types = {}
+    for i in range(n):
+        name = f"csw.{i:03d}.c0.dc1.ra"
+        configs[name] = DeviceConfig(name)
+        types[name] = DeviceType.CSW
+    return configs, types
+
+
+def benign_change(change_id="chg-1"):
+    return ChangeProposal(
+        change_id=change_id, author="eng", description="widen ECMP",
+        transform=lambda c: c.with_load_balance_paths(8),
+        target_types=(DeviceType.CSW,),
+    )
+
+
+def statically_bad_change():
+    return ChangeProposal(
+        change_id="chg-bad", author="eng",
+        description="drop production prefix",
+        transform=lambda c: c.with_rules(
+            [RoutingRule("10.0.0.0/8", (), action="drop")]
+        ),
+        target_types=(DeviceType.CSW,),
+    )
+
+
+def latent_defect_change(change_id="chg-latent"):
+    return ChangeProposal(
+        change_id=change_id, author="eng",
+        description="looks fine, breaks under load",
+        transform=lambda c: c.with_load_balance_paths(4),
+        target_types=(DeviceType.CSW,),
+        latent_defect=True,
+    )
+
+
+class TestChangeStateMachine:
+    def test_happy_path(self):
+        change = benign_change()
+        change.advance(ChangeState.IN_REVIEW)
+        change.advance(ChangeState.CANARY)
+        change.advance(ChangeState.DEPLOYED)
+        assert change.history == [ChangeState.PROPOSED,
+                                  ChangeState.IN_REVIEW,
+                                  ChangeState.CANARY]
+
+    def test_illegal_transition(self):
+        change = benign_change()
+        with pytest.raises(ValueError, match="illegal transition"):
+            change.advance(ChangeState.DEPLOYED)
+
+    def test_terminal_states(self):
+        change = benign_change()
+        change.advance(ChangeState.IN_REVIEW)
+        change.advance(ChangeState.REJECTED, "nope")
+        assert change.terminal
+        assert change.rejection_reason == "nope"
+
+
+class TestPipeline:
+    def test_benign_change_deploys_everywhere(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(configs, types)
+        change = benign_change()
+        report = pipeline.process(change)
+        assert change.state is ChangeState.DEPLOYED
+        assert report.deployed == 1
+        for config in pipeline.configs.values():
+            assert config.load_balance_paths == 8
+            assert config.version == 2
+
+    def test_review_catches_static_defect(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(configs, types)
+        change = statically_bad_change()
+        report = pipeline.process(change)
+        assert change.state is ChangeState.REJECTED
+        assert report.rejected_in_review == 1
+        # Nothing touched the fleet.
+        assert all(c.version == 1 for c in pipeline.configs.values())
+
+    def test_canary_catches_latent_defect(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(
+            configs, types,
+            policy=ReviewPolicy(canary_size=5,
+                                canary_detection_per_device=1.0),
+        )
+        change = latent_defect_change()
+        report = pipeline.process(change)
+        assert change.state is ChangeState.REJECTED
+        assert report.rejected_in_canary == 1
+        assert report.defects_shipped == 0
+
+    def test_no_canary_ships_latent_defects(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(
+            configs, types, policy=ReviewPolicy(canary_size=0),
+        )
+        report = pipeline.process(latent_defect_change())
+        assert report.defects_shipped == 1
+        assert report.incidents == ["chg-latent"]
+
+    def test_no_review_ships_static_defects(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(
+            configs, types,
+            policy=ReviewPolicy(require_review=False, canary_size=0),
+        )
+        report = pipeline.process(statically_bad_change())
+        assert report.deployed == 1
+        assert report.defects_shipped == 1
+
+    def test_no_targets_rejected(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(configs, types)
+        change = ChangeProposal(
+            change_id="chg-x", author="e", description="d",
+            transform=lambda c: c,
+            target_types=(DeviceType.FSW,),
+        )
+        report = pipeline.process(change)
+        assert report.rejected_in_review == 1
+
+    def test_batch_counts(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(
+            configs, types,
+            policy=ReviewPolicy(canary_size=3,
+                                canary_detection_per_device=1.0),
+        )
+        report = pipeline.process_batch([
+            benign_change("a"), latent_defect_change("b"),
+            statically_bad_change(),
+        ])
+        assert report.total == 3
+        assert report.deployed == 1
+        assert report.rejected_in_review == 1
+        assert report.rejected_in_canary == 1
+
+    def test_rollback(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(
+            configs, types, policy=ReviewPolicy(canary_size=0),
+        )
+        before = pipeline.configs
+        change = latent_defect_change()
+        pipeline.process(change)
+        pipeline.rollback(change, before)
+        assert change.state is ChangeState.ROLLED_BACK
+        assert all(c.version == 1 for c in pipeline.configs.values())
+
+    def test_rollback_requires_deployed(self):
+        configs, types = fleet_configs()
+        pipeline = DeploymentPipeline(configs, types)
+        with pytest.raises(ValueError, match="deployed"):
+            pipeline.rollback(benign_change(), configs)
+
+    def test_mismatched_maps_rejected(self):
+        configs, types = fleet_configs()
+        types.pop(next(iter(types)))
+        with pytest.raises(ValueError, match="same devices"):
+            DeploymentPipeline(configs, types)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ReviewPolicy(canary_size=-1)
+        with pytest.raises(ValueError):
+            ReviewPolicy(canary_detection_per_device=1.5)

@@ -1,0 +1,55 @@
+"""Tests for conditional-risk capacity planning (section 6.1)."""
+
+import pytest
+
+from repro.core.conditional_risk import (
+    PLANNING_PERCENTILE,
+    capacity_report,
+)
+
+
+class TestCapacityReport:
+    def test_plans_every_edge(self, backbone_corpus, reliability):
+        report = capacity_report(backbone_corpus.topology, reliability)
+        assert set(report.plans) == set(backbone_corpus.topology.edges)
+        assert report.percentile == PLANNING_PERCENTILE
+
+    def test_three_links_meet_the_9999_target(
+        self, backbone_corpus, reliability
+    ):
+        # With measured unavailability ~0.5% per link and >= 3 links,
+        # the 99.99th percentile target holds: that is the published
+        # rationale for the >= 3 links-per-edge design.
+        report = capacity_report(backbone_corpus.topology, reliability)
+        assert report.deficient_edges == []
+        for edge in backbone_corpus.topology.edges:
+            assert report.recommended_links(edge) <= max(
+                3, len(backbone_corpus.topology.links_of_edge(edge))
+            )
+
+    def test_unknown_edge_raises(self, backbone_corpus, reliability):
+        report = capacity_report(backbone_corpus.topology, reliability)
+        with pytest.raises(KeyError):
+            report.recommended_links("ghost")
+
+    def test_pessimistic_links_force_more_capacity(
+        self, backbone_corpus, reliability
+    ):
+        # Planning against the worst link percentile needs at least as
+        # many links as planning against the median.
+        median = capacity_report(
+            backbone_corpus.topology, reliability, link_percentile=0.5
+        )
+        worst = capacity_report(
+            backbone_corpus.topology, reliability, link_percentile=0.0
+        )
+        for edge in backbone_corpus.topology.edges:
+            assert (worst.recommended_links(edge)
+                    >= median.recommended_links(edge) - 1)
+
+    def test_compliant_plus_deficient_is_everything(
+        self, backbone_corpus, reliability
+    ):
+        report = capacity_report(backbone_corpus.topology, reliability)
+        assert (set(report.compliant_edges) | set(report.deficient_edges)
+                == set(backbone_corpus.topology.edges))

@@ -1,0 +1,82 @@
+"""Tests for the redundancy margin analysis (section 5.2)."""
+
+import pytest
+
+from repro.core.fault_tolerance import (
+    redundancy_margin,
+    redundancy_report,
+)
+from repro.topology.cluster import build_cluster_network
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+
+
+@pytest.fixture(scope="module")
+def cluster_dc():
+    return build_cluster_network("dc1", "ra", clusters=2,
+                                 racks_per_cluster=4, csas=2, cores=8)
+
+
+@pytest.fixture(scope="module")
+def fabric_dc():
+    return build_fabric_network("dc3", "rb", pods=2, racks_per_pod=4,
+                                ssws=8, esws=4, cores=8)
+
+
+class TestClusterMargins:
+    def test_eight_cores_tolerate_maintenance(self, cluster_dc):
+        # The section 5.2 design point, verbatim.
+        margin = redundancy_margin(cluster_dc, DeviceType.CORE,
+                                   max_check=2)
+        assert margin.population == 8
+        assert margin.survives_maintenance
+
+    def test_two_csas_tolerate_one(self, cluster_dc):
+        margin = redundancy_margin(cluster_dc, DeviceType.CSA,
+                                   max_check=2)
+        assert margin.tolerated_failures == 1
+
+    def test_rsw_margin_is_zero(self, cluster_dc):
+        # Single TOR per rack (section 5.4): any RSW loss strands its
+        # rack; software replication, not redundancy, absorbs it.
+        margin = redundancy_margin(cluster_dc, DeviceType.RSW)
+        assert margin.tolerated_failures == 0
+        assert not margin.survives_maintenance
+
+    def test_csws_tolerate_losses(self, cluster_dc):
+        margin = redundancy_margin(cluster_dc, DeviceType.CSW,
+                                   max_check=3)
+        # Four CSWs per cluster: up to three can fail before a rack
+        # strands.
+        assert margin.tolerated_failures >= 2
+
+
+class TestFabricMargins:
+    def test_fsw_tolerates_losses(self, fabric_dc):
+        # 1:4 RSW:FSW gives three spare uplinks per rack, but only
+        # within the pod: the fourth simultaneous loss in one pod
+        # strands it.
+        margin = redundancy_margin(fabric_dc, DeviceType.FSW,
+                                   max_check=4)
+        assert margin.tolerated_failures == 3
+
+    def test_spine_redundancy(self, fabric_dc):
+        margin = redundancy_margin(fabric_dc, DeviceType.SSW,
+                                   max_check=2)
+        assert margin.survives_maintenance
+
+    def test_report_covers_present_types(self, fabric_dc):
+        report = redundancy_report(fabric_dc, max_check=2)
+        assert DeviceType.FSW in report
+        assert DeviceType.CSA not in report
+
+    def test_margin_fraction(self, fabric_dc):
+        margin = redundancy_margin(fabric_dc, DeviceType.ESW,
+                                   max_check=2)
+        assert 0.0 <= margin.margin_fraction <= 1.0
+
+
+class TestValidation:
+    def test_missing_type_raises(self, cluster_dc):
+        with pytest.raises(ValueError, match="no fsw"):
+            redundancy_margin(cluster_dc, DeviceType.FSW)

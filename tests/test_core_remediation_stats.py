@@ -1,0 +1,75 @@
+"""Tests for the Table 1 analysis (section 4.1)."""
+
+import pytest
+
+from repro.core.remediation_stats import remediation_table
+from repro.remediation.engine import RemediationEngine
+from repro.simulation.generator import IntraSimulator
+from repro.simulation.scenarios import paper_scenario
+from repro.topology.devices import DeviceType
+
+
+@pytest.fixture(scope="module")
+def table():
+    sim = IntraSimulator(paper_scenario(seed=3))
+    return remediation_table(sim.simulate_remediation_month().engine)
+
+
+class TestTable1:
+    def test_rows_in_paper_order(self, table):
+        assert [r.device_type for r in table.ordered()] == [
+            DeviceType.CORE, DeviceType.FSW, DeviceType.RSW
+        ]
+
+    def test_repair_ratios(self, table):
+        assert table.row(DeviceType.CORE).repair_ratio == pytest.approx(
+            0.75, abs=0.05
+        )
+        assert table.row(DeviceType.FSW).repair_ratio == pytest.approx(
+            0.995, abs=0.005
+        )
+        assert table.row(DeviceType.RSW).repair_ratio == pytest.approx(
+            0.997, abs=0.005
+        )
+
+    def test_priorities(self, table):
+        assert table.row(DeviceType.CORE).avg_priority == pytest.approx(0.0)
+        assert table.row(DeviceType.FSW).avg_priority == pytest.approx(
+            2.25, abs=0.1
+        )
+        assert table.row(DeviceType.RSW).avg_priority == pytest.approx(
+            2.22, abs=0.1
+        )
+        assert table.highest_priority_type() is DeviceType.CORE
+
+    def test_waits(self, table):
+        # Core ~4 minutes, FSW ~3 days, RSW ~1 day.
+        assert table.row(DeviceType.CORE).avg_wait_h == pytest.approx(
+            4 / 60, rel=0.2
+        )
+        assert table.row(DeviceType.FSW).avg_wait_h == pytest.approx(
+            72.0, rel=0.15
+        )
+        assert table.row(DeviceType.RSW).avg_wait_h == pytest.approx(
+            24.0, rel=0.15
+        )
+
+    def test_repair_durations(self, table):
+        assert table.row(DeviceType.CORE).avg_repair_s == pytest.approx(
+            30.1, rel=0.15
+        )
+        assert table.row(DeviceType.FSW).avg_repair_s == pytest.approx(
+            4.45, rel=0.15
+        )
+        assert table.row(DeviceType.RSW).avg_repair_s == pytest.approx(
+            2.91, rel=0.15
+        )
+
+    def test_missing_type_raises(self, table):
+        with pytest.raises(KeyError):
+            table.row(DeviceType.CSA)
+
+    def test_idle_engine_yields_empty_table(self):
+        table = remediation_table(RemediationEngine())
+        assert table.rows == {}
+        assert table.ordered() == []

@@ -1,0 +1,144 @@
+"""Tests for fault injection and disaster recovery drills."""
+
+import pytest
+
+from repro.drtest.drills import DatacenterDrainDrill, StormDrill
+from repro.drtest.injector import FaultInjector
+from repro.services.catalog import Service, ServiceCatalog, ServiceTier
+from repro.services.impact import ImpactKind, ImpactModel
+from repro.services.placement import Placement, place_uniform
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+from repro.topology.graph import build_graph
+
+
+@pytest.fixture()
+def world():
+    network = build_fabric_network("dc1", "ra", pods=2, racks_per_pod=8,
+                                   ssws=4, esws=2, cores=2)
+    catalog = ServiceCatalog([
+        Service("web", ServiceTier.WEB, replicas=8),
+        Service("pet", ServiceTier.MONITORING, replicas=1),
+    ])
+    placement = place_uniform(catalog, network)
+    model = ImpactModel(catalog, placement, build_graph(network))
+    return network, catalog, placement, model
+
+
+class TestFaultInjector:
+    def test_single_sweep_covers_fleet(self, world):
+        network, _, _, model = world
+        injector = FaultInjector(model)
+        results = injector.sweep_single(network)
+        assert len(results) == len(network.devices)
+
+    def test_sweep_by_type(self, world):
+        network, _, _, model = world
+        injector = FaultInjector(model)
+        results = injector.sweep_single(network, DeviceType.FSW)
+        assert len(results) == network.count(DeviceType.FSW)
+        assert all(r.survived for r in results)
+
+    def test_unreplicated_service_fails_injection(self, world):
+        network, _, placement, model = world
+        injector = FaultInjector(model)
+        pet_rack = placement.racks_of("pet")[0]
+        result = injector.inject([pet_rack])
+        assert not result.survived
+        assert result.worst_kind is ImpactKind.DOWNTIME
+
+    def test_survival_rate(self, world):
+        network, _, _, model = world
+        injector = FaultInjector(model)
+        injector.sweep_single(network)
+        # Only the one rack carrying the unreplicated service can
+        # produce downtime.
+        assert injector.survival_rate >= 1 - 2 / len(network.devices)
+
+    def test_survival_rate_without_runs(self, world):
+        _, _, _, model = world
+        with pytest.raises(ValueError):
+            _ = FaultInjector(model).survival_rate
+
+    def test_pair_sweep_limited(self, world):
+        network, _, _, model = world
+        injector = FaultInjector(model)
+        results = injector.sweep_pairs(network, DeviceType.FSW, limit=5)
+        assert len(results) == 5
+        assert all(len(r.failed_devices) == 2 for r in results)
+
+    def test_worst_results_ordering(self, world):
+        network, _, placement, model = world
+        injector = FaultInjector(model)
+        injector.sweep_single(network, DeviceType.RSW)
+        worst = injector.worst_results(k=1)[0]
+        assert worst.worst_kind in (ImpactKind.DOWNTIME, ImpactKind.RETRIES)
+
+    def test_empty_injection_rejected(self, world):
+        _, _, _, model = world
+        with pytest.raises(ValueError):
+            FaultInjector(model).inject([])
+
+
+class TestStormDrill:
+    def test_small_fsw_storm_passes(self, world):
+        network, _, _, model = world
+        drill = StormDrill(model, network, seed=1)
+        outcome = drill.run(DeviceType.FSW, fraction=0.25)
+        assert outcome.passed
+
+    def test_full_rsw_storm_fails(self, world):
+        network, _, _, model = world
+        drill = StormDrill(model, network, seed=1)
+        outcome = drill.run(DeviceType.RSW, fraction=1.0)
+        assert not outcome.passed
+        assert "web" in outcome.services_down
+
+    def test_fraction_validation(self, world):
+        network, _, _, model = world
+        drill = StormDrill(model, network)
+        with pytest.raises(ValueError):
+            drill.run(DeviceType.RSW, fraction=0.0)
+
+    def test_missing_type(self, world):
+        network, _, _, model = world
+        drill = StormDrill(model, network)
+        with pytest.raises(ValueError, match="no csa"):
+            drill.run(DeviceType.CSA, fraction=0.5)
+
+
+class TestDatacenterDrain:
+    def make_multi_dc_placement(self):
+        catalog = ServiceCatalog([
+            Service("spread", ServiceTier.STORAGE, replicas=4,
+                    cross_datacenter=True),
+            Service("pinned", ServiceTier.WEB, replicas=2),
+        ])
+        placement = Placement(replica_racks={
+            "spread": ["rsw.000.pod0.dc1.ra", "rsw.001.pod0.dc1.ra",
+                       "rsw.000.pod0.dc2.ra", "rsw.001.pod0.dc2.ra"],
+            "pinned": ["rsw.002.pod0.dc1.ra", "rsw.003.pod0.dc1.ra"],
+        })
+        return catalog, placement
+
+    def test_drain_spares_spread_services(self):
+        catalog, placement = self.make_multi_dc_placement()
+        drill = DatacenterDrainDrill(catalog, placement)
+        outcome = drill.run("dc2")
+        assert outcome.passed
+        assert outcome.service_kinds["spread"] is not ImpactKind.DOWNTIME
+        assert outcome.service_kinds["pinned"] is ImpactKind.NONE
+
+    def test_drain_finds_pinned_services(self):
+        catalog, placement = self.make_multi_dc_placement()
+        drill = DatacenterDrainDrill(catalog, placement)
+        outcome = drill.run("dc1")
+        assert not outcome.passed
+        assert outcome.services_down == ["pinned"]
+
+    def test_drain_untouched_datacenter(self):
+        catalog, placement = self.make_multi_dc_placement()
+        drill = DatacenterDrainDrill(catalog, placement)
+        outcome = drill.run("dc9")
+        assert outcome.failed_devices == 0
+        assert outcome.passed

@@ -1,0 +1,40 @@
+"""Tests for the employee headcount series (Figure 6)."""
+
+import pytest
+
+from repro.fleet.employees import EmployeeModel, paper_employees
+
+
+class TestPaperEmployees:
+    def test_covers_study_years(self, employees):
+        assert employees.years == list(range(2011, 2018))
+
+    def test_growth_is_monotone(self, employees):
+        counts = [employees.count(y) for y in employees.years]
+        assert counts == sorted(counts)
+
+    def test_normalized(self, employees):
+        assert employees.normalized(2017) == pytest.approx(1.0)
+        assert employees.normalized(2011) < 0.2
+
+
+class TestInterpolation:
+    def test_known_years_exact(self):
+        model = EmployeeModel(by_year={2011: 100, 2013: 300})
+        assert model.count(2011) == 100
+        assert model.count(2013) == 300
+
+    def test_midpoint_interpolates(self):
+        model = EmployeeModel(by_year={2011: 100, 2013: 300})
+        assert model.count(2012) == 200
+
+    def test_outside_range_raises(self):
+        model = EmployeeModel(by_year={2011: 100, 2013: 300})
+        with pytest.raises(KeyError):
+            model.count(2010)
+        with pytest.raises(KeyError):
+            model.count(2014)
+
+    def test_empty_model_raises(self):
+        with pytest.raises(KeyError, match="empty"):
+            EmployeeModel().count(2011)

@@ -1,0 +1,100 @@
+"""Tests for the fleet population model."""
+
+import pytest
+
+from repro.fleet.population import (
+    FleetModel,
+    FleetSnapshot,
+    HOURS_PER_YEAR,
+    paper_fleet,
+)
+from repro.topology.devices import DeviceType, NetworkDesign
+
+
+class TestPaperFleet:
+    def test_covers_study_years(self, fleet):
+        assert fleet.years == list(range(2011, 2018))
+
+    def test_rsws_dominate_every_year(self, fleet):
+        # Figure 11: RSWs are the overwhelming majority of switches.
+        for year in fleet.years:
+            assert fleet.fraction(year, DeviceType.RSW) > 0.75
+
+    def test_fabric_absent_before_2015(self, fleet):
+        for year in (2011, 2012, 2013, 2014):
+            for t in (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW):
+                assert fleet.count(year, t) == 0
+
+    def test_fabric_grows_after_2015(self, fleet):
+        for t in (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW):
+            series = [fleet.count(y, t) for y in (2015, 2016, 2017)]
+            assert series == sorted(series)
+            assert series[0] > 0
+
+    def test_cluster_population_declines_after_2015(self, fleet):
+        # Figure 11's inflection: CSWs and CSAs decrease from 2015.
+        for t in (DeviceType.CSA, DeviceType.CSW):
+            assert fleet.count(2016, t) < fleet.count(2015, t)
+            assert fleet.count(2017, t) < fleet.count(2016, t)
+
+    def test_total_grows_monotonically(self, fleet):
+        totals = [fleet.total(y) for y in fleet.years]
+        assert totals == sorted(totals)
+
+    def test_normalized_total_peaks_at_one(self, fleet):
+        assert fleet.normalized_total(2017) == pytest.approx(1.0)
+        assert 0 < fleet.normalized_total(2011) < 0.2
+
+    def test_design_count(self, fleet):
+        cluster = fleet.design_count(2017, NetworkDesign.CLUSTER)
+        fabric = fleet.design_count(2017, NetworkDesign.FABRIC)
+        assert cluster == (fleet.count(2017, DeviceType.CSA)
+                           + fleet.count(2017, DeviceType.CSW))
+        assert fabric == sum(
+            fleet.count(2017, t)
+            for t in (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW)
+        )
+
+    def test_device_hours(self, fleet):
+        assert fleet.device_hours(2017, DeviceType.CORE) == (
+            fleet.count(2017, DeviceType.CORE) * HOURS_PER_YEAR
+        )
+
+    def test_scaling(self):
+        small = paper_fleet(scale=0.01)
+        full = paper_fleet()
+        assert small.count(2017, DeviceType.RSW) == pytest.approx(
+            full.count(2017, DeviceType.RSW) * 0.01, rel=0.01
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_fleet(scale=0)
+
+    def test_unknown_year_subset(self):
+        with pytest.raises(KeyError):
+            paper_fleet(years=[2010])
+        partial = paper_fleet(years=[2016, 2017])
+        assert partial.years == [2016, 2017]
+
+
+class TestFleetModel:
+    def test_unknown_year_raises(self, fleet):
+        with pytest.raises(KeyError, match="2040"):
+            fleet.snapshot(2040)
+
+    def test_duplicate_snapshot_rejected(self):
+        model = FleetModel()
+        snap = FleetSnapshot(year=2020, counts={DeviceType.RSW: 5})
+        model.add_snapshot(snap)
+        with pytest.raises(ValueError, match="duplicate"):
+            model.add_snapshot(snap)
+
+    def test_shared_design_not_countable(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.snapshot(2017).design_count(NetworkDesign.SHARED)
+
+    def test_empty_snapshot_fractions(self):
+        snap = FleetSnapshot(year=2020, counts={})
+        assert snap.total == 0
+        assert snap.fraction(DeviceType.RSW) == 0.0

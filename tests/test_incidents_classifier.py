@@ -1,0 +1,127 @@
+"""Tests for the root-cause classifier and label auditing."""
+
+import pytest
+
+from repro.incidents.classifier import (
+    audit_labels,
+    classify_description,
+)
+from repro.incidents.sev import RootCause, SEVReport, Severity
+
+
+def sev(description, causes, sev_id="s0"):
+    return SEVReport(
+        sev_id=sev_id, severity=Severity.SEV3,
+        device_name="rsw.001.p.d.r",
+        opened_at_h=1.0, resolved_at_h=2.0,
+        root_causes=tuple(causes), description=description,
+    )
+
+
+class TestClassifyDescription:
+    @pytest.mark.parametrize("text,expected", [
+        ("Maintenance window went wrong while upgrading device firmware",
+         RootCause.MAINTENANCE),
+        ("A faulty hardware module caused traffic to drop",
+         RootCause.HARDWARE),
+        ("An unintended routing rule blocked production traffic",
+         RootCause.CONFIGURATION),
+        ("Switch crash from software bug: counter allocation failed",
+         RootCause.BUG),
+        ("A technician power cycled the wrong device",
+         RootCause.ACCIDENTS),
+        ("Load exhausted provisioned capacity after a traffic shift",
+         RootCause.CAPACITY),
+    ])
+    def test_paper_examples_classified(self, text, expected):
+        result = classify_description(text)
+        assert result.cause is expected
+        assert result.confident
+
+    def test_no_evidence_is_undetermined(self):
+        result = classify_description("something odd happened briefly")
+        assert result.cause is RootCause.UNDETERMINED
+        assert not result.confident
+
+    def test_tie_resolves_to_undetermined(self):
+        # One maintenance keyword, one hardware keyword.
+        result = classify_description(
+            "during maintenance the power supply was replaced"
+        )
+        assert result.cause is RootCause.UNDETERMINED
+
+    def test_more_evidence_wins(self):
+        result = classify_description(
+            "firmware bug caused a crash with a memory leak during "
+            "maintenance"
+        )
+        assert result.cause is RootCause.BUG
+
+    def test_case_insensitive(self):
+        assert classify_description("FAULTY HARDWARE MODULE").cause is (
+            RootCause.HARDWARE
+        )
+
+
+class TestAuditLabels:
+    def test_perfect_agreement(self):
+        reports = [
+            sev("switch crash from software bug", [RootCause.BUG], "a"),
+            sev("faulty hardware module", [RootCause.HARDWARE], "b"),
+        ]
+        audit = audit_labels(reports)
+        assert audit.total == 2
+        assert audit.observed_agreement == 1.0
+        assert audit.kappa == pytest.approx(1.0)
+        assert audit.disagreements() == []
+
+    def test_disagreement_recorded(self):
+        reports = [
+            sev("faulty hardware module", [RootCause.BUG], "a"),
+        ]
+        audit = audit_labels(reports)
+        assert audit.observed_agreement == 0.0
+        assert audit.disagreements() == [
+            (RootCause.BUG, RootCause.HARDWARE, 1)
+        ]
+
+    def test_multi_cause_counts_any_match(self):
+        reports = [
+            sev("faulty hardware module",
+                [RootCause.MAINTENANCE, RootCause.HARDWARE], "a"),
+        ]
+        audit = audit_labels(reports)
+        assert audit.observed_agreement == 1.0
+
+    def test_undetermined_skipped_by_default(self):
+        reports = [sev("odd blip", [RootCause.UNDETERMINED], "a")]
+        assert audit_labels(reports).total == 0
+        assert audit_labels(reports, skip_undetermined=False).total == 1
+
+    def test_empty_audit_raises(self):
+        audit = audit_labels([])
+        with pytest.raises(ValueError):
+            _ = audit.kappa
+
+    def test_kappa_below_agreement_when_chance_helps(self):
+        # All-same labels with one error: chance agreement is high, so
+        # kappa drops well below raw agreement.
+        reports = [
+            sev("switch crash from software bug", [RootCause.BUG],
+                f"s{i}")
+            for i in range(9)
+        ] + [sev("faulty hardware module", [RootCause.BUG], "s9")]
+        audit = audit_labels(reports)
+        assert audit.observed_agreement == pytest.approx(0.9)
+        assert audit.kappa < audit.observed_agreement
+
+
+class TestOnPaperCorpus:
+    def test_generator_descriptions_agree_with_labels(self, paper_store):
+        """The generator writes cause-typical descriptions, so the
+        audit should find strong (not necessarily perfect) agreement —
+        the sanity check section 5.1's caveat calls for."""
+        audit = audit_labels(paper_store.all_reports())
+        assert audit.total > 1000
+        assert audit.observed_agreement > 0.9
+        assert audit.kappa > 0.85

@@ -1,0 +1,107 @@
+"""Tests for the SQL query layer."""
+
+import pytest
+
+from repro.incidents.query import SEVQuery
+from repro.incidents.sev import RootCause, SEVReport, Severity, hours_of_year
+from repro.incidents.store import SEVStore
+from repro.topology.devices import DeviceType
+
+
+@pytest.fixture()
+def store():
+    store = SEVStore()
+    rows = [
+        # (id, year, device, severity, causes, duration)
+        ("s0", 2011, "core.001.plane.dc1.ra", Severity.SEV3,
+         (RootCause.MAINTENANCE,), 2.0),
+        ("s1", 2011, "rsw.001.c1.dc1.ra", Severity.SEV2,
+         (RootCause.HARDWARE,), 6.0),
+        ("s2", 2012, "rsw.002.c1.dc1.ra", Severity.SEV3,
+         (RootCause.BUG, RootCause.CONFIGURATION), 1.0),
+        ("s3", 2012, "csa.001.agg.dc1.ra", Severity.SEV1, (), 48.0),
+        ("s4", 2012, "rsw.003.c2.dc1.ra", Severity.SEV3,
+         (RootCause.UNDETERMINED,), 3.0),
+    ]
+    for sev_id, year, device, severity, causes, duration in rows:
+        base = hours_of_year(year, 100.0 + len(sev_id))
+        store.insert(SEVReport(
+            sev_id=sev_id, severity=severity, device_name=device,
+            opened_at_h=base, resolved_at_h=base + duration,
+            root_causes=causes, description="x",
+        ))
+    yield store
+    store.close()
+
+
+class TestCounting:
+    def test_total(self, store):
+        q = SEVQuery(store)
+        assert q.total() == 5
+        assert q.total(2012) == 3
+        assert q.total(2016) == 0
+
+    def test_count_by_year(self, store):
+        assert SEVQuery(store).count_by_year() == {2011: 2, 2012: 3}
+
+    def test_count_by_type(self, store):
+        counts = SEVQuery(store).count_by_type()
+        assert counts[DeviceType.RSW] == 3
+        assert counts[DeviceType.CORE] == 1
+        assert counts[DeviceType.CSA] == 1
+
+    def test_count_by_type_for_year(self, store):
+        counts = SEVQuery(store).count_by_type(2011)
+        assert counts == {DeviceType.CORE: 1, DeviceType.RSW: 1}
+
+    def test_count_by_year_and_type(self, store):
+        nested = SEVQuery(store).count_by_year_and_type()
+        assert nested[2012][DeviceType.RSW] == 2
+
+    def test_count_by_severity(self, store):
+        counts = SEVQuery(store).count_by_severity()
+        assert counts[Severity.SEV3] == 3
+        assert counts[Severity.SEV1] == 1
+
+    def test_count_by_severity_and_type(self, store):
+        nested = SEVQuery(store).count_by_severity_and_type(2012)
+        assert nested[Severity.SEV1] == {DeviceType.CSA: 1}
+
+    def test_count_by_year_and_severity(self, store):
+        nested = SEVQuery(store).count_by_year_and_severity()
+        assert nested[2011] == {Severity.SEV3: 1, Severity.SEV2: 1}
+
+
+class TestRootCauses:
+    def test_multi_cause_counts_toward_both(self, store):
+        counts = SEVQuery(store).count_by_root_cause()
+        assert counts[RootCause.BUG] == 1
+        assert counts[RootCause.CONFIGURATION] == 1
+
+    def test_causeless_sev_counts_undetermined(self, store):
+        counts = SEVQuery(store).count_by_root_cause()
+        # s3 has no recorded cause, s4 is explicitly undetermined.
+        assert counts[RootCause.UNDETERMINED] == 2
+
+    def test_year_filter(self, store):
+        counts = SEVQuery(store).count_by_root_cause(2011)
+        assert counts == {RootCause.MAINTENANCE: 1, RootCause.HARDWARE: 1}
+
+    def test_by_cause_and_type(self, store):
+        nested = SEVQuery(store).count_by_root_cause_and_type()
+        assert nested[RootCause.BUG] == {DeviceType.RSW: 1}
+        assert nested[RootCause.UNDETERMINED][DeviceType.CSA] == 1
+
+
+class TestTiming:
+    def test_open_times_sorted(self, store):
+        times = SEVQuery(store).open_times(2012, DeviceType.RSW)
+        assert len(times) == 2
+        assert times == sorted(times)
+
+    def test_durations_filters(self, store):
+        q = SEVQuery(store)
+        assert q.durations() == sorted([2.0, 6.0, 1.0, 48.0, 3.0])
+        assert q.durations(2011) == [2.0, 6.0]
+        assert q.durations(2012, DeviceType.CSA) == [48.0]
+        assert q.durations(2016) == []

@@ -1,0 +1,111 @@
+"""Tests for the SEV data model."""
+
+import pytest
+
+from repro.incidents.sev import (
+    EPOCH_YEAR,
+    RootCause,
+    SEVERITY_EXAMPLES,
+    SEVReport,
+    Severity,
+    hours_of_year,
+    year_of_hours,
+)
+from repro.topology.devices import DeviceType
+
+
+class TestSeverity:
+    def test_three_levels(self):
+        assert [s.label for s in Severity] == ["SEV1", "SEV2", "SEV3"]
+
+    def test_sev1_is_most_severe(self):
+        assert Severity.SEV1 < Severity.SEV2 < Severity.SEV3
+
+    def test_table3_examples_exist(self):
+        for severity in Severity:
+            assert SEVERITY_EXAMPLES[severity]
+
+    def test_table3_content(self):
+        assert "data center outage" in SEVERITY_EXAMPLES[Severity.SEV1]
+        assert "internal tool" in SEVERITY_EXAMPLES[Severity.SEV3]
+
+
+class TestRootCause:
+    def test_seven_categories(self):
+        assert len(RootCause) == 7
+
+    def test_descriptions(self):
+        for cause in RootCause:
+            assert cause.description
+
+    def test_human_induced(self):
+        # Section 5.1: bugs and misconfiguration are the human bucket.
+        assert RootCause.BUG.human_induced
+        assert RootCause.CONFIGURATION.human_induced
+        assert not RootCause.HARDWARE.human_induced
+        assert not RootCause.MAINTENANCE.human_induced
+
+
+class TestSEVReport:
+    def make(self, **kw):
+        defaults = dict(
+            sev_id="sev-1",
+            severity=Severity.SEV3,
+            device_name="rsw.001.pod1.dc1.ra",
+            opened_at_h=100.0,
+            resolved_at_h=105.0,
+            root_causes=(RootCause.BUG,),
+            description="switch crash from software bug",
+        )
+        defaults.update(kw)
+        return SEVReport(**defaults)
+
+    def test_device_type_from_prefix(self):
+        assert self.make().device_type is DeviceType.RSW
+        assert self.make(device_name="weird.001.x.y.z").device_type is None
+
+    def test_duration(self):
+        assert self.make().duration_h == pytest.approx(5.0)
+
+    def test_opened_year(self):
+        start = hours_of_year(2015, 10.0)
+        report = self.make(opened_at_h=start, resolved_at_h=start + 4.0)
+        assert report.opened_year == 2015
+
+    def test_resolution_before_open_rejected(self):
+        with pytest.raises(ValueError, match="resolves before"):
+            self.make(resolved_at_h=50.0)
+
+    def test_pre_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch"):
+            self.make(opened_at_h=-1.0)
+
+    def test_effective_root_causes_defaults_to_undetermined(self):
+        report = self.make(root_causes=())
+        assert report.effective_root_causes() == (RootCause.UNDETERMINED,)
+
+    def test_multiple_root_causes_preserved(self):
+        report = self.make(
+            root_causes=(RootCause.BUG, RootCause.CONFIGURATION)
+        )
+        assert len(report.effective_root_causes()) == 2
+
+
+class TestTimeHelpers:
+    def test_epoch(self):
+        assert hours_of_year(EPOCH_YEAR) == 0.0
+        assert year_of_hours(0.0) == EPOCH_YEAR
+
+    def test_round_trip(self):
+        for year in (2011, 2014, 2017):
+            assert year_of_hours(hours_of_year(year, 1.0)) == year
+
+    def test_year_boundary(self):
+        assert year_of_hours(hours_of_year(2012) - 0.5) == 2011
+        assert year_of_hours(hours_of_year(2012)) == 2012
+
+    def test_pre_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            hours_of_year(2010)
+        with pytest.raises(ValueError):
+            year_of_hours(-5.0)

@@ -1,0 +1,96 @@
+"""Tests for the SQLite SEV store."""
+
+import pytest
+
+from repro.incidents.sev import RootCause, SEVReport, Severity
+from repro.incidents.store import SEVStore
+
+
+def report(sev_id="sev-0", year_h=0.0, causes=(RootCause.HARDWARE,),
+           severity=Severity.SEV2, device="csw.002.c1.dc1.ra"):
+    return SEVReport(
+        sev_id=sev_id,
+        severity=severity,
+        device_name=device,
+        opened_at_h=year_h + 10.0,
+        resolved_at_h=year_h + 14.5,
+        root_causes=tuple(causes),
+        description="traffic drop from faulty hardware module",
+        service_impact="2.4% of requests failed for five minutes",
+    )
+
+
+class TestRoundTrip:
+    def test_insert_and_get(self):
+        with SEVStore() as store:
+            original = report()
+            store.insert(original)
+            loaded = store.get("sev-0")
+            assert loaded == original
+
+    def test_multi_cause_round_trip(self):
+        with SEVStore() as store:
+            store.insert(report(causes=(RootCause.BUG, RootCause.MAINTENANCE)))
+            loaded = store.get("sev-0")
+            assert set(loaded.root_causes) == {
+                RootCause.BUG, RootCause.MAINTENANCE
+            }
+
+    def test_missing_returns_none(self):
+        with SEVStore() as store:
+            assert store.get("nope") is None
+
+    def test_len(self):
+        with SEVStore() as store:
+            assert len(store) == 0
+            store.insert_many(report(sev_id=f"sev-{i}") for i in range(5))
+            assert len(store) == 5
+
+    def test_duplicate_id_rejected(self):
+        with SEVStore() as store:
+            store.insert(report())
+            with pytest.raises(Exception):
+                store.insert(report())
+
+    def test_all_reports_ordered_by_time(self):
+        with SEVStore() as store:
+            store.insert(report(sev_id="late", year_h=8760.0))
+            store.insert(report(sev_id="early", year_h=0.0))
+            ids = [r.sev_id for r in store.all_reports()]
+            assert ids == ["early", "late"]
+
+    def test_years(self):
+        with SEVStore() as store:
+            store.insert(report(sev_id="a", year_h=0.0))
+            store.insert(report(sev_id="b", year_h=2 * 8760.0))
+            assert store.years() == [2011, 2013]
+
+    def test_persistence_to_disk(self, tmp_path):
+        path = str(tmp_path / "sevs.db")
+        with SEVStore(path) as store:
+            store.insert(report())
+        with SEVStore(path) as store:
+            assert len(store) == 1
+            assert store.get("sev-0").device_name == "csw.002.c1.dc1.ra"
+
+    def test_failed_insert_is_atomic(self):
+        # A rejected duplicate must not leave orphan root-cause rows.
+        with SEVStore() as store:
+            store.insert(report(causes=(RootCause.BUG,
+                                        RootCause.MAINTENANCE)))
+            with pytest.raises(Exception):
+                store.insert(report(causes=(RootCause.HARDWARE,)))
+            loaded = store.get("sev-0")
+            assert set(loaded.root_causes) == {
+                RootCause.BUG, RootCause.MAINTENANCE
+            }
+            (n,) = store.connection.execute(
+                "SELECT COUNT(*) FROM sev_root_causes"
+            ).fetchone()
+            assert n == 2
+
+    def test_unknown_device_type_stored_as_null(self):
+        with SEVStore() as store:
+            store.insert(report(device="mystery.001.u.d.r"))
+            loaded = store.get("sev-0")
+            assert loaded.device_type is None

@@ -1,0 +1,98 @@
+"""End-to-end backbone reproduction checks (section 6)."""
+
+import pytest
+
+import repro
+from repro.backbone.tickets import TicketType
+
+
+class TestPipelineIntegrity:
+    def test_emails_drive_the_whole_corpus(self, backbone_corpus):
+        # Every ticket came through the parse-and-ingest path.
+        assert len(backbone_corpus.tickets) > 1000
+        assert all(not t.open for t in backbone_corpus.tickets)
+
+    def test_ticket_mix_includes_maintenance(self, backbone_corpus):
+        kinds = {t.ticket_type for t in backbone_corpus.tickets}
+        assert kinds == {TicketType.REPAIR, TicketType.MAINTENANCE}
+
+    def test_monitor_derives_fewer_edge_failures_than_link_outages(
+        self, backbone_monitor
+    ):
+        links = len(backbone_monitor.link_outages())
+        edges = sum(
+            len(v) for v in backbone_monitor.failures_by_edge().values()
+        )
+        # Path diversity: many link outages never become edge failures.
+        assert 0 < edges < links
+
+
+class TestModelsAgainstPaper:
+    def test_edge_mtbf_model_shape(self, reliability):
+        model = reliability.edge_mtbf_model()
+        # Paper: MTBF_edge(p) = 462.88 e^{2.3408 p}, R^2 = 0.94.
+        assert 300 < model.a < 700
+        assert 2.0 < model.b < 2.9
+        assert model.r2 > 0.9
+
+    def test_edge_mttr_model_shape(self, reliability):
+        model = reliability.edge_mttr_model()
+        # Paper: MTTR_edge(p) = 1.513 e^{4.256 p}, R^2 = 0.87.
+        assert 0.5 < model.a < 3.5
+        assert 3.5 < model.b < 5.2
+        assert model.r2 > 0.85
+
+    def test_vendor_mttr_model_shape(self, reliability):
+        model = reliability.vendor_mttr_model()
+        # Paper: MTTR_vendor(p) = 1.1345 e^{4.7709 p}, R^2 = 0.98.
+        assert 0.5 < model.a < 5.0
+        assert 3.0 < model.b < 5.5
+        assert model.r2 > 0.85
+
+    def test_failure_and_recovery_scales(self, reliability):
+        # Edges fail on the order of weeks-to-months, recover in hours.
+        assert reliability.edge_mtbf.p50 > 24 * 7 * 4  # > a month
+        assert reliability.edge_mttr.p50 < 24  # < a day
+
+
+class TestPlannerConsumesModels:
+    def test_capacity_report_end_to_end(self, backbone_corpus, reliability):
+        report = repro.capacity_report(backbone_corpus.topology, reliability)
+        # The published design point: >= 3 links per edge tolerates the
+        # 99.99th percentile of conditional risk.
+        assert report.deficient_edges == []
+
+    def test_reroute_after_observed_failure(
+        self, backbone_corpus, backbone_monitor
+    ):
+        # Take a real observed edge failure and check the engineer can
+        # quantify the reroute for traffic through a neighbour.
+        failures = backbone_monitor.failures_by_edge()
+        edge = next(iter(sorted(failures)))
+        topo = backbone_corpus.topology
+        failed_links = [l.link_id for l in topo.links_of_edge(edge)]
+        engineer = repro.TrafficEngineer(topo)
+        neighbours = sorted(
+            {l.a for l in topo.links_of_edge(edge)}
+            | {l.b for l in topo.links_of_edge(edge)}
+        )
+        others = [n for n in neighbours if n != edge]
+        result = engineer.reroute(others[0], others[-1], failed_links)
+        # The backbone survives a single edge loss for other pairs.
+        assert result.connected or len(others) < 2
+
+    def test_no_catastrophic_partition_from_single_edge(
+        self, backbone_corpus
+    ):
+        # Section 3.2: no catastrophic partitions that disconnect data
+        # centers; losing one edge's links never splits the rest.
+        topo = backbone_corpus.topology
+        engineer = repro.TrafficEngineer(topo)
+        for edge in list(sorted(topo.edges))[:10]:
+            failed = [l.link_id for l in topo.links_of_edge(edge)]
+            partitioned, components = engineer.partition_report(failed)
+            if partitioned:
+                # Only the failed edge itself may be isolated.
+                isolated = [c for c in components if len(c) == 1]
+                assert all(c == {edge} for c in isolated)
+                assert len(components) == 2

@@ -1,0 +1,120 @@
+"""Tests for dataset interchange."""
+
+import pytest
+
+from repro.backbone.tickets import TicketDatabase, TicketType
+from repro.incidents.sev import RootCause, SEVReport, Severity
+from repro.incidents.store import SEVStore
+from repro.io import (
+    export_sevs_csv,
+    export_sevs_json,
+    export_tickets_csv,
+    export_tickets_json,
+    import_sevs_csv,
+    import_sevs_json,
+    import_tickets_csv,
+    import_tickets_json,
+)
+
+
+@pytest.fixture()
+def small_store():
+    store = SEVStore()
+    store.insert(SEVReport(
+        sev_id="s0", severity=Severity.SEV2,
+        device_name="csw.001.c0.dc1.ra",
+        opened_at_h=10.0, resolved_at_h=15.5,
+        root_causes=(RootCause.HARDWARE, RootCause.MAINTENANCE),
+        description="desc, with comma", service_impact="2.4% failed",
+    ))
+    store.insert(SEVReport(
+        sev_id="s1", severity=Severity.SEV3,
+        device_name="rsw.002.pod1.dc2.rb",
+        opened_at_h=100.0, resolved_at_h=101.0,
+        root_causes=(RootCause.BUG,),
+    ))
+    yield store
+    store.close()
+
+
+@pytest.fixture()
+def small_db():
+    db = TicketDatabase()
+    db.add_completed("fbl-1", "v0", 0.0, 5.0, location="Europe")
+    db.add_completed("fbl-2", "v1", 10.0, 12.0,
+                     ticket_type=TicketType.MAINTENANCE)
+    return db
+
+
+def reports(store):
+    return sorted(
+        ((r.sev_id, r.severity, r.device_name, r.opened_at_h,
+          r.resolved_at_h, tuple(sorted(c.value for c in r.root_causes)))
+         for r in store.all_reports())
+    )
+
+
+class TestSevRoundTrip:
+    def test_csv(self, small_store, tmp_path):
+        path = tmp_path / "sevs.csv"
+        assert export_sevs_csv(small_store, path) == 2
+        loaded = import_sevs_csv(path)
+        assert reports(loaded) == reports(small_store)
+
+    def test_json(self, small_store, tmp_path):
+        path = tmp_path / "sevs.json"
+        assert export_sevs_json(small_store, path) == 2
+        loaded = import_sevs_json(path)
+        assert reports(loaded) == reports(small_store)
+
+    def test_multi_cause_preserved(self, small_store, tmp_path):
+        path = tmp_path / "sevs.csv"
+        export_sevs_csv(small_store, path)
+        loaded = import_sevs_csv(path)
+        assert len(loaded.get("s0").root_causes) == 2
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"nope": []}')
+        with pytest.raises(ValueError, match="missing"):
+            import_sevs_json(path)
+
+    def test_paper_corpus_round_trips(self, paper_store, tmp_path):
+        path = tmp_path / "full.csv"
+        count = export_sevs_csv(paper_store, path)
+        assert count == len(paper_store)
+        loaded = import_sevs_csv(path)
+        assert len(loaded) == len(paper_store)
+
+
+class TestTicketRoundTrip:
+    def test_csv(self, small_db, tmp_path):
+        path = tmp_path / "tickets.csv"
+        assert export_tickets_csv(small_db, path) == 2
+        loaded = import_tickets_csv(path)
+        assert len(loaded) == 2
+        (a, b) = sorted(loaded, key=lambda t: t.started_at_h)
+        assert a.vendor == "v0" and a.location == "Europe"
+        assert b.ticket_type is TicketType.MAINTENANCE
+
+    def test_json(self, small_db, tmp_path):
+        path = tmp_path / "tickets.json"
+        assert export_tickets_json(small_db, path) == 2
+        loaded = import_tickets_json(path)
+        assert loaded.vendors() == ["v0", "v1"]
+
+    def test_open_ticket_rejected(self, tmp_path):
+        from repro.backbone.emails import format_start_email, parse_vendor_email
+
+        db = TicketDatabase()
+        db.ingest(parse_vendor_email(
+            format_start_email("fbl-9", "v", 1.0)
+        ))
+        # Open tickets are excluded from completed() and so export 0.
+        assert export_tickets_csv(db, tmp_path / "t.csv") == 0
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"wrong": 1}')
+        with pytest.raises(ValueError, match="missing"):
+            import_tickets_json(path)

@@ -1,0 +1,225 @@
+"""Property-based tests on core data structures and invariants."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backbone.emails import (
+    format_completion_email,
+    format_start_email,
+    parse_vendor_email,
+)
+from repro.incidents.sev import hours_of_year, year_of_hours
+from repro.simulation.failures import (
+    deterministic_times,
+    interleave_categories,
+    largest_remainder_allocation,
+)
+from repro.stats.expfit import fit_exponential_percentile
+from repro.stats.intervals import (
+    OutageInterval,
+    intersect_all,
+    merge_intervals,
+    total_downtime,
+)
+from repro.stats.mttr import percentile
+from repro.stats.percentile import curve_of_means
+
+# -- strategies --------------------------------------------------------------
+
+intervals_st = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ).map(lambda t: OutageInterval(t[0], t[0] + t[1])),
+    max_size=30,
+)
+
+
+class TestIntervalProperties:
+    @given(intervals_st)
+    def test_merge_is_disjoint_and_sorted(self, intervals):
+        merged = merge_intervals(intervals)
+        for a, b in zip(merged, merged[1:]):
+            assert a.end_h < b.start_h
+
+    @given(intervals_st)
+    def test_merge_preserves_coverage(self, intervals):
+        merged = merge_intervals(intervals)
+        for interval in intervals:
+            for probe in (interval.start_h,
+                          (interval.start_h + interval.end_h) / 2):
+                if interval.duration_h == 0:
+                    continue
+                assert any(
+                    m.start_h <= probe < m.end_h or m.start_h <= probe <= m.end_h
+                    for m in merged
+                )
+
+    @given(intervals_st)
+    def test_merge_idempotent(self, intervals):
+        once = merge_intervals(intervals)
+        assert merge_intervals(once) == once
+
+    @given(intervals_st)
+    def test_downtime_never_exceeds_sum(self, intervals):
+        assert total_downtime(intervals) <= sum(
+            i.duration_h for i in intervals
+        ) + 1e-9
+
+    @given(intervals_st, intervals_st)
+    def test_intersection_within_both(self, a, b):
+        result = intersect_all([a, b])
+        downtime_a = total_downtime(a)
+        downtime_b = total_downtime(b)
+        assert total_downtime(result) <= min(downtime_a, downtime_b) + 1e-9
+
+    @given(intervals_st)
+    def test_intersection_with_self_is_merge(self, intervals):
+        # Zero-length outages contribute no downtime and drop out of
+        # intersections by design.
+        positive = [
+            m for m in merge_intervals(intervals) if m.duration_h > 0
+        ]
+        assert intersect_all([intervals, intervals]) == positive
+
+
+class TestAllocationProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=1, max_size=10,
+        ),
+    )
+    def test_sums_exactly(self, total, weights):
+        counts = largest_remainder_allocation(total, weights)
+        assert sum(counts.values()) == total
+        assert all(c >= 0 for c in counts.values())
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=1, max_size=10,
+        ),
+    )
+    def test_within_one_of_quota(self, total, weights):
+        counts = largest_remainder_allocation(total, weights)
+        weight_sum = sum(weights.values())
+        for key, weight in weights.items():
+            quota = total * weight / weight_sum
+            assert quota - 1 < counts[key] < quota + 1
+
+    @given(st.dictionaries(
+        st.integers(), st.integers(min_value=0, max_value=50),
+        min_size=1, max_size=8,
+    ), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_interleave_realizes_counts(self, counts, seed):
+        seq = interleave_categories(counts, random.Random(seed))
+        assert len(seq) == sum(counts.values())
+        for key, n in counts.items():
+            assert seq.count(key) == n
+
+
+class TestTimeProperties:
+    @given(st.integers(min_value=2011, max_value=2100),
+           st.floats(min_value=0, max_value=8759.9, allow_nan=False))
+    def test_year_round_trip(self, year, offset):
+        assert year_of_hours(hours_of_year(year, offset)) == year
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_deterministic_times_properties(self, n, start, span, seed):
+        times = deterministic_times(n, start, start + span, random.Random(seed))
+        assert len(times) == n
+        assert times == sorted(times)
+        assert all(start <= t < start + span for t in times)
+
+
+class TestPercentileProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=1))
+    def test_percentile_bounded_by_extremes(self, values, fraction):
+        p = percentile(values, fraction)
+        assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_percentile_monotone_in_fraction(self, values):
+        ps = [percentile(values, f) for f in (0.1, 0.5, 0.9)]
+        for lo, hi in zip(ps, ps[1:]):
+            # Interpolation may wobble at float-noise scale.
+            assert lo <= hi + 1e-9 * max(abs(lo), 1.0)
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=40,
+    ))
+    def test_curve_of_means_invariants(self, per_entity):
+        curve = curve_of_means(per_entity)
+        assert list(curve.values) == sorted(curve.values)
+        assert curve.fractions[-1] == pytest.approx(1.0)
+        assert curve.min <= curve.p50 <= curve.max
+        assert set(curve.entities) == set(per_entity)
+
+
+class TestExpFitProperties:
+    @settings(max_examples=40)
+    @given(st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+           st.floats(min_value=-5, max_value=5, allow_nan=False),
+           st.integers(min_value=3, max_value=60))
+    def test_fit_recovers_noiseless_model(self, a, b, n):
+        ps = np.linspace(0.01, 0.99, n)
+        values = a * np.exp(b * ps)
+        model = fit_exponential_percentile(ps, values)
+        assert model.a == pytest.approx(a, rel=1e-4)
+        assert model.b == pytest.approx(b, abs=1e-4)
+        assert model.r2 == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e5,
+                              allow_nan=False), min_size=2, max_size=40))
+    def test_fit_prediction_positive(self, values):
+        ps = [(i + 1) / len(values) for i in range(len(values))]
+        model = fit_exponential_percentile(ps, sorted(values))
+        for p in (0.0, 0.5, 1.0):
+            prediction = model.predict(p)
+            assert prediction > 0
+            assert math.isfinite(prediction)
+
+
+class TestEmailProperties:
+    link_ids = st.from_regex(r"[a-z]{1,6}-[0-9]{1,6}", fullmatch=True)
+    vendors = st.from_regex(r"[a-zA-Z][a-zA-Z0-9 ]{0,12}[a-zA-Z0-9]",
+                            fullmatch=True)
+
+    @given(link_ids, vendors,
+           st.floats(min_value=0, max_value=1e7, allow_nan=False),
+           st.booleans())
+    def test_start_round_trip(self, link, vendor, t, maintenance):
+        email = parse_vendor_email(
+            format_start_email(link, vendor, t, maintenance=maintenance)
+        )
+        assert email.link_id == link
+        assert email.vendor == vendor
+        assert email.event_time_h == pytest.approx(t, abs=1e-3)
+        assert email.is_maintenance is maintenance
+        assert email.is_start
+
+    @given(link_ids, vendors,
+           st.floats(min_value=0, max_value=1e7, allow_nan=False))
+    def test_completion_round_trip(self, link, vendor, t):
+        email = parse_vendor_email(format_completion_email(link, vendor, t))
+        assert email.is_completion
+        assert email.link_id == link

@@ -1,0 +1,128 @@
+"""Property-based tests for the operational substrates."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backbone.planes import (
+    CapacityExhausted,
+    CrossDCDemand,
+    PlanedBackbone,
+)
+from repro.config.model import DeviceConfig, validate_config
+from repro.remediation.policy import RepairPolicy
+from repro.services.catalog import Service, ServiceCatalog, ServiceTier
+from repro.services.placement import place_uniform
+from repro.stats.bootstrap import mean_ci
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+from repro.topology.naming import make_device_name, parse_device_name
+
+units = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+
+
+class TestNamingProperties:
+    @given(st.sampled_from(list(DeviceType)),
+           st.integers(min_value=0, max_value=999),
+           units, units, units)
+    def test_round_trip(self, device_type, index, unit, dc, region):
+        name = make_device_name(device_type, index, unit, dc, region)
+        parsed = parse_device_name(name)
+        assert parsed.device_type is device_type
+        assert parsed.index == index
+        assert (parsed.unit, parsed.datacenter, parsed.region) == (
+            unit, dc, region
+        )
+
+
+class TestPlaneProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=1.0, max_value=200.0),
+                    min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=6))
+    def test_assignment_never_overloads(self, volumes, planes):
+        backbone = PlanedBackbone(["a", "b"], plane_capacity_gbps=250.0,
+                                  planes=planes)
+        demands = [
+            CrossDCDemand(f"d{i}", "a", "b", v)
+            for i, v in enumerate(volumes)
+        ]
+        try:
+            backbone.assign_all(demands)
+        except CapacityExhausted:
+            pass
+        util = backbone.utilization()
+        assert all(u <= 1.0 + 1e-9 for u in util.values())
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=1.0, max_value=60.0),
+                    min_size=1, max_size=12))
+    def test_reassignment_partitions_demands(self, volumes):
+        backbone = PlanedBackbone(["a", "b"], plane_capacity_gbps=100.0)
+        demands = [
+            CrossDCDemand(f"d{i}", "a", "b", v)
+            for i, v in enumerate(volumes)
+        ]
+        backbone.fail_plane(0)
+        assignments, dropped = backbone.reassign_after_failures(demands)
+        assert set(assignments) | set(dropped) == {d.name for d in demands}
+        assert not set(assignments) & set(dropped)
+        assert 0 not in assignments.values()
+
+
+class TestConfigProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=16),
+           st.lists(st.booleans(), max_size=8))
+    def test_validate_is_deterministic_and_pure(self, paths, ports):
+        config = DeviceConfig("csw.001.c0.dc1.ra")
+        config = config.with_load_balance_paths(paths)
+        for i, enabled in enumerate(ports):
+            config = config.with_interface(i, enabled)
+        first = validate_config(config)
+        second = validate_config(config)
+        assert first == second
+        # Validation never mutates the config.
+        assert config.load_balance_paths == paths
+
+
+class TestPlacementProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=8),
+                    min_size=1, max_size=6))
+    def test_uniform_placement_respects_counts(self, replica_counts):
+        network = build_fabric_network("dc1", "ra", pods=1,
+                                       racks_per_pod=10, ssws=2, esws=2,
+                                       cores=2)
+        catalog = ServiceCatalog([
+            Service(f"s{i}", ServiceTier.WEB, replicas=n)
+            for i, n in enumerate(replica_counts)
+        ])
+        placement = place_uniform(catalog, network)
+        for i, n in enumerate(replica_counts):
+            racks = placement.racks_of(f"s{i}")
+            assert len(racks) == n
+            assert len(set(racks)) == n  # anti-affinity
+
+
+class TestPolicyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_priorities_always_in_bounds(self, seed):
+        policy = RepairPolicy(seed=seed)
+        for device_type in (DeviceType.CORE, DeviceType.FSW,
+                            DeviceType.RSW):
+            for _ in range(20):
+                assert 0 <= policy.priority(device_type) <= 3
+
+
+class TestBootstrapProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4),
+                    min_size=2, max_size=60),
+           st.integers(min_value=0, max_value=1000))
+    def test_interval_brackets_point(self, sample, seed):
+        ci = mean_ci(sample, resamples=200, seed=seed)
+        assert ci.low <= ci.point <= ci.high

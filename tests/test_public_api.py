@@ -1,0 +1,61 @@
+"""Public API surface checks."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_all_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.backbone
+        import repro.config
+        import repro.core
+        import repro.drtest
+        import repro.fleet
+        import repro.incidents
+        import repro.io
+        import repro.remediation
+        import repro.services
+        import repro.simulation
+        import repro.stats
+        import repro.topology
+        import repro.viz
+
+        for module in (repro.backbone, repro.config, repro.core,
+                       repro.drtest, repro.fleet, repro.incidents,
+                       repro.io, repro.remediation, repro.services,
+                       repro.simulation, repro.stats, repro.topology,
+                       repro.viz):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing {name}"
+                )
+
+    def test_quickstart_from_docstring(self):
+        # The module docstring's quickstart must actually run.
+        store = repro.IntraSimulator(
+            repro.paper_scenario(scale=0.05)
+        ).run()
+        table2 = repro.root_cause_breakdown(store)
+        assert sum(table2.distribution().values()) > 0.99
+
+    def test_analyses_never_import_paperdata(self):
+        # The reproduction contract: repro.core recovers the numbers
+        # from data; it must not read the published constants.
+        import pathlib
+
+        core_dir = pathlib.Path(repro.__file__).parent / "core"
+        for path in core_dir.glob("*.py"):
+            for line in path.read_text().splitlines():
+                assert not (
+                    line.strip().startswith(("import", "from"))
+                    and "paperdata" in line
+                ), f"{path.name} imports the published constants"

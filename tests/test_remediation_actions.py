@@ -1,0 +1,58 @@
+"""Tests for repair actions (section 4.1.3)."""
+
+from repro.remediation.actions import RepairAction, execute_action
+from repro.topology.devices import Device, DeviceType
+
+
+class TestPlaybooks:
+    def test_port_cycle_restores_ports(self):
+        device = Device("rsw.001.pod1.dc1.ra", DeviceType.RSW)
+        device.add_ports(4)
+        device.ports[2].up = False
+        outcome = execute_action(RepairAction.PORT_CYCLE, device)
+        assert outcome.fixed
+        assert all(p.up for p in device.ports)
+
+    def test_port_cycle_without_device(self):
+        outcome = execute_action(RepairAction.PORT_CYCLE)
+        assert outcome.fixed
+        assert "port" in outcome.detail
+
+    def test_config_restart_fixes(self):
+        outcome = execute_action(RepairAction.CONFIG_SERVICE_RESTART)
+        assert outcome.fixed
+        assert "ssh" in outcome.detail
+
+    def test_fan_alert_needs_technician(self):
+        outcome = execute_action(RepairAction.FAN_ALERT)
+        assert not outcome.fixed
+        assert outcome.technician_notified
+        assert "fan" in outcome.detail
+
+    def test_liveness_task_needs_technician(self):
+        outcome = execute_action(RepairAction.LIVENESS_TASK)
+        assert not outcome.fixed
+        assert outcome.technician_notified
+
+    def test_device_restart_reactivates(self):
+        device = Device("fsw.001.pod1.dc1.ra", DeviceType.FSW)
+        device.drain()
+        outcome = execute_action(RepairAction.DEVICE_RESTART, device)
+        assert outcome.fixed
+        assert device.is_active
+
+    def test_storage_restore(self):
+        assert execute_action(RepairAction.STORAGE_RESTORE).fixed
+
+    def test_other_is_generic_fix(self):
+        assert execute_action(RepairAction.OTHER).fixed
+
+
+class TestTechnicianFlag:
+    def test_only_fan_and_liveness_end_at_humans(self):
+        human_terminated = {
+            a for a in RepairAction if a.needs_technician
+        }
+        assert human_terminated == {
+            RepairAction.FAN_ALERT, RepairAction.LIVENESS_TASK
+        }

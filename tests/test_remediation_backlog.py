@@ -1,0 +1,92 @@
+"""Tests for the repair-workforce queueing model (section 5.6)."""
+
+import pytest
+
+from repro.remediation.backlog import (
+    RepairQueue,
+    fleet_escalation_rate,
+    technicians_needed,
+)
+
+
+class TestRepairQueue:
+    def test_light_load(self):
+        queue = RepairQueue(arrival_per_h=1.0, service_per_h=2.0,
+                            technicians=2)
+        assert queue.stable
+        assert queue.utilization == pytest.approx(0.25)
+        assert queue.waiting_probability() < 0.15
+        assert queue.mean_wait_h() < 0.1
+
+    def test_mm1_closed_form(self):
+        # For c=1, P(wait) = rho and Lq = rho^2/(1-rho).
+        queue = RepairQueue(arrival_per_h=0.5, service_per_h=1.0,
+                            technicians=1)
+        rho = 0.5
+        assert queue.waiting_probability() == pytest.approx(rho)
+        assert queue.mean_queue_length() == pytest.approx(
+            rho ** 2 / (1 - rho)
+        )
+
+    def test_unstable_queue_detected(self):
+        queue = RepairQueue(arrival_per_h=5.0, service_per_h=1.0,
+                            technicians=3)
+        assert not queue.stable
+        with pytest.raises(ValueError, match="overwhelmed"):
+            queue.mean_wait_h()
+
+    def test_more_technicians_less_waiting(self):
+        small = RepairQueue(4.0, 1.0, technicians=5)
+        large = RepairQueue(4.0, 1.0, technicians=10)
+        assert large.mean_wait_h() < small.mean_wait_h()
+
+    def test_zero_arrivals(self):
+        queue = RepairQueue(0.0, 1.0, technicians=1)
+        assert queue.mean_wait_h() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RepairQueue(-1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            RepairQueue(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            RepairQueue(1.0, 1.0, 0)
+
+
+class TestTechniciansNeeded:
+    def test_meets_wait_target(self):
+        c = technicians_needed(arrival_per_h=4.0, service_per_h=1.0,
+                               max_wait_h=0.5)
+        queue = RepairQueue(4.0, 1.0, c)
+        assert queue.mean_wait_h() <= 0.5
+        if c > 1:
+            smaller = RepairQueue(4.0, 1.0, c - 1)
+            assert (not smaller.stable
+                    or smaller.mean_wait_h() > 0.5)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            technicians_needed(1.0, 1.0, max_wait_h=0.0)
+
+    def test_ceiling(self):
+        with pytest.raises(ValueError, match="no pool"):
+            technicians_needed(1e6, 1.0, max_wait_h=1e-9, ceiling=5)
+
+
+class TestFleetScale:
+    def test_escalation_rate(self):
+        assert fleet_escalation_rate(8760) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            fleet_escalation_rate(-1)
+
+    def test_paper_scale_fleet_needs_few_humans(self, paper_store):
+        """Section 5.6's design rule holds at corpus scale: the 2017
+        incident load fits a small on-call pool."""
+        from repro.incidents.query import SEVQuery
+
+        incidents_2017 = SEVQuery(paper_store).total(2017)
+        arrival = fleet_escalation_rate(incidents_2017)
+        # One incident averages ~4 hours of engineer touch time.
+        pool = technicians_needed(arrival, service_per_h=0.25,
+                                  max_wait_h=1.0)
+        assert pool <= 3

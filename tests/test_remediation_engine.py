@@ -1,0 +1,127 @@
+"""Tests for the remediation engine (section 4.1)."""
+
+import pytest
+
+from repro.remediation.engine import (
+    DEFAULT_ISSUE_MIX,
+    DeviceIssue,
+    IssueKind,
+    RemediationEngine,
+)
+from repro.topology.devices import DeviceType
+
+
+def issue(n=0, device_type=DeviceType.RSW, kind=IssueKind.PORT_PING_FAILURE,
+          at=100.0):
+    return DeviceIssue(
+        issue_id=f"iss-{n}",
+        device_name=f"{device_type.value}.001.pod1.dc1.ra",
+        device_type=device_type,
+        raised_at_h=at,
+        kind=kind,
+    )
+
+
+class TestCoverage:
+    def test_covered_types(self):
+        engine = RemediationEngine()
+        assert engine.covers(DeviceType.RSW)
+        assert engine.covers(DeviceType.FSW)
+        assert engine.covers(DeviceType.CORE)
+        assert not engine.covers(DeviceType.CSA)
+        assert not engine.covers(DeviceType.CSW)
+
+    def test_disabled_engine_covers_nothing(self):
+        engine = RemediationEngine(enabled=False)
+        assert not engine.covers(DeviceType.RSW)
+
+    def test_uncovered_issue_escalates_immediately(self):
+        engine = RemediationEngine()
+        assert engine.handle(issue(device_type=DeviceType.CSA)) is False
+        stats = engine.stats(DeviceType.CSA)
+        assert stats.issues == 1 and stats.escalated == 1
+        assert len(engine.tickets) == 1
+
+
+class TestRepairLoop:
+    def test_rsw_issues_almost_always_fixed(self):
+        engine = RemediationEngine(seed=11)
+        fixed = sum(engine.handle(issue(n)) for n in range(1000))
+        # Table 1: 99.7% repair ratio for RSWs.
+        assert fixed >= 985
+
+    def test_core_issues_often_escalate(self):
+        engine = RemediationEngine(seed=12)
+        fixed = sum(
+            engine.handle(issue(n, DeviceType.CORE)) for n in range(400)
+        )
+        # Table 1: Cores are fixed 75% of the time.
+        assert 0.68 <= fixed / 400 <= 0.82
+
+    def test_scheduled_execution_honors_time(self):
+        engine = RemediationEngine(seed=13)
+        engine.submit(issue(at=0.0))
+        # RSW repairs wait ~a day: nothing should run in minute one.
+        assert engine.advance(now_h=0.01) == []
+        outcomes = engine.drain()
+        assert len(outcomes) == 1
+
+    def test_fan_issue_opens_technician_ticket_even_when_fixed(self):
+        engine = RemediationEngine(seed=14)
+        engine.handle(issue(kind=IssueKind.FAN_FAILURE))
+        assert len(engine.tickets) >= 1
+
+    def test_stats_accumulate(self):
+        engine = RemediationEngine(seed=15)
+        for n in range(50):
+            engine.handle(issue(n))
+        stats = engine.stats(DeviceType.RSW)
+        assert stats.issues == 50
+        assert stats.remediated + stats.escalated == 50
+        assert len(stats.priorities) == 50
+        assert stats.avg_wait_h > 0
+        assert stats.avg_repair_s > 0
+
+    def test_escalation_one_in(self):
+        engine = RemediationEngine(
+            success_ratio={DeviceType.RSW: 0.5}, seed=16
+        )
+        for n in range(400):
+            engine.handle(issue(n))
+        assert engine.stats(DeviceType.RSW).escalation_one_in == pytest.approx(
+            2.0, rel=0.25
+        )
+
+    def test_disabled_engine_escalates_everything(self):
+        engine = RemediationEngine(enabled=False, seed=17)
+        for n in range(20):
+            assert engine.handle(issue(n)) is False
+        assert engine.stats(DeviceType.RSW).escalated == 20
+
+
+class TestIssueSampling:
+    def test_sample_matches_published_mix(self):
+        engine = RemediationEngine(seed=18)
+        draws = [engine.sample_issue_kind() for _ in range(8000)]
+        port_share = draws.count(IssueKind.PORT_PING_FAILURE) / len(draws)
+        config_share = draws.count(IssueKind.CONFIG_BACKUP_FAILURE) / len(draws)
+        # Section 4.1.3: 50% port pings, 32.4% config backups.
+        assert port_share == pytest.approx(
+            DEFAULT_ISSUE_MIX[IssueKind.PORT_PING_FAILURE], abs=0.03
+        )
+        assert config_share == pytest.approx(
+            DEFAULT_ISSUE_MIX[IssueKind.CONFIG_BACKUP_FAILURE], abs=0.03
+        )
+
+    def test_kind_maps_to_action(self):
+        assert IssueKind.PORT_PING_FAILURE.action.value == "port_cycle"
+        assert IssueKind.FAN_FAILURE.action.needs_technician
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        a = RemediationEngine(seed=42)
+        b = RemediationEngine(seed=42)
+        results_a = [a.handle(issue(n)) for n in range(100)]
+        results_b = [b.handle(issue(n)) for n in range(100)]
+        assert results_a == results_b

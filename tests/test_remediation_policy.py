@@ -1,0 +1,99 @@
+"""Tests for repair prioritization and scheduling (Table 1)."""
+
+import pytest
+
+from repro.remediation.policy import (
+    HIGHEST_PRIORITY,
+    LOWEST_PRIORITY,
+    RepairPolicy,
+    RepairSchedule,
+    ScheduledRepair,
+)
+from repro.topology.devices import DeviceType
+
+
+class TestPriorities:
+    def test_core_always_highest(self):
+        policy = RepairPolicy(seed=1)
+        assert all(
+            policy.priority(DeviceType.CORE) == HIGHEST_PRIORITY
+            for _ in range(50)
+        )
+
+    def test_fsw_mean_priority_matches_table1(self):
+        policy = RepairPolicy(seed=2)
+        draws = [policy.priority(DeviceType.FSW) for _ in range(4000)]
+        assert set(draws) <= {2, 3}
+        assert sum(draws) / len(draws) == pytest.approx(2.25, abs=0.05)
+
+    def test_rsw_mean_priority_matches_table1(self):
+        policy = RepairPolicy(seed=3)
+        draws = [policy.priority(DeviceType.RSW) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(2.22, abs=0.05)
+
+    def test_priority_bounds(self):
+        policy = RepairPolicy(seed=4)
+        for device_type in (DeviceType.CORE, DeviceType.FSW, DeviceType.RSW):
+            for _ in range(100):
+                p = policy.priority(device_type)
+                assert HIGHEST_PRIORITY <= p <= LOWEST_PRIORITY
+
+    def test_uncovered_type_raises(self):
+        policy = RepairPolicy()
+        with pytest.raises(KeyError, match="does not cover"):
+            policy.priority(DeviceType.CSA)
+
+
+class TestWaitsAndDurations:
+    def test_mean_wait_matches_table1(self):
+        policy = RepairPolicy(seed=5)
+        waits = []
+        for _ in range(6000):
+            pri = policy.priority(DeviceType.RSW)
+            waits.append(policy.wait_hours(DeviceType.RSW, pri))
+        # Table 1: RSW repairs wait about one day on average.
+        assert sum(waits) / len(waits) == pytest.approx(24.0, rel=0.1)
+
+    def test_core_wait_is_minutes(self):
+        policy = RepairPolicy(seed=6)
+        waits = [
+            policy.wait_hours(DeviceType.CORE, 0) for _ in range(6000)
+        ]
+        assert sum(waits) / len(waits) == pytest.approx(4 / 60, rel=0.1)
+
+    def test_lower_priority_waits_longer_in_expectation(self):
+        policy = RepairPolicy(seed=7)
+        p2 = [policy.wait_hours(DeviceType.FSW, 2) for _ in range(4000)]
+        p3 = [policy.wait_hours(DeviceType.FSW, 3) for _ in range(4000)]
+        assert sum(p3) / len(p3) > sum(p2) / len(p2)
+
+    def test_repair_seconds_match_table1(self):
+        policy = RepairPolicy(seed=8)
+        reps = [policy.repair_seconds(DeviceType.CORE) for _ in range(6000)]
+        assert sum(reps) / len(reps) == pytest.approx(30.1, rel=0.1)
+
+    def test_covers(self):
+        policy = RepairPolicy()
+        assert policy.covers(DeviceType.RSW)
+        assert not policy.covers(DeviceType.CSW)
+
+
+class TestSchedule:
+    def test_priority_then_time_ordering(self):
+        schedule = RepairSchedule()
+        schedule.push(ScheduledRepair(2, 5.0, "b", DeviceType.RSW))
+        schedule.push(ScheduledRepair(0, 9.0, "a", DeviceType.CORE))
+        schedule.push(ScheduledRepair(2, 1.0, "c", DeviceType.RSW))
+        ready = schedule.pop_ready(10.0)
+        assert [r.issue_id for r in ready] == ["a", "c", "b"]
+
+    def test_pop_ready_respects_time(self):
+        schedule = RepairSchedule()
+        schedule.push(ScheduledRepair(0, 5.0, "later", DeviceType.CORE))
+        assert schedule.pop_ready(4.0) == []
+        assert len(schedule) == 1
+        assert schedule.peek().issue_id == "later"
+        assert [r.issue_id for r in schedule.pop_ready(5.0)] == ["later"]
+
+    def test_empty_peek(self):
+        assert RepairSchedule().peek() is None

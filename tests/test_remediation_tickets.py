@@ -1,0 +1,60 @@
+"""Tests for the technician ticket queue."""
+
+import pytest
+
+from repro.remediation.tickets import TicketQueue
+from repro.topology.devices import DeviceType
+
+
+class TestTicketQueue:
+    def test_open_ticket(self):
+        queue = TicketQueue()
+        ticket = queue.open_ticket("rsw.001.pod1.dc1.ra", DeviceType.RSW,
+                                   10.0, "fan failure")
+        assert ticket.open
+        assert len(queue) == 1
+        assert queue.open_tickets() == [ticket]
+
+    def test_unique_ids(self):
+        queue = TicketQueue()
+        ids = {
+            queue.open_ticket("rsw.001.p.d.r", DeviceType.RSW, 0.0, "x").ticket_id
+            for _ in range(5)
+        }
+        assert len(ids) == 5
+
+    def test_close(self):
+        queue = TicketQueue()
+        ticket = queue.open_ticket("core.001.plane.dc1.ra", DeviceType.CORE,
+                                   5.0, "down")
+        ticket.close(9.0)
+        assert not ticket.open
+        assert queue.open_tickets() == []
+
+    def test_close_twice_rejected(self):
+        queue = TicketQueue()
+        ticket = queue.open_ticket("core.001.plane.dc1.ra", DeviceType.CORE,
+                                   5.0, "down")
+        ticket.close(9.0)
+        with pytest.raises(ValueError, match="already closed"):
+            ticket.close(10.0)
+
+    def test_close_before_open_rejected(self):
+        queue = TicketQueue()
+        ticket = queue.open_ticket("core.001.plane.dc1.ra", DeviceType.CORE,
+                                   5.0, "down")
+        with pytest.raises(ValueError, match="before it opens"):
+            ticket.close(4.0)
+
+    def test_for_type(self):
+        queue = TicketQueue()
+        queue.open_ticket("rsw.001.p.d.r", DeviceType.RSW, 0.0, "a")
+        queue.open_ticket("fsw.001.p.d.r", DeviceType.FSW, 0.0, "b")
+        queue.open_ticket("rsw.002.p.d.r", DeviceType.RSW, 0.0, "c")
+        assert len(queue.for_type(DeviceType.RSW)) == 2
+        assert len(queue.for_type(DeviceType.CSA)) == 0
+
+    def test_iteration(self):
+        queue = TicketQueue()
+        queue.open_ticket("rsw.001.p.d.r", DeviceType.RSW, 0.0, "a")
+        assert [t.summary for t in queue] == ["a"]

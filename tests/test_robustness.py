@@ -1,0 +1,127 @@
+"""Robustness and failure-injection tests on the substrates.
+
+Hostile or merely weird inputs must not corrupt the stores or crash
+the parsers in uncontrolled ways.
+"""
+
+import pytest
+
+from repro.backbone.emails import EmailParseError, parse_vendor_email
+from repro.backbone.tickets import TicketDatabase
+from repro.incidents.query import SEVQuery
+from repro.incidents.sev import RootCause, SEVReport, Severity
+from repro.incidents.store import SEVStore
+
+
+class TestStoreHostileStrings:
+    def insert_with(self, description, impact="", device="rsw.001.p.d.r"):
+        store = SEVStore()
+        store.insert(SEVReport(
+            sev_id="s0", severity=Severity.SEV3, device_name=device,
+            opened_at_h=1.0, resolved_at_h=2.0,
+            root_causes=(RootCause.BUG,),
+            description=description, service_impact=impact,
+        ))
+        return store
+
+    def test_sql_metacharacters_in_description(self):
+        evil = "'; DROP TABLE sevs; --"
+        store = self.insert_with(evil)
+        assert store.get("s0").description == evil
+        assert len(store) == 1
+        store.close()
+
+    def test_sql_metacharacters_in_device_name(self):
+        evil = 'rsw.";--.p.d.r'
+        store = self.insert_with("x", device=evil)
+        loaded = store.get("s0")
+        assert loaded.device_name == evil
+        # The prefix parser still classifies it as an RSW name prefix.
+        from repro.topology.devices import DeviceType
+
+        assert loaded.device_type is DeviceType.RSW
+        store.close()
+
+    def test_unicode_round_trip(self):
+        text = "câble coupé — 光ファイバー切断 🚨"
+        store = self.insert_with(text, impact=text)
+        assert store.get("s0").description == text
+        store.close()
+
+    def test_query_layer_survives_hostile_rows(self):
+        store = self.insert_with("a'b\"c")
+        query = SEVQuery(store)
+        assert query.total() == 1
+        assert sum(query.count_by_root_cause().values()) == 1
+        store.close()
+
+
+class TestEmailParserHostileInput:
+    def test_empty_string(self):
+        with pytest.raises(EmailParseError):
+            parse_vendor_email("")
+
+    def test_header_only_colon_spam(self):
+        raw = ":::\n\n"
+        with pytest.raises(EmailParseError):
+            parse_vendor_email(raw)
+
+    def test_enormous_body_ignored(self):
+        from repro.backbone.emails import format_start_email
+
+        raw = format_start_email("fbl-1", "v", 1.0) + "\n" + "x" * 100_000
+        email = parse_vendor_email(raw)
+        assert email.link_id == "fbl-1"
+
+    def test_header_value_with_colons(self):
+        raw = ("Notification-Type: REPAIR_START\nLink-Id: a:b:c\n"
+               "Vendor: v\nEvent-Time-H: 1.0\n\n")
+        assert parse_vendor_email(raw).link_id == "a:b:c"
+
+    def test_crlf_line_endings(self):
+        raw = ("Notification-Type: REPAIR_START\r\nLink-Id: fbl-1\r\n"
+               "Vendor: v\r\nEvent-Time-H: 1.0\r\n\r\nbody")
+        email = parse_vendor_email(raw)
+        assert email.vendor == "v"
+
+
+class TestTicketDatabaseConsistency:
+    def test_failed_ingest_leaves_db_consistent(self):
+        from repro.backbone.emails import (
+            format_completion_email,
+            format_start_email,
+        )
+
+        db = TicketDatabase()
+        db.ingest(parse_vendor_email(format_start_email("fbl-1", "v", 10.0)))
+        # A bad completion (time travel) must not close or lose the
+        # open ticket.
+        with pytest.raises(ValueError):
+            db.ingest(parse_vendor_email(
+                format_completion_email("fbl-1", "v", 5.0)
+            ))
+        assert len(db.open_tickets()) == 1
+        db.ingest(parse_vendor_email(
+            format_completion_email("fbl-1", "v", 20.0)
+        ))
+        assert len(db.completed()) == 1
+
+    def test_interleaved_ref_and_link_matching(self):
+        from repro.backbone.emails import (
+            format_completion_email,
+            format_start_email,
+        )
+
+        db = TicketDatabase()
+        db.ingest(parse_vendor_email(
+            format_start_email("fbl-1", "v", 1.0, ticket_ref="wo-1")
+        ))
+        db.ingest(parse_vendor_email(format_start_email("fbl-1", "v", 2.0)))
+        db.ingest(parse_vendor_email(
+            format_completion_email("fbl-1", "v", 3.0)
+        ))
+        db.ingest(parse_vendor_email(
+            format_completion_email("fbl-1", "v", 4.0, ticket_ref="wo-1")
+        ))
+        durations = sorted(t.duration_h for t in db.completed())
+        assert durations == pytest.approx([1.0, 3.0])

@@ -1,0 +1,73 @@
+"""Tests for the service catalog."""
+
+import pytest
+
+from repro.services.catalog import (
+    Service,
+    ServiceCatalog,
+    ServiceTier,
+    reference_catalog,
+)
+
+
+class TestService:
+    def test_valid(self):
+        s = Service("web", ServiceTier.WEB, replicas=4)
+        assert s.tolerates_single_rack_loss
+
+    def test_single_replica_fragile(self):
+        s = Service("pet", ServiceTier.STORAGE, replicas=1)
+        assert not s.tolerates_single_rack_loss
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Service("x", ServiceTier.WEB, replicas=0)
+        with pytest.raises(ValueError):
+            Service("x", ServiceTier.WEB, replicas=1, capacity_rps=0)
+
+
+class TestCatalog:
+    def test_add_get_contains(self):
+        catalog = ServiceCatalog([Service("a", ServiceTier.WEB, 2)])
+        assert catalog.get("a").tier is ServiceTier.WEB
+        assert "a" in catalog and "b" not in catalog
+        with pytest.raises(KeyError):
+            catalog.get("b")
+
+    def test_duplicate_rejected(self):
+        catalog = ServiceCatalog([Service("a", ServiceTier.WEB, 2)])
+        with pytest.raises(ValueError, match="duplicate"):
+            catalog.add(Service("a", ServiceTier.CACHE, 2))
+
+    def test_iteration_sorted(self):
+        catalog = ServiceCatalog([
+            Service("b", ServiceTier.WEB, 2),
+            Service("a", ServiceTier.CACHE, 2),
+        ])
+        assert [s.name for s in catalog] == ["a", "b"]
+
+    def test_of_tier(self):
+        catalog = reference_catalog()
+        storage = catalog.of_tier(ServiceTier.STORAGE)
+        assert len(storage) == 2
+        assert all(s.tier is ServiceTier.STORAGE for s in storage)
+
+
+class TestReferenceCatalog:
+    def test_covers_paper_families(self):
+        # Section 4.1 names five production system families.
+        catalog = reference_catalog()
+        tiers = {s.tier for s in catalog}
+        assert tiers == set(ServiceTier)
+
+    def test_cross_dc_services_are_bulk_tiers(self):
+        # Section 3.2: cross-DC traffic is replication/consistency bulk
+        # transfer from storage and processing back ends.
+        catalog = reference_catalog()
+        for service in catalog.cross_datacenter_services():
+            assert service.tier in (ServiceTier.STORAGE,
+                                    ServiceTier.DATA_PROCESSING)
+
+    def test_all_replicated(self):
+        for service in reference_catalog():
+            assert service.tolerates_single_rack_loss

@@ -1,0 +1,133 @@
+"""Tests for the failure-to-impact model and masking analysis."""
+
+import pytest
+
+from repro.services.catalog import Service, ServiceCatalog, ServiceTier
+from repro.services.impact import ImpactKind, ImpactModel
+from repro.services.masking import masking_report
+from repro.services.placement import place_uniform
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+from repro.topology.graph import build_graph
+
+
+@pytest.fixture()
+def world():
+    network = build_fabric_network("dc1", "ra", pods=2, racks_per_pod=8,
+                                   ssws=4, esws=2, cores=2)
+    catalog = ServiceCatalog([
+        Service("web", ServiceTier.WEB, replicas=8),
+        Service("cache", ServiceTier.CACHE, replicas=4),
+        Service("blob", ServiceTier.STORAGE, replicas=3,
+                cross_datacenter=True),
+        Service("pet", ServiceTier.MONITORING, replicas=1),
+    ])
+    placement = place_uniform(catalog, network)
+    model = ImpactModel(catalog, placement, build_graph(network))
+    return network, catalog, placement, model
+
+
+class TestSingleFailures:
+    def test_rsw_loss_is_retries_for_replicated_services(self, world):
+        network, catalog, placement, model = world
+        rack = placement.racks_of("web")[0]
+        assessment = model.assess([rack])
+        impact = assessment.impacts["web"]
+        assert impact.kind is ImpactKind.RETRIES
+        assert impact.replicas_lost == 1
+
+    def test_rsw_loss_downs_unreplicated_service(self, world):
+        network, catalog, placement, model = world
+        rack = placement.racks_of("pet")[0]
+        assessment = model.assess([rack])
+        assert assessment.impacts["pet"].kind is ImpactKind.DOWNTIME
+        assert not assessment.fully_masked
+
+    def test_fsw_loss_fully_masked(self, world):
+        # The 1:4 RSW:FSW connectivity masks a single FSW failure.
+        network, _, _, model = world
+        fsw = next(network.devices_of_type(DeviceType.FSW)).name
+        assessment = model.assess([fsw])
+        assert assessment.fully_masked
+
+    def test_core_loss_slows_cross_dc_services(self, world):
+        network, _, _, model = world
+        core = next(network.devices_of_type(DeviceType.CORE)).name
+        assessment = model.assess([core])
+        assert assessment.impacts["blob"].kind is (
+            ImpactKind.INCREASED_LATENCY
+        )
+        assert assessment.impacts["web"].kind is ImpactKind.NONE
+
+    def test_unknown_device_rejected(self, world):
+        _, _, _, model = world
+        with pytest.raises(KeyError):
+            model.assess(["ghost"])
+
+
+class TestCorrelatedFailures:
+    def test_losing_every_pod_fsw_strands_the_pod(self, world):
+        network, catalog, placement, model = world
+        pod_fsws = [
+            d.name for d in network.devices_of_type(DeviceType.FSW)
+            if ".pod0." in d.name
+        ]
+        assessment = model.assess(pod_fsws)
+        # Every pod0 rack is stranded; services lose those replicas.
+        assert not assessment.fully_masked
+
+    def test_capacity_overload(self, world):
+        # Lose enough cache racks that survivors exceed headroom: the
+        # section 4.2 CSA example's failure mode.
+        network, catalog, placement, model = world
+        racks = placement.racks_of("cache")
+        assessment = model.assess(racks[:3])
+        impact = assessment.impacts["cache"]
+        assert impact.kind is ImpactKind.LOST_CAPACITY
+        assert 0 < impact.failed_request_fraction < 1
+
+    def test_total_loss_is_downtime(self, world):
+        network, catalog, placement, model = world
+        assessment = model.assess(placement.racks_of("cache"))
+        assert assessment.impacts["cache"].kind is ImpactKind.DOWNTIME
+        assert assessment.worst_kind is ImpactKind.DOWNTIME
+
+
+class TestHeadroom:
+    def test_headroom_validation(self, world):
+        network, catalog, placement, _ = world
+        with pytest.raises(ValueError):
+            ImpactModel(catalog, placement, build_graph(network),
+                        overload_headroom=0.5)
+
+
+class TestMaskingReport:
+    def test_fabric_masks_most_single_faults(self, world):
+        network, _, _, model = world
+        report = masking_report(model, network.devices.values())
+        # FSW/SSW/ESW single failures are fully masked by path
+        # diversity -- the section 2 argument for studying incidents
+        # rather than raw faults.
+        for t in (DeviceType.FSW, DeviceType.SSW, DeviceType.ESW):
+            assert report.masked_fraction(t) == 1.0
+        # RSW failures surface (single-TOR design), though replication
+        # turns them into retries rather than downtime.
+        assert report.masked_fraction(DeviceType.RSW) < 0.5
+        assert report.surfaced(DeviceType.RSW) > 0
+
+    def test_ordering(self, world):
+        network, _, _, model = world
+        report = masking_report(model, network.devices.values())
+        order = report.ordered_by_masking()
+        assert order[-1] in (DeviceType.RSW, DeviceType.CORE)
+
+    def test_empty_type_raises(self, world):
+        network, _, _, model = world
+        report = masking_report(model, [])
+        with pytest.raises(ValueError):
+            report.masked_fraction(DeviceType.RSW)
+
+    def test_repeat_validation(self, world):
+        network, _, _, model = world
+        with pytest.raises(ValueError):
+            masking_report(model, network.devices.values(), repeat=0)

@@ -1,0 +1,87 @@
+"""Tests for service placement."""
+
+import pytest
+
+from repro.services.catalog import Service, ServiceCatalog, ServiceTier
+from repro.services.placement import Placement, place_service, place_uniform
+from repro.topology.fabric import build_fabric_network
+
+
+@pytest.fixture()
+def network():
+    return build_fabric_network("dc1", "ra", pods=2, racks_per_pod=8,
+                                ssws=4, esws=2, cores=2)
+
+
+@pytest.fixture()
+def catalog():
+    return ServiceCatalog([
+        Service("web", ServiceTier.WEB, replicas=6),
+        Service("store", ServiceTier.STORAGE, replicas=3),
+    ])
+
+
+class TestPlaceUniform:
+    def test_every_service_placed(self, network, catalog):
+        placement = place_uniform(catalog, network)
+        assert len(placement.racks_of("web")) == 6
+        assert len(placement.racks_of("store")) == 3
+
+    def test_anti_affinity_holds(self, network, catalog):
+        placement = place_uniform(catalog, network)
+        assert placement.validate_anti_affinity() == []
+
+    def test_too_many_replicas_rejected(self, network):
+        greedy = ServiceCatalog([
+            Service("huge", ServiceTier.WEB, replicas=1000)
+        ])
+        with pytest.raises(ValueError, match="only"):
+            place_uniform(greedy, network)
+
+    def test_no_racks_rejected(self, catalog):
+        class Empty:
+            devices = {}
+
+        with pytest.raises(ValueError, match="no racks"):
+            place_uniform(catalog, Empty())
+
+
+class TestPlacementQueries:
+    def test_replicas_lost_and_remaining(self, network, catalog):
+        placement = place_uniform(catalog, network)
+        racks = placement.racks_of("web")
+        failed = set(racks[:2])
+        assert placement.replicas_lost("web", failed) == 2
+        assert placement.replicas_remaining("web", failed) == 4
+
+    def test_services_on(self, network, catalog):
+        placement = place_uniform(catalog, network)
+        rack = placement.racks_of("web")[0]
+        assert "web" in placement.services_on(rack)
+
+    def test_unplaced_service_raises(self):
+        with pytest.raises(KeyError):
+            Placement().racks_of("ghost")
+
+    def test_anti_affinity_violation_detected(self):
+        placement = Placement(replica_racks={
+            "bad": ["rsw.001.p.d.r", "rsw.001.p.d.r"],
+            "good": ["rsw.001.p.d.r", "rsw.002.p.d.r"],
+        })
+        assert placement.validate_anti_affinity() == ["bad"]
+
+
+class TestExplicitPlacement:
+    def test_place_service(self):
+        placement = Placement()
+        service = Service("s", ServiceTier.CACHE, replicas=2)
+        place_service(placement, service,
+                      ["rsw.001.p.d.r", "rsw.002.p.d.r"])
+        assert placement.racks_of("s") == ["rsw.001.p.d.r",
+                                           "rsw.002.p.d.r"]
+
+    def test_replica_count_enforced(self):
+        placement = Placement()
+        service = Service("s", ServiceTier.CACHE, replicas=2)
+        with pytest.raises(ValueError, match="needs 2"):
+            place_service(placement, service, ["rsw.001.p.d.r"])

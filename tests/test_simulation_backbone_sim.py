@@ -1,0 +1,122 @@
+"""Tests for the backbone corpus generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.backbone.monitor import BackboneMonitor
+from repro.simulation.backbone_sim import BackboneSimulator
+from repro.simulation.scenarios import paper_backbone_scenario
+from repro.topology.backbone import Continent
+
+
+class TestWorldConstruction:
+    def test_edge_count_and_shares(self, backbone_corpus):
+        topo = backbone_corpus.topology
+        assert len(topo.edges) == 100
+        na = len(topo.edges_on(Continent.NORTH_AMERICA))
+        assert na == 37
+
+    def test_every_edge_has_min_links(self, backbone_corpus):
+        topo = backbone_corpus.topology
+        for name in topo.edges:
+            assert len(topo.links_of_edge(name)) >= 3
+
+    def test_flaky_vendor_present(self, backbone_corpus):
+        assert "vendor-flaky" in backbone_corpus.vendors
+
+    def test_targets_for_every_edge(self, backbone_corpus):
+        assert set(backbone_corpus.edge_targets) == set(
+            backbone_corpus.topology.edges
+        )
+        for mtbf, mttr in backbone_corpus.edge_targets.values():
+            assert mtbf > 0 and mttr > 0
+
+    def test_connected(self, backbone_corpus):
+        assert len(backbone_corpus.topology.partitions([])) == 1
+
+
+class TestCorpus:
+    def test_tickets_all_completed(self, backbone_corpus):
+        db = backbone_corpus.tickets
+        assert len(db.open_tickets()) == 0
+        assert len(db.completed()) == len(db)
+
+    def test_tickets_inside_window(self, backbone_corpus):
+        for ticket in backbone_corpus.tickets:
+            assert 0 <= ticket.started_at_h
+            assert ticket.completed_at_h <= backbone_corpus.window_h * 1.3
+
+    def test_every_edge_fails_at_least_twice(
+        self, backbone_corpus, backbone_monitor
+    ):
+        failures = backbone_monitor.failures_by_edge()
+        for edge in backbone_corpus.topology.edges:
+            assert len(failures.get(edge, [])) >= 2
+
+    def test_email_and_direct_paths_agree(self):
+        scenario = paper_backbone_scenario(seed=21)
+        via_email = BackboneSimulator(scenario).run(via_emails=True)
+        direct = BackboneSimulator(scenario).run(via_emails=False)
+        em = sorted(
+            (t.link_id, t.started_at_h, t.completed_at_h)
+            for t in via_email.tickets
+        )
+        di = sorted(
+            (t.link_id, t.started_at_h, t.completed_at_h)
+            for t in direct.tickets
+        )
+        assert len(em) == len(di)
+        for (la, sa, ca), (lb, sb, cb) in zip(em, di):
+            # E-mails carry timestamps at 1e-4 h resolution.
+            assert la == lb
+            assert sa == pytest.approx(sb, abs=1e-3)
+            assert ca == pytest.approx(cb, abs=1e-3)
+
+    def test_deterministic_given_seed(self):
+        a = BackboneSimulator(paper_backbone_scenario(seed=9)).run()
+        b = BackboneSimulator(paper_backbone_scenario(seed=9)).run()
+        assert len(a.tickets) == len(b.tickets)
+        assert a.edge_targets == b.edge_targets
+
+    def test_flaky_vendor_dominates_failures(
+        self, backbone_corpus, backbone_monitor
+    ):
+        by_vendor = backbone_monitor.outages_by_vendor()
+        flaky = len(by_vendor["vendor-flaky"])
+        others = max(
+            len(v) for k, v in by_vendor.items() if k != "vendor-flaky"
+        )
+        assert flaky > 3 * others
+
+
+class TestScenarioVariants:
+    def test_no_flaky_vendor(self):
+        scenario = dataclasses.replace(
+            paper_backbone_scenario(seed=4), include_flaky_vendor=False
+        )
+        corpus = BackboneSimulator(scenario).run(via_emails=False)
+        assert "vendor-flaky" not in corpus.vendors
+
+    def test_more_links_per_edge_reduces_edge_failures(self):
+        # The section 3.2 path-diversity claim, as an ablation: more
+        # links per edge means more simultaneous outages are needed.
+        base = paper_backbone_scenario(seed=11)
+        redundant = dataclasses.replace(base, links_per_edge=5)
+        corpus_a = BackboneSimulator(base).run(via_emails=False)
+        corpus_b = BackboneSimulator(redundant).run(via_emails=False)
+        monitor_a = BackboneMonitor(corpus_a.topology, corpus_a.tickets)
+        monitor_b = BackboneMonitor(corpus_b.topology, corpus_b.tickets)
+        # Severing episodes fail the edge regardless, but *accidental*
+        # failures from overlapping independent outages shrink, so the
+        # count never grows.
+        total_a = sum(len(v) for v in monitor_a.failures_by_edge().values())
+        total_b = sum(len(v) for v in monitor_b.failures_by_edge().values())
+        assert total_b <= total_a * 1.1
+
+    def test_low_noise_off_still_produces_corpus(self):
+        scenario = dataclasses.replace(
+            paper_backbone_scenario(seed=12), low_noise=False
+        )
+        corpus = BackboneSimulator(scenario).run(via_emails=False)
+        assert len(corpus.tickets) > 100

@@ -1,0 +1,46 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.simulation.clock import HOURS_PER_MONTH, HOURS_PER_YEAR, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_epoch(self):
+        clock = SimClock()
+        assert clock.now_h == 0.0
+        assert clock.year == 2011
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(HOURS_PER_YEAR + 1.0)
+        assert clock.year == 2012
+
+    def test_no_time_travel(self):
+        clock = SimClock(100.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(50.0)
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_to_year(self):
+        clock = SimClock()
+        clock.advance_to_year(2015)
+        assert clock.year == 2015
+        assert clock.now_h == 4 * HOURS_PER_YEAR
+
+    def test_month_window(self):
+        start, end = SimClock.month_window(2018, 4)
+        assert end - start == pytest.approx(HOURS_PER_MONTH)
+        assert start == pytest.approx(7 * HOURS_PER_YEAR + 3 * HOURS_PER_MONTH)
+
+    def test_month_window_validates(self):
+        with pytest.raises(ValueError):
+            SimClock.month_window(2018, 0)
+        with pytest.raises(ValueError):
+            SimClock.month_window(2018, 13)
+
+    def test_repr(self):
+        assert "2011" in repr(SimClock())

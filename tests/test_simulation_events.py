@@ -1,0 +1,57 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "b")
+        queue.schedule(1.0, "a")
+        queue.schedule(9.0, "c")
+        fired = queue.run_all()
+        assert [e.kind for e in fired] == ["a", "b", "c"]
+
+    def test_tie_break_by_insertion(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        fired = queue.run_all()
+        assert [e.kind for e in fired] == ["first", "second"]
+
+    def test_run_until_boundary(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "in")
+        queue.schedule(2.0, "boundary")
+        queue.schedule(3.0, "out")
+        fired = queue.run_until(2.0)
+        assert [e.kind for e in fired] == ["in", "boundary"]
+        assert len(queue) == 1
+
+    def test_actions_invoked_and_may_reschedule(self):
+        queue = EventQueue()
+        log = []
+
+        def reschedule(event):
+            log.append(event.at_h)
+            if event.at_h < 3.0:
+                queue.schedule(event.at_h + 1.0, "tick", action=reschedule)
+
+        queue.schedule(1.0, "tick", action=reschedule)
+        queue.run_all()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_pop_and_peek(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+        assert queue.peek() is None
+        queue.schedule(1.0, "a", payload={"x": 1})
+        assert queue.peek().payload == {"x": 1}
+        assert queue.pop().kind == "a"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, "bad")

@@ -1,0 +1,101 @@
+"""Tests for failure-process primitives."""
+
+import random
+
+import pytest
+
+from repro.simulation.failures import (
+    deterministic_times,
+    interleave_categories,
+    largest_remainder_allocation,
+    poisson_times,
+)
+
+
+class TestPoissonTimes:
+    def test_rate_matches_expectation(self):
+        rng = random.Random(1)
+        times = poisson_times(0.01, 0.0, 100_000.0, rng)
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_times_inside_window_and_sorted(self):
+        rng = random.Random(2)
+        times = poisson_times(0.1, 50.0, 150.0, rng)
+        assert all(50.0 <= t < 150.0 for t in times)
+        assert times == sorted(times)
+
+    def test_zero_rate(self):
+        assert poisson_times(0.0, 0.0, 100.0, random.Random(0)) == []
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            poisson_times(-1.0, 0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            poisson_times(1.0, 10.0, 0.0, rng)
+
+
+class TestDeterministicTimes:
+    def test_exact_count(self):
+        rng = random.Random(3)
+        assert len(deterministic_times(17, 0.0, 100.0, rng)) == 17
+
+    def test_one_per_slot(self):
+        rng = random.Random(4)
+        times = deterministic_times(10, 0.0, 100.0, rng)
+        slots = [int(t // 10) for t in times]
+        assert slots == list(range(10))
+
+    def test_zero(self):
+        assert deterministic_times(0, 0.0, 10.0, random.Random(0)) == []
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            deterministic_times(-1, 0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            deterministic_times(1, 10.0, 0.0, rng)
+
+
+class TestLargestRemainder:
+    def test_sums_to_total(self):
+        counts = largest_remainder_allocation(
+            600, {"core": 0.34, "rsw": 0.28, "rest": 0.38}
+        )
+        assert sum(counts.values()) == 600
+
+    def test_proportions_within_one_unit(self):
+        weights = {"a": 0.17, "b": 0.13, "c": 0.70}
+        counts = largest_remainder_allocation(100, weights)
+        for key, weight in weights.items():
+            assert abs(counts[key] - 100 * weight) < 1.0
+
+    def test_unnormalized_weights(self):
+        counts = largest_remainder_allocation(10, {"a": 2.0, "b": 2.0})
+        assert counts == {"a": 5, "b": 5}
+
+    def test_zero_total(self):
+        counts = largest_remainder_allocation(0, {"a": 1.0})
+        assert counts == {"a": 0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            largest_remainder_allocation(-1, {"a": 1.0})
+        with pytest.raises(ValueError):
+            largest_remainder_allocation(1, {})
+        with pytest.raises(ValueError):
+            largest_remainder_allocation(1, {"a": 0.0})
+        with pytest.raises(ValueError):
+            largest_remainder_allocation(1, {"a": -1.0, "b": 2.0})
+
+
+class TestInterleave:
+    def test_realizes_counts(self):
+        rng = random.Random(5)
+        seq = interleave_categories({"x": 3, "y": 2}, rng)
+        assert len(seq) == 5
+        assert seq.count("x") == 3 and seq.count("y") == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_categories({"x": -1}, random.Random(0))

@@ -1,0 +1,119 @@
+"""Tests for the live fleet simulator."""
+
+import pytest
+
+from repro.incidents.query import SEVQuery
+from repro.remediation.engine import RemediationEngine
+from repro.simulation.fleetsim import FleetSimulator
+from repro.topology.cluster import build_cluster_network
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import build_fabric_network
+
+
+def fabric():
+    return build_fabric_network("dc1", "ra", pods=2, racks_per_pod=8,
+                                ssws=4, esws=2, cores=2)
+
+
+class TestRun:
+    def test_conservation_laws(self):
+        sim = FleetSimulator(fabric(), fault_rate_per_device_h=5e-3, seed=3)
+        report = sim.run(200.0)
+        # Every fault raises exactly one alarm (the sweep catches it),
+        # and every alarm is either auto-repaired or escalated.
+        assert report.alarms_raised == report.faults_injected
+        assert (report.auto_repaired + report.escalated
+                == report.alarms_raised)
+        # Every escalation becomes exactly one SEV.
+        assert report.sevs == report.escalated
+        assert len(sim.store) == report.sevs
+
+    def test_most_faults_auto_repaired(self):
+        # The section 4.1 story: the vast majority of issues never
+        # become incidents on covered fabric devices.
+        sim = FleetSimulator(fabric(), fault_rate_per_device_h=1e-2, seed=4)
+        report = sim.run(300.0)
+        assert report.faults_injected > 30
+        assert report.auto_repaired > report.escalated
+
+    def test_fleet_recovers(self):
+        from repro.switchagent.agent import AgentState
+
+        sim = FleetSimulator(fabric(), fault_rate_per_device_h=5e-3, seed=5)
+        sim.run(200.0)
+        # Post-run, every agent is healthy again (repair ladder works).
+        down = [
+            a for a in sim.agents.values()
+            if a.state is not AgentState.RUNNING
+        ]
+        # Faults injected after the last sweep may still be down.
+        assert len(down) <= 2
+
+    def test_disabled_engine_escalates_everything(self):
+        engine = RemediationEngine(enabled=False, seed=6)
+        sim = FleetSimulator(fabric(), engine=engine,
+                             fault_rate_per_device_h=5e-3, seed=6)
+        report = sim.run(150.0)
+        assert report.auto_repaired == 0
+        assert report.escalated == report.alarms_raised
+
+    def test_sevs_classified_by_device_type(self):
+        sim = FleetSimulator(fabric(), fault_rate_per_device_h=1e-2, seed=7)
+        report = sim.run(300.0)
+        if report.sevs:
+            by_type = SEVQuery(sim.store).count_by_type()
+            assert sum(by_type.values()) == report.sevs
+            assert all(t in DeviceType for t in by_type)
+
+    def test_cluster_network_core_and_vendor_devices(self):
+        # Cluster networks carry vendor-stack devices (CSA/CSW) that
+        # the engine does not cover: their faults always escalate.
+        net = build_cluster_network("dc1", "ra", clusters=2,
+                                    racks_per_cluster=4, csas=2, cores=2)
+        sim = FleetSimulator(net, fault_rate_per_device_h=2e-2, seed=8)
+        report = sim.run(200.0)
+        csw_faults = report.per_type_faults.get(DeviceType.CSW, 0)
+        if csw_faults:
+            csw_sevs = SEVQuery(sim.store).count_by_type().get(
+                DeviceType.CSW, 0
+            )
+            assert csw_sevs == pytest.approx(csw_faults, abs=2)
+
+    def test_deterministic_given_seed(self):
+        a = FleetSimulator(fabric(), fault_rate_per_device_h=5e-3, seed=9)
+        b = FleetSimulator(fabric(), fault_rate_per_device_h=5e-3, seed=9)
+        ra = a.run(150.0)
+        rb = b.run(150.0)
+        assert ra.faults_injected == rb.faults_injected
+        assert ra.sevs == rb.sevs
+
+    def test_impact_model_annotates_sevs(self):
+        from repro.services import (
+            ImpactModel,
+            place_uniform,
+            reference_catalog,
+        )
+        from repro.topology.graph import build_graph
+
+        net = build_fabric_network("dc1", "ra", pods=2, racks_per_pod=36,
+                                   ssws=4, esws=2, cores=2)
+        catalog = reference_catalog()
+        model = ImpactModel(catalog, place_uniform(catalog, net),
+                            build_graph(net))
+        sim = FleetSimulator(net, fault_rate_per_device_h=5e-3,
+                             impact_model=model, seed=3)
+        report = sim.run(150.0)
+        if report.sevs:
+            impacts = {r.service_impact for r in sim.store.all_reports()}
+            assert all(
+                "masked" in text or "for " in text for text in impacts
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(fabric(), fault_rate_per_device_h=0.0)
+        with pytest.raises(ValueError):
+            FleetSimulator(fabric(), sweep_interval_h=0.0)
+        sim = FleetSimulator(fabric())
+        with pytest.raises(ValueError):
+            sim.run(0.0)

@@ -1,0 +1,131 @@
+"""Tests for the calibrated scenario presets."""
+
+import pytest
+
+from repro.incidents.sev import RootCause, Severity
+from repro.simulation.scenarios import (
+    IntraScenario,
+    no_drain_policy_scenario,
+    paper_backbone_scenario,
+    paper_scenario,
+    shifted_fabric_scenario,
+)
+from repro.topology.devices import DeviceType
+
+
+class TestPaperScenario:
+    def test_years(self):
+        assert paper_scenario().years == list(range(2011, 2018))
+
+    def test_growth_factor(self):
+        sc = paper_scenario()
+        # Section 5.4: SEVs grew 9.4x from 2011 to 2017.
+        growth = sc.total_incidents(2017) / sc.total_incidents(2011)
+        assert growth == pytest.approx(9.4, abs=0.1)
+
+    def test_no_fabric_incidents_before_rollout(self):
+        sc = paper_scenario()
+        for year in range(2011, sc.fabric_year):
+            for t in (DeviceType.ESW, DeviceType.SSW, DeviceType.FSW):
+                assert sc.incident_counts[year].get(t, 0) == 0
+
+    def test_severity_mixes_sum_to_one(self):
+        sc = paper_scenario()
+        for mix in sc.severity_mix.values():
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_root_cause_mix_matches_table2(self):
+        sc = paper_scenario()
+        assert sc.root_cause_mix[RootCause.UNDETERMINED] == pytest.approx(0.29)
+        assert sc.root_cause_mix[RootCause.MAINTENANCE] == pytest.approx(0.17)
+
+    def test_irt_mu_matches_p75_target(self):
+        import math
+
+        sc = paper_scenario()
+        for year, target in sc.p75_irt_h.items():
+            p75 = math.exp(sc.irt_mu(year) + 0.67449 * sc.irt_sigma)
+            assert p75 == pytest.approx(target, rel=1e-6)
+
+    def test_scaling(self):
+        small = paper_scenario(scale=0.1)
+        assert small.total_incidents(2017) == pytest.approx(60, abs=3)
+        with pytest.raises(ValueError):
+            paper_scenario(scale=-1)
+
+    def test_validation_rejects_premature_fabric(self):
+        sc = paper_scenario()
+        counts = {y: dict(c) for y, c in sc.incident_counts.items()}
+        counts[2012][DeviceType.FSW] = 5
+        with pytest.raises(ValueError, match="precede"):
+            IntraScenario(
+                fleet=sc.fleet, incident_counts=counts,
+                severity_mix=sc.severity_mix,
+                root_cause_mix=sc.root_cause_mix,
+                p75_irt_h=sc.p75_irt_h,
+            )
+
+    def test_validation_rejects_bad_severity_mix(self):
+        sc = paper_scenario()
+        mix = {t: dict(m) for t, m in sc.severity_mix.items()}
+        mix[DeviceType.RSW][Severity.SEV1] = 0.5
+        with pytest.raises(ValueError, match="sums to"):
+            IntraScenario(
+                fleet=sc.fleet, incident_counts=sc.incident_counts,
+                severity_mix=mix, root_cause_mix=sc.root_cause_mix,
+                p75_irt_h=sc.p75_irt_h,
+            )
+
+
+class TestAblationScenarios:
+    def test_no_drain_policy_keeps_csa_rate_high(self):
+        base = paper_scenario()
+        ablated = no_drain_policy_scenario()
+        for year in (2015, 2016, 2017):
+            assert (ablated.incident_counts[year][DeviceType.CSA]
+                    > base.incident_counts[year][DeviceType.CSA])
+
+    def test_shifted_fabric_moves_first_fabric_year(self):
+        shifted = shifted_fabric_scenario(2016)
+        assert shifted.incident_counts[2015].get(DeviceType.FSW, 0) == 0
+        assert shifted.incident_counts[2016].get(DeviceType.FSW, 0) > 0
+        # The series is the original rollout trajectory, shifted.
+        base = paper_scenario()
+        assert (shifted.incident_counts[2016][DeviceType.FSW]
+                == base.incident_counts[2015][DeviceType.FSW])
+
+    def test_shifted_fabric_rejects_past(self):
+        with pytest.raises(ValueError):
+            shifted_fabric_scenario(2014)
+
+
+class TestBackboneScenario:
+    def test_shares_match_table4(self):
+        sc = paper_backbone_scenario()
+        total = sc.edge_count
+        shares = {c: n / total for c, n in sc.continent_edges.items()}
+        assert shares[list(shares)[0]] >= 0  # shape check below
+        values = sorted(shares.values(), reverse=True)
+        assert values[0] == pytest.approx(0.37, abs=0.01)
+        assert values[-1] == pytest.approx(0.02, abs=0.01)
+
+    def test_window_is_eighteen_months(self):
+        sc = paper_backbone_scenario()
+        assert sc.window_h == pytest.approx(18 * 730.0)
+
+    def test_models_from_paper(self):
+        sc = paper_backbone_scenario()
+        assert sc.edge_mtbf_model.a == pytest.approx(462.88)
+        assert sc.edge_mttr_model.b == pytest.approx(4.256)
+        assert sc.vendor_mttr_model.a == pytest.approx(1.1345)
+
+    def test_validation(self):
+        import dataclasses
+
+        sc = paper_backbone_scenario()
+        with pytest.raises(ValueError):
+            paper_backbone_scenario(links_per_edge=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(sc, window_h=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(sc, maintenance_fraction=1.5)

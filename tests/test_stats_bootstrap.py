@@ -1,0 +1,85 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean_ci,
+    median_ci,
+)
+
+
+class TestConfidenceInterval:
+    def test_half_width_and_contains(self):
+        ci = ConfidenceInterval(10.0, 8.0, 13.0, 0.95, 1000)
+        assert ci.half_width == pytest.approx(2.5)
+        assert ci.contains(9.0)
+        assert not ci.contains(13.5)
+
+    def test_point_inside_enforced(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(20.0, 8.0, 13.0, 0.95, 1000)
+
+    def test_str(self):
+        assert "@95%" in str(ConfidenceInterval(1.0, 0.5, 1.5, 0.95, 100))
+
+
+class TestBootstrap:
+    def test_mean_ci_covers_truth(self):
+        rng = np.random.default_rng(4)
+        sample = rng.exponential(scale=10.0, size=400)
+        ci = mean_ci(sample, seed=4)
+        assert ci.contains(10.0)
+        assert ci.half_width < 2.5
+
+    def test_median_ci_covers_truth(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(50.0, 5.0, size=400)
+        ci = median_ci(sample, seed=5)
+        assert ci.contains(50.0)
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(6)
+        small = mean_ci(rng.normal(0, 1, 30), seed=6)
+        large = mean_ci(rng.normal(0, 1, 3000), seed=6)
+        assert large.half_width < small.half_width
+
+    def test_wider_at_higher_confidence(self):
+        rng = np.random.default_rng(7)
+        sample = rng.normal(0, 1, 100)
+        narrow = mean_ci(sample, confidence=0.8, seed=7)
+        wide = mean_ci(sample, confidence=0.99, seed=7)
+        assert wide.half_width > narrow.half_width
+
+    def test_custom_statistic(self):
+        sample = list(range(1, 101))
+        ci = bootstrap_ci(sample, lambda a: float(np.percentile(a, 90)),
+                          seed=8)
+        assert 80 <= ci.point <= 95
+
+    def test_deterministic_for_seed(self):
+        sample = [1.0, 2.0, 5.0, 9.0, 12.0]
+        a = mean_ci(sample, seed=9)
+        b = mean_ci(sample, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0])
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], resamples=3)
+
+
+class TestOnBackboneCorpus:
+    def test_edge_mtbf_p50_interval(self, reliability):
+        """The EXPERIMENTS.md tolerance for Figure 15's p50 should be
+        wider than the statistical wobble of the estimate itself."""
+        ci = median_ci(reliability.edge_mtbf.values, seed=1)
+        assert ci.contains(reliability.edge_mtbf.p50)
+        # Our tolerance band is +-15%; the bootstrap half-width is
+        # comfortably inside it.
+        assert ci.half_width < 0.3 * reliability.edge_mtbf.p50

@@ -1,0 +1,106 @@
+"""Tests for exponential percentile fitting (section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.expfit import (
+    ExponentialModel,
+    fit_exponential_percentile,
+    r_squared,
+    sample_from_model,
+)
+
+
+class TestExponentialModel:
+    def test_predict(self):
+        model = ExponentialModel(a=462.88, b=2.3408, r2=0.94)
+        # The paper's own anchors: 50% of edges fail less than once
+        # every ~1710 hours.
+        assert model.predict(0.5) == pytest.approx(1492, rel=0.02)
+        assert model.predict(0.0) == pytest.approx(462.88)
+
+    def test_predict_rejects_out_of_range(self):
+        model = ExponentialModel(a=1.0, b=1.0, r2=1.0)
+        with pytest.raises(ValueError):
+            model.predict(1.5)
+        with pytest.raises(ValueError):
+            model.predict_many([0.2, -0.1])
+
+    def test_str(self):
+        model = ExponentialModel(a=1.513, b=4.256, r2=0.87)
+        assert "1.513" in str(model)
+        assert "0.87" in str(model)
+
+
+class TestFitting:
+    def test_recovers_exact_exponential(self):
+        ps = np.linspace(0.05, 0.95, 20)
+        values = 462.88 * np.exp(2.3408 * ps)
+        model = fit_exponential_percentile(ps, values)
+        assert model.a == pytest.approx(462.88, rel=1e-6)
+        assert model.b == pytest.approx(2.3408, rel=1e-6)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        ps = np.linspace(0.02, 0.98, 50)
+        values = 10.0 * np.exp(3.0 * ps) * np.exp(rng.normal(0, 0.2, 50))
+        model = fit_exponential_percentile(ps, values)
+        assert model.a == pytest.approx(10.0, rel=0.3)
+        assert model.b == pytest.approx(3.0, rel=0.15)
+        assert model.r2 > 0.85
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="same length"):
+            fit_exponential_percentile([0.1, 0.2], [1.0])
+        with pytest.raises(ValueError, match="two points"):
+            fit_exponential_percentile([0.5], [2.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_exponential_percentile([0.1, 0.9], [1.0, 0.0])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            fit_exponential_percentile([0.1, 1.9], [1.0, 2.0])
+
+    def test_decreasing_curve_has_negative_b(self):
+        ps = np.linspace(0.1, 0.9, 9)
+        model = fit_exponential_percentile(ps, 100 * np.exp(-2 * ps))
+        assert model.b < 0
+
+
+class TestRSquared:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_observed(self):
+        y = np.full(3, 5.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1) == 0.0
+
+
+class TestSampling:
+    def test_sample_count_and_monotone(self):
+        model = ExponentialModel(a=2.0, b=1.5, r2=1.0)
+        ps, values = sample_from_model(model, 10)
+        assert len(ps) == len(values) == 10
+        assert list(values) == sorted(values)
+
+    def test_jitter_reproducible(self):
+        model = ExponentialModel(a=2.0, b=1.5, r2=1.0)
+        _, a = sample_from_model(model, 10, jitter=0.5, seed=1)
+        _, b = sample_from_model(model, 10, jitter=0.5, seed=1)
+        assert np.allclose(a, b)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            sample_from_model(ExponentialModel(1, 1, 1), 0)
+
+    def test_fit_of_sample_recovers_model(self):
+        model = ExponentialModel(a=5.0, b=2.0, r2=1.0)
+        ps, values = sample_from_model(model, 40)
+        fit = fit_exponential_percentile(ps, values)
+        assert fit.a == pytest.approx(5.0, rel=0.01)
+        assert fit.b == pytest.approx(2.0, rel=0.01)

@@ -1,0 +1,86 @@
+"""Tests for outage intervals."""
+
+import pytest
+
+from repro.stats.intervals import (
+    OutageInterval,
+    intersect_all,
+    merge_intervals,
+    total_downtime,
+)
+
+
+def iv(a, b):
+    return OutageInterval(a, b)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert iv(2.0, 5.5).duration_h == pytest.approx(3.5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            iv(5.0, 4.0)
+
+    def test_overlap(self):
+        assert iv(0, 10).overlaps(iv(5, 15))
+        assert not iv(0, 10).overlaps(iv(10, 20))  # touching, not overlapping
+        assert not iv(0, 1).overlaps(iv(2, 3))
+
+    def test_intersect(self):
+        assert iv(0, 10).intersect(iv(5, 15)) == iv(5, 10)
+        with pytest.raises(ValueError):
+            iv(0, 1).intersect(iv(2, 3))
+
+
+class TestMerge:
+    def test_disjoint_kept(self):
+        assert merge_intervals([iv(0, 1), iv(2, 3)]) == [iv(0, 1), iv(2, 3)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([iv(0, 5), iv(3, 8)]) == [iv(0, 8)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([iv(0, 5), iv(5, 8)]) == [iv(0, 8)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([iv(6, 7), iv(0, 2), iv(1, 3)]) == [
+            iv(0, 3), iv(6, 7)
+        ]
+
+    def test_contained_absorbed(self):
+        assert merge_intervals([iv(0, 10), iv(2, 4)]) == [iv(0, 10)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestIntersectAll:
+    def test_edge_failure_semantics(self):
+        # Three links; the edge is down only when all three overlap.
+        link_a = [iv(0, 10), iv(20, 30)]
+        link_b = [iv(5, 25)]
+        link_c = [iv(8, 22)]
+        assert intersect_all([link_a, link_b, link_c]) == [
+            iv(8, 10), iv(20, 22)
+        ]
+
+    def test_no_common_window(self):
+        assert intersect_all([[iv(0, 1)], [iv(2, 3)]]) == []
+
+    def test_single_set_passthrough(self):
+        assert intersect_all([[iv(1, 2), iv(1.5, 3)]]) == [iv(1, 3)]
+
+    def test_empty_input(self):
+        assert intersect_all([]) == []
+
+    def test_one_empty_set_kills_everything(self):
+        assert intersect_all([[iv(0, 10)], []]) == []
+
+
+class TestDowntime:
+    def test_total_downtime_merges_overlaps(self):
+        assert total_downtime([iv(0, 5), iv(3, 8), iv(10, 11)]) == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert total_downtime([]) == 0.0

@@ -1,0 +1,88 @@
+"""Tests for MTBF/MTTR estimators."""
+
+import math
+
+import pytest
+
+from repro.stats.intervals import OutageInterval
+from repro.stats.mtbf import (
+    mean_time_between,
+    mtbf_from_intervals,
+    mtbi_device_hours,
+)
+from repro.stats.mttr import mean_time_to_recovery, p75, percentile
+
+
+class TestMeanTimeBetween:
+    def test_regular_events(self):
+        assert mean_time_between([0.0, 10.0, 20.0, 30.0]) == pytest.approx(10.0)
+
+    def test_unsorted_input(self):
+        assert mean_time_between([20.0, 0.0, 10.0]) == pytest.approx(10.0)
+
+    def test_single_event_uses_window(self):
+        assert mean_time_between([5.0], window_h=100.0) == 100.0
+
+    def test_single_event_without_window_raises(self):
+        with pytest.raises(ValueError):
+            mean_time_between([5.0])
+
+    def test_no_events_raises(self):
+        with pytest.raises(ValueError):
+            mean_time_between([], window_h=10.0)
+
+    def test_from_intervals_uses_starts(self):
+        intervals = [OutageInterval(0, 2), OutageInterval(10, 11)]
+        assert mtbf_from_intervals(intervals) == pytest.approx(10.0)
+
+
+class TestMTBIDeviceHours:
+    def test_paper_convention(self):
+        # 920 Cores producing 204 incidents in a year: ~39.5k device-hours.
+        assert mtbi_device_hours(920, 204) == pytest.approx(39506, rel=1e-3)
+
+    def test_zero_incidents_is_infinite(self):
+        assert math.isinf(mtbi_device_hours(100, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mtbi_device_hours(-1, 5)
+        with pytest.raises(ValueError):
+            mtbi_device_hours(1, -5)
+
+
+class TestMTTR:
+    def test_mean_duration(self):
+        intervals = [OutageInterval(0, 4), OutageInterval(10, 12)]
+        assert mean_time_to_recovery(intervals) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_time_to_recovery([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_p75_interpolates(self):
+        assert p75([0.0, 1.0, 2.0, 3.0]) == pytest.approx(2.25)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 0.5) == 5

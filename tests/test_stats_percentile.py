@@ -1,0 +1,90 @@
+"""Tests for percentile curves (Figures 15-18)."""
+
+import pytest
+
+from repro.stats.percentile import (
+    PercentileCurve,
+    curve_from_samples,
+    curve_of_means,
+)
+
+
+@pytest.fixture()
+def curve():
+    return curve_of_means({
+        "e3": 30.0, "e1": 10.0, "e4": 40.0, "e2": 20.0, "e5": 50.0,
+    })
+
+
+class TestConstruction:
+    def test_sorted_ascending(self, curve):
+        assert curve.values == (10.0, 20.0, 30.0, 40.0, 50.0)
+        assert curve.entities == ("e1", "e2", "e3", "e4", "e5")
+
+    def test_fractions(self, curve):
+        assert curve.fractions == (0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_rejects_unsorted_direct_construction(self):
+        with pytest.raises(ValueError, match="sorted"):
+            PercentileCurve(entities=("a", "b"), values=(2.0, 1.0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="align"):
+            PercentileCurve(entities=("a",), values=(1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            curve_of_means({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PercentileCurve(entities=("a",), values=(-1.0,))
+
+
+class TestStatistics:
+    def test_p50_p90(self, curve):
+        assert curve.p50 == pytest.approx(25.0)
+        assert curve.p90 == pytest.approx(45.0)
+
+    def test_min_max_std(self, curve):
+        assert curve.min == 10.0
+        assert curve.max == 50.0
+        assert curve.std == pytest.approx(14.142, rel=1e-3)
+
+    def test_value_at_bounds(self, curve):
+        assert curve.value_at(0.0) == 10.0
+        assert curve.value_at(1.0) == 50.0
+        with pytest.raises(ValueError):
+            curve.value_at(1.2)
+
+    def test_rows(self, curve):
+        rows = curve.rows()
+        assert rows[0] == ("e1", 0.2, 10.0)
+        assert len(rows) == 5
+
+
+class TestFitting:
+    def test_fit_exponential(self):
+        import math
+
+        per_entity = {
+            f"e{i}": 5.0 * math.exp(2.0 * (i + 1) / 20) for i in range(20)
+        }
+        model = curve_of_means(per_entity).fit_exponential()
+        assert model.a == pytest.approx(5.0, rel=0.02)
+        assert model.b == pytest.approx(2.0, rel=0.02)
+
+    def test_fit_needs_positive_points(self):
+        curve = PercentileCurve(entities=("a", "b"), values=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            curve.fit_exponential()
+
+
+class TestFromSamples:
+    def test_means_computed(self):
+        curve = curve_from_samples({"a": [1.0, 3.0], "b": [10.0]})
+        assert curve.values == (2.0, 10.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            curve_from_samples({"a": []})

@@ -1,0 +1,64 @@
+"""Tests for yearly time-series normalizations."""
+
+import pytest
+
+from repro.stats.timeseries import YearlyCounts, yearly_fraction
+
+
+@pytest.fixture()
+def counts():
+    yc = YearlyCounts()
+    yc.add(2011, "core", 3)
+    yc.add(2011, "rsw", 7)
+    yc.add(2017, "core", 30)
+    yc.add(2017, "rsw", 60)
+    yc.add(2017, "fsw", 10)
+    return yc
+
+
+class TestYearlyCounts:
+    def test_add_accumulates(self):
+        yc = YearlyCounts()
+        yc.add(2011, "core")
+        yc.add(2011, "core", 2)
+        assert yc.get(2011, "core") == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            YearlyCounts().add(2011, "core", -1)
+
+    def test_years_sorted(self, counts):
+        assert counts.years == [2011, 2017]
+
+    def test_year_total(self, counts):
+        assert counts.year_total(2017) == 100
+        assert counts.year_total(1999) == 0
+
+    def test_fraction_of_year(self, counts):
+        # Figure 7 semantics.
+        assert counts.fraction_of_year(2017, "core") == pytest.approx(0.30)
+        assert counts.fraction_of_year(1999, "core") == 0.0
+
+    def test_normalized_to_baseline(self, counts):
+        # Figure 8 semantics: everything over the 2017 total.
+        assert counts.normalized_to_baseline(2011, "rsw", 2017) == pytest.approx(0.07)
+        with pytest.raises(ValueError):
+            counts.normalized_to_baseline(2011, "rsw", 1999)
+
+    def test_per_capita(self, counts):
+        # Figure 3 semantics.
+        assert counts.per_capita(2017, "core", 300) == pytest.approx(0.1)
+        assert counts.per_capita(2017, "csa", 0) == 0.0
+        with pytest.raises(ValueError, match="population is 0"):
+            counts.per_capita(2017, "core", 0)
+
+
+class TestYearlyFraction:
+    def test_normalizes(self):
+        out = yearly_fraction({2011: 64, 2017: 600}, baseline_year=2017)
+        assert out[2011] == pytest.approx(64 / 600)
+        assert out[2017] == 1.0
+
+    def test_missing_baseline(self):
+        with pytest.raises(ValueError):
+            yearly_fraction({2011: 64}, baseline_year=2017)

@@ -1,0 +1,115 @@
+"""Tests for the on-switch agent."""
+
+import pytest
+
+from repro.switchagent.agent import (
+    AgentCrash,
+    AgentState,
+    AgentUnavailable,
+    SwitchAgent,
+)
+from repro.switchagent.firmware import FirmwareBug, fboss_image
+
+
+def agent(bugs=frozenset()):
+    return SwitchAgent(
+        device_name="fsw.001.pod1.dc1.ra",
+        firmware=fboss_image(bugs=frozenset(bugs)),
+    )
+
+
+class TestHeartbeat:
+    def test_running_agent_beats(self):
+        a = agent()
+        assert a.heartbeat(5.0)
+        assert a.last_heartbeat_h == 5.0
+
+    def test_crashed_agent_does_not_beat(self):
+        a = agent()
+        a.state = AgentState.CRASHED
+        assert not a.heartbeat(5.0)
+
+    def test_wedge_bug_after_long_uptime(self):
+        a = agent({FirmwareBug.HEARTBEAT_WEDGE})
+        assert a.heartbeat(24.0)
+        assert not a.heartbeat(31 * 24.0)
+        assert a.state is AgentState.HUNG
+
+
+class TestPortControl:
+    def test_enable_disable(self):
+        a = agent()
+        a.enable_port(3)
+        a.disable_port(3)
+        assert a.ports_enabled[3] is False
+
+    def test_port_disable_crash_bug(self):
+        # The section 4.2 SEV3: crash whenever software disables a port.
+        a = agent({FirmwareBug.PORT_DISABLE_CRASH})
+        a.enable_port(3)
+        with pytest.raises(AgentCrash, match="counter allocation"):
+            a.disable_port(3)
+        assert a.state is AgentState.CRASHED
+        assert a.crash_count == 1
+
+    def test_operations_rejected_when_down(self):
+        a = agent()
+        a.state = AgentState.HUNG
+        with pytest.raises(AgentUnavailable):
+            a.enable_port(0)
+
+    def test_restart_interfaces(self):
+        a = agent()
+        a.enable_port(0)
+        a.ports_enabled[0] = False
+        a.restart_interfaces()
+        assert a.ports_enabled[0] is True
+
+
+class TestRepairs:
+    def test_restart_recovers_crash(self):
+        a = agent({FirmwareBug.PORT_DISABLE_CRASH})
+        a.enable_port(0)
+        with pytest.raises(AgentCrash):
+            a.disable_port(0)
+        a.restart(100.0)
+        assert a.state is AgentState.RUNNING
+        assert a.uptime_start_h == 100.0
+
+    def test_unclean_restart_corrupts_settings(self):
+        a = agent({FirmwareBug.PORT_DISABLE_CRASH,
+                   FirmwareBug.SETTINGS_CORRUPTION})
+        a.write_setting("bgp", "v2")
+        a.enable_port(0)
+        with pytest.raises(AgentCrash):
+            a.disable_port(0)
+        a.restart(10.0)
+        assert a.settings_corrupt
+        assert not a.settings_consistent({"bgp": "v2"})
+
+    def test_storage_restore_clears_corruption(self):
+        a = agent()
+        a.settings_corrupt = True
+        a.restore_storage({"bgp": "v2"})
+        assert a.settings_consistent({"bgp": "v2"})
+
+    def test_firmware_upgrade(self):
+        a = agent({FirmwareBug.PORT_DISABLE_CRASH})
+        fixed = fboss_image((1, 1, 0))
+        a.upgrade_firmware(fixed, now_h=50.0)
+        assert a.firmware is fixed
+        a.enable_port(0)
+        a.disable_port(0)  # the bug is gone
+
+    def test_downgrade_rejected(self):
+        a = agent()
+        with pytest.raises(ValueError, match="downgrade"):
+            a.upgrade_firmware(fboss_image((0, 9, 0)), now_h=1.0)
+
+
+class TestSettings:
+    def test_consistency(self):
+        a = agent()
+        a.write_setting("bgp", "v2")
+        assert a.settings_consistent({"bgp": "v2"})
+        assert not a.settings_consistent({"bgp": "v3"})

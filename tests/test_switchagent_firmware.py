@@ -1,0 +1,73 @@
+"""Tests for firmware images and the release registry."""
+
+import pytest
+
+from repro.switchagent.firmware import (
+    FirmwareBug,
+    FirmwareImage,
+    FirmwareRegistry,
+    fboss_image,
+    vendor_image,
+)
+
+
+class TestFirmwareImage:
+    def test_version_string(self):
+        assert fboss_image((1, 2, 3)).version_string == "1.2.3"
+
+    def test_bug_query(self):
+        image = fboss_image(bugs=frozenset({FirmwareBug.PORT_DISABLE_CRASH}))
+        assert image.has_bug(FirmwareBug.PORT_DISABLE_CRASH)
+        assert not image.has_bug(FirmwareBug.HEARTBEAT_WEDGE)
+
+    def test_ordering(self):
+        assert fboss_image((1, 1, 0)).newer_than(fboss_image((1, 0, 9)))
+        assert not fboss_image((1, 0, 0)).newer_than(fboss_image((1, 0, 0)))
+
+    def test_stack_flags(self):
+        assert not fboss_image().vendor_stack
+        assert vendor_image().vendor_stack
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            FirmwareImage("x", (1, 2))
+        with pytest.raises(ValueError):
+            FirmwareImage("x", (1, -2, 0))
+
+
+class TestRegistry:
+    def test_release_and_bless(self):
+        registry = FirmwareRegistry()
+        v1 = fboss_image((1, 0, 0))
+        registry.release("wedge", v1)
+        assert registry.blessed("wedge") is v1
+
+    def test_release_without_bless(self):
+        registry = FirmwareRegistry()
+        v1 = fboss_image((1, 0, 0))
+        v2 = fboss_image((1, 1, 0))
+        registry.release("wedge", v1)
+        registry.release("wedge", v2, bless=False)
+        assert registry.blessed("wedge") is v1
+        assert registry.history("wedge") == [v1, v2]
+
+    def test_monotone_releases(self):
+        registry = FirmwareRegistry()
+        registry.release("wedge", fboss_image((2, 0, 0)))
+        with pytest.raises(ValueError, match="monotonically"):
+            registry.release("wedge", fboss_image((1, 9, 9)))
+        with pytest.raises(ValueError, match="already released"):
+            registry.release("wedge", fboss_image((2, 0, 0)))
+
+    def test_needs_upgrade(self):
+        registry = FirmwareRegistry()
+        old = fboss_image((1, 0, 0))
+        new = fboss_image((1, 1, 0))
+        registry.release("wedge", old)
+        registry.release("wedge", new)
+        assert registry.needs_upgrade("wedge", old)
+        assert not registry.needs_upgrade("wedge", new)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            FirmwareRegistry().blessed("mystery")

@@ -1,0 +1,116 @@
+"""Tests for the central health monitor and the repair ladder."""
+
+import pytest
+
+from repro.remediation.engine import RemediationEngine
+from repro.switchagent.agent import AgentState, SwitchAgent
+from repro.switchagent.firmware import FirmwareBug, fboss_image
+from repro.switchagent.monitor import AlarmKind, HealthMonitor
+from repro.topology.devices import DeviceType
+
+
+def make_agent(name="fsw.001.pod1.dc1.ra", bugs=frozenset(), settings=None):
+    agent = SwitchAgent(device_name=name,
+                        firmware=fboss_image(bugs=frozenset(bugs)))
+    for key, value in (settings or {}).items():
+        agent.settings[key] = value
+    return agent
+
+
+class TestScanning:
+    def test_healthy_fleet_raises_nothing(self):
+        monitor = HealthMonitor(expected_settings={"bgp": "v2"})
+        agents = [make_agent(settings={"bgp": "v2"}) for _ in range(3)]
+        assert monitor.scan(agents, now_h=1.0) == []
+
+    def test_skipped_heartbeat_alarm(self):
+        monitor = HealthMonitor(heartbeat_timeout_h=0.5)
+        agent = make_agent()
+        agent.state = AgentState.CRASHED
+        agent.last_heartbeat_h = 0.0
+        alarms = monitor.scan([agent], now_h=2.0)
+        assert [a.kind for a in alarms] == [AlarmKind.SKIPPED_HEARTBEAT]
+
+    def test_inconsistent_settings_alarm(self):
+        monitor = HealthMonitor(expected_settings={"bgp": "v2"})
+        agent = make_agent(settings={"bgp": "v1"})
+        alarms = monitor.scan([agent], now_h=1.0)
+        assert [a.kind for a in alarms] == [AlarmKind.INCONSISTENT_SETTINGS]
+
+    def test_alarm_history_accumulates(self):
+        monitor = HealthMonitor(expected_settings={"bgp": "v2"})
+        agent = make_agent(settings={"bgp": "v1"})
+        monitor.scan([agent], 1.0)
+        monitor.scan([agent], 2.0)
+        assert len(monitor.alarms) == 2
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(heartbeat_timeout_h=0.0)
+
+
+class TestRepairLadder:
+    def test_restart_fixes_crashed_agent(self):
+        monitor = HealthMonitor()
+        agent = make_agent()
+        agent.state = AgentState.CRASHED
+        alarm = monitor.scan([agent], now_h=5.0)[0]
+        assert monitor.repair(agent, alarm, now_h=5.0)
+        assert agent.state is AgentState.RUNNING
+
+    def test_storage_restore_fixes_corruption(self):
+        monitor = HealthMonitor(
+            expected_settings={"bgp": "v2"},
+            golden_settings={"bgp": "v2"},
+        )
+        agent = make_agent(settings={"bgp": "v2"})
+        agent.settings_corrupt = True
+        alarm = monitor.scan([agent], now_h=1.0)[0]
+        assert monitor.repair(agent, alarm, now_h=1.0)
+        assert not agent.settings_corrupt
+
+    def test_interface_restart_rung_runs_first(self):
+        from repro.switchagent.monitor import HealthAlarm
+
+        monitor = HealthMonitor()
+        agent = make_agent()
+        agent.ports_enabled[0] = False
+        alarm = HealthAlarm(agent.device_name,
+                            AlarmKind.SKIPPED_HEARTBEAT, 1.0)
+        assert monitor.repair(agent, alarm, now_h=1.0)
+        assert agent.ports_enabled[0] is True
+
+
+class TestEngineIntegration:
+    def test_alarm_becomes_issue(self):
+        monitor = HealthMonitor()
+        engine = RemediationEngine(seed=2)
+        agent = make_agent()
+        agent.state = AgentState.HUNG
+        alarm = monitor.scan([agent], now_h=9.0)[0]
+        monitor.submit_alarm(engine, alarm, issue_id="iss-1")
+        engine.drain()
+        stats = engine.stats(DeviceType.FSW)
+        assert stats.issues == 1
+
+    def test_unclassifiable_device_rejected(self):
+        monitor = HealthMonitor()
+        engine = RemediationEngine()
+        from repro.switchagent.monitor import HealthAlarm
+
+        alarm = HealthAlarm("mystery-device", AlarmKind.SKIPPED_HEARTBEAT, 1.0)
+        with pytest.raises(ValueError, match="unclassifiable"):
+            monitor.submit_alarm(engine, alarm, "iss-1")
+
+    def test_end_to_end_crash_recovery(self):
+        """The full loop: firmware bug -> crash -> alarm -> repair."""
+        monitor = HealthMonitor(heartbeat_timeout_h=0.5)
+        agent = make_agent(bugs={FirmwareBug.PORT_DISABLE_CRASH})
+        agent.enable_port(1)
+        with pytest.raises(Exception):
+            agent.disable_port(1)
+        # Next sweep notices the missing heartbeat.
+        alarms = monitor.scan([agent], now_h=1.0)
+        assert alarms
+        assert monitor.repair(agent, alarms[0], now_h=1.0)
+        assert monitor.scan([agent], now_h=1.1) == []

@@ -1,0 +1,110 @@
+"""Tests for the topology auditor."""
+
+import pytest
+
+from repro.topology.audit import (
+    audit_cluster_network,
+    audit_fabric_network,
+)
+from repro.topology.cluster import build_cluster_network
+from repro.topology.devices import Device, DeviceType
+from repro.topology.fabric import build_fabric_network
+
+
+class TestClusterAudit:
+    def test_built_network_is_compliant(self):
+        net = build_cluster_network("dc1", "ra", clusters=2,
+                                    racks_per_cluster=4)
+        report = audit_cluster_network(net)
+        assert report.compliant, report.findings
+
+    def test_detects_missing_rsw_uplink(self):
+        net = build_cluster_network("dc1", "ra", clusters=1,
+                                    racks_per_cluster=2)
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        net.links = [
+            (a, b) for a, b in net.links
+            if not (rsw in (a, b)
+                    and (net.devices[a].device_type is DeviceType.CSW
+                         or net.devices[b].device_type is DeviceType.CSW))
+        ][: len(net.links)]
+        # Remove one CSW uplink of that RSW specifically.
+        net_links_before = len(net.links)
+        report = audit_cluster_network(net)
+        assert not report.compliant
+        assert any("uplinks to" in f or "no links" in f
+                   for f in report.findings)
+        assert net_links_before >= 0
+
+    def test_detects_wrong_datacenter_name(self):
+        net = build_cluster_network("dc1", "ra", clusters=1,
+                                    racks_per_cluster=2)
+        stray = Device("rsw.999.cluster0.dc9.ra", DeviceType.RSW,
+                       "dc9", "ra")
+        net.add_device(stray)
+        csw = next(net.devices_of_type(DeviceType.CSW)).name
+        for _ in range(4):
+            net.add_link(stray.name, csw)
+        report = audit_cluster_network(net)
+        assert any("named for data center" in f for f in report.findings)
+
+    def test_detects_no_csas(self):
+        net = build_cluster_network("dc1", "ra", clusters=1,
+                                    racks_per_cluster=2)
+        for csa in list(net.devices_of_type(DeviceType.CSA)):
+            del net.devices[csa.name]
+        net.links = [
+            (a, b) for a, b in net.links
+            if a in net.devices and b in net.devices
+        ]
+        report = audit_cluster_network(net)
+        assert any("no CSAs" in f for f in report.findings)
+
+
+class TestFabricAudit:
+    def test_built_network_is_compliant(self):
+        net = build_fabric_network("dc3", "rb", pods=2, racks_per_pod=4)
+        report = audit_fabric_network(net)
+        assert report.compliant, report.findings
+
+    def test_detects_broken_ratio(self):
+        net = build_fabric_network("dc3", "rb", pods=1, racks_per_pod=2)
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        removed = 0
+        kept = []
+        for a, b in net.links:
+            is_rsw_fsw = (
+                rsw in (a, b)
+                and {net.devices[a].device_type,
+                     net.devices[b].device_type}
+                == {DeviceType.RSW, DeviceType.FSW}
+            )
+            if is_rsw_fsw and removed == 0:
+                removed += 1
+                continue
+            kept.append((a, b))
+        net.links = kept
+        report = audit_fabric_network(net)
+        assert any("connects to 3 FSWs" in f for f in report.findings)
+
+    def test_detects_cluster_devices_in_fabric(self):
+        net = build_fabric_network("dc3", "rb", pods=1, racks_per_pod=2)
+        net.add_device(Device("csa.000.agg.dc3.rb", DeviceType.CSA,
+                              "dc3", "rb"))
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        net.add_link("csa.000.agg.dc3.rb", core)
+        report = audit_fabric_network(net)
+        assert any("contains csa" in f for f in report.findings)
+
+    def test_detects_spineless_fsw(self):
+        net = build_fabric_network("dc3", "rb", pods=1, racks_per_pod=2)
+        fsw = next(net.devices_of_type(DeviceType.FSW)).name
+        net.links = [
+            (a, b) for a, b in net.links
+            if not (fsw in (a, b)
+                    and {net.devices[a].device_type,
+                         net.devices[b].device_type}
+                    == {DeviceType.FSW, DeviceType.SSW})
+        ]
+        report = audit_fabric_network(net)
+        assert any("no spine uplink" in f for f in report.findings)

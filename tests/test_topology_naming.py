@@ -1,0 +1,62 @@
+"""Tests for the fleet naming convention (section 4.3.1)."""
+
+import pytest
+
+from repro.topology.devices import DeviceType
+from repro.topology.naming import (
+    DeviceName,
+    device_type_from_name,
+    make_device_name,
+    parse_device_name,
+)
+
+
+class TestMakeAndParse:
+    def test_round_trip(self):
+        name = make_device_name(DeviceType.RSW, 42, "pod7", "dc1", "regionA")
+        parsed = parse_device_name(name)
+        assert parsed.device_type is DeviceType.RSW
+        assert parsed.index == 42
+        assert parsed.unit == "pod7"
+        assert parsed.datacenter == "dc1"
+        assert parsed.region == "regionA"
+
+    def test_rsw_prefix(self):
+        # "every rack switch has a name prefixed with rsw."
+        name = make_device_name(DeviceType.RSW, 1, "pod0", "dc1", "ra")
+        assert name.startswith("rsw.")
+
+    @pytest.mark.parametrize("device_type", list(DeviceType))
+    def test_every_type_round_trips(self, device_type):
+        name = make_device_name(device_type, 7, "u0", "dc2", "rb")
+        assert parse_device_name(name).device_type is device_type
+
+    def test_str_zero_pads(self):
+        assert str(DeviceName(DeviceType.CSA, 5, "agg", "dc1", "ra")) == (
+            "csa.005.agg.dc1.ra"
+        )
+
+
+class TestParseErrors:
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError, match="5 fields"):
+            parse_device_name("rsw.001.pod1.dc1")
+
+    def test_unknown_prefix(self):
+        with pytest.raises(ValueError, match="unknown device type"):
+            parse_device_name("xyz.001.pod1.dc1.ra")
+
+    def test_non_numeric_index(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_device_name("rsw.abc.pod1.dc1.ra")
+
+
+class TestClassification:
+    def test_classify_by_prefix(self):
+        assert device_type_from_name("csw.010.c1.dc1.ra") is DeviceType.CSW
+        assert device_type_from_name("core.001.plane.dc3.rb") is DeviceType.CORE
+
+    def test_unknown_prefix_is_none(self):
+        # Non-network device names fall out of the SEV classification.
+        assert device_type_from_name("web.123.tier.dc1.ra") is None
+        assert device_type_from_name("") is None

@@ -1,0 +1,72 @@
+"""Tests for regions and data centers (section 3)."""
+
+import pytest
+
+from repro.topology.devices import DeviceType, NetworkDesign
+from repro.topology.region import DataCenter, Region, build_region
+
+
+class TestBuildRegion:
+    def test_cluster_region(self):
+        region = build_region("ra", NetworkDesign.CLUSTER, datacenters=2,
+                              clusters=1, racks_per_cluster=4)
+        assert len(region.datacenters) == 2
+        assert all(d is NetworkDesign.CLUSTER for d in region.designs)
+        assert region.count(DeviceType.CSW) == 2 * 4
+        assert region.count(DeviceType.FSW) == 0
+
+    def test_fabric_region(self):
+        region = build_region("rb", NetworkDesign.FABRIC, datacenters=1,
+                              pods=1, racks_per_pod=4)
+        assert region.designs == [NetworkDesign.FABRIC]
+        assert region.count(DeviceType.FSW) == 4
+        assert region.count(DeviceType.CSA) == 0
+
+    def test_default_edge_name(self):
+        region = build_region("ra", NetworkDesign.CLUSTER, datacenters=1,
+                              clusters=1, racks_per_cluster=2)
+        assert region.edge == "edge-ra"
+
+    def test_shared_design_rejected(self):
+        with pytest.raises(ValueError, match="CLUSTER or FABRIC"):
+            build_region("rx", NetworkDesign.SHARED)
+
+    def test_all_devices_iterates_everything(self):
+        region = build_region("ra", NetworkDesign.CLUSTER, datacenters=2,
+                              clusters=1, racks_per_cluster=2, csas=1,
+                              cores=2)
+        names = [d.name for d in region.all_devices()]
+        assert len(names) == len(set(names))
+        per_dc = 2 + 1 + 4 + 2  # cores + csa + csws + rsws
+        assert len(names) == 2 * per_dc
+
+
+class TestRegionContainer:
+    def test_rejects_foreign_datacenter(self):
+        region = build_region("ra", NetworkDesign.CLUSTER, datacenters=1,
+                              clusters=1, racks_per_cluster=2)
+        foreign = build_region("rb", NetworkDesign.FABRIC, datacenters=1,
+                               pods=1, racks_per_pod=2)
+        with pytest.raises(ValueError, match="belongs to region"):
+            region.add_datacenter(foreign.datacenters[0])
+
+    def test_datacenter_count_delegates(self):
+        region = build_region("ra", NetworkDesign.FABRIC, datacenters=1,
+                              pods=2, racks_per_pod=3)
+        dc = region.datacenters[0]
+        assert isinstance(dc, DataCenter)
+        assert dc.count(DeviceType.RSW) == 6
+        assert dc.devices is dc.network.devices
+
+    def test_mixed_region_possible_by_hand(self):
+        # Facebook regions can mix designs during the transition.
+        region = Region(name="rc")
+        a = build_region("rc", NetworkDesign.CLUSTER, datacenters=1,
+                         clusters=1, racks_per_cluster=2)
+        b = build_region("rc", NetworkDesign.FABRIC, datacenters=1,
+                         pods=1, racks_per_pod=2)
+        region.add_datacenter(a.datacenters[0])
+        region.add_datacenter(b.datacenters[0])
+        assert set(region.designs) == {
+            NetworkDesign.CLUSTER, NetworkDesign.FABRIC
+        }

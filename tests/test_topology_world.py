@@ -1,0 +1,52 @@
+"""Tests for the Figure 1 world builder."""
+
+import pytest
+
+from repro.topology.devices import DeviceType, NetworkDesign
+from repro.topology.world import build_paper_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_paper_world()
+
+
+class TestShape:
+    def test_two_regions_two_designs(self, world):
+        designs = world.designs()
+        assert designs["regiona"] == [NetworkDesign.CLUSTER] * 2
+        assert designs["regionb"] == [NetworkDesign.FABRIC] * 2
+
+    def test_region_lookup(self, world):
+        assert world.region("regiona").name == "regiona"
+        with pytest.raises(KeyError):
+            world.region("regionz")
+
+    def test_device_counts_cover_all_types(self, world):
+        counts = world.device_counts()
+        for t in DeviceType:
+            assert counts[t] > 0, f"no {t.value} anywhere in the world"
+
+    def test_backbone_validates(self, world):
+        world.backbone.validate()
+        assert len(world.backbone.partitions([])) == 1
+
+    def test_region_edges_on_backbone(self, world):
+        for region in world.regions:
+            assert region.edge in world.backbone.edges
+            assert world.backbone.edges[region.edge].is_datacenter_region
+
+    def test_cross_dc_planes(self, world):
+        assert len(world.cross_dc.planes) == 4
+        assert world.cross_dc.regions == ["regiona", "regionb"]
+
+    def test_pops_cover_both_regions(self, world):
+        from repro.backbone.planes import route_user_traffic
+
+        mapping = route_user_traffic(world.pops)
+        assert set(mapping.values()) == {"regiona", "regionb"}
+
+    def test_deterministic(self):
+        a = build_paper_world(seed=5)
+        b = build_paper_world(seed=5)
+        assert set(a.backbone.links) == set(b.backbone.links)

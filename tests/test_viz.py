@@ -1,0 +1,81 @@
+"""Tests for text rendering."""
+
+import pytest
+
+from repro.viz.ascii import bar_chart, series_chart
+from repro.viz.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["Device", "Ratio"],
+            [["Core", 0.75], ["RSW", 0.997]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "Device" in lines[1] and "Ratio" in lines[1]
+        assert "Core" in text and "0.997" in text
+        # All data rows share one width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_number_compaction(self):
+        text = format_table(["x"], [[9_958_828.0], [0.00001], [0.0]])
+        assert "9.96e+06" in text
+        assert "1e-05" in text
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_headers_required(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_ok(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestSeriesChart:
+    def test_plots_points(self):
+        text = series_chart([(0, 1), (1, 2), (2, 4)], height=5, width=20)
+        assert text.count("*") >= 2  # points may share a cell
+
+    def test_log_scale(self):
+        text = series_chart(
+            [(2011, 1e-4), (2017, 1e1)], height=4, width=10, log_y=True
+        )
+        assert "0.0001" in text
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            series_chart([(0, 0.0)], log_y=True)
+
+    def test_constant_series(self):
+        text = series_chart([(0, 5.0), (1, 5.0)])
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_chart([])
+        with pytest.raises(ValueError):
+            series_chart([(0, 1)], height=1)
