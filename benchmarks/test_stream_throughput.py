@@ -1,0 +1,54 @@
+"""Streaming runtime throughput — events/sec, 1 versus N workers.
+
+Not a paper artifact — an engineering benchmark for :mod:`repro.stream`:
+how fast sharded generation folds the corpus into streaming aggregates,
+and that every worker count produces bit-identical aggregates (the
+determinism guarantee the speedup rides on).  Per-cell generation is
+cheap, so at the default corpus size process spawn overhead can eat the
+parallel win; the artifact records the measured numbers either way.
+"""
+
+import time
+
+from repro.simulation.scenarios import paper_scenario
+from repro.stream import generate_aggregates
+from repro.viz.tables import format_table
+
+SCALE = 4.0
+JOBS = [1, 2, 4]
+
+
+def test_stream_throughput(benchmark, emit):
+    scenario = paper_scenario(seed=2, scale=SCALE)
+
+    baseline = benchmark.pedantic(
+        generate_aggregates, args=(scenario,), kwargs={"jobs": 1},
+        rounds=3, iterations=1,
+    )
+    assert baseline.events > 0
+
+    rows = []
+    digests = set()
+    for jobs in JOBS:
+        start = time.perf_counter()
+        aggregates = generate_aggregates(
+            scenario, jobs=jobs, use_processes=jobs > 1
+        )
+        elapsed = time.perf_counter() - start
+        digests.add(aggregates.digest())
+        rows.append([
+            jobs,
+            aggregates.events,
+            f"{elapsed:.3f}",
+            f"{aggregates.events / elapsed:,.0f}",
+        ])
+        assert aggregates.events == baseline.events
+
+    emit("stream_throughput", format_table(
+        ["Jobs", "Events", "Seconds", "Events/sec"],
+        rows,
+        title=f"Streaming generation throughput (scale={SCALE})",
+    ))
+
+    # The point of the subsystem: worker count never changes the output.
+    assert digests == {baseline.digest()}

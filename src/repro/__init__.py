@@ -60,6 +60,7 @@ from repro.simulation import (
     paper_backbone_scenario,
     paper_scenario,
 )
+from repro.stream import StreamAggregates, StreamEngine
 from repro.topology import (
     DeviceType,
     NetworkDesign,
@@ -87,6 +88,8 @@ __all__ = [
     "SEVStore",
     "Severity",
     "StormDrill",
+    "StreamAggregates",
+    "StreamEngine",
     "TicketDatabase",
     "TrafficEngineer",
     "__version__",

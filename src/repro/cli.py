@@ -7,6 +7,8 @@ Exposes the pipeline without writing Python::
     python -m repro export sevs out.csv     # generate + export SEVs
     python -m repro export tickets out.json # generate + export tickets
     python -m repro analyze sevs.csv        # analyze an imported corpus
+    python -m repro stream --jobs 4         # streaming runtime, sharded
+    python -m repro stream --replay out.csv # incremental corpus replay
 """
 
 from __future__ import annotations
@@ -53,8 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
-    export.add_argument("path", help="output file (.csv or .json)")
+    export.add_argument("path", help="output file (.csv, .json, or .jsonl "
+                                     "for SEVs)")
     export.add_argument("--seed", type=int, default=None)
+    export.add_argument("--scale", type=float, default=1.0,
+                        help="intra corpus scale factor (sevs only), "
+                             "matching report --scale")
 
     analyze = sub.add_parser("analyze", help="analyze an exported SEV corpus")
     analyze.add_argument("path", help="SEV export (.csv or .json)")
@@ -64,6 +70,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="regenerate both corpora and PASS/FAIL every paper anchor",
     )
     verify.add_argument("--seed", type=int, default=1)
+
+    stream = sub.add_parser(
+        "stream",
+        help="online ingestion: generate (or replay) the corpus "
+             "incrementally and print streaming aggregates",
+    )
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument("--scale", type=float, default=1.0,
+                        help="intra corpus scale factor")
+    stream.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sharded generation; "
+                             "any N produces identical aggregates")
+    stream.add_argument("--replay", metavar="PATH", default=None,
+                        help="ingest an exported SEV corpus "
+                             "(.csv/.json/.jsonl) instead of generating")
+    stream.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="JSON snapshot: resumed from when present, "
+                             "written when done")
 
     return parser
 
@@ -160,17 +184,23 @@ def _backbone_report(seed: Optional[int]) -> None:
     ))
 
 
-def _export(dataset: str, path: str, seed: Optional[int]) -> None:
+def _export(dataset: str, path: str, seed: Optional[int],
+            scale: float = 1.0) -> None:
     from repro.io import (
-        export_sevs_csv, export_sevs_json,
+        export_sevs_csv, export_sevs_json, export_sevs_jsonl,
         export_tickets_csv, export_tickets_json,
     )
 
     if dataset == "sevs":
-        scenario = (paper_scenario(seed=seed) if seed is not None
-                    else paper_scenario())
+        scenario = (paper_scenario(seed=seed, scale=scale)
+                    if seed is not None else paper_scenario(scale=scale))
         store = IntraSimulator(scenario).run()
-        writer = export_sevs_json if path.endswith(".json") else export_sevs_csv
+        if path.endswith(".jsonl"):
+            writer = export_sevs_jsonl
+        elif path.endswith(".json"):
+            writer = export_sevs_json
+        else:
+            writer = export_sevs_csv
         count = writer(store, path)
     else:
         scenario = (paper_backbone_scenario(seed=seed) if seed is not None
@@ -180,6 +210,44 @@ def _export(dataset: str, path: str, seed: Optional[int]) -> None:
                   else export_tickets_csv)
         count = writer(corpus.tickets, path)
     print(f"wrote {count} {dataset} to {path}")
+
+
+def _stream(seed: int, scale: float, jobs: int,
+            replay: Optional[str], checkpoint: Optional[str]) -> None:
+    import os
+
+    from repro.stream import (
+        StreamEngine, generate_aggregates, live_feed, replay_file,
+    )
+    from repro.viz import stream_dashboard
+
+    fleet = None
+    if replay is not None:
+        # Incremental ingestion: replay the exported corpus event by
+        # event, resuming from the checkpoint when one exists.
+        if checkpoint is not None and os.path.exists(checkpoint):
+            engine = StreamEngine.resume(checkpoint)
+            print(f"resumed from {checkpoint} "
+                  f"({engine.events_ingested} events already ingested)")
+        else:
+            engine = StreamEngine(checkpoint_path=checkpoint)
+        consumed = engine.run(replay_file(replay))
+        print(f"ingested {consumed} new events from {replay}")
+        aggregates = engine.aggregates
+    else:
+        # Sharded parallel generation: N workers, identical output.
+        scenario = paper_scenario(seed=seed, scale=scale)
+        fleet = scenario.fleet
+        aggregates = generate_aggregates(scenario, jobs=jobs)
+        print(f"generated {aggregates.events} events "
+              f"across {jobs} worker(s)")
+        if checkpoint is not None:
+            from repro.stream import save_checkpoint
+
+            save_checkpoint(checkpoint, aggregates, aggregates.events)
+            print(f"checkpoint written to {checkpoint}")
+    print()
+    print(stream_dashboard(aggregates, fleet))
 
 
 def _analyze(path: str) -> None:
@@ -217,9 +285,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             _full_report(args.seed, args.scale)
     elif args.command == "export":
-        _export(args.dataset, args.path, args.seed)
+        _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
         _analyze(args.path)
+    elif args.command == "stream":
+        _stream(args.seed, args.scale, args.jobs,
+                args.replay, args.checkpoint)
     elif args.command == "verify":
         from repro.verify import render_verification, run_verification
 

@@ -3,14 +3,21 @@
 Export/import for the two corpora — SEV reports and fiber repair
 tickets — as CSV and JSON, so downstream users can analyze generated
 corpora with their own tools or load external incident datasets
-through the same pipeline.
+through the same pipeline.  The JSONL format and the ``iter_sevs_*``
+streaming readers feed the online runtime (:mod:`repro.stream`)
+without materializing a corpus in memory.
 """
 
 from repro.io.sev_io import (
     export_sevs_csv,
     export_sevs_json,
+    export_sevs_jsonl,
     import_sevs_csv,
     import_sevs_json,
+    import_sevs_jsonl,
+    iter_sevs_csv,
+    iter_sevs_json,
+    iter_sevs_jsonl,
 )
 from repro.io.ticket_io import (
     export_tickets_csv,
@@ -22,10 +29,15 @@ from repro.io.ticket_io import (
 __all__ = [
     "export_sevs_csv",
     "export_sevs_json",
+    "export_sevs_jsonl",
     "export_tickets_csv",
     "export_tickets_json",
     "import_sevs_csv",
     "import_sevs_json",
+    "import_sevs_jsonl",
     "import_tickets_csv",
     "import_tickets_json",
+    "iter_sevs_csv",
+    "iter_sevs_json",
+    "iter_sevs_jsonl",
 ]

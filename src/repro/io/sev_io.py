@@ -1,11 +1,18 @@
-"""SEV corpus interchange."""
+"""SEV corpus interchange.
+
+Alongside the whole-corpus export/import pairs, the ``iter_sevs_*``
+functions stream reports one at a time without materializing the
+corpus — the replay path of :mod:`repro.stream` — and the JSONL
+format (one JSON object per line) supports appending and tailing,
+which the single-document JSON export cannot.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from repro.incidents.sev import RootCause, SEVReport, Severity
 from repro.incidents.store import SEVStore
@@ -84,3 +91,52 @@ def import_sevs_json(path: PathLike, store: SEVStore = None) -> SEVStore:
     for row in payload["sevs"]:
         store.insert(_row_report(row))
     return store
+
+
+# -- streaming interchange (repro.stream) ------------------------------
+
+
+def export_sevs_jsonl(store: SEVStore, path: PathLike) -> int:
+    """Write every report as one JSON object per line."""
+    count = 0
+    with open(path, "w") as handle:
+        for report in store.all_reports():
+            handle.write(json.dumps(_report_row(report)) + "\n")
+            count += 1
+    return count
+
+
+def import_sevs_jsonl(path: PathLike, store: SEVStore = None) -> SEVStore:
+    """Load a JSONL export into a store."""
+    store = store or SEVStore()
+    store.insert_many(iter_sevs_jsonl(path))
+    return store
+
+
+def iter_sevs_jsonl(path: PathLike) -> Iterator[SEVReport]:
+    """Stream reports from a JSONL export, one line at a time."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _row_report(json.loads(line))
+
+
+def iter_sevs_csv(path: PathLike) -> Iterator[SEVReport]:
+    """Stream reports from a CSV export without loading it whole."""
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            yield _row_report(row)
+
+
+def iter_sevs_json(path: PathLike) -> Iterator[SEVReport]:
+    """Stream reports from a JSON export.
+
+    The single-document format has to be parsed whole; the iterator
+    interface still lets replay consumers treat every format alike.
+    """
+    payload = json.loads(Path(path).read_text())
+    if "sevs" not in payload:
+        raise ValueError(f"{path}: not a SEV export (missing 'sevs' key)")
+    for row in payload["sevs"]:
+        yield _row_report(row)

@@ -26,7 +26,14 @@ from repro.simulation.scenarios import (
     paper_scenario,
     shifted_fabric_scenario,
 )
-from repro.simulation.generator import IntraSimulator, RemediationMonthResult
+from repro.simulation.generator import (
+    IntraSimulator,
+    RemediationMonthResult,
+    cell_reports,
+    cell_seed,
+    iter_scenario_reports,
+    scenario_cells,
+)
 from repro.simulation.backbone_sim import BackboneCorpus, BackboneSimulator
 from repro.simulation.fleetsim import FleetSimReport, FleetSimulator
 
@@ -42,11 +49,15 @@ __all__ = [
     "IntraSimulator",
     "RemediationMonthResult",
     "SimClock",
+    "cell_reports",
+    "cell_seed",
     "deterministic_times",
+    "iter_scenario_reports",
     "largest_remainder_allocation",
     "no_drain_policy_scenario",
     "paper_backbone_scenario",
     "paper_scenario",
     "poisson_times",
+    "scenario_cells",
     "shifted_fabric_scenario",
 ]

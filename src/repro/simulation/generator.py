@@ -11,12 +11,14 @@ section 4.1.
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
-from repro.incidents.sev import RootCause, Severity, hours_of_year
+from repro.incidents.sev import RootCause, Severity, SEVReport, hours_of_year
 from repro.incidents.store import SEVStore
 from repro.incidents.workflow import SEVAuthoringWorkflow, SEVDraft
 from repro.remediation.engine import DeviceIssue, RemediationEngine
@@ -291,17 +293,127 @@ class IntraSimulator:
             workflow.author_and_publish(draft)
 
     def _device_name(self, device_type: DeviceType, year: int) -> str:
-        if device_type.is_fabric or (
-            device_type is DeviceType.RSW
-            and year >= self._scenario.fabric_year
-            and self._rng.random() < 0.5
-        ):
-            unit = f"pod{self._rng.randrange(16)}"
-        elif device_type is DeviceType.CORE:
-            unit = "plane"
-        else:
-            unit = f"cluster{self._rng.randrange(16)}"
-        dc = f"dc{self._rng.randrange(1, 13)}"
-        region = f"region{self._rng.choice('abcdefgh')}"
-        index = self._rng.randrange(1000)
-        return f"{device_type.value}.{index:03d}.{unit}.{dc}.{region}"
+        return _random_device_name(
+            self._rng, device_type, year, self._scenario.fabric_year
+        )
+
+
+def _random_device_name(
+    rng: random.Random, device_type: DeviceType, year: int, fabric_year: int
+) -> str:
+    if device_type.is_fabric or (
+        device_type is DeviceType.RSW
+        and year >= fabric_year
+        and rng.random() < 0.5
+    ):
+        unit = f"pod{rng.randrange(16)}"
+    elif device_type is DeviceType.CORE:
+        unit = "plane"
+    else:
+        unit = f"cluster{rng.randrange(16)}"
+    dc = f"dc{rng.randrange(1, 13)}"
+    region = f"region{rng.choice('abcdefgh')}"
+    index = rng.randrange(1000)
+    return f"{device_type.value}.{index:03d}.{unit}.{dc}.{region}"
+
+
+# ---------------------------------------------------------------------------
+# Per-cell streaming generation (repro.stream)
+# ---------------------------------------------------------------------------
+#
+# The batch generator above consumes one RNG sequentially across the
+# whole corpus, so its output cannot be partitioned across workers
+# without changing.  The streaming/sharded path instead derives an
+# independent RNG per (year, device type) cell from the scenario seed,
+# which makes every cell reproducible in isolation: a shard can
+# generate any subset of cells and the union is always the same
+# corpus, regardless of how many workers produced it.  Cell counts,
+# severity mixes, and root-cause mixes are identical to the batch
+# generator's (both are largest-remainder exact), so count-based
+# analyses agree exactly between the two corpora.
+
+
+def cell_seed(seed: int, year: int, device_type: DeviceType) -> int:
+    """A stable per-cell RNG seed (independent of PYTHONHASHSEED)."""
+    key = f"{seed}:{year}:{device_type.value}".encode()
+    return int.from_bytes(
+        hashlib.blake2s(key, digest_size=8).digest(), "big"
+    )
+
+
+def cell_reports(
+    scenario: IntraScenario, year: int, device_type: DeviceType
+) -> List[SEVReport]:
+    """Generate one (year, device type) cell of the corpus.
+
+    Deterministic given (scenario.seed, year, device_type) alone, so
+    cells can be generated in any order, in any process, and merged.
+    Reports come back sorted by ``opened_at_h``.
+    """
+    count = scenario.incident_counts.get(year, {}).get(device_type, 0)
+    if count == 0:
+        return []
+    rng = random.Random(cell_seed(scenario.seed, year, device_type))
+    start_h = hours_of_year(year)
+    times = deterministic_times(
+        count, start_h, start_h + HOURS_PER_YEAR, rng
+    )
+    severities = interleave_categories(
+        largest_remainder_allocation(
+            count, scenario.severity_mix[device_type]
+        ),
+        rng,
+    )
+    causes = interleave_categories(
+        largest_remainder_allocation(count, scenario.root_cause_mix),
+        rng,
+    )
+    mu = scenario.irt_mu(year)
+    reports = []
+    for sequence, (t, severity, cause) in enumerate(
+        zip(times, severities, causes)
+    ):
+        duration = min(
+            math.exp(rng.gauss(mu, scenario.irt_sigma)), HOURS_PER_YEAR
+        )
+        reports.append(SEVReport(
+            sev_id=f"strm-{year}-{device_type.value}-{sequence:05d}",
+            severity=severity,
+            device_name=_random_device_name(
+                rng, device_type, year, scenario.fabric_year
+            ),
+            opened_at_h=t,
+            resolved_at_h=t + duration,
+            root_causes=(cause,),
+            description=rng.choice(_DESCRIPTIONS[cause]),
+            service_impact=_IMPACTS[severity],
+        ))
+    return reports
+
+
+def scenario_cells(scenario: IntraScenario) -> List[tuple]:
+    """All non-empty (year, device type) cells, in a canonical order."""
+    return [
+        (year, device_type)
+        for year in scenario.years
+        for device_type in sorted(
+            scenario.incident_counts[year], key=lambda t: t.value
+        )
+        if scenario.incident_counts[year][device_type] > 0
+    ]
+
+
+def iter_scenario_reports(scenario: IntraScenario) -> Iterator[SEVReport]:
+    """The whole streaming corpus as one chronological event feed.
+
+    This is the "live feed" of the streaming runtime: SEVs arrive in
+    ``opened_at_h`` order, exactly as a subscriber tailing the SEV
+    database would see them.
+    """
+    streams = [
+        iter(cell_reports(scenario, year, device_type))
+        for year, device_type in scenario_cells(scenario)
+    ]
+    return heapq.merge(
+        *streams, key=lambda r: (r.opened_at_h, r.sev_id)
+    )

@@ -31,6 +31,7 @@ from repro.stats.mtbf import (
 )
 from repro.stats.mttr import mean_time_to_recovery, percentile
 from repro.stats.percentile import PercentileCurve, curve_of_means
+from repro.stats.quantile import P2Quantile, QuantileSketch
 from repro.stats.timeseries import YearlyCounts, yearly_fraction
 
 __all__ = [
@@ -38,7 +39,9 @@ __all__ = [
     "ExponentialModel",
     "ExponentialityResult",
     "OutageInterval",
+    "P2Quantile",
     "PercentileCurve",
+    "QuantileSketch",
     "YearlyCounts",
     "bootstrap_ci",
     "curve_of_means",

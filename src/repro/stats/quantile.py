@@ -1,0 +1,305 @@
+"""Fixed-memory streaming quantile estimators.
+
+The batch pipeline summarizes resolution times with exact percentiles
+over the full sample list (:func:`repro.stats.mttr.percentile`).  The
+streaming runtime (:mod:`repro.stream`) cannot retain the corpus, so
+it needs estimators whose memory does not grow with the stream:
+
+* :class:`P2Quantile` — the classic Jain/Chlamtac P² algorithm: five
+  markers track one quantile of a single stream.  Cheap and accurate,
+  but two P² states cannot be merged, so it serves live single-stream
+  monitoring rather than sharded aggregation.
+* :class:`QuantileSketch` — a log-spaced histogram with an exact
+  small-sample spillover.  While a cell has seen at most
+  ``exact_budget`` samples the sketch stores them verbatim and
+  percentiles are *exactly* the batch percentiles; past the budget it
+  degrades to fixed bins whose relative quantile error is bounded by
+  the bin width (~0.25% at the defaults).  Sketches merge
+  associatively and commutatively, which is what makes the
+  N-worker-equals-1-worker guarantee of :mod:`repro.stream.sharding`
+  possible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.stats.mttr import percentile
+
+__all__ = ["P2Quantile", "QuantileSketch"]
+
+
+class P2Quantile:
+    """P² (piecewise-parabolic) single-quantile estimator.
+
+    Tracks the ``q``-quantile of a stream in O(1) memory using five
+    markers (Jain & Chlamtac, CACM 1985).  Until five observations
+    arrive the estimate is exact.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1)")
+        self.q = q
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    @property
+    def n(self) -> int:
+        if self._heights:
+            return int(self._positions[-1])
+        return len(self._initial)
+
+    def add(self, value: float) -> None:
+        if not self._heights:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 4.0 * inc for inc in self._increments
+                ]
+            return
+
+        h, pos = self._heights, self._positions
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> float:
+        """The current estimate of the tracked quantile."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            raise ValueError("no observations yet")
+        return percentile(self._initial, self.q)
+
+
+class QuantileSketch:
+    """Mergeable fixed-memory quantile sketch over non-negative values.
+
+    Small cells (``n <= exact_budget``) keep their samples and answer
+    percentile queries exactly; large cells bin samples into
+    ``bins`` log-spaced buckets spanning ``[lo, hi]``, bounding the
+    relative quantile error by one bucket width.  ``merge`` is
+    order-independent: the final state depends only on the multiset of
+    values added across all merged sketches.
+    """
+
+    FORMAT = "repro.quantile-sketch/1"
+
+    def __init__(
+        self,
+        lo: float = 1e-4,
+        hi: float = 1e5,
+        bins: int = 8192,
+        exact_budget: int = 256,
+    ) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if bins < 2:
+            raise ValueError("need at least two bins")
+        if exact_budget < 0:
+            raise ValueError("exact_budget must be non-negative")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.exact_budget = exact_budget
+        self._decades = math.log10(hi / lo)
+        self.n = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._counts: Dict[int, int] = {}
+
+    # -- ingestion ---------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        return self.n <= self.exact_budget
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("the sketch covers non-negative values")
+        self.n += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self._counts or self.n > self.exact_budget:
+            if not self._counts and self._samples:
+                self._spill()
+            self._counts[self._bin(value)] = (
+                self._counts.get(self._bin(value), 0) + 1
+            )
+            self._samples = []
+        else:
+            self._samples.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _bin(self, value: float) -> int:
+        clamped = min(max(value, self.lo), self.hi)
+        index = int(math.log10(clamped / self.lo) / self._decades * self.bins)
+        return min(max(index, 0), self.bins - 1)
+
+    def _bin_center(self, index: int) -> float:
+        return self.lo * 10.0 ** ((index + 0.5) * self._decades / self.bins)
+
+    def _spill(self) -> None:
+        for sample in self._samples:
+            index = self._bin(sample)
+            self._counts[index] = self._counts.get(index, 0) + 1
+        self._samples = []
+
+    # -- queries -----------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile; exact while below the sample budget."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction {q} outside [0, 1]")
+        if self.n == 0:
+            raise ValueError("no observations yet")
+        if self._samples and not self._counts:
+            return percentile(self._samples, q)
+        rank = q * (self.n - 1)
+        lower = self._value_at(int(rank))
+        upper = self._value_at(min(int(rank) + 1, self.n - 1))
+        frac = rank - int(rank)
+        return lower + frac * (upper - lower)
+
+    def _value_at(self, index: int) -> float:
+        """Approximate ``index``-th order statistic from the bins."""
+        seen = 0
+        for bin_index in sorted(self._counts):
+            seen += self._counts[bin_index]
+            if seen > index:
+                center = self._bin_center(bin_index)
+                # The extremes are tracked exactly; use them at the ends.
+                if index == 0 and self.min is not None:
+                    return self.min
+                if index == self.n - 1 and self.max is not None:
+                    return self.max
+                return center
+        assert self.max is not None
+        return self.max
+
+    def p75(self) -> float:
+        return self.quantile(0.75)
+
+    # -- merging -----------------------------------------------------
+
+    def _compatible(self, other: "QuantileSketch") -> bool:
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.bins == other.bins
+            and self.exact_budget == other.exact_budget
+        )
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (in place); returns self."""
+        if not self._compatible(other):
+            raise ValueError("cannot merge sketches with different shapes")
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.min, self.max = other.min, other.max
+            self._samples = list(other._samples)
+            self._counts = dict(other._counts)
+            return self
+        self.n += other.n
+        assert other.min is not None and other.max is not None
+        self.min = min(self.min, other.min)  # type: ignore[type-var]
+        self.max = max(self.max, other.max)  # type: ignore[type-var]
+        if self._counts or other._counts or self.n > self.exact_budget:
+            self._spill()
+            for sample in other._samples:
+                index = self._bin(sample)
+                self._counts[index] = self._counts.get(index, 0) + 1
+            for index, count in other._counts.items():
+                self._counts[index] = self._counts.get(index, 0) + count
+        else:
+            self._samples = sorted(self._samples + other._samples)
+        return self
+
+    # -- serialization -----------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.FORMAT,
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": self.bins,
+            "exact_budget": self.exact_budget,
+            "n": self.n,
+            "min": self.min,
+            "max": self.max,
+            "samples": sorted(self._samples),
+            "counts": {str(i): c for i, c in sorted(self._counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantileSketch":
+        if payload.get("format") != cls.FORMAT:
+            raise ValueError(
+                f"not a quantile sketch snapshot: {payload.get('format')!r}"
+            )
+        sketch = cls(
+            lo=payload["lo"],
+            hi=payload["hi"],
+            bins=payload["bins"],
+            exact_budget=payload["exact_budget"],
+        )
+        sketch.n = payload["n"]
+        sketch.min = payload["min"]
+        sketch.max = payload["max"]
+        sketch._samples = list(payload["samples"])
+        sketch._counts = {
+            int(i): c for i, c in payload["counts"].items()
+        }
+        return sketch

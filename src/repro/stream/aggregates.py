@@ -1,0 +1,359 @@
+"""Incremental analytics state.
+
+:class:`StreamAggregates` is the streaming counterpart of the batch
+analyses in :mod:`repro.core`: one pass over the SEV feed maintains
+every count the paper's tables and figures need — per-year/per-type
+incident counts (Figures 3, 7, 8, 12), severity-by-device
+cross-tabulations (Figures 4, 5), root-cause attributions (Table 2,
+Figure 2) — plus fixed-memory quantile sketches of resolution times
+(Figure 13's p75IRT), all without retaining the corpus.
+
+Counting rules mirror the SQL layer (:mod:`repro.incidents.query`)
+exactly: device types come from the name prefix, untyped reports are
+excluded from per-type breakdowns but counted in yearly totals, and a
+SEV with multiple root causes contributes one attribution per cause
+(none recorded counts as undetermined).  That is what makes the parity
+guarantee possible — for any corpus, the streaming counts equal the
+batch recomputation *exactly*, and the streamed percentiles are exact
+up to the sketch budget, approximate (bounded by bucket width) beyond.
+
+Aggregates merge: ``merge`` is associative and commutative, so a
+corpus can be partitioned across worker processes arbitrarily
+(:mod:`repro.stream.sharding`) and the merged state is independent of
+the partitioning and of merge order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.fleet.population import FleetModel, HOURS_PER_YEAR
+from repro.incidents.sev import RootCause, Severity, SEVReport
+from repro.stats.quantile import QuantileSketch
+from repro.topology.devices import DeviceType
+
+FORMAT = "repro.stream-aggregates/1"
+
+
+def _new_sketch() -> QuantileSketch:
+    return QuantileSketch()
+
+
+class StreamAggregates:
+    """Single-pass, constant-memory incident analytics."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        #: typed incident counts by year and device type
+        self.counts: Dict[int, Dict[DeviceType, int]] = {}
+        #: every report by year, typed or not (Figure 8 totals)
+        self.yearly_totals: Dict[int, int] = {}
+        #: Figure 4 cross-tabulation, per year
+        self.severity_counts: Dict[int, Dict[Severity, Dict[DeviceType, int]]] = {}
+        #: Figure 5 numerators: all reports by year and severity
+        self.yearly_severity: Dict[int, Dict[Severity, int]] = {}
+        #: Table 2 attributions (one per cause per SEV)
+        self.cause_counts: Dict[RootCause, int] = {}
+        #: Figure 2 numerators: attributions by cause and device type
+        self.cause_type_counts: Dict[RootCause, Dict[DeviceType, int]] = {}
+        #: resolution-time sketches per (year, device type)
+        self.irt: Dict[int, Dict[DeviceType, QuantileSketch]] = {}
+        #: resolution-time sketch per year, across all types
+        self.irt_by_year: Dict[int, QuantileSketch] = {}
+
+    # -- ingestion ---------------------------------------------------
+
+    def ingest(self, report: SEVReport) -> None:
+        """Fold one SEV report into the aggregates."""
+        year = report.opened_year
+        self.events += 1
+        self.yearly_totals[year] = self.yearly_totals.get(year, 0) + 1
+        per_sev = self.yearly_severity.setdefault(year, {})
+        per_sev[report.severity] = per_sev.get(report.severity, 0) + 1
+        for cause in report.effective_root_causes():
+            self.cause_counts[cause] = self.cause_counts.get(cause, 0) + 1
+
+        device_type = report.device_type
+        if device_type is None:
+            return
+        per_type = self.counts.setdefault(year, {})
+        per_type[device_type] = per_type.get(device_type, 0) + 1
+        row = self.severity_counts.setdefault(year, {}).setdefault(
+            report.severity, {}
+        )
+        row[device_type] = row.get(device_type, 0) + 1
+        for cause in report.effective_root_causes():
+            per_cause = self.cause_type_counts.setdefault(cause, {})
+            per_cause[device_type] = per_cause.get(device_type, 0) + 1
+        cell = self.irt.setdefault(year, {})
+        if device_type not in cell:
+            cell[device_type] = _new_sketch()
+        cell[device_type].add(report.duration_h)
+        if year not in self.irt_by_year:
+            self.irt_by_year[year] = _new_sketch()
+        self.irt_by_year[year].add(report.duration_h)
+
+    def ingest_many(self, reports: Iterable[SEVReport]) -> int:
+        count = 0
+        for report in reports:
+            self.ingest(report)
+            count += 1
+        return count
+
+    # -- summary reads (the repro.core counterparts) -----------------
+
+    @property
+    def years(self) -> List[int]:
+        return sorted(self.yearly_totals)
+
+    def incident_count(self, year: int, device_type: DeviceType) -> int:
+        return self.counts.get(year, {}).get(device_type, 0)
+
+    def year_total(self, year: int, typed_only: bool = False) -> int:
+        if typed_only:
+            return sum(self.counts.get(year, {}).values())
+        return self.yearly_totals.get(year, 0)
+
+    def fraction_of_year(self, year: int, device_type: DeviceType) -> float:
+        """Figure 7: a type's share of a year's typed incidents."""
+        total = self.year_total(year, typed_only=True)
+        if total == 0:
+            return 0.0
+        return self.incident_count(year, device_type) / total
+
+    def growth(self, first_year: int, last_year: int) -> float:
+        """Figure 8: total SEV growth factor between two years."""
+        first = self.year_total(first_year)
+        if first == 0:
+            raise ValueError(f"no incidents in the base year {first_year}")
+        return self.year_total(last_year) / first
+
+    def incident_rate(
+        self, year: int, device_type: DeviceType, fleet: FleetModel
+    ) -> float:
+        """Figure 3: incidents over the active population of the type."""
+        population = fleet.count(year, device_type)
+        if population == 0:
+            raise ValueError(
+                f"no {device_type.value} population in {year}"
+            )
+        return self.incident_count(year, device_type) / population
+
+    def mtbi_h(
+        self, year: int, device_type: DeviceType, fleet: FleetModel
+    ) -> float:
+        """Figure 12: device-hours MTBI (population-hours per incident)."""
+        incidents = self.incident_count(year, device_type)
+        if incidents == 0:
+            return float("inf")
+        return fleet.count(year, device_type) * HOURS_PER_YEAR / incidents
+
+    def root_cause_fraction(self, cause: RootCause) -> float:
+        """Table 2: one cause's share of all attributions."""
+        total = sum(self.cause_counts.values())
+        if total == 0:
+            return 0.0
+        return self.cause_counts.get(cause, 0) / total
+
+    def root_cause_distribution(self) -> Dict[RootCause, float]:
+        return {c: self.root_cause_fraction(c) for c in RootCause}
+
+    def severity_level_total(self, year: int, severity: Severity) -> int:
+        return sum(
+            self.severity_counts.get(year, {}).get(severity, {}).values()
+        )
+
+    def severity_share(self, year: int, severity: Severity) -> float:
+        """Figure 4: one level's share of a year's typed incidents."""
+        total = sum(self.severity_level_total(year, s) for s in Severity)
+        if total == 0:
+            return 0.0
+        return self.severity_level_total(year, severity) / total
+
+    def p75_irt(
+        self, year: int, device_type: Optional[DeviceType] = None
+    ) -> float:
+        """Figure 13: streamed p75 of incident resolution times."""
+        sketch = (
+            self.irt_by_year.get(year)
+            if device_type is None
+            else self.irt.get(year, {}).get(device_type)
+        )
+        if sketch is None or sketch.n == 0:
+            raise ValueError(
+                f"no resolution times for {device_type} in {year}"
+            )
+        return sketch.p75()
+
+    # -- merging -----------------------------------------------------
+
+    def merge(self, other: "StreamAggregates") -> "StreamAggregates":
+        """Fold another shard's aggregates in (in place); returns self.
+
+        Order-independent: any merge tree over the same shards yields
+        the same state.
+        """
+        self.events += other.events
+        for year, n in other.yearly_totals.items():
+            self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
+        for year, per_type in other.counts.items():
+            mine = self.counts.setdefault(year, {})
+            for device_type, n in per_type.items():
+                mine[device_type] = mine.get(device_type, 0) + n
+        for year, per_sev in other.yearly_severity.items():
+            mine_sev = self.yearly_severity.setdefault(year, {})
+            for severity, n in per_sev.items():
+                mine_sev[severity] = mine_sev.get(severity, 0) + n
+        for year, per_sev_type in other.severity_counts.items():
+            for severity, per_type in per_sev_type.items():
+                row = self.severity_counts.setdefault(year, {}).setdefault(
+                    severity, {}
+                )
+                for device_type, n in per_type.items():
+                    row[device_type] = row.get(device_type, 0) + n
+        for cause, n in other.cause_counts.items():
+            self.cause_counts[cause] = self.cause_counts.get(cause, 0) + n
+        for cause, per_type in other.cause_type_counts.items():
+            mine_cause = self.cause_type_counts.setdefault(cause, {})
+            for device_type, n in per_type.items():
+                mine_cause[device_type] = mine_cause.get(device_type, 0) + n
+        for year, per_type_sketch in other.irt.items():
+            cell = self.irt.setdefault(year, {})
+            for device_type, sketch in per_type_sketch.items():
+                if device_type in cell:
+                    cell[device_type].merge(sketch)
+                else:
+                    cell[device_type] = QuantileSketch.from_dict(
+                        sketch.to_dict()
+                    )
+        for year, sketch in other.irt_by_year.items():
+            if year in self.irt_by_year:
+                self.irt_by_year[year].merge(sketch)
+            else:
+                self.irt_by_year[year] = QuantileSketch.from_dict(
+                    sketch.to_dict()
+                )
+        return self
+
+    # -- serialization -----------------------------------------------
+
+    def to_state(self) -> dict:
+        """A JSON-safe snapshot of the full aggregate state."""
+        return {
+            "format": FORMAT,
+            "events": self.events,
+            "counts": {
+                str(year): {t.value: n for t, n in sorted(
+                    per_type.items(), key=lambda kv: kv[0].value
+                )}
+                for year, per_type in sorted(self.counts.items())
+            },
+            "yearly_totals": {
+                str(year): n
+                for year, n in sorted(self.yearly_totals.items())
+            },
+            "yearly_severity": {
+                str(year): {str(int(s)): n for s, n in sorted(per_sev.items())}
+                for year, per_sev in sorted(self.yearly_severity.items())
+            },
+            "severity_counts": {
+                str(year): {
+                    str(int(severity)): {
+                        t.value: n for t, n in sorted(
+                            per_type.items(), key=lambda kv: kv[0].value
+                        )
+                    }
+                    for severity, per_type in sorted(per_sev_type.items())
+                }
+                for year, per_sev_type in sorted(self.severity_counts.items())
+            },
+            "cause_counts": {
+                cause.value: n for cause, n in sorted(
+                    self.cause_counts.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "cause_type_counts": {
+                cause.value: {
+                    t.value: n for t, n in sorted(
+                        per_type.items(), key=lambda kv: kv[0].value
+                    )
+                }
+                for cause, per_type in sorted(
+                    self.cause_type_counts.items(),
+                    key=lambda kv: kv[0].value,
+                )
+            },
+            "irt": {
+                str(year): {
+                    t.value: sketch.to_dict()
+                    for t, sketch in sorted(
+                        per_type.items(), key=lambda kv: kv[0].value
+                    )
+                }
+                for year, per_type in sorted(self.irt.items())
+            },
+            "irt_by_year": {
+                str(year): sketch.to_dict()
+                for year, sketch in sorted(self.irt_by_year.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamAggregates":
+        if state.get("format") != FORMAT:
+            raise ValueError(
+                f"not a stream aggregate snapshot: {state.get('format')!r}"
+            )
+        agg = cls()
+        agg.events = state["events"]
+        agg.counts = {
+            int(year): {DeviceType(t): n for t, n in per_type.items()}
+            for year, per_type in state["counts"].items()
+        }
+        agg.yearly_totals = {
+            int(year): n for year, n in state["yearly_totals"].items()
+        }
+        agg.yearly_severity = {
+            int(year): {Severity(int(s)): n for s, n in per_sev.items()}
+            for year, per_sev in state["yearly_severity"].items()
+        }
+        agg.severity_counts = {
+            int(year): {
+                Severity(int(severity)): {
+                    DeviceType(t): n for t, n in per_type.items()
+                }
+                for severity, per_type in per_sev_type.items()
+            }
+            for year, per_sev_type in state["severity_counts"].items()
+        }
+        agg.cause_counts = {
+            RootCause(c): n for c, n in state["cause_counts"].items()
+        }
+        agg.cause_type_counts = {
+            RootCause(c): {DeviceType(t): n for t, n in per_type.items()}
+            for c, per_type in state["cause_type_counts"].items()
+        }
+        agg.irt = {
+            int(year): {
+                DeviceType(t): QuantileSketch.from_dict(payload)
+                for t, payload in per_type.items()
+            }
+            for year, per_type in state["irt"].items()
+        }
+        agg.irt_by_year = {
+            int(year): QuantileSketch.from_dict(payload)
+            for year, payload in state["irt_by_year"].items()
+        }
+        return agg
+
+    def digest(self) -> str:
+        """A content hash of the canonical state, for equality checks."""
+        canonical = json.dumps(self.to_state(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamAggregates):
+            return NotImplemented
+        return self.to_state() == other.to_state()

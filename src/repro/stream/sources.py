@@ -1,0 +1,52 @@
+"""Event sources for the ingestion engine.
+
+Three ways SEV reports arrive, all exposed as plain iterators so the
+engine is agnostic to where the stream comes from:
+
+* :func:`live_feed` — the simulator as an online producer: the
+  calibrated scenario's SEVs, yielded in the order they open, exactly
+  as a subscriber tailing the production SEV database would see them;
+* :func:`replay_store` — re-stream an existing :class:`SEVStore`
+  corpus in chronological order;
+* :func:`replay_file` — re-stream an exported corpus (``.csv``,
+  ``.json``, or ``.jsonl``) through :mod:`repro.io` without loading
+  it into a store first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.incidents.sev import SEVReport
+from repro.incidents.store import SEVStore
+from repro.simulation.generator import iter_scenario_reports
+from repro.simulation.scenarios import IntraScenario
+
+PathLike = Union[str, Path]
+
+
+def live_feed(scenario: IntraScenario) -> Iterator[SEVReport]:
+    """SEVs of a scenario as a chronological online feed."""
+    return iter_scenario_reports(scenario)
+
+
+def replay_store(store: SEVStore) -> Iterator[SEVReport]:
+    """Re-stream a store's corpus in chronological order."""
+    return store.all_reports()
+
+
+def replay_file(path: PathLike) -> Iterator[SEVReport]:
+    """Re-stream an exported SEV corpus, dispatching on the suffix."""
+    from repro.io import iter_sevs_csv, iter_sevs_json, iter_sevs_jsonl
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".jsonl":
+        return iter_sevs_jsonl(path)
+    if suffix == ".json":
+        return iter_sevs_json(path)
+    if suffix == ".csv":
+        return iter_sevs_csv(path)
+    raise ValueError(
+        f"cannot replay {path!s}: expected .csv, .json, or .jsonl"
+    )

@@ -2,12 +2,14 @@
 
 The benchmark harness prints the same rows and series the paper
 reports; these helpers render them as aligned tables and ASCII bar
-charts so a terminal diff against the paper is possible.
+charts so a terminal diff against the paper is possible.  The stream
+dashboard renders the live counterparts from incremental aggregates.
 """
 
 from repro.viz.tables import format_table
 from repro.viz.ascii import bar_chart, series_chart
 from repro.viz.report_builder import build_report, collect_artifacts
+from repro.viz.stream_view import stream_dashboard
 
 __all__ = [
     "bar_chart",
@@ -15,4 +17,5 @@ __all__ = [
     "collect_artifacts",
     "format_table",
     "series_chart",
+    "stream_dashboard",
 ]

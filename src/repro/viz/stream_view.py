@@ -1,0 +1,89 @@
+"""Plain-text dashboard over streaming aggregates.
+
+Renders the live counterparts of the paper's headline artifacts from a
+:class:`~repro.stream.aggregates.StreamAggregates` snapshot: yearly
+totals (Figure 8), the root-cause mix (Table 2), the latest year's
+severity mix (Figure 4), and the latest year's per-type counts, rates,
+MTBI, and streamed p75IRT (Figures 3, 7, 12, 13).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.fleet.population import FleetModel
+from repro.incidents.sev import RootCause, Severity
+from repro.topology.devices import DeviceType
+from repro.viz.tables import format_table
+
+
+def stream_dashboard(aggregates, fleet: Optional[FleetModel] = None) -> str:
+    """Render a streaming aggregate snapshot as stacked text tables.
+
+    ``fleet`` enables the population-normalized columns (incident rate
+    and MTBI); without one, the dashboard shows pure stream-derived
+    numbers only.
+    """
+    if aggregates.events == 0:
+        return "stream: no events ingested yet"
+    years = aggregates.years
+    latest = years[-1]
+    sections: List[str] = [
+        f"stream: {aggregates.events} events ingested, "
+        f"years {years[0]}-{latest}"
+    ]
+
+    sections.append(format_table(
+        ["Year", "SEVs"],
+        [[year, aggregates.year_total(year)] for year in years],
+        title="Incidents per year",
+    ))
+
+    sections.append(format_table(
+        ["Root cause", "Share"],
+        [
+            [cause.value, f"{aggregates.root_cause_fraction(cause):.1%}"]
+            for cause in RootCause
+        ],
+        title="Root causes (Table 2, streamed)",
+    ))
+
+    sections.append(format_table(
+        ["Severity", "Share"],
+        [
+            [severity.label, f"{aggregates.severity_share(latest, severity):.1%}"]
+            for severity in sorted(Severity)
+        ],
+        title=f"Severity mix, {latest} (Figure 4, streamed)",
+    ))
+
+    headers = ["Device", "SEVs", "p75 IRT (h)"]
+    if fleet is not None:
+        headers += ["Rate", "MTBI (h)"]
+    rows = []
+    for device_type in DeviceType:
+        count = aggregates.incident_count(latest, device_type)
+        if count == 0:
+            continue
+        row: List[object] = [
+            device_type.value,
+            count,
+            f"{aggregates.p75_irt(latest, device_type):.3g}",
+        ]
+        if fleet is not None:
+            population = fleet.count(latest, device_type)
+            if population:
+                mtbi = aggregates.mtbi_h(latest, device_type, fleet)
+                row += [
+                    f"{aggregates.incident_rate(latest, device_type, fleet):.3g}",
+                    f"{mtbi:.3g}" if math.isfinite(mtbi) else "inf",
+                ]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    sections.append(format_table(
+        headers, rows,
+        title=f"Per-type reliability, {latest} (streamed)",
+    ))
+    return "\n\n".join(sections)

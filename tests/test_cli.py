@@ -58,6 +58,62 @@ class TestExportAnalyze:
         out = capsys.readouterr().out
         assert "tickets" in out
 
+    def test_sev_export_honors_scale(self, tmp_path, capsys):
+        small = str(tmp_path / "small.csv")
+        full = str(tmp_path / "full.csv")
+        assert main(["export", "sevs", small, "--seed", "4",
+                     "--scale", "0.1"]) == 0
+        assert main(["export", "sevs", full, "--seed", "4"]) == 0
+        capsys.readouterr()
+        small_rows = len(open(small).readlines())
+        full_rows = len(open(full).readlines())
+        assert small_rows < full_rows / 5
+
+    def test_sev_jsonl_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "sevs.jsonl")
+        assert main(["export", "sevs", path, "--seed", "4",
+                     "--scale", "0.2"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["stream", "--replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+
+
+class TestStream:
+    def test_generate_with_jobs(self, capsys):
+        assert main(["stream", "--seed", "4", "--scale", "0.1",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Incidents per year" in out
+        assert "Root causes" in out
+        assert "MTBI" in out
+
+    def test_jobs_do_not_change_output(self, capsys):
+        assert main(["stream", "--seed", "4", "--scale", "0.1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["stream", "--seed", "4", "--scale", "0.1",
+                     "--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical dashboards modulo the worker-count banner line.
+        strip = lambda text: [line for line in text.splitlines()
+                              if "worker" not in line]
+        assert strip(serial) == strip(parallel)
+
+    def test_replay_checkpoint_resume(self, tmp_path, capsys):
+        corpus = str(tmp_path / "sevs.csv")
+        snapshot = str(tmp_path / "stream.ckpt.json")
+        assert main(["export", "sevs", corpus, "--seed", "4",
+                     "--scale", "0.1"]) == 0
+        assert main(["stream", "--replay", corpus,
+                     "--checkpoint", snapshot]) == 0
+        first = capsys.readouterr().out
+        assert "ingested" in first
+        assert main(["stream", "--replay", corpus,
+                     "--checkpoint", snapshot]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from" in second
+        assert "ingested 0 new events" in second
+
 
 class TestParsing:
     def test_unknown_command(self):

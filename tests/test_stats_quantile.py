@@ -1,0 +1,175 @@
+"""Tests for the streaming quantile estimators (repro.stats.quantile)."""
+
+import random
+
+import pytest
+
+from repro.stats.mttr import percentile
+from repro.stats.quantile import P2Quantile, QuantileSketch
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_fractions(self):
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_empty_estimator_has_no_value(self):
+        with pytest.raises(ValueError, match="no observations"):
+            P2Quantile(0.5).value()
+
+    def test_exact_below_five_observations(self):
+        est = P2Quantile(0.5)
+        values = [4.0, 1.0, 3.0]
+        for value in values:
+            est.add(value)
+        assert est.value() == percentile(values, 0.5)
+        assert est.n == 3
+
+    def test_median_of_uniform_stream(self):
+        rng = random.Random(9)
+        est = P2Quantile(0.5)
+        values = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+        for value in values:
+            est.add(value)
+        assert est.n == 5000
+        assert est.value() == pytest.approx(percentile(values, 0.5), rel=0.05)
+
+    def test_tail_quantile_of_exponential_stream(self):
+        rng = random.Random(17)
+        est = P2Quantile(0.75)
+        values = [rng.expovariate(1.0 / 12.0) for _ in range(5000)]
+        for value in values:
+            est.add(value)
+        assert est.value() == pytest.approx(
+            percentile(values, 0.75), rel=0.05
+        )
+
+
+class TestSketchConstruction:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(lo=10.0, hi=1.0)
+
+    def test_rejects_too_few_bins(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(bins=1)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QuantileSketch().add(-1.0)
+
+    def test_empty_sketch_has_no_quantile(self):
+        with pytest.raises(ValueError, match="no observations"):
+            QuantileSketch().quantile(0.5)
+
+    def test_rejects_out_of_range_fraction(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError, match="outside"):
+            sketch.quantile(1.5)
+
+
+class TestSketchAccuracy:
+    def test_exact_while_under_budget(self):
+        rng = random.Random(1)
+        values = [rng.expovariate(1.0 / 40.0) for _ in range(200)]
+        sketch = QuantileSketch(exact_budget=256)
+        sketch.extend(values)
+        assert sketch.is_exact
+        for q in (0.0, 0.1, 0.5, 0.75, 0.9, 1.0):
+            assert sketch.quantile(q) == percentile(values, q)
+
+    def test_bounded_error_past_budget(self):
+        rng = random.Random(2)
+        values = [rng.expovariate(1.0 / 40.0) for _ in range(5000)]
+        sketch = QuantileSketch(exact_budget=256)
+        sketch.extend(values)
+        assert not sketch.is_exact
+        for q in (0.1, 0.5, 0.75, 0.9):
+            assert sketch.quantile(q) == pytest.approx(
+                percentile(values, q), rel=0.02
+            )
+
+    def test_extremes_are_exact(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0.5, 500.0) for _ in range(2000)]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+
+    def test_p75_helper(self):
+        sketch = QuantileSketch()
+        sketch.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert sketch.p75() == percentile([1, 2, 3, 4, 5], 0.75) == 4.0
+
+
+class TestSketchMerge:
+    @staticmethod
+    def sample(seed, n):
+        rng = random.Random(seed)
+        return [rng.expovariate(1.0 / 25.0) for _ in range(n)]
+
+    def test_merge_equals_single_stream(self):
+        left_values = self.sample(4, 700)
+        right_values = self.sample(5, 900)
+        left = QuantileSketch()
+        left.extend(left_values)
+        right = QuantileSketch()
+        right.extend(right_values)
+        combined = QuantileSketch()
+        combined.extend(left_values + right_values)
+        assert left.merge(right).to_dict() == combined.to_dict()
+
+    def test_merge_is_commutative(self):
+        parts = [self.sample(seed, 300) for seed in (6, 7, 8)]
+        forward = QuantileSketch()
+        for part in parts:
+            other = QuantileSketch()
+            other.extend(part)
+            forward.merge(other)
+        backward = QuantileSketch()
+        for part in reversed(parts):
+            other = QuantileSketch()
+            other.extend(part)
+            backward.merge(other)
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_merge_of_small_sketches_stays_exact(self):
+        left = QuantileSketch()
+        left.extend([1.0, 5.0, 9.0])
+        right = QuantileSketch()
+        right.extend([2.0, 4.0])
+        left.merge(right)
+        assert left.is_exact
+        assert left.quantile(0.5) == percentile([1, 2, 4, 5, 9], 0.5)
+
+    def test_merge_with_empty_is_identity(self):
+        sketch = QuantileSketch()
+        sketch.extend([3.0, 1.0])
+        before = sketch.to_dict()
+        assert sketch.merge(QuantileSketch()).to_dict() == before
+        empty = QuantileSketch()
+        assert empty.merge(sketch).to_dict() == before
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            QuantileSketch(bins=64).merge(QuantileSketch(bins=128))
+
+
+class TestSketchSerialization:
+    def test_roundtrip(self):
+        sketch = QuantileSketch()
+        sketch.extend(TestSketchMerge.sample(10, 1500))
+        restored = QuantileSketch.from_dict(sketch.to_dict())
+        assert restored.to_dict() == sketch.to_dict()
+        assert restored.quantile(0.75) == sketch.quantile(0.75)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError, match="sketch"):
+            QuantileSketch.from_dict({"format": "not-a-sketch"})

@@ -1,0 +1,190 @@
+"""Streaming-versus-batch parity (the repro.stream guarantee).
+
+One pass of :class:`repro.stream.StreamAggregates` over a corpus must
+agree with the batch pipeline recomputing over the same corpus loaded
+into a :class:`~repro.incidents.store.SEVStore`: exactly for every
+count-based artifact (Tables 2, Figures 3/4/7/8/12), and within the
+sketch error bound for the streamed resolution-time percentiles
+(Figure 13).  Checked property-style across several seeds, plus the
+merge laws that make sharded generation deterministic.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.distribution import incident_distribution
+from repro.core.incident_rates import incident_rates
+from repro.core.root_causes import root_cause_breakdown
+from repro.core.severity import severity_by_device
+from repro.core.switch_reliability import switch_reliability
+from repro.incidents.sev import RootCause, Severity
+from repro.incidents.store import SEVStore
+from repro.simulation.generator import iter_scenario_reports, scenario_cells
+from repro.simulation.scenarios import paper_scenario
+from repro.stats.mttr import percentile
+from repro.stream import (
+    StreamAggregates,
+    aggregate_cells,
+    generate_aggregates,
+    shard_cells,
+)
+from repro.topology.devices import DeviceType
+
+SEEDS = [3, 11, 42]
+SCALE = 0.25
+
+
+def build_pair(seed):
+    """The same corpus twice: streamed aggregates and a batch store."""
+    scenario = paper_scenario(seed=seed, scale=SCALE)
+    streamed = StreamAggregates()
+    streamed.ingest_many(iter_scenario_reports(scenario))
+    store = SEVStore()
+    store.insert_many(iter_scenario_reports(scenario))
+    return scenario, streamed, store
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def corpus(request):
+    return build_pair(request.param)
+
+
+class TestCountParity:
+    def test_event_totals(self, corpus):
+        _, streamed, store = corpus
+        assert streamed.events == len(store)
+        per_year = {}
+        for report in store.all_reports():
+            per_year[report.opened_year] = (
+                per_year.get(report.opened_year, 0) + 1
+            )
+        for year in store.years():
+            assert streamed.year_total(year) == per_year[year]
+
+    def test_root_causes_exact(self, corpus):
+        _, streamed, store = corpus
+        batch = root_cause_breakdown(store)
+        for cause in RootCause:
+            assert streamed.root_cause_fraction(cause) == pytest.approx(
+                batch.fraction(cause), abs=1e-12
+            )
+
+    def test_incident_distribution_exact(self, corpus):
+        _, streamed, store = corpus
+        last = store.years()[-1]
+        dist = incident_distribution(store, baseline_year=last)
+        for year in store.years():
+            for device_type in DeviceType:
+                assert streamed.fraction_of_year(
+                    year, device_type
+                ) == pytest.approx(
+                    dist.fraction_of_year(year, device_type), abs=1e-12
+                )
+
+    def test_growth_exact(self, corpus):
+        _, streamed, store = corpus
+        first, last = store.years()[0], store.years()[-1]
+        dist = incident_distribution(store, baseline_year=first)
+        assert streamed.growth(first, last) == pytest.approx(
+            dist.year_total(last) / dist.year_total(first), abs=1e-12
+        )
+
+    def test_incident_rates_exact(self, corpus):
+        scenario, streamed, store = corpus
+        rates = incident_rates(store, scenario.fleet)
+        for year in store.years():
+            for device_type in DeviceType:
+                if scenario.fleet.count(year, device_type) == 0:
+                    continue
+                assert streamed.incident_rate(
+                    year, device_type, scenario.fleet
+                ) == pytest.approx(
+                    rates.rate(year, device_type), abs=1e-12
+                )
+
+    def test_mtbi_exact(self, corpus):
+        scenario, streamed, store = corpus
+        sr = switch_reliability(store, scenario.fleet)
+        for year, per_type in sr.mtbi_h.items():
+            for device_type, batch_mtbi in per_type.items():
+                assert streamed.mtbi_h(
+                    year, device_type, scenario.fleet
+                ) == pytest.approx(batch_mtbi, rel=1e-12)
+
+    def test_severity_shares_exact(self, corpus):
+        _, streamed, store = corpus
+        for year in store.years():
+            fig4 = severity_by_device(store, year)
+            for severity in Severity:
+                assert streamed.severity_share(
+                    year, severity
+                ) == pytest.approx(fig4.level_share(severity), abs=1e-12)
+
+
+class TestPercentileParity:
+    def test_p75_irt_within_two_percent(self, corpus):
+        """Figure 13 streamed: per-year p75 IRT within 2% of batch."""
+        _, streamed, store = corpus
+        for year in store.years():
+            durations = [
+                r.duration_h for r in store.all_reports()
+                if r.device_type is not None and r.opened_year == year
+            ]
+            if not durations:
+                continue
+            batch_p75 = percentile(durations, 0.75)
+            assert streamed.p75_irt(year) == pytest.approx(
+                batch_p75, rel=0.02
+            )
+
+    def test_per_type_p75_within_two_percent(self, corpus):
+        scenario, streamed, store = corpus
+        sr = switch_reliability(store, scenario.fleet)
+        for year, per_type in sr.p75_irt_h.items():
+            for device_type, batch_p75 in per_type.items():
+                assert streamed.p75_irt(year, device_type) == pytest.approx(
+                    batch_p75, rel=0.02
+                )
+
+
+class TestMergeLaws:
+    """The algebra behind N-workers-equals-1-worker determinism."""
+
+    def test_merge_is_order_independent(self):
+        scenario = paper_scenario(seed=SEEDS[0], scale=SCALE)
+        shards = shard_cells(scenario_cells(scenario), 3)
+        parts = [aggregate_cells(scenario, shard) for shard in shards]
+        digests = set()
+        for order in itertools.permutations(range(len(parts))):
+            merged = StreamAggregates()
+            for index in order:
+                merged.merge(
+                    StreamAggregates.from_state(parts[index].to_state())
+                )
+            digests.add(merged.digest())
+        assert len(digests) == 1
+
+    @pytest.mark.parametrize("jobs", [2, 3, 7])
+    def test_any_shard_count_matches_one_worker(self, jobs):
+        scenario = paper_scenario(seed=SEEDS[1], scale=SCALE)
+        baseline = generate_aggregates(scenario, jobs=1)
+        sharded = generate_aggregates(
+            scenario, jobs=jobs, use_processes=False
+        )
+        assert sharded.digest() == baseline.digest()
+        assert sharded == baseline
+
+    def test_process_pool_matches_inline(self):
+        scenario = paper_scenario(seed=SEEDS[2], scale=SCALE)
+        pooled = generate_aggregates(scenario, jobs=2, use_processes=True)
+        inline = generate_aggregates(scenario, jobs=1)
+        assert pooled.digest() == inline.digest()
+
+    def test_sharded_equals_streamed_feed(self):
+        scenario = paper_scenario(seed=SEEDS[0], scale=SCALE)
+        fed = StreamAggregates()
+        fed.ingest_many(iter_scenario_reports(scenario))
+        assert generate_aggregates(scenario, jobs=3,
+                                   use_processes=False).digest() \
+            == fed.digest()
