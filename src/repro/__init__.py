@@ -60,6 +60,7 @@ from repro.simulation import (
     paper_backbone_scenario,
     paper_scenario,
 )
+from repro.runtime import Executor, ResultCache, RunContext
 from repro.stream import StreamAggregates, StreamEngine
 from repro.topology import (
     DeviceType,
@@ -77,13 +78,16 @@ __all__ = [
     "DatacenterDrainDrill",
     "DeploymentPipeline",
     "DeviceType",
+    "Executor",
     "FaultInjector",
     "ImpactModel",
     "IntraSimulator",
     "NetworkDesign",
     "RemediationEngine",
+    "ResultCache",
     "ReviewPolicy",
     "RootCause",
+    "RunContext",
     "SEVReport",
     "SEVStore",
     "Severity",

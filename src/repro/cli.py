@@ -24,18 +24,14 @@ from repro import (
     IntraSimulator,
     backbone_reliability,
     continent_table,
-    design_comparison,
-    incident_distribution,
-    incident_growth,
     paper_backbone_scenario,
     paper_fleet,
     paper_scenario,
-    root_cause_breakdown,
-    severity_by_device,
-    switch_reliability,
 )
 from repro.incidents import RootCause, SEVStore, Severity
 from repro.viz import format_table
+
+BACKEND_CHOICES = ["batch", "stream", "sharded"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=None)
     report.add_argument("--scale", type=float, default=1.0,
                         help="intra corpus scale factor")
+    report.add_argument("--backend", choices=BACKEND_CHOICES,
+                        default="batch",
+                        help="execution backend for the intra analyses "
+                             "(all agree on every count)")
+    report.add_argument("--cache", metavar="DIR", default=None,
+                        help="result cache directory: analyses of an "
+                             "unchanged corpus are reused, not recomputed")
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
@@ -63,7 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "matching report --scale")
 
     analyze = sub.add_parser("analyze", help="analyze an exported SEV corpus")
-    analyze.add_argument("path", help="SEV export (.csv or .json)")
+    analyze.add_argument("path", help="SEV export (.csv, .json, or .jsonl — "
+                                      "every format export emits)")
+    analyze.add_argument("--backend", choices=BACKEND_CHOICES,
+                         default="batch",
+                         help="execution backend for the analyses")
 
     verify = sub.add_parser(
         "verify",
@@ -92,34 +99,54 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _intra_report(seed: Optional[int], scale: float) -> None:
+def _intra_report(seed: Optional[int], scale: float,
+                  backend: str = "batch") -> None:
     scenario = (paper_scenario(seed=seed, scale=scale)
                 if seed is not None else paper_scenario(scale=scale))
     store = IntraSimulator(scenario).run()
     fleet = scenario.fleet
-    _print_intra_tables(store, fleet)
+    _print_intra_tables(store, fleet, backend=backend)
 
 
-def _print_intra_tables(store: SEVStore, fleet) -> None:
+def _print_intra_tables(store: SEVStore, fleet,
+                        backend: str = "batch") -> None:
+    from repro.runtime import Executor, RunContext
+    from repro.runtime.analyses import (
+        DesignComparisonAnalysis,
+        DistributionAnalysis,
+        GrowthAnalysis,
+        RootCausesAnalysis,
+        SeverityByDeviceAnalysis,
+        SwitchReliabilityAnalysis,
+    )
+
     print(f"corpus: {len(store)} SEVs, years "
           f"{store.years()[0]}-{store.years()[-1]}\n")
 
-    t2 = root_cause_breakdown(store)
+    executor = Executor(backend=backend)
+    context = RunContext(store=store, fleet=fleet)
+    results = executor.run(
+        [RootCausesAnalysis(), SeverityByDeviceAnalysis(),
+         DistributionAnalysis(), GrowthAnalysis()],
+        context,
+    )
+
+    t2 = results["root_causes"]
     print(format_table(
         ["Root cause", "Share"],
         [[c.value, f"{t2.fraction(c):.1%}"] for c in RootCause],
         title="Table 2: root causes",
     ))
 
-    last = store.years()[-1]
-    fig4 = severity_by_device(store, last)
+    fig4 = results["severity_by_device"]
+    last = fig4.year
     print("\n" + format_table(
         ["Severity", "Share"],
         [[s.label, f"{fig4.level_share(s):.1%}"] for s in sorted(Severity)],
         title=f"Figure 4: severity mix, {last}",
     ))
 
-    dist = incident_distribution(store, baseline_year=last)
+    dist = results["distribution"]
     print("\n" + format_table(
         ["Device", f"Share of {last}"],
         [[t.value, f"{dist.fraction_of_year(last, t):.1%}"]
@@ -129,18 +156,21 @@ def _print_intra_tables(store: SEVStore, fleet) -> None:
 
     first = store.years()[0]
     if dist.year_total(first):
-        print(f"\ngrowth {first}->{last}: "
-              f"{incident_growth(store, first, last):.1f}x")
+        print(f"\ngrowth {first}->{last}: {results['growth']:.1f}x")
 
     try:
-        sr = switch_reliability(store, fleet)
+        populated = executor.run(
+            [SwitchReliabilityAnalysis(), DesignComparisonAnalysis()],
+            context,
+        )
+        sr = populated["switch_reliability"]
         print("\n" + format_table(
             ["Device", f"MTBI {last} (device-hours)"],
             [[t.value, f"{sr.mtbi_h[last][t]:.3g}"]
              for t in DeviceType if t in sr.mtbi_h.get(last, {})],
             title="Figure 12: MTBI",
         ))
-        comparison = design_comparison(store, fleet)
+        comparison = populated["design_comparison"]
         print(f"\nfabric/cluster incidents in {last}: "
               f"{comparison.fabric_to_cluster_ratio(last):.0%}")
     except (KeyError, ValueError):
@@ -250,21 +280,36 @@ def _stream(seed: int, scale: float, jobs: int,
     print(stream_dashboard(aggregates, fleet))
 
 
-def _analyze(path: str) -> None:
-    from repro.io import import_sevs_csv, import_sevs_json
+def _analyze(path: str, backend: str = "batch") -> None:
+    from repro.io import import_sevs_csv, import_sevs_json, import_sevs_jsonl
 
-    reader = import_sevs_json if path.endswith(".json") else import_sevs_csv
+    if path.endswith(".jsonl"):
+        reader = import_sevs_jsonl
+    elif path.endswith(".json"):
+        reader = import_sevs_json
+    else:
+        reader = import_sevs_csv
     store = reader(path)
-    _print_intra_tables(store, paper_fleet())
+    _print_intra_tables(store, paper_fleet(), backend=backend)
 
 
-def _full_report(seed: Optional[int], scale: float) -> None:
-    from repro.core import backbone_study_report, intra_study_report
+def _full_report(seed: Optional[int], scale: float,
+                 backend: str = "batch",
+                 cache_dir: Optional[str] = None) -> None:
+    from repro.core import backbone_study_report
+    from repro.runtime import ResultCache, RunContext, run_intra_report
 
     scenario = (paper_scenario(seed=seed, scale=scale)
                 if seed is not None else paper_scenario(scale=scale))
     store = IntraSimulator(scenario).run()
-    print(intra_study_report(store, scenario.fleet).render())
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    context = RunContext(
+        store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
+    )
+    print(run_intra_report(context, backend=backend, cache=cache).render())
+    if cache is not None and cache.hits:
+        print(f"\n[cache] {cache.hits} analyses reused, "
+              f"{cache.misses} computed")
 
     backbone_scenario = (paper_backbone_scenario(seed=seed)
                          if seed is not None else paper_backbone_scenario())
@@ -279,15 +324,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
         if args.study == "intra":
-            _intra_report(args.seed, args.scale)
+            _intra_report(args.seed, args.scale, args.backend)
         elif args.study == "backbone":
             _backbone_report(args.seed)
         else:
-            _full_report(args.seed, args.scale)
+            _full_report(args.seed, args.scale, args.backend, args.cache)
     elif args.command == "export":
         _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
-        _analyze(args.path)
+        _analyze(args.path, args.backend)
     elif args.command == "stream":
         _stream(args.seed, args.scale, args.jobs,
                 args.replay, args.checkpoint)

@@ -72,16 +72,15 @@ class DesignComparison:
         return max(series, key=lambda y: (series[y], -y))
 
 
-def design_comparison(
-    store: SEVStore, fleet: FleetModel, baseline_year: int = 2017
-) -> DesignComparison:
-    """Compute Figures 9/10: aggregate incidents by network design.
+def design_counts_from_type_counts(
+    per_year: Dict[int, Dict[DeviceType, int]],
+) -> Dict[int, Dict[NetworkDesign, int]]:
+    """Aggregate per-type counts into the paper's design buckets.
 
     Only design-specific device types participate (CSA/CSW for
     cluster, ESW/SSW/FSW for fabric); Cores and RSWs are shared by
     both designs and excluded, as in the paper's definition.
     """
-    per_year = SEVQuery(store).count_by_year_and_type()
     counts: Dict[int, Dict[NetworkDesign, int]] = {}
     for year, per_type in per_year.items():
         counts[year] = {
@@ -92,8 +91,19 @@ def design_comparison(
                 per_type.get(t, 0) for t in FABRIC_TYPES
             ),
         }
+    return counts
+
+
+def design_comparison(
+    store: SEVStore, fleet: FleetModel, baseline_year: int = 2017
+) -> DesignComparison:
+    """Compute Figures 9/10: aggregate incidents by network design."""
     return DesignComparison(
-        counts=counts, baseline_year=baseline_year, fleet=fleet
+        counts=design_counts_from_type_counts(
+            SEVQuery(store).count_by_year_and_type()
+        ),
+        baseline_year=baseline_year,
+        fleet=fleet,
     )
 
 

@@ -14,7 +14,6 @@ from typing import Dict, List
 from repro.fleet.population import FleetModel
 from repro.incidents.query import SEVQuery
 from repro.incidents.store import SEVStore
-from repro.stats.timeseries import YearlyCounts
 from repro.topology.devices import DeviceType
 
 
@@ -50,15 +49,17 @@ class IncidentRateSeries:
         return sorted(per_type, key=lambda t: -t.bisection_rank)
 
 
-def incident_rates(store: SEVStore, fleet: FleetModel) -> IncidentRateSeries:
-    """Compute Figure 3 from the SEV database and fleet populations."""
-    counts = YearlyCounts()
-    for year, per_type in SEVQuery(store).count_by_year_and_type().items():
-        for device_type, n in per_type.items():
-            counts.add(year, device_type, n)
+def rates_from_counts(
+    counts: Dict[int, Dict[DeviceType, int]], fleet: FleetModel
+) -> IncidentRateSeries:
+    """The Figure 3 math over already-tallied per-year/type counts.
 
+    Shared by the SQL path (:func:`incident_rates`) and the streaming
+    fold path (:mod:`repro.runtime`): any backend that produces the
+    same counts produces the same rates.
+    """
     rates: Dict[int, Dict[DeviceType, float]] = {}
-    for year in counts.years:
+    for year in sorted(counts):
         if year not in fleet.snapshots:
             continue
         per_type: Dict[DeviceType, float] = {}
@@ -68,8 +69,13 @@ def incident_rates(store: SEVStore, fleet: FleetModel) -> IncidentRateSeries:
                 # A type absent from the fleet that year has no point
                 # on the figure.
                 continue
-            per_type[device_type] = counts.per_capita(
-                year, device_type, population
+            per_type[device_type] = (
+                counts.get(year, {}).get(device_type, 0) / population
             )
         rates[year] = per_type
     return IncidentRateSeries(rates=rates)
+
+
+def incident_rates(store: SEVStore, fleet: FleetModel) -> IncidentRateSeries:
+    """Compute Figure 3 from the SEV database and fleet populations."""
+    return rates_from_counts(SEVQuery(store).count_by_year_and_type(), fleet)

@@ -11,27 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.backbone_reliability import (
-    BackboneReliability,
-    ContinentRow,
-    backbone_reliability,
-    continent_table,
-)
-from repro.core.design_comparison import DesignComparison, design_comparison
-from repro.core.distribution import (
-    IncidentDistribution,
-    incident_distribution,
-    incident_growth,
-)
-from repro.core.incident_rates import IncidentRateSeries, incident_rates
-from repro.core.root_causes import RootCauseBreakdown, root_cause_breakdown
-from repro.core.severity import (
-    SeverityByDevice,
-    SeverityRateSeries,
-    severity_by_device,
-    severity_rates_over_time,
-)
-from repro.core.switch_reliability import SwitchReliability, switch_reliability
+from repro.core.backbone_reliability import BackboneReliability, ContinentRow
+from repro.core.design_comparison import DesignComparison
+from repro.core.distribution import IncidentDistribution
+from repro.core.incident_rates import IncidentRateSeries
+from repro.core.root_causes import RootCauseBreakdown
+from repro.core.severity import SeverityByDevice, SeverityRateSeries
+from repro.core.switch_reliability import SwitchReliability
 from repro.fleet.population import FleetModel
 from repro.incidents.sev import RootCause, Severity
 from repro.incidents.store import SEVStore
@@ -127,31 +113,35 @@ class BackboneStudyReport:
 
 
 def intra_study_report(
-    store: SEVStore, fleet: FleetModel, year: Optional[int] = None
+    store: SEVStore,
+    fleet: FleetModel,
+    year: Optional[int] = None,
+    backend: str = "batch",
+    cache=None,
 ) -> IntraStudyReport:
-    """Run every intra data center analysis over one corpus."""
-    years = store.years()
-    if not years:
+    """Run every intra data center analysis over one corpus.
+
+    Composition and execution live in :mod:`repro.runtime`; this entry
+    point keeps its historical signature and default batch semantics.
+    ``backend`` selects the execution strategy (``batch`` / ``stream``
+    / ``sharded``) and ``cache`` an optional
+    :class:`repro.runtime.ResultCache` for fingerprint-keyed reuse.
+    """
+    # Imported lazily: repro.runtime folds with these report dataclasses.
+    from repro.runtime import RunContext, run_intra_report
+
+    if not store.years():
         raise ValueError("the SEV corpus is empty")
-    last = year if year is not None else years[-1]
-    return IntraStudyReport(
-        root_causes=root_cause_breakdown(store),
-        rates=incident_rates(store, fleet),
-        severity=severity_by_device(store, last),
-        severity_over_time=severity_rates_over_time(store, fleet),
-        distribution=incident_distribution(store, baseline_year=last),
-        designs=design_comparison(store, fleet, baseline_year=last),
-        switches=switch_reliability(store, fleet),
-        growth=incident_growth(store, years[0], last),
-        last_year=last,
-    )
+    context = RunContext(store=store, fleet=fleet, year=year)
+    return run_intra_report(context, backend=backend, cache=cache)
 
 
 def backbone_study_report(monitor, topology, window_h: float
                           ) -> BackboneStudyReport:
     """Run every backbone analysis over one ticket corpus."""
-    return BackboneStudyReport(
-        reliability=backbone_reliability(monitor, window_h),
-        continents=continent_table(monitor, topology, window_h),
-        window_h=window_h,
+    from repro.runtime import RunContext, run_backbone_report
+
+    context = RunContext(
+        monitor=monitor, topology=topology, window_h=window_h
     )
+    return run_backbone_report(context)

@@ -69,6 +69,19 @@ def root_cause_breakdown(
     return RootCauseBreakdown(counts=SEVQuery(store).count_by_root_cause(year))
 
 
+def device_fractions_from_counts(
+    raw: Dict[RootCause, Dict[DeviceType, int]],
+) -> Dict[RootCause, Dict[DeviceType, float]]:
+    """The Figure 2 math: normalize each root-cause row across types."""
+    fractions: Dict[RootCause, Dict[DeviceType, float]] = {}
+    for cause, per_type in raw.items():
+        total = sum(per_type.values())
+        if total == 0:
+            continue
+        fractions[cause] = {t: n / total for t, n in per_type.items()}
+    return fractions
+
+
 def root_causes_by_device(
     store: SEVStore,
 ) -> Dict[RootCause, Dict[DeviceType, float]]:
@@ -77,11 +90,6 @@ def root_causes_by_device(
     Each root-cause row is normalized across device types, matching
     the figure's stacked-fraction rendering.
     """
-    raw = SEVQuery(store).count_by_root_cause_and_type()
-    fractions: Dict[RootCause, Dict[DeviceType, float]] = {}
-    for cause, per_type in raw.items():
-        total = sum(per_type.values())
-        if total == 0:
-            continue
-        fractions[cause] = {t: n / total for t, n in per_type.items()}
-    return fractions
+    return device_fractions_from_counts(
+        SEVQuery(store).count_by_root_cause_and_type()
+    )

@@ -96,11 +96,14 @@ class SeverityRateSeries:
         return max(series, key=lambda y: (series[y], -y))
 
 
-def severity_rates_over_time(
-    store: SEVStore, fleet: FleetModel
+def severity_rates_from_counts(
+    per_year: Dict[int, Dict[Severity, int]], fleet: FleetModel
 ) -> SeverityRateSeries:
-    """Compute Figure 5: yearly SEV counts normalized by fleet size."""
-    per_year = SEVQuery(store).count_by_year_and_severity()
+    """The Figure 5 math over already-tallied per-year severity counts.
+
+    Shared by the SQL path (:func:`severity_rates_over_time`) and the
+    streaming fold path (:mod:`repro.runtime`).
+    """
     rates: Dict[int, Dict[Severity, float]] = {}
     for year, per_sev in per_year.items():
         if year not in fleet.snapshots:
@@ -112,6 +115,15 @@ def severity_rates_over_time(
             severity: n / total_devices for severity, n in per_sev.items()
         }
     return SeverityRateSeries(rates=rates)
+
+
+def severity_rates_over_time(
+    store: SEVStore, fleet: FleetModel
+) -> SeverityRateSeries:
+    """Compute Figure 5: yearly SEV counts normalized by fleet size."""
+    return severity_rates_from_counts(
+        SEVQuery(store).count_by_year_and_severity(), fleet
+    )
 
 
 def sevs_per_employee(

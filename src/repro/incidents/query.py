@@ -185,6 +185,24 @@ class SEVQuery:
             )
         ]
 
+    def durations_by_cell(
+        self,
+    ) -> Dict[Tuple[int, DeviceType], List[float]]:
+        """Resolution times for every (year, device type) cell, sorted.
+
+        One corpus scan instead of one :meth:`durations` query per
+        cell — the fan-in the batch switch-reliability analysis rides
+        on.  Cells come back sorted by duration, like ``durations``.
+        """
+        out: Dict[Tuple[int, DeviceType], List[float]] = {}
+        for year, t, duration in self._conn.execute(
+            "SELECT opened_year, device_type, duration_h FROM sevs "
+            "WHERE device_type IS NOT NULL "
+            "ORDER BY opened_year, device_type, duration_h"
+        ):
+            out.setdefault((year, DeviceType(t)), []).append(duration)
+        return out
+
     def repeat_offenders(self, min_incidents: int = 2) -> List[Tuple[str, int]]:
         """Devices implicated in multiple SEVs, most-incident first.
 

@@ -33,10 +33,26 @@ CREATE TABLE IF NOT EXISTS sev_root_causes (
     root_cause TEXT NOT NULL,
     PRIMARY KEY (sev_id, root_cause)
 );
-CREATE INDEX IF NOT EXISTS idx_sevs_year ON sevs(opened_year);
-CREATE INDEX IF NOT EXISTS idx_sevs_type ON sevs(device_type);
-CREATE INDEX IF NOT EXISTS idx_rc_cause ON sev_root_causes(root_cause);
 """
+
+#: The query-layer indexes, by name.  ``idx_sevs_year_type`` is a
+#: covering index for the hot aggregation path — every per-year,
+#: per-type GROUP BY in :mod:`repro.incidents.query` is answered from
+#: the index alone, no table walk.
+_INDEXES = {
+    "idx_sevs_year":
+        "CREATE INDEX IF NOT EXISTS idx_sevs_year ON sevs(opened_year)",
+    "idx_sevs_type":
+        "CREATE INDEX IF NOT EXISTS idx_sevs_type ON sevs(device_type)",
+    "idx_sevs_year_type":
+        "CREATE INDEX IF NOT EXISTS idx_sevs_year_type "
+        "ON sevs(opened_year, device_type)",
+    "idx_sevs_device":
+        "CREATE INDEX IF NOT EXISTS idx_sevs_device ON sevs(device_name)",
+    "idx_rc_cause":
+        "CREATE INDEX IF NOT EXISTS idx_rc_cause "
+        "ON sev_root_causes(root_cause)",
+}
 
 
 class SEVStore:
@@ -50,6 +66,31 @@ class SEVStore:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
+        self.create_indexes()
+
+    # -- indexes -----------------------------------------------------
+
+    @staticmethod
+    def index_names() -> List[str]:
+        """The names of the query-layer indexes, in creation order."""
+        return list(_INDEXES)
+
+    def create_indexes(self) -> None:
+        """(Re)create every query-layer index; idempotent."""
+        with self._conn:
+            for statement in _INDEXES.values():
+                self._conn.execute(statement)
+
+    def drop_indexes(self) -> None:
+        """Drop every query-layer index.
+
+        Bulk loads are faster without index maintenance; call
+        :meth:`create_indexes` afterwards to rebuild.  Also how the
+        index micro-benchmark measures the unindexed baseline.
+        """
+        with self._conn:
+            for name in _INDEXES:
+                self._conn.execute(f"DROP INDEX IF EXISTS {name}")
 
     # -- lifecycle ---------------------------------------------------
 

@@ -1,0 +1,45 @@
+"""repro.runtime — one execution layer for batch and streaming analytics.
+
+Every paper artifact is declared once as an
+:class:`~repro.runtime.analysis.Analysis` (prepare / fold / merge /
+finalize, optionally a SQL ``batch`` fast path) and the
+:class:`~repro.runtime.executor.Executor` runs any set of them over
+three interchangeable backends — ``batch`` (per-analysis SQL),
+``stream`` (one fused corpus pass), ``sharded`` (fold partitions
+independently, merge states).  A content-addressed
+:class:`~repro.runtime.cache.ResultCache` keyed by corpus fingerprint
+makes repeat runs over unchanged corpora free.
+"""
+
+from repro.runtime.analysis import Analysis, RunContext
+from repro.runtime.analyses import intra_report_analyses, registry
+from repro.runtime.cache import ResultCache, corpus_fingerprint
+from repro.runtime.executor import (
+    BACKENDS,
+    Executor,
+    run_backbone_report,
+    run_intra_report,
+)
+from repro.runtime.states import (
+    CauseTallies,
+    DurationSketches,
+    SeverityTallies,
+    YearTypeCounts,
+)
+
+__all__ = [
+    "Analysis",
+    "BACKENDS",
+    "CauseTallies",
+    "DurationSketches",
+    "Executor",
+    "ResultCache",
+    "RunContext",
+    "SeverityTallies",
+    "YearTypeCounts",
+    "corpus_fingerprint",
+    "intra_report_analyses",
+    "registry",
+    "run_backbone_report",
+    "run_intra_report",
+]

@@ -1,0 +1,409 @@
+"""The paper's analyses, declared against the runtime protocol.
+
+One :class:`~repro.runtime.analysis.Analysis` per artifact of
+:mod:`repro.core`.  Each corpus analysis pairs a mergeable fold state
+(:mod:`repro.runtime.states`) with the pure finalizer math extracted
+into the core modules (``rates_from_counts`` and friends), plus the
+original SQL implementation as its :meth:`~Analysis.batch` fast path —
+so every backend, SQL or fold, runs the *same* math over the same
+counts and can only differ in how the counts were gathered.
+
+Analyses that never read the SEV corpus — Table 1 reads the
+remediation engine, section 6 reads the backbone ticket monitor — are
+context-only (``requires_corpus = False``).
+
+Analyses that fold the same state declare a shared ``state_key`` so
+the executor folds each record into each distinct state once, not once
+per analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.backbone_reliability import backbone_reliability, continent_table
+from repro.core.design_comparison import (
+    DesignComparison,
+    design_comparison,
+    design_counts_from_type_counts,
+)
+from repro.core.distribution import (
+    IncidentDistribution,
+    growth_from_totals,
+    incident_distribution,
+    incident_growth,
+)
+from repro.core.incident_rates import incident_rates, rates_from_counts
+from repro.core.remediation_stats import remediation_table
+from repro.core.root_causes import (
+    RootCauseBreakdown,
+    device_fractions_from_counts,
+    root_cause_breakdown,
+    root_causes_by_device,
+)
+from repro.core.severity import (
+    SeverityByDevice,
+    severity_by_device,
+    severity_rates_from_counts,
+    severity_rates_over_time,
+)
+from repro.core.switch_reliability import (
+    switch_reliability,
+    switch_reliability_from_counts,
+)
+from repro.runtime.analysis import Analysis, RunContext
+from repro.runtime.states import (
+    CauseTallies,
+    DurationSketches,
+    SeverityTallies,
+    YearTypeCounts,
+)
+from repro.topology.devices import DeviceType
+
+__all__ = [
+    "BackboneReliabilityAnalysis",
+    "ContinentTableAnalysis",
+    "DesignComparisonAnalysis",
+    "DistributionAnalysis",
+    "GrowthAnalysis",
+    "IncidentRatesAnalysis",
+    "RemediationTableAnalysis",
+    "RootCausesAnalysis",
+    "RootCausesByDeviceAnalysis",
+    "SeverityByDeviceAnalysis",
+    "SeverityOverTimeAnalysis",
+    "SwitchReliabilityAnalysis",
+    "intra_report_analyses",
+    "registry",
+]
+
+
+# -- corpus analyses ---------------------------------------------------
+
+
+class RootCausesAnalysis(Analysis):
+    """Table 2: root-cause counts and fractions over the whole study."""
+
+    name = "root_causes"
+    state_key = "causes"
+
+    def prepare(self, context: RunContext) -> CauseTallies:
+        return CauseTallies()
+
+    def fold(self, report, state: CauseTallies) -> None:
+        state.fold(report)
+
+    def finalize(self, state: CauseTallies, context: RunContext):
+        return RootCauseBreakdown(counts=dict(state.counts))
+
+    def batch(self, context: RunContext):
+        return root_cause_breakdown(context.store)
+
+
+class RootCausesByDeviceAnalysis(Analysis):
+    """Figure 2: per root cause, incident fractions by device type."""
+
+    name = "root_causes_by_device"
+    state_key = "causes"
+
+    def prepare(self, context: RunContext) -> CauseTallies:
+        return CauseTallies()
+
+    def fold(self, report, state: CauseTallies) -> None:
+        state.fold(report)
+
+    def finalize(self, state: CauseTallies, context: RunContext):
+        return device_fractions_from_counts(state.by_type)
+
+    def batch(self, context: RunContext):
+        return root_causes_by_device(context.store)
+
+
+class IncidentRatesAnalysis(Analysis):
+    """Figure 3: per-year, per-type incident rates."""
+
+    name = "incident_rates"
+    state_key = "year_type"
+
+    def prepare(self, context: RunContext) -> YearTypeCounts:
+        return YearTypeCounts()
+
+    def fold(self, report, state: YearTypeCounts) -> None:
+        state.fold(report)
+
+    def finalize(self, state: YearTypeCounts, context: RunContext):
+        return rates_from_counts(state.counts, context.fleet)
+
+    def batch(self, context: RunContext):
+        return incident_rates(context.store, context.fleet)
+
+
+class SeverityByDeviceAnalysis(Analysis):
+    """Figure 4: the severity-by-device cross-tabulation for the
+    target year (explicit, or the newest year in the corpus)."""
+
+    name = "severity_by_device"
+    state_key = "severity"
+
+    def prepare(self, context: RunContext) -> SeverityTallies:
+        return SeverityTallies()
+
+    def fold(self, report, state: SeverityTallies) -> None:
+        state.fold(report)
+
+    def finalize(self, state: SeverityTallies, context: RunContext):
+        year = context.resolve_year(state.by_year)
+        return SeverityByDevice(
+            counts=state.by_year_type.get(year, {}), year=year
+        )
+
+    def batch(self, context: RunContext):
+        year = context.resolve_year(context.store.years())
+        return severity_by_device(context.store, year)
+
+
+class SeverityOverTimeAnalysis(Analysis):
+    """Figure 5: yearly SEV rates per device, by severity level."""
+
+    name = "severity_over_time"
+    state_key = "severity"
+
+    def prepare(self, context: RunContext) -> SeverityTallies:
+        return SeverityTallies()
+
+    def fold(self, report, state: SeverityTallies) -> None:
+        state.fold(report)
+
+    def finalize(self, state: SeverityTallies, context: RunContext):
+        return severity_rates_from_counts(state.by_year, context.fleet)
+
+    def batch(self, context: RunContext):
+        return severity_rates_over_time(context.store, context.fleet)
+
+
+class DistributionAnalysis(Analysis):
+    """Figures 7/8: per-year incident counts by device type."""
+
+    name = "distribution"
+    state_key = "year_type"
+
+    def prepare(self, context: RunContext) -> YearTypeCounts:
+        return YearTypeCounts()
+
+    def fold(self, report, state: YearTypeCounts) -> None:
+        state.fold(report)
+
+    def finalize(self, state: YearTypeCounts, context: RunContext):
+        return IncidentDistribution(
+            counts=state.counts,
+            baseline_year=context.resolve_baseline(state.yearly_totals),
+        )
+
+    def batch(self, context: RunContext):
+        return incident_distribution(
+            context.store,
+            baseline_year=context.resolve_baseline(context.store.years()),
+        )
+
+
+class GrowthAnalysis(Analysis):
+    """Figure 8's headline: total SEV growth from the first corpus
+    year to the target year."""
+
+    name = "growth"
+    state_key = "year_type"
+
+    def prepare(self, context: RunContext) -> YearTypeCounts:
+        return YearTypeCounts()
+
+    def fold(self, report, state: YearTypeCounts) -> None:
+        state.fold(report)
+
+    def finalize(self, state: YearTypeCounts, context: RunContext):
+        totals = state.yearly_totals
+        if not totals:
+            raise ValueError("the SEV corpus is empty")
+        return growth_from_totals(
+            totals, min(totals), context.resolve_year(totals)
+        )
+
+    def batch(self, context: RunContext):
+        years = context.store.years()
+        if not years:
+            raise ValueError("the SEV corpus is empty")
+        return incident_growth(
+            context.store, years[0], context.resolve_year(years)
+        )
+
+
+class DesignComparisonAnalysis(Analysis):
+    """Figures 9/10: incidents aggregated by network design."""
+
+    name = "design_comparison"
+    state_key = "year_type"
+
+    def prepare(self, context: RunContext) -> YearTypeCounts:
+        return YearTypeCounts()
+
+    def fold(self, report, state: YearTypeCounts) -> None:
+        state.fold(report)
+
+    def finalize(self, state: YearTypeCounts, context: RunContext):
+        return DesignComparison(
+            counts=design_counts_from_type_counts(state.counts),
+            baseline_year=context.resolve_baseline(state.yearly_totals),
+            fleet=context.fleet,
+        )
+
+    def batch(self, context: RunContext):
+        return design_comparison(
+            context.store,
+            context.fleet,
+            baseline_year=context.resolve_baseline(context.store.years()),
+        )
+
+
+class _SwitchState:
+    """Composite fold state: year/type counts plus duration sketches."""
+
+    def __init__(self) -> None:
+        self.counts = YearTypeCounts()
+        self.irt = DurationSketches()
+
+    def fold(self, report) -> None:
+        self.counts.fold(report)
+        self.irt.fold(report)
+
+    def merge(self, other: "_SwitchState") -> "_SwitchState":
+        self.counts.merge(other.counts)
+        self.irt.merge(other.irt)
+        return self
+
+
+class SwitchReliabilityAnalysis(Analysis):
+    """Figures 12/13: MTBI and p75IRT per year and device type.
+
+    The fold path answers p75IRT from mergeable quantile sketches:
+    exact below the sketch's sample budget, bounded by the bin width
+    (well under the 2% acceptance band) beyond it.
+    """
+
+    name = "switch_reliability"
+    state_key = "switch"
+
+    def prepare(self, context: RunContext) -> _SwitchState:
+        return _SwitchState()
+
+    def fold(self, report, state: _SwitchState) -> None:
+        state.fold(report)
+
+    def finalize(self, state: _SwitchState, context: RunContext):
+        def sketch_p75(year: int, device_type: DeviceType) -> Optional[float]:
+            sketch = state.irt.by_year_type.get(year, {}).get(device_type)
+            if sketch is None or sketch.n == 0:
+                return None
+            return sketch.p75()
+
+        return switch_reliability_from_counts(
+            state.counts.counts, context.fleet, sketch_p75
+        )
+
+    def batch(self, context: RunContext):
+        return switch_reliability(context.store, context.fleet)
+
+
+# -- context-only analyses ---------------------------------------------
+
+
+class RemediationTableAnalysis(Analysis):
+    """Table 1: automated remediation summarized per device type."""
+
+    name = "remediation_table"
+    requires_corpus = False
+
+    def finalize(self, state, context: RunContext):
+        if context.engine is None:
+            raise ValueError(
+                "remediation_table needs a RemediationEngine in the context"
+            )
+        return remediation_table(context.engine)
+
+    def batch(self, context: RunContext):
+        return self.finalize(None, context)
+
+
+class BackboneReliabilityAnalysis(Analysis):
+    """Figures 15-18: the four backbone percentile curves."""
+
+    name = "backbone_reliability"
+    requires_corpus = False
+
+    def finalize(self, state, context: RunContext):
+        if context.monitor is None or context.window_h is None:
+            raise ValueError(
+                "backbone_reliability needs a monitor and window_h "
+                "in the context"
+            )
+        return backbone_reliability(context.monitor, context.window_h)
+
+    def batch(self, context: RunContext):
+        return self.finalize(None, context)
+
+
+class ContinentTableAnalysis(Analysis):
+    """Table 4: edge distribution and reliability by continent."""
+
+    name = "continent_table"
+    requires_corpus = False
+
+    def finalize(self, state, context: RunContext):
+        if (context.monitor is None or context.topology is None
+                or context.window_h is None):
+            raise ValueError(
+                "continent_table needs a monitor, topology, and window_h "
+                "in the context"
+            )
+        return continent_table(
+            context.monitor, context.topology, context.window_h
+        )
+
+    def batch(self, context: RunContext):
+        return self.finalize(None, context)
+
+
+# -- registry ----------------------------------------------------------
+
+_ANALYSES = (
+    RootCausesAnalysis,
+    RootCausesByDeviceAnalysis,
+    IncidentRatesAnalysis,
+    SeverityByDeviceAnalysis,
+    SeverityOverTimeAnalysis,
+    DistributionAnalysis,
+    GrowthAnalysis,
+    DesignComparisonAnalysis,
+    SwitchReliabilityAnalysis,
+    RemediationTableAnalysis,
+    BackboneReliabilityAnalysis,
+    ContinentTableAnalysis,
+)
+
+
+def registry() -> Dict[str, Analysis]:
+    """Fresh instances of every registered analysis, by name."""
+    return {cls.name: cls() for cls in _ANALYSES}
+
+
+def intra_report_analyses():
+    """The analyses :class:`repro.core.IntraStudyReport` composes."""
+    return [
+        RootCausesAnalysis(),
+        IncidentRatesAnalysis(),
+        SeverityByDeviceAnalysis(),
+        SeverityOverTimeAnalysis(),
+        DistributionAnalysis(),
+        DesignComparisonAnalysis(),
+        SwitchReliabilityAnalysis(),
+        GrowthAnalysis(),
+    ]
+

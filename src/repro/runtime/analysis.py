@@ -1,0 +1,130 @@
+"""The declarative analysis protocol.
+
+An :class:`Analysis` describes *what* a paper artifact needs, not *how*
+to scan the corpus for it:
+
+``prepare(context)``
+    allocate an empty, mergeable state;
+``fold(report, state)``
+    absorb one SEV record into the state, in place;
+``merge(state, other)``
+    absorb another state produced by the same analysis (associative
+    and commutative — the sharding law);
+``finalize(state, context)``
+    turn the folded state into the analysis' result dataclass.
+
+The executor (:mod:`repro.runtime.executor`) chooses the execution
+strategy: one fused streaming pass folds every registered analysis
+simultaneously, the sharded backend folds partitions independently and
+merges, and the batch backend may take an analysis' optional
+:meth:`Analysis.batch` shortcut — the original SQL implementation in
+:mod:`repro.core` — which must return exactly what fold+finalize would.
+
+Analyses that do not consume the SEV corpus at all (Table 1 reads the
+remediation engine, section 6 reads the backbone ticket monitor) set
+``requires_corpus = False``; their ``fold`` is a no-op and their result
+comes entirely from the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.fleet.population import FleetModel
+from repro.incidents.store import SEVStore
+
+__all__ = ["Analysis", "RunContext"]
+
+
+@dataclass
+class RunContext:
+    """Everything an analysis may draw on besides the record stream.
+
+    ``year`` is the study's target year (the paper's 2017); ``None``
+    means "the newest year in the corpus", resolved after folding so
+    streaming backends need no look-ahead.  ``baseline_year`` defaults
+    to the resolved target year.  ``corpus_seed`` travels with the
+    context so the result cache can fingerprint generated corpora.
+    """
+
+    store: Optional[SEVStore] = None
+    fleet: Optional[FleetModel] = None
+    year: Optional[int] = None
+    baseline_year: Optional[int] = None
+    corpus_seed: Optional[int] = None
+    #: Table 1 substrate (:class:`repro.remediation.engine.RemediationEngine`).
+    engine: Any = None
+    #: Section 6 substrate (:class:`repro.backbone.monitor.BackboneMonitor`).
+    monitor: Any = None
+    #: Section 6 topology (:class:`repro.topology.backbone.BackboneTopology`).
+    topology: Any = None
+    #: Section 6 observation window in hours.
+    window_h: Optional[float] = None
+    #: Free-form extras for user-defined analyses.
+    extra: dict = field(default_factory=dict)
+
+    def resolve_year(self, years) -> int:
+        """The target year: explicit, or the newest year observed."""
+        if self.year is not None:
+            return self.year
+        years = sorted(years)
+        if not years:
+            raise ValueError("the SEV corpus is empty")
+        return years[-1]
+
+    def resolve_baseline(self, years) -> int:
+        if self.baseline_year is not None:
+            return self.baseline_year
+        return self.resolve_year(years)
+
+
+class Analysis:
+    """Base class for declarative analyses.
+
+    Subclasses set :attr:`name` (the registry/cache key) and implement
+    the four protocol methods.  ``merge`` defaults to delegating to the
+    state's own ``merge`` method, which every state in
+    :mod:`repro.runtime.states` provides.
+    """
+
+    #: Registry and cache key; unique among registered analyses.
+    name: str = ""
+    #: Whether the analysis folds SEV records (False = context-only).
+    requires_corpus: bool = True
+    #: Analyses sharing a ``state_key`` must prepare/fold identically;
+    #: the executor then folds each record into that state once and
+    #: hands every sharer the same folded state.  ``None`` keeps the
+    #: state private to the analysis.
+    state_key: Optional[str] = None
+
+    def prepare(self, context: RunContext) -> Any:
+        return None
+
+    def fold(self, report, state) -> None:
+        pass
+
+    def merge(self, state, other):
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return state.merge(other)
+
+    def finalize(self, state, context: RunContext):
+        raise NotImplementedError
+
+    def batch(self, context: RunContext):
+        """Optional SQL fast path over ``context.store``.
+
+        Must be result-equivalent to folding the store's records and
+        finalizing.  The default signals "no shortcut" and makes the
+        batch backend fall back to fold+finalize.
+        """
+        raise NotImplementedError
+
+    def has_batch_path(self) -> bool:
+        return type(self).batch is not Analysis.batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,112 @@
+"""Content-addressed result cache.
+
+A full report is ~10 analyses over one corpus; re-running ``report
+full`` or ``verify`` over an *unchanged* corpus should cost zero
+corpus passes.  The cache keys every finalized result by a **corpus
+fingerprint** — store row count, generator seed, and a hash of the
+SQLite schema — plus the analysis name, the execution backend, and the
+context's year/baseline parameters, so any change to the corpus, the
+question, or the execution strategy misses cleanly.
+
+The cache is content-addressed, not invalidated: nothing is ever
+evicted by mutation, a changed corpus simply hashes elsewhere.  By
+default entries live in process memory; give the cache a directory and
+entries also persist as pickle files named by their key hash, carrying
+hits across processes.  (Pickle is safe here: the cache directory is
+written and read only by this library's own result dataclasses; do not
+point it at untrusted files.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.incidents.store import SEVStore
+
+__all__ = ["ResultCache", "corpus_fingerprint"]
+
+PathLike = Union[str, Path]
+
+
+def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
+    """Fingerprint a corpus: row count + seed + schema hash.
+
+    Cheap by design (no corpus scan): the generators are deterministic
+    in their seed, so (seed, row count, schema) pins the corpus
+    content for every corpus this library produces.  Corpora imported
+    from elsewhere should pass a caller-chosen ``seed`` surrogate or
+    skip caching.
+    """
+    conn = store.connection
+    (rows,) = conn.execute("SELECT COUNT(*) FROM sevs").fetchone()
+    schema = "\n".join(sorted(
+        sql for (sql,) in conn.execute(
+            "SELECT sql FROM sqlite_master WHERE sql IS NOT NULL"
+        )
+    ))
+    schema_hash = hashlib.sha256(schema.encode()).hexdigest()
+    payload = f"rows={rows};seed={seed};schema={schema_hash}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) store of finalized results."""
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self._memory: Dict[str, Any] = {}
+        self._dir = Path(path) if path is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @staticmethod
+    def key(
+        fingerprint: str,
+        analysis: str,
+        backend: str,
+        year: Optional[int],
+        baseline_year: Optional[int],
+    ) -> str:
+        payload = (
+            f"{fingerprint}:{analysis}:{backend}:{year}:{baseline_year}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _file(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.pkl"
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """(hit?, value).  Disk hits are promoted into memory."""
+        if key in self._memory:
+            self.hits += 1
+            return True, self._memory[key]
+        if self._dir is not None:
+            file = self._file(key)
+            if file.exists():
+                value = pickle.loads(file.read_bytes())
+                self._memory[key] = value
+                self.hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def store(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        if self._dir is not None:
+            self._file(key).write_bytes(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self._dir is not None:
+            for file in self._dir.glob("*.pkl"):
+                file.unlink()

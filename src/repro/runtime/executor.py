@@ -1,0 +1,265 @@
+"""Interchangeable execution backends over the analysis protocol.
+
+One executor, three strategies for answering the same set of
+:class:`~repro.runtime.analysis.Analysis` questions:
+
+``batch``
+    per-analysis SQL over the :class:`~repro.incidents.store.SEVStore`
+    (each analysis' :meth:`~repro.runtime.analysis.Analysis.batch`
+    shortcut — the original :mod:`repro.core` implementations);
+    analyses without a shortcut share one fold pass.
+``stream``
+    one fused pass over the record stream: every analysis' state is
+    folded record by record, so a full report costs exactly one corpus
+    scan instead of one scan per artifact.
+``sharded``
+    the corpus is dealt round-robin across ``jobs`` shards
+    (:func:`repro.stream.sharding.shard_cells`), each shard folds its
+    own states, and the shard states merge — the merge-law execution
+    that :mod:`repro.stream` uses for parallel generation.
+
+All three agree exactly on every count-derived artifact; fold backends
+answer percentiles from quantile sketches, exact below the sketch
+budget and bounded by the bin width beyond it.
+
+Give the executor a :class:`~repro.runtime.cache.ResultCache` and
+finalized results are keyed by the corpus fingerprint: re-running the
+same questions over an unchanged corpus performs no pass at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.reports import BackboneStudyReport, IntraStudyReport
+from repro.runtime.analysis import Analysis, RunContext
+from repro.runtime.analyses import (
+    BackboneReliabilityAnalysis,
+    ContinentTableAnalysis,
+    intra_report_analyses,
+)
+from repro.runtime.cache import ResultCache, corpus_fingerprint
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "run_backbone_report",
+    "run_intra_report",
+]
+
+BACKENDS = ("batch", "stream", "sharded")
+
+
+class Executor:
+    """Runs a set of analyses over one corpus with one strategy."""
+
+    def __init__(
+        self,
+        backend: str = "batch",
+        jobs: int = 4,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.backend = backend
+        self.jobs = jobs
+        self.cache = cache
+
+    # -- public entry point ------------------------------------------
+
+    def run(
+        self,
+        analyses: Sequence[Analysis],
+        context: RunContext,
+        source: Optional[Iterable] = None,
+    ) -> Dict[str, Any]:
+        """Answer every analysis; returns ``{analysis.name: result}``.
+
+        ``source`` overrides the record stream (any SEVReport
+        iterable); by default fold backends replay
+        ``context.store.all_reports()``.  Results are cached per
+        corpus fingerprint when a cache is configured and the corpus
+        is a store (an anonymous iterator has no fingerprint).
+        """
+        analyses = list(analyses)
+        names = [a.name for a in analyses]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate analysis names in {names}")
+
+        results: Dict[str, Any] = {}
+        pending: List[Analysis] = []
+        fingerprint = None
+        if (self.cache is not None and context.store is not None
+                and source is None):
+            fingerprint = corpus_fingerprint(
+                context.store, seed=context.corpus_seed
+            )
+            for analysis in analyses:
+                hit, value = self.cache.lookup(self._key(fingerprint,
+                                                         analysis, context))
+                if hit:
+                    results[analysis.name] = value
+                else:
+                    pending.append(analysis)
+        else:
+            pending = analyses
+
+        if pending:
+            computed = self._execute(pending, context, source)
+            for analysis in pending:
+                value = computed[analysis.name]
+                results[analysis.name] = value
+                if fingerprint is not None:
+                    self.cache.store(
+                        self._key(fingerprint, analysis, context), value
+                    )
+        return results
+
+    def _key(self, fingerprint: str, analysis: Analysis,
+             context: RunContext) -> str:
+        return ResultCache.key(
+            fingerprint, analysis.name, self.backend,
+            context.year, context.baseline_year,
+        )
+
+    # -- strategies --------------------------------------------------
+
+    def _execute(self, analyses: Sequence[Analysis], context: RunContext,
+                 source: Optional[Iterable]) -> Dict[str, Any]:
+        corpus = [a for a in analyses if a.requires_corpus]
+        contextual = [a for a in analyses if not a.requires_corpus]
+        results = {a.name: a.finalize(None, context) for a in contextual}
+
+        if self.backend == "batch":
+            folded = []
+            for analysis in corpus:
+                if analysis.has_batch_path() and context.store is not None:
+                    results[analysis.name] = analysis.batch(context)
+                else:
+                    folded.append(analysis)
+            if folded:
+                states = self._fold_pass(
+                    folded, context, self._records(context, source)
+                )
+                results.update(self._finalize(folded, states, context))
+        elif self.backend == "stream":
+            states = self._fold_pass(
+                corpus, context, self._records(context, source)
+            )
+            results.update(self._finalize(corpus, states, context))
+        else:  # sharded
+            states = self._fold_sharded(
+                corpus, context, self._records(context, source)
+            )
+            results.update(self._finalize(corpus, states, context))
+        return results
+
+    @staticmethod
+    def _records(context: RunContext, source: Optional[Iterable]) -> Iterable:
+        if source is not None:
+            return source
+        if context.store is None:
+            raise ValueError(
+                "no record source: provide a store in the context "
+                "or an explicit source iterable"
+            )
+        return context.store.all_reports()
+
+    # -- fold machinery ----------------------------------------------
+
+    @staticmethod
+    def _prepare(analyses: Sequence[Analysis], context: RunContext):
+        """(states, owners): one state per distinct state_key.
+
+        The owner — the first analysis declaring a key — does the
+        folding and merging for every sharer of that key.
+        """
+        states: Dict[str, Any] = {}
+        owners: Dict[str, Analysis] = {}
+        for analysis in analyses:
+            key = analysis.state_key or analysis.name
+            if key not in states:
+                states[key] = analysis.prepare(context)
+                owners[key] = analysis
+        return states, owners
+
+    def _fold_pass(self, analyses: Sequence[Analysis], context: RunContext,
+                   records: Iterable) -> Dict[str, Any]:
+        states, owners = self._prepare(analyses, context)
+        folders = list(owners.items())
+        for report in records:
+            for key, owner in folders:
+                owner.fold(report, states[key])
+        return states
+
+    def _fold_sharded(self, analyses: Sequence[Analysis],
+                      context: RunContext,
+                      records: Iterable) -> Dict[str, Any]:
+        from repro.stream.sharding import shard_cells
+
+        shards = shard_cells(list(records), self.jobs)
+        merged, owners = self._prepare(analyses, context)
+        for shard in shards:
+            shard_states = self._fold_pass(analyses, context, shard)
+            for key, owner in owners.items():
+                merged[key] = owner.merge(merged[key], shard_states[key])
+        return merged
+
+    @staticmethod
+    def _finalize(analyses: Sequence[Analysis], states: Dict[str, Any],
+                  context: RunContext) -> Dict[str, Any]:
+        return {
+            a.name: a.finalize(states[a.state_key or a.name], context)
+            for a in analyses
+        }
+
+
+# -- report conveniences -----------------------------------------------
+
+
+def run_intra_report(
+    context: RunContext,
+    backend: str = "stream",
+    jobs: int = 4,
+    cache: Optional[ResultCache] = None,
+    source: Optional[Iterable] = None,
+) -> IntraStudyReport:
+    """Every intra data center artifact from one corpus, one executor run.
+
+    With the default ``stream`` backend the whole report costs exactly
+    one corpus pass; with a cache, an unchanged corpus costs none.
+    """
+    executor = Executor(backend=backend, jobs=jobs, cache=cache)
+    results = executor.run(intra_report_analyses(), context, source=source)
+    severity = results["severity_by_device"]
+    return IntraStudyReport(
+        root_causes=results["root_causes"],
+        rates=results["incident_rates"],
+        severity=severity,
+        severity_over_time=results["severity_over_time"],
+        distribution=results["distribution"],
+        designs=results["design_comparison"],
+        switches=results["switch_reliability"],
+        growth=results["growth"],
+        last_year=severity.year,
+    )
+
+
+def run_backbone_report(
+    context: RunContext,
+    cache: Optional[ResultCache] = None,
+) -> BackboneStudyReport:
+    """Every backbone artifact from one ticket corpus via the runtime."""
+    executor = Executor(backend="batch", cache=cache)
+    results = executor.run(
+        [BackboneReliabilityAnalysis(), ContinentTableAnalysis()], context
+    )
+    return BackboneStudyReport(
+        reliability=results["backbone_reliability"],
+        continents=results["continent_table"],
+        window_h=context.window_h,
+    )

@@ -1,0 +1,181 @@
+"""Mergeable per-record tally states.
+
+These are the fold/merge primitives every execution backend shares.
+Each state knows how to absorb one :class:`~repro.incidents.sev.SEVReport`
+(``fold``) and how to absorb another state of the same kind (``merge``);
+both operations follow the counting rules of the SQL layer
+(:mod:`repro.incidents.query`) exactly — device types come from the
+name prefix, untyped reports are excluded from per-type breakdowns but
+counted in yearly totals, and a SEV with multiple root causes
+contributes one attribution per cause (none recorded counts as
+undetermined).
+
+``merge`` is associative and commutative for every state here, which
+is the law the sharded backend (and :mod:`repro.stream.sharding`)
+relies on: any partitioning of a corpus, folded shard-locally and
+merged in any order, reaches the same state as a single sequential
+pass.  The streaming runtime's :class:`~repro.stream.aggregates.StreamAggregates`
+is a bundle of these states, so batch, streaming, and sharded
+execution all share one implementation of the math.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.incidents.sev import RootCause, Severity, SEVReport
+from repro.stats.quantile import QuantileSketch
+from repro.topology.devices import DeviceType
+
+__all__ = [
+    "CauseTallies",
+    "DurationSketches",
+    "SeverityTallies",
+    "YearTypeCounts",
+]
+
+
+class YearTypeCounts:
+    """Incident counts by year, typed and untyped.
+
+    ``counts`` holds only reports whose device name classifies to a
+    type (the Figures 3/7/8/12 numerators); ``yearly_totals`` holds
+    every report (the Figure 8 growth denominators).
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, Dict[DeviceType, int]] = {}
+        self.yearly_totals: Dict[int, int] = {}
+
+    def fold(self, report: SEVReport) -> None:
+        year = report.opened_year
+        self.yearly_totals[year] = self.yearly_totals.get(year, 0) + 1
+        device_type = report.device_type
+        if device_type is None:
+            return
+        per_type = self.counts.setdefault(year, {})
+        per_type[device_type] = per_type.get(device_type, 0) + 1
+
+    def merge(self, other: "YearTypeCounts") -> "YearTypeCounts":
+        for year, n in other.yearly_totals.items():
+            self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
+        for year, per_type in other.counts.items():
+            mine = self.counts.setdefault(year, {})
+            for device_type, n in per_type.items():
+                mine[device_type] = mine.get(device_type, 0) + n
+        return self
+
+
+class SeverityTallies:
+    """Severity cross-tabulations by year.
+
+    ``by_year_type`` is the Figure 4 severity-by-device table (typed
+    reports only); ``by_year`` is the Figure 5 numerator (all reports).
+    """
+
+    def __init__(self) -> None:
+        self.by_year_type: Dict[int, Dict[Severity, Dict[DeviceType, int]]] = {}
+        self.by_year: Dict[int, Dict[Severity, int]] = {}
+
+    def fold(self, report: SEVReport) -> None:
+        year = report.opened_year
+        per_sev = self.by_year.setdefault(year, {})
+        per_sev[report.severity] = per_sev.get(report.severity, 0) + 1
+        device_type = report.device_type
+        if device_type is None:
+            return
+        row = self.by_year_type.setdefault(year, {}).setdefault(
+            report.severity, {}
+        )
+        row[device_type] = row.get(device_type, 0) + 1
+
+    def merge(self, other: "SeverityTallies") -> "SeverityTallies":
+        for year, per_sev in other.by_year.items():
+            mine = self.by_year.setdefault(year, {})
+            for severity, n in per_sev.items():
+                mine[severity] = mine.get(severity, 0) + n
+        for year, per_sev_type in other.by_year_type.items():
+            for severity, per_type in per_sev_type.items():
+                row = self.by_year_type.setdefault(year, {}).setdefault(
+                    severity, {}
+                )
+                for device_type, n in per_type.items():
+                    row[device_type] = row.get(device_type, 0) + n
+        return self
+
+
+class CauseTallies:
+    """Root-cause attributions, Table 2 counting rules.
+
+    One attribution per cause per SEV; a SEV without recorded causes
+    attributes to undetermined.  ``by_type`` restricts to typed
+    reports (the Figure 2 numerators).
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[RootCause, int] = {}
+        self.by_type: Dict[RootCause, Dict[DeviceType, int]] = {}
+
+    def fold(self, report: SEVReport) -> None:
+        causes = report.effective_root_causes()
+        for cause in causes:
+            self.counts[cause] = self.counts.get(cause, 0) + 1
+        device_type = report.device_type
+        if device_type is None:
+            return
+        for cause in causes:
+            per_type = self.by_type.setdefault(cause, {})
+            per_type[device_type] = per_type.get(device_type, 0) + 1
+
+    def merge(self, other: "CauseTallies") -> "CauseTallies":
+        for cause, n in other.counts.items():
+            self.counts[cause] = self.counts.get(cause, 0) + n
+        for cause, per_type in other.by_type.items():
+            mine = self.by_type.setdefault(cause, {})
+            for device_type, n in per_type.items():
+                mine[device_type] = mine.get(device_type, 0) + n
+        return self
+
+
+class DurationSketches:
+    """Resolution-time sketches per (year, device type) and per year.
+
+    Typed reports only, mirroring the SQL ``durations`` query the
+    batch p75IRT is computed from.  Sketches are exact while a cell is
+    below the sample budget, so small corpora stream bit-identical
+    percentiles; past the budget the error is bounded by the bin width.
+    """
+
+    def __init__(self) -> None:
+        self.by_year_type: Dict[int, Dict[DeviceType, QuantileSketch]] = {}
+        self.by_year: Dict[int, QuantileSketch] = {}
+
+    def fold(self, report: SEVReport) -> None:
+        device_type = report.device_type
+        if device_type is None:
+            return
+        year = report.opened_year
+        cell = self.by_year_type.setdefault(year, {})
+        if device_type not in cell:
+            cell[device_type] = QuantileSketch()
+        cell[device_type].add(report.duration_h)
+        if year not in self.by_year:
+            self.by_year[year] = QuantileSketch()
+        self.by_year[year].add(report.duration_h)
+
+    def merge(self, other: "DurationSketches") -> "DurationSketches":
+        for year, per_type in other.by_year_type.items():
+            cell = self.by_year_type.setdefault(year, {})
+            for device_type, sketch in per_type.items():
+                if device_type in cell:
+                    cell[device_type].merge(sketch)
+                else:
+                    cell[device_type] = QuantileSketch.from_dict(
+                        sketch.to_dict()
+                    )
+        for year, sketch in other.by_year.items():
+            if year in self.by_year:
+                self.by_year[year].merge(sketch)
+            else:
+                self.by_year[year] = QuantileSketch.from_dict(sketch.to_dict())
+        return self

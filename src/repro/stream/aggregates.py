@@ -8,14 +8,19 @@ cross-tabulations (Figures 4, 5), root-cause attributions (Table 2,
 Figure 2) — plus fixed-memory quantile sketches of resolution times
 (Figure 13's p75IRT), all without retaining the corpus.
 
-Counting rules mirror the SQL layer (:mod:`repro.incidents.query`)
-exactly: device types come from the name prefix, untyped reports are
-excluded from per-type breakdowns but counted in yearly totals, and a
-SEV with multiple root causes contributes one attribution per cause
-(none recorded counts as undetermined).  That is what makes the parity
-guarantee possible — for any corpus, the streaming counts equal the
-batch recomputation *exactly*, and the streamed percentiles are exact
-up to the sketch budget, approximate (bounded by bucket width) beyond.
+Since the batch/stream unification, the fold and merge math lives in
+:mod:`repro.runtime.states` — the same mergeable tallies every
+execution backend of :class:`repro.runtime.Executor` folds —  and
+``StreamAggregates`` is a bundle of those states behind its historical
+attribute names.  Counting rules therefore mirror the SQL layer
+(:mod:`repro.incidents.query`) exactly: device types come from the
+name prefix, untyped reports are excluded from per-type breakdowns but
+counted in yearly totals, and a SEV with multiple root causes
+contributes one attribution per cause (none recorded counts as
+undetermined).  That is what makes the parity guarantee possible — for
+any corpus, the streaming counts equal the batch recomputation
+*exactly*, and the streamed percentiles are exact up to the sketch
+budget, approximate (bounded by bucket width) beyond.
 
 Aggregates merge: ``merge`` is associative and commutative, so a
 corpus can be partitioned across worker processes arbitrarily
@@ -31,69 +36,119 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.fleet.population import FleetModel, HOURS_PER_YEAR
 from repro.incidents.sev import RootCause, Severity, SEVReport
+from repro.runtime.states import (
+    CauseTallies,
+    DurationSketches,
+    SeverityTallies,
+    YearTypeCounts,
+)
 from repro.stats.quantile import QuantileSketch
 from repro.topology.devices import DeviceType
 
 FORMAT = "repro.stream-aggregates/1"
 
 
-def _new_sketch() -> QuantileSketch:
-    return QuantileSketch()
-
-
 class StreamAggregates:
-    """Single-pass, constant-memory incident analytics."""
+    """Single-pass, constant-memory incident analytics.
+
+    A bundle of the runtime's mergeable fold states; the public dict
+    attributes below are views into them, so the streaming feed and
+    the :class:`repro.runtime.Executor` backends share one
+    implementation of every counting rule.
+    """
 
     def __init__(self) -> None:
         self.events = 0
-        #: typed incident counts by year and device type
-        self.counts: Dict[int, Dict[DeviceType, int]] = {}
-        #: every report by year, typed or not (Figure 8 totals)
-        self.yearly_totals: Dict[int, int] = {}
-        #: Figure 4 cross-tabulation, per year
-        self.severity_counts: Dict[int, Dict[Severity, Dict[DeviceType, int]]] = {}
-        #: Figure 5 numerators: all reports by year and severity
-        self.yearly_severity: Dict[int, Dict[Severity, int]] = {}
-        #: Table 2 attributions (one per cause per SEV)
-        self.cause_counts: Dict[RootCause, int] = {}
-        #: Figure 2 numerators: attributions by cause and device type
-        self.cause_type_counts: Dict[RootCause, Dict[DeviceType, int]] = {}
-        #: resolution-time sketches per (year, device type)
-        self.irt: Dict[int, Dict[DeviceType, QuantileSketch]] = {}
-        #: resolution-time sketch per year, across all types
-        self.irt_by_year: Dict[int, QuantileSketch] = {}
+        self._year_type = YearTypeCounts()
+        self._severity = SeverityTallies()
+        self._causes = CauseTallies()
+        self._irt = DurationSketches()
+
+    # -- state views (the historical public attributes) --------------
+
+    @property
+    def counts(self) -> Dict[int, Dict[DeviceType, int]]:
+        """Typed incident counts by year and device type."""
+        return self._year_type.counts
+
+    @counts.setter
+    def counts(self, value: Dict[int, Dict[DeviceType, int]]) -> None:
+        self._year_type.counts = value
+
+    @property
+    def yearly_totals(self) -> Dict[int, int]:
+        """Every report by year, typed or not (Figure 8 totals)."""
+        return self._year_type.yearly_totals
+
+    @yearly_totals.setter
+    def yearly_totals(self, value: Dict[int, int]) -> None:
+        self._year_type.yearly_totals = value
+
+    @property
+    def severity_counts(
+        self,
+    ) -> Dict[int, Dict[Severity, Dict[DeviceType, int]]]:
+        """Figure 4 cross-tabulation, per year."""
+        return self._severity.by_year_type
+
+    @severity_counts.setter
+    def severity_counts(self, value) -> None:
+        self._severity.by_year_type = value
+
+    @property
+    def yearly_severity(self) -> Dict[int, Dict[Severity, int]]:
+        """Figure 5 numerators: all reports by year and severity."""
+        return self._severity.by_year
+
+    @yearly_severity.setter
+    def yearly_severity(self, value: Dict[int, Dict[Severity, int]]) -> None:
+        self._severity.by_year = value
+
+    @property
+    def cause_counts(self) -> Dict[RootCause, int]:
+        """Table 2 attributions (one per cause per SEV)."""
+        return self._causes.counts
+
+    @cause_counts.setter
+    def cause_counts(self, value: Dict[RootCause, int]) -> None:
+        self._causes.counts = value
+
+    @property
+    def cause_type_counts(self) -> Dict[RootCause, Dict[DeviceType, int]]:
+        """Figure 2 numerators: attributions by cause and device type."""
+        return self._causes.by_type
+
+    @cause_type_counts.setter
+    def cause_type_counts(self, value) -> None:
+        self._causes.by_type = value
+
+    @property
+    def irt(self) -> Dict[int, Dict[DeviceType, QuantileSketch]]:
+        """Resolution-time sketches per (year, device type)."""
+        return self._irt.by_year_type
+
+    @irt.setter
+    def irt(self, value: Dict[int, Dict[DeviceType, QuantileSketch]]) -> None:
+        self._irt.by_year_type = value
+
+    @property
+    def irt_by_year(self) -> Dict[int, QuantileSketch]:
+        """Resolution-time sketch per year, across all types."""
+        return self._irt.by_year
+
+    @irt_by_year.setter
+    def irt_by_year(self, value: Dict[int, QuantileSketch]) -> None:
+        self._irt.by_year = value
 
     # -- ingestion ---------------------------------------------------
 
     def ingest(self, report: SEVReport) -> None:
-        """Fold one SEV report into the aggregates."""
-        year = report.opened_year
+        """Fold one SEV report into every state."""
         self.events += 1
-        self.yearly_totals[year] = self.yearly_totals.get(year, 0) + 1
-        per_sev = self.yearly_severity.setdefault(year, {})
-        per_sev[report.severity] = per_sev.get(report.severity, 0) + 1
-        for cause in report.effective_root_causes():
-            self.cause_counts[cause] = self.cause_counts.get(cause, 0) + 1
-
-        device_type = report.device_type
-        if device_type is None:
-            return
-        per_type = self.counts.setdefault(year, {})
-        per_type[device_type] = per_type.get(device_type, 0) + 1
-        row = self.severity_counts.setdefault(year, {}).setdefault(
-            report.severity, {}
-        )
-        row[device_type] = row.get(device_type, 0) + 1
-        for cause in report.effective_root_causes():
-            per_cause = self.cause_type_counts.setdefault(cause, {})
-            per_cause[device_type] = per_cause.get(device_type, 0) + 1
-        cell = self.irt.setdefault(year, {})
-        if device_type not in cell:
-            cell[device_type] = _new_sketch()
-        cell[device_type].add(report.duration_h)
-        if year not in self.irt_by_year:
-            self.irt_by_year[year] = _new_sketch()
-        self.irt_by_year[year].add(report.duration_h)
+        self._year_type.fold(report)
+        self._severity.fold(report)
+        self._causes.fold(report)
+        self._irt.fold(report)
 
     def ingest_many(self, reports: Iterable[SEVReport]) -> int:
         count = 0
@@ -196,45 +251,10 @@ class StreamAggregates:
         the same state.
         """
         self.events += other.events
-        for year, n in other.yearly_totals.items():
-            self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
-        for year, per_type in other.counts.items():
-            mine = self.counts.setdefault(year, {})
-            for device_type, n in per_type.items():
-                mine[device_type] = mine.get(device_type, 0) + n
-        for year, per_sev in other.yearly_severity.items():
-            mine_sev = self.yearly_severity.setdefault(year, {})
-            for severity, n in per_sev.items():
-                mine_sev[severity] = mine_sev.get(severity, 0) + n
-        for year, per_sev_type in other.severity_counts.items():
-            for severity, per_type in per_sev_type.items():
-                row = self.severity_counts.setdefault(year, {}).setdefault(
-                    severity, {}
-                )
-                for device_type, n in per_type.items():
-                    row[device_type] = row.get(device_type, 0) + n
-        for cause, n in other.cause_counts.items():
-            self.cause_counts[cause] = self.cause_counts.get(cause, 0) + n
-        for cause, per_type in other.cause_type_counts.items():
-            mine_cause = self.cause_type_counts.setdefault(cause, {})
-            for device_type, n in per_type.items():
-                mine_cause[device_type] = mine_cause.get(device_type, 0) + n
-        for year, per_type_sketch in other.irt.items():
-            cell = self.irt.setdefault(year, {})
-            for device_type, sketch in per_type_sketch.items():
-                if device_type in cell:
-                    cell[device_type].merge(sketch)
-                else:
-                    cell[device_type] = QuantileSketch.from_dict(
-                        sketch.to_dict()
-                    )
-        for year, sketch in other.irt_by_year.items():
-            if year in self.irt_by_year:
-                self.irt_by_year[year].merge(sketch)
-            else:
-                self.irt_by_year[year] = QuantileSketch.from_dict(
-                    sketch.to_dict()
-                )
+        self._year_type.merge(other._year_type)
+        self._severity.merge(other._severity)
+        self._causes.merge(other._causes)
+        self._irt.merge(other._irt)
         return self
 
     # -- serialization -----------------------------------------------

@@ -13,16 +13,7 @@ from typing import List
 
 from repro import paperdata
 from repro.backbone.monitor import BackboneMonitor
-from repro.core import (
-    backbone_reliability,
-    design_comparison,
-    incident_growth,
-    incident_rates,
-    root_cause_breakdown,
-    severity_by_device,
-    severity_rates_over_time,
-    switch_reliability,
-)
+from repro.core import backbone_reliability
 from repro.incidents.sev import RootCause, Severity
 from repro.simulation.backbone_sim import BackboneSimulator
 from repro.simulation.generator import IntraSimulator
@@ -58,28 +49,39 @@ class Check:
 
 
 def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
-    """Generate fresh corpora and evaluate every anchor."""
+    """Generate fresh corpora and evaluate every anchor.
+
+    The intra anchors are read off one :class:`repro.runtime` report —
+    every analysis answered by one executor run — so ``verify`` also
+    exercises the unified execution layer end to end.
+    """
+    from repro.runtime import RunContext, run_intra_report
+
     checks: List[Check] = []
 
     scenario = paper_scenario(seed=seed)
     store = IntraSimulator(scenario).run()
     fleet = scenario.fleet
+    report = run_intra_report(
+        RunContext(store=store, fleet=fleet, corpus_seed=scenario.seed),
+        backend="batch",
+    )
 
-    t2 = root_cause_breakdown(store).distribution()
+    t2 = report.root_causes.distribution()
     for cause_name, share in paperdata.ROOT_CAUSE_DISTRIBUTION.items():
         checks.append(Check(
             "Table 2", f"{cause_name} share", share,
             t2[RootCause(cause_name)], 0.02, relative=False,
         ))
 
-    rates = incident_rates(store, fleet)
+    rates = report.rates
     for year, rate in paperdata.CSA_INCIDENT_RATE.items():
         checks.append(Check(
             "Fig 3", f"CSA incident rate {year}", rate,
             rates.rate(year, DeviceType.CSA), 0.05,
         ))
 
-    fig4 = severity_by_device(store, 2017)
+    fig4 = report.severity
     for sev_name, share in paperdata.SEVERITY_MIX_2017.items():
         severity = Severity[sev_name.upper()]
         checks.append(Check(
@@ -90,23 +92,22 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.append(Check(
         "Fig 5", "per-device rate inflection year",
         paperdata.FABRIC_DEPLOYMENT_YEAR,
-        severity_rates_over_time(store, fleet).inflection_year(),
+        report.severity_over_time.inflection_year(),
         0.0, relative=False,
     ))
     checks.append(Check(
         "Fig 8", "SEV growth 2011-2017",
         paperdata.SEV_GROWTH_2011_TO_2017,
-        incident_growth(store, 2011, 2017), 0.03,
+        report.growth, 0.03,
     ))
 
-    designs = design_comparison(store, fleet)
     checks.append(Check(
         "Fig 9", "fabric/cluster incidents 2017",
         paperdata.FABRIC_TO_CLUSTER_INCIDENTS_2017,
-        designs.fabric_to_cluster_ratio(2017), 0.06, relative=False,
+        report.designs.fabric_to_cluster_ratio(2017), 0.06, relative=False,
     ))
 
-    sr = switch_reliability(store, fleet)
+    sr = report.switches
     checks.append(Check(
         "Fig 12", "Core MTBI 2017 (h)",
         paperdata.MTBI_2017_HOURS["core"],
@@ -150,6 +151,50 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     ))
 
     checks.extend(stream_smoke_checks(seed=seed))
+    checks.extend(runtime_equivalence_checks(seed=seed))
+    return checks
+
+
+def runtime_equivalence_checks(seed: int = 1,
+                               scale: float = 0.25) -> List[Check]:
+    """Exercise the unified execution layer (:mod:`repro.runtime`).
+
+    Three invariants, all exact at this scale: the streaming backend
+    (one fused fold pass) and the sharded backend (shard-local folds
+    merged) must reproduce the batch SQL report bit for bit, and a
+    cached re-run must return the identical report without touching
+    the corpus.
+    """
+    from repro.runtime import ResultCache, RunContext, run_intra_report
+
+    checks: List[Check] = []
+    scenario = paper_scenario(seed=seed, scale=scale)
+    store = IntraSimulator(scenario).run()
+    context = RunContext(
+        store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
+    )
+
+    batch = run_intra_report(context, backend="batch")
+    checks.append(Check(
+        "Runtime", "stream backend equals batch report", 1.0,
+        float(run_intra_report(context, backend="stream") == batch),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Runtime", "sharded backend equals batch report", 1.0,
+        float(run_intra_report(context, backend="sharded", jobs=4) == batch),
+        0.0, relative=False,
+    ))
+
+    cache = ResultCache()
+    first = run_intra_report(context, backend="stream", cache=cache)
+    second = run_intra_report(context, backend="stream", cache=cache)
+    all_hits = cache.hits == cache.misses and cache.hits > 0
+    checks.append(Check(
+        "Runtime", "cached re-run identical, zero recomputation", 1.0,
+        float(first == second == batch and all_hits),
+        0.0, relative=False,
+    ))
     return checks
 
 

@@ -28,6 +28,24 @@ class TestReport:
         assert "Figures 15-18" in out
         assert "Growth (Figure 8)" in out
 
+    def test_intra_report_backend_flag(self, capsys):
+        assert main(["report", "intra", "--scale", "0.1", "--seed", "4",
+                     "--backend", "sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 12" in out
+
+    def test_full_report_cache_reuses_analyses(self, tmp_path, capsys):
+        args = ["report", "full", "--scale", "0.2", "--seed", "4",
+                "--backend", "stream",
+                "--cache", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[cache]" not in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "[cache] 8 analyses reused, 0 computed" in second
+
 
 class TestVerify:
     def test_verify_passes_on_default_seeds(self, capsys):
@@ -77,6 +95,30 @@ class TestExportAnalyze:
         assert main(["stream", "--replay", path]) == 0
         out = capsys.readouterr().out
         assert "ingested" in out
+
+    @pytest.mark.parametrize("suffix", ["csv", "json", "jsonl"])
+    def test_analyze_accepts_every_export_format(self, tmp_path, capsys,
+                                                 suffix):
+        # analyze must round-trip every format export can emit.
+        path = str(tmp_path / f"sevs.{suffix}")
+        assert main(["export", "sevs", path, "--seed", "4",
+                     "--scale", "0.2"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 4" in out
+
+    def test_analyze_backends_agree(self, tmp_path, capsys):
+        path = str(tmp_path / "sevs.jsonl")
+        assert main(["export", "sevs", path, "--seed", "4",
+                     "--scale", "0.2"]) == 0
+        capsys.readouterr()
+        outputs = set()
+        for backend in ["batch", "stream", "sharded"]:
+            assert main(["analyze", path, "--backend", backend]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
 
 
 class TestStream:

@@ -1,0 +1,87 @@
+"""Cross-backend equivalence: the tentpole guarantee of repro.runtime.
+
+For any corpus, the batch (SQL), streaming (one fused fold pass), and
+sharded (fold-then-merge) backends must produce the same
+:class:`~repro.core.reports.IntraStudyReport` — identical counts,
+rates, and fractions, and (at these scales, below the quantile
+sketch's exact budget) bit-identical percentiles.  Cache hits must
+return the stored result unchanged.
+"""
+
+import pytest
+
+from repro.runtime import ResultCache, RunContext, run_intra_report
+from repro.simulation.generator import IntraSimulator
+from repro.simulation.scenarios import paper_scenario
+
+SEEDS = [3, 11, 42]
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def context(request):
+    scenario = paper_scenario(seed=request.param, scale=SCALE)
+    store = IntraSimulator(scenario).run()
+    return RunContext(store=store, fleet=scenario.fleet,
+                      corpus_seed=scenario.seed)
+
+
+@pytest.fixture(scope="module")
+def batch_report(context):
+    return run_intra_report(context, backend="batch")
+
+
+class TestBackendsAgree:
+    def test_stream_equals_batch(self, context, batch_report):
+        assert run_intra_report(context, backend="stream") == batch_report
+
+    @pytest.mark.parametrize("jobs", [1, 3, 7])
+    def test_sharded_equals_batch_for_any_worker_count(
+        self, context, batch_report, jobs
+    ):
+        sharded = run_intra_report(context, backend="sharded", jobs=jobs)
+        assert sharded == batch_report
+
+    def test_counts_and_rates_fieldwise(self, context, batch_report):
+        # Field-level spellings of the acceptance criteria: exact
+        # agreement on counts and rates, percentiles within 2%.
+        streamed = run_intra_report(context, backend="stream")
+        assert streamed.root_causes.counts == batch_report.root_causes.counts
+        assert streamed.rates.rates == batch_report.rates.rates
+        assert streamed.severity.counts == batch_report.severity.counts
+        assert streamed.distribution.counts == batch_report.distribution.counts
+        assert streamed.designs.counts == batch_report.designs.counts
+        assert streamed.switches.mtbi_h == batch_report.switches.mtbi_h
+        assert streamed.growth == batch_report.growth
+        for year, per_type in batch_report.switches.p75_irt_h.items():
+            for device_type, exact in per_type.items():
+                approx = streamed.switches.p75_irt_h[year][device_type]
+                assert approx == pytest.approx(exact, rel=0.02)
+
+
+class TestCacheTransparency:
+    def test_cache_hit_is_bit_identical(self, context, batch_report):
+        cache = ResultCache()
+        first = run_intra_report(context, backend="stream", cache=cache)
+        assert cache.misses > 0 and cache.hits == 0
+        cached = run_intra_report(context, backend="stream", cache=cache)
+        assert cache.hits == cache.misses
+        assert cached == first == batch_report
+
+    def test_different_seeds_never_collide(self, context, tmp_path):
+        # A shared disk cache keyed by fingerprint must keep corpora
+        # with different seeds apart even when row counts match.
+        cache = ResultCache(tmp_path / "shared")
+        mine = run_intra_report(context, backend="stream", cache=cache)
+        other_scenario = paper_scenario(seed=context.corpus_seed + 1,
+                                        scale=SCALE)
+        other_context = RunContext(
+            store=IntraSimulator(other_scenario).run(),
+            fleet=other_scenario.fleet,
+            corpus_seed=other_scenario.seed,
+        )
+        other = run_intra_report(other_context, backend="stream",
+                                 cache=cache)
+        assert other != mine
+        assert run_intra_report(context, backend="stream",
+                                cache=cache) == mine

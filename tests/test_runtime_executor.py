@@ -1,0 +1,225 @@
+"""Tests for the unified execution layer (:mod:`repro.runtime`)."""
+
+import pytest
+
+from repro.fleet.population import paper_fleet
+from repro.incidents.sev import RootCause
+from repro.incidents.store import SEVStore
+from repro.runtime import (
+    Analysis,
+    Executor,
+    ResultCache,
+    RunContext,
+    corpus_fingerprint,
+    intra_report_analyses,
+    registry,
+    run_intra_report,
+)
+from repro.runtime.analyses import (
+    GrowthAnalysis,
+    IncidentRatesAnalysis,
+    RemediationTableAnalysis,
+    RootCausesAnalysis,
+    SeverityByDeviceAnalysis,
+)
+from repro.simulation.generator import IntraSimulator, iter_scenario_reports
+from repro.simulation.scenarios import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_scenario(seed=9, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def store(scenario):
+    return IntraSimulator(scenario).run()
+
+
+@pytest.fixture(scope="module")
+def context(scenario, store):
+    return RunContext(store=store, fleet=scenario.fleet,
+                      corpus_seed=scenario.seed)
+
+
+class TestExecutorConstruction:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Executor(backend="mapreduce")
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Executor(jobs=0)
+
+    def test_rejects_duplicate_analysis_names(self, context):
+        with pytest.raises(ValueError, match="duplicate"):
+            Executor().run([RootCausesAnalysis(), RootCausesAnalysis()],
+                           context)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["batch", "stream", "sharded"])
+    def test_root_causes_match_sql(self, backend, context, store):
+        from repro.core import root_cause_breakdown
+
+        result = Executor(backend=backend).run(
+            [RootCausesAnalysis()], context
+        )["root_causes"]
+        assert result.counts == root_cause_breakdown(store).counts
+
+    def test_explicit_source_overrides_store(self, scenario, context):
+        # Feeding the records directly must match reading the store.
+        result = Executor(backend="stream").run(
+            [RootCausesAnalysis()], context,
+            source=iter_scenario_reports(scenario),
+        )["root_causes"]
+        baseline = Executor(backend="stream").run(
+            [RootCausesAnalysis()], context
+        )["root_causes"]
+        assert result == baseline
+
+    def test_fold_without_any_source_is_an_error(self):
+        with pytest.raises(ValueError, match="no record source"):
+            Executor(backend="stream").run(
+                [RootCausesAnalysis()],
+                RunContext(fleet=paper_fleet()),
+            )
+
+    def test_empty_corpus_raises(self):
+        context = RunContext(store=SEVStore(), fleet=paper_fleet())
+        with pytest.raises(ValueError, match="empty"):
+            Executor(backend="stream").run([GrowthAnalysis()], context)
+
+    def test_explicit_year_is_honored(self, context, store):
+        pinned = RunContext(store=store, fleet=context.fleet, year=2014)
+        result = Executor(backend="stream").run(
+            [SeverityByDeviceAnalysis()], pinned
+        )["severity_by_device"]
+        assert result.year == 2014
+
+
+class TestStateSharing:
+    def test_shared_state_key_folds_once_per_record(self, context):
+        folds = {"n": 0}
+
+        class Counting(IncidentRatesAnalysis):
+            def fold(self, report, state):
+                folds["n"] += 1
+                super().fold(report, state)
+
+        # rates and growth share state_key="year_type": one fold each.
+        results = Executor(backend="stream").run(
+            [Counting(), GrowthAnalysis()], context
+        )
+        assert folds["n"] == len(context.store)
+        assert results["growth"] > 0
+
+    def test_private_states_fold_independently(self, context):
+        # Different state_keys: each owner folds every record.
+        results = Executor(backend="stream").run(
+            [RootCausesAnalysis(), GrowthAnalysis()], context
+        )
+        total = sum(results["root_causes"].counts.values())
+        assert total >= len(context.store)
+
+
+class TestContextOnlyAnalyses:
+    def test_remediation_needs_engine(self, context):
+        with pytest.raises(ValueError, match="RemediationEngine"):
+            Executor().run([RemediationTableAnalysis()], context)
+
+    def test_requires_corpus_flag(self):
+        assert RemediationTableAnalysis.requires_corpus is False
+        assert RootCausesAnalysis.requires_corpus is True
+
+
+class TestCache:
+    def test_second_run_hits_for_every_analysis(self, context):
+        cache = ResultCache()
+        executor = Executor(backend="stream", cache=cache)
+        analyses = intra_report_analyses()
+        first = executor.run(analyses, context)
+        assert cache.misses == len(analyses) and cache.hits == 0
+        second = executor.run(intra_report_analyses(), context)
+        assert cache.hits == len(analyses)
+        assert first == second
+
+    def test_backends_do_not_share_entries(self, context):
+        cache = ResultCache()
+        Executor(backend="batch", cache=cache).run(
+            [RootCausesAnalysis()], context
+        )
+        Executor(backend="stream", cache=cache).run(
+            [RootCausesAnalysis()], context
+        )
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_disk_cache_survives_processes(self, context, tmp_path):
+        first = Executor(
+            backend="stream", cache=ResultCache(tmp_path)
+        ).run([RootCausesAnalysis()], context)
+        fresh = ResultCache(tmp_path)
+        second = Executor(backend="stream", cache=fresh).run(
+            [RootCausesAnalysis()], context
+        )
+        assert fresh.hits == 1 and fresh.misses == 0
+        assert first == second
+
+    def test_explicit_source_bypasses_cache(self, scenario, context):
+        cache = ResultCache()
+        Executor(backend="stream", cache=cache).run(
+            [RootCausesAnalysis()], context,
+            source=iter_scenario_reports(scenario),
+        )
+        assert len(cache) == 0
+
+    def test_clear(self, context, tmp_path):
+        cache = ResultCache(tmp_path)
+        Executor(backend="stream", cache=cache).run(
+            [RootCausesAnalysis()], context
+        )
+        assert len(cache) == 1 and list(tmp_path.glob("*.pkl"))
+        cache.clear()
+        assert len(cache) == 0 and not list(tmp_path.glob("*.pkl"))
+
+
+class TestFingerprint:
+    def test_changes_with_rows(self, store, scenario):
+        before = corpus_fingerprint(store)
+        other = IntraSimulator(paper_scenario(seed=9, scale=0.1)).run()
+        assert before != corpus_fingerprint(other)
+
+    def test_changes_with_seed(self, store):
+        assert (corpus_fingerprint(store, seed=1)
+                != corpus_fingerprint(store, seed=2))
+
+    def test_stable(self, store):
+        assert corpus_fingerprint(store) == corpus_fingerprint(store)
+
+
+class TestRegistry:
+    def test_names_are_unique_and_match_keys(self):
+        reg = registry()
+        assert all(name == analysis.name for name, analysis in reg.items())
+        assert len(reg) == 12
+
+    def test_every_entry_is_an_analysis(self):
+        assert all(isinstance(a, Analysis) for a in registry().values())
+
+    def test_corpus_analyses_have_batch_paths(self):
+        for analysis in registry().values():
+            if analysis.requires_corpus:
+                assert analysis.has_batch_path(), analysis.name
+
+
+class TestRunIntraReport:
+    def test_matches_core_entry_point(self, context, store):
+        from repro.core import intra_study_report
+
+        via_runtime = run_intra_report(context, backend="batch")
+        via_core = intra_study_report(store, context.fleet)
+        assert via_runtime == via_core
+
+    def test_render_smoke(self, context):
+        text = run_intra_report(context, backend="stream").render()
+        assert "Table 2" in text and "Growth (Figure 8)" in text
