@@ -8,7 +8,9 @@ Exposes the pipeline without writing Python::
     python -m repro export tickets out.json # generate + export tickets
     python -m repro analyze sevs.csv        # analyze an imported corpus
     python -m repro stream --jobs 4         # streaming runtime, sharded
+    python -m repro stream --jobs auto      # pick workers from the corpus
     python -m repro stream --replay out.csv # incremental corpus replay
+    python -m repro bench --quick           # benchmark suite, JSON records
 """
 
 from __future__ import annotations
@@ -34,6 +36,21 @@ from repro.viz import format_table
 BACKEND_CHOICES = ["batch", "stream", "sharded"]
 
 
+def _parse_jobs(value: str):
+    """``--jobs`` accepts a positive worker count or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be a positive integer or 'auto', got {value!r}"
+        )
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("jobs must be at least 1")
+    return jobs
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,6 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cache", metavar="DIR", default=None,
                         help="result cache directory: analyses of an "
                              "unchanged corpus are reused, not recomputed")
+    report.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="shard count for --backend sharded; with "
+                             "N > 1 the shards fold in parallel worker "
+                             "processes (results are bit-identical)")
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
@@ -86,9 +107,11 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=1)
     stream.add_argument("--scale", type=float, default=1.0,
                         help="intra corpus scale factor")
-    stream.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for sharded generation; "
-                             "any N produces identical aggregates")
+    stream.add_argument("--jobs", type=_parse_jobs, default=1,
+                        help="worker processes for sharded generation "
+                             "(a count, or 'auto' to size from the corpus "
+                             "and the host); any value produces identical "
+                             "aggregates")
     stream.add_argument("--replay", metavar="PATH", default=None,
                         help="ingest an exported SEV corpus "
                              "(.csv/.json/.jsonl) instead of generating")
@@ -96,20 +119,35 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="JSON snapshot: resumed from when present, "
                              "written when done")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark suite and write "
+             "repro.perf JSON records",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small corpus, short worker sweep (the CI "
+                            "smoke configuration)")
+    bench.add_argument("--out", metavar="DIR", default="benchmarks/out",
+                       help="directory for the JSON records "
+                            "(default: benchmarks/out)")
+    bench.add_argument("--seed", type=int, default=2)
+
     return parser
 
 
 def _intra_report(seed: Optional[int], scale: float,
-                  backend: str = "batch") -> None:
+                  backend: str = "batch",
+                  jobs: Optional[int] = None) -> None:
     scenario = (paper_scenario(seed=seed, scale=scale)
                 if seed is not None else paper_scenario(scale=scale))
     store = IntraSimulator(scenario).run()
     fleet = scenario.fleet
-    _print_intra_tables(store, fleet, backend=backend)
+    _print_intra_tables(store, fleet, backend=backend, jobs=jobs)
 
 
 def _print_intra_tables(store: SEVStore, fleet,
-                        backend: str = "batch") -> None:
+                        backend: str = "batch",
+                        jobs: Optional[int] = None) -> None:
     from repro.runtime import Executor, RunContext
     from repro.runtime.analyses import (
         DesignComparisonAnalysis,
@@ -123,7 +161,11 @@ def _print_intra_tables(store: SEVStore, fleet,
     print(f"corpus: {len(store)} SEVs, years "
           f"{store.years()[0]}-{store.years()[-1]}\n")
 
-    executor = Executor(backend=backend)
+    executor = Executor(
+        backend=backend,
+        jobs=jobs if jobs is not None else 4,
+        use_processes=jobs is not None and jobs > 1,
+    )
     context = RunContext(store=store, fleet=fleet)
     results = executor.run(
         [RootCausesAnalysis(), SeverityByDeviceAnalysis(),
@@ -295,7 +337,8 @@ def _analyze(path: str, backend: str = "batch") -> None:
 
 def _full_report(seed: Optional[int], scale: float,
                  backend: str = "batch",
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 jobs: Optional[int] = None) -> None:
     from repro.core import backbone_study_report
     from repro.runtime import ResultCache, RunContext, run_intra_report
 
@@ -306,7 +349,11 @@ def _full_report(seed: Optional[int], scale: float,
     context = RunContext(
         store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
     )
-    print(run_intra_report(context, backend=backend, cache=cache).render())
+    print(run_intra_report(
+        context, backend=backend, cache=cache,
+        jobs=jobs if jobs is not None else 4,
+        use_processes=jobs is not None and jobs > 1,
+    ).render())
     if cache is not None and cache.hits:
         print(f"\n[cache] {cache.hits} analyses reused, "
               f"{cache.misses} computed")
@@ -324,11 +371,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
         if args.study == "intra":
-            _intra_report(args.seed, args.scale, args.backend)
+            _intra_report(args.seed, args.scale, args.backend, args.jobs)
         elif args.study == "backbone":
             _backbone_report(args.seed)
         else:
-            _full_report(args.seed, args.scale, args.backend, args.cache)
+            _full_report(args.seed, args.scale, args.backend, args.cache,
+                         args.jobs)
     elif args.command == "export":
         _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
@@ -336,6 +384,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "stream":
         _stream(args.seed, args.scale, args.jobs,
                 args.replay, args.checkpoint)
+    elif args.command == "bench":
+        from repro.perf import run_bench_suite
+
+        run_bench_suite(quick=args.quick, out_dir=args.out,
+                        seed=args.seed)
     elif args.command == "verify":
         from repro.verify import render_verification, run_verification
 

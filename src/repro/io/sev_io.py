@@ -71,9 +71,7 @@ def export_sevs_csv(store: SEVStore, path: PathLike) -> int:
 def import_sevs_csv(path: PathLike, store: SEVStore = None) -> SEVStore:
     """Load a CSV written by :func:`export_sevs_csv`."""
     store = store or SEVStore()
-    with open(path, newline="") as handle:
-        for row in csv.DictReader(handle):
-            store.insert(_row_report(row))
+    store.bulk_load(iter_sevs_csv(path))
     return store
 
 
@@ -85,11 +83,7 @@ def export_sevs_json(store: SEVStore, path: PathLike) -> int:
 
 def import_sevs_json(path: PathLike, store: SEVStore = None) -> SEVStore:
     store = store or SEVStore()
-    payload = json.loads(Path(path).read_text())
-    if "sevs" not in payload:
-        raise ValueError(f"{path}: not a SEV export (missing 'sevs' key)")
-    for row in payload["sevs"]:
-        store.insert(_row_report(row))
+    store.bulk_load(iter_sevs_json(path))
     return store
 
 
@@ -109,7 +103,7 @@ def export_sevs_jsonl(store: SEVStore, path: PathLike) -> int:
 def import_sevs_jsonl(path: PathLike, store: SEVStore = None) -> SEVStore:
     """Load a JSONL export into a store."""
     store = store or SEVStore()
-    store.insert_many(iter_sevs_jsonl(path))
+    store.bulk_load(iter_sevs_jsonl(path))
     return store
 
 

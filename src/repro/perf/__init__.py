@@ -1,0 +1,44 @@
+"""Performance measurement toolkit.
+
+Phase timers and events/s counters (:mod:`repro.perf.timers`), JSON
+benchmark records with environment capture
+(:mod:`repro.perf.record`), and the built-in benchmark suite behind
+``python -m repro bench`` (:mod:`repro.perf.bench`).  Records land in
+``benchmarks/out/*.json`` so every PR can report a comparable
+performance trajectory alongside the paper artifacts.
+
+Quickstart::
+
+    from repro.perf import PhaseTimer
+
+    timer = PhaseTimer()
+    with timer.phase("ingest") as p:
+        p.events = store.bulk_load(reports)
+    print(f"{timer['ingest'].events_per_s:,.0f} rows/s")
+"""
+
+from repro.perf.bench import (
+    bench_ingest,
+    bench_stream_throughput,
+    run_bench_suite,
+)
+from repro.perf.record import (
+    BenchRecord,
+    environment,
+    load_record,
+    write_record,
+)
+from repro.perf.timers import Phase, PhaseTimer, events_per_second
+
+__all__ = [
+    "BenchRecord",
+    "Phase",
+    "PhaseTimer",
+    "bench_ingest",
+    "bench_stream_throughput",
+    "environment",
+    "events_per_second",
+    "load_record",
+    "run_bench_suite",
+    "write_record",
+]

@@ -1,0 +1,241 @@
+"""The built-in benchmark suite (``python -m repro bench``).
+
+Two hot paths, each measured with :mod:`repro.perf` primitives and
+recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
+
+``stream_throughput``
+    sharded parallel corpus generation (cells -> aggregates -> merge)
+    at several worker counts, including ``jobs="auto"``; reports
+    events/s per worker count and the jobs=4 speedup over serial.
+``ingest_bulk_load``
+    loading one corpus into an on-disk :class:`~repro.incidents.store.SEVStore`
+    three ways: row-wise ``insert`` (one transaction per row — the
+    historical behavior), ``insert_many`` (one transaction), and
+    ``bulk_load`` (indexes dropped, tuned PRAGMAs, ``executemany``
+    batches); reports rows/s and the bulk speedup.
+
+The suite prints rendered tables and writes one record per benchmark
+to the output directory, so successive PRs accumulate a comparable
+performance trajectory.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.perf.record import BenchRecord, write_record
+from repro.perf.timers import events_per_second
+
+#: Default corpus scale for the full suite (the scale the throughput
+#: acceptance numbers are quoted at) and for ``--quick``.
+FULL_SCALE = 4.0
+QUICK_SCALE = 1.0
+
+_JOBS_FULL: Tuple = (1, 2, 4, "auto")
+_JOBS_QUICK: Tuple = (1, 2, "auto")
+
+
+def bench_stream_throughput(
+    seed: int = 2,
+    scale: float = FULL_SCALE,
+    jobs_list: Sequence = _JOBS_FULL,
+    rounds: int = 3,
+) -> BenchRecord:
+    """Measure sharded generation throughput per worker count.
+
+    Each worker count runs ``rounds`` times and keeps the best time —
+    the steady state the reused worker pool is built for.  The record
+    also carries the cross-jobs digest check: every worker count must
+    produce bit-identical aggregates.
+    """
+    from repro.simulation.scenarios import paper_scenario
+    from repro.stream import generate_aggregates
+    from repro.stream.sharding import resolve_jobs, shutdown_pool
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    per_jobs = []
+    digests = set()
+    events = 0
+    for jobs in jobs_list:
+        best = float("inf")
+        for _ in range(max(1, rounds)):
+            start = time.perf_counter()
+            aggregates = generate_aggregates(
+                scenario, jobs=jobs, use_processes=jobs != 1
+            )
+            best = min(best, time.perf_counter() - start)
+        events = aggregates.events
+        digests.add(aggregates.digest())
+        per_jobs.append({
+            "jobs": jobs,
+            "resolved_jobs": resolve_jobs(jobs, total_weight=events),
+            "seconds": best,
+            "events": events,
+            "events_per_s": events_per_second(events, best),
+        })
+    shutdown_pool()
+
+    by_jobs = {entry["jobs"]: entry for entry in per_jobs}
+    metrics = {
+        "events": events,
+        "digests_identical": len(digests) == 1,
+        "per_jobs": per_jobs,
+    }
+    if 1 in by_jobs:
+        for jobs, entry in by_jobs.items():
+            if jobs == 1:
+                continue
+            metrics[f"speedup_jobs{jobs}"] = (
+                by_jobs[1]["seconds"] / entry["seconds"]
+                if entry["seconds"] > 0 else 0.0
+            )
+    return BenchRecord(
+        name="stream_throughput",
+        params={
+            "seed": seed, "scale": scale,
+            "jobs": list(jobs_list), "rounds": rounds,
+        },
+        metrics=metrics,
+    )
+
+
+def bench_ingest(
+    seed: int = 2,
+    scale: float = FULL_SCALE,
+    directory: Optional[Path] = None,
+) -> BenchRecord:
+    """Measure SEV store ingestion: row-wise vs batched vs bulk.
+
+    Every variant loads the identical report list into a fresh
+    *on-disk* database (durability costs are the point), and the
+    loaded stores are checked for identical row counts.
+    """
+    from repro.incidents.store import SEVStore
+    from repro.simulation.generator import iter_scenario_reports
+    from repro.simulation.scenarios import paper_scenario
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    reports = list(iter_scenario_reports(scenario))
+
+    def timed_load(name: str, load) -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            with SEVStore(str(Path(tmp) / f"{name}.db")) as store:
+                start = time.perf_counter()
+                load(store)
+                seconds = time.perf_counter() - start
+                rows = len(store)
+        assert rows == len(reports)
+        return {
+            "method": name,
+            "seconds": seconds,
+            "rows": rows,
+            "rows_per_s": events_per_second(rows, seconds),
+        }
+
+    def rowwise(store):
+        for report in reports:
+            store.insert(report)
+
+    variants = [
+        timed_load("insert_rowwise", rowwise),
+        timed_load("insert_many", lambda s: s.insert_many(reports)),
+        timed_load("bulk_load", lambda s: s.bulk_load(reports)),
+    ]
+    by_method = {entry["method"]: entry for entry in variants}
+    bulk = by_method["bulk_load"]["seconds"]
+    metrics = {
+        "rows": len(reports),
+        "variants": variants,
+        "bulk_speedup_vs_rowwise": (
+            by_method["insert_rowwise"]["seconds"] / bulk
+            if bulk > 0 else 0.0
+        ),
+        "bulk_speedup_vs_insert_many": (
+            by_method["insert_many"]["seconds"] / bulk
+            if bulk > 0 else 0.0
+        ),
+    }
+    return BenchRecord(
+        name="ingest_bulk_load",
+        params={"seed": seed, "scale": scale},
+        metrics=metrics,
+    )
+
+
+def render_stream_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            str(entry["jobs"]),
+            entry["resolved_jobs"],
+            entry["events"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['events_per_s']:,.0f}",
+        ]
+        for entry in record.metrics["per_jobs"]
+    ]
+    return format_table(
+        ["Jobs", "Workers", "Events", "Seconds", "Events/sec"],
+        rows,
+        title=(f"Streaming generation throughput "
+               f"(scale={record.params['scale']}, "
+               f"cpus={record.env['cpu_count']})"),
+    )
+
+
+def render_ingest_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    bulk = {e["method"]: e for e in record.metrics["variants"]}
+    bulk_s = bulk["bulk_load"]["seconds"]
+    rows = [
+        [
+            entry["method"],
+            entry["rows"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['rows_per_s']:,.0f}",
+            f"{entry['seconds'] / bulk_s:.1f}x" if bulk_s > 0 else "-",
+        ]
+        for entry in record.metrics["variants"]
+    ]
+    return format_table(
+        ["Method", "Rows", "Seconds", "Rows/sec", "vs bulk"],
+        rows,
+        title=(f"SEV store ingest, on-disk "
+               f"(scale={record.params['scale']})"),
+    )
+
+
+def run_bench_suite(
+    quick: bool = False,
+    out_dir: Optional[Path] = None,
+    seed: int = 2,
+) -> List[BenchRecord]:
+    """Run every benchmark; print tables; write JSON records.
+
+    ``quick`` shrinks the corpus and the worker sweep so the suite
+    finishes in seconds (the CI smoke configuration); the record
+    parameters say which configuration produced the numbers.
+    """
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    jobs_list = _JOBS_QUICK if quick else _JOBS_FULL
+    rounds = 1 if quick else 3
+
+    stream = bench_stream_throughput(
+        seed=seed, scale=scale, jobs_list=jobs_list, rounds=rounds
+    )
+    ingest = bench_ingest(seed=seed, scale=scale)
+    records = [stream, ingest]
+
+    print(render_stream_record(stream))
+    print()
+    print(render_ingest_record(ingest))
+    if out_dir is not None:
+        for record in records:
+            path = write_record(record, out_dir)
+            print(f"\n[perf] wrote {path}")
+    return records

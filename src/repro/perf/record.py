@@ -1,0 +1,87 @@
+"""JSON benchmark records.
+
+A :class:`BenchRecord` is one benchmark result in a stable, diffable
+shape: the benchmark's name, its parameters, the measured metrics, the
+per-phase timings, and enough environment (CPU count, Python,
+platform) to interpret the numbers.  Records serialize to JSON under
+``benchmarks/out/`` so every PR can report a comparable performance
+trajectory — the same role the rendered ``.txt`` artifacts play for
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+FORMAT = "repro.perf-record/1"
+
+PathLike = Union[str, Path]
+
+
+def environment() -> Dict[str, Any]:
+    """The measurement environment a record should carry."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark result, JSON-serializable and comparable."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    env: Dict[str, Any] = field(default_factory=environment)
+    format: str = FORMAT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.format,
+            "name": self.name,
+            "params": self.params,
+            "metrics": self.metrics,
+            "phases": self.phases,
+            "env": self.env,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchRecord":
+        if payload.get("format") != FORMAT:
+            raise ValueError(
+                f"not a perf record: {payload.get('format')!r}"
+            )
+        return cls(
+            name=payload["name"],
+            params=dict(payload.get("params", {})),
+            metrics=dict(payload.get("metrics", {})),
+            phases=list(payload.get("phases", [])),
+            env=dict(payload.get("env", {})),
+        )
+
+
+def write_record(record: BenchRecord, out_dir: PathLike) -> Path:
+    """Write ``<out_dir>/<name>.json``; returns the path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record.name}.json"
+    path.write_text(record.to_json() + "\n")
+    return path
+
+
+def load_record(path: PathLike) -> BenchRecord:
+    """Read a record written by :func:`write_record`."""
+    return BenchRecord.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,92 @@
+"""Phase timers and throughput counters.
+
+Measurement primitives for the benchmark harness: a :class:`Phase` is
+one timed region (optionally with an event count, giving events/s), a
+:class:`PhaseTimer` collects phases in order, and
+:func:`events_per_second` is the shared rate arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+def events_per_second(events: int, seconds: float) -> float:
+    """Throughput, zero when no time was observed (never divides by 0)."""
+    if seconds <= 0.0:
+        return 0.0
+    return events / seconds
+
+
+@dataclass
+class Phase:
+    """One timed region of a benchmark run."""
+
+    name: str
+    seconds: float = 0.0
+    #: Events processed in the phase; set inside the ``with`` block
+    #: (or after) so the rate can be derived.
+    events: int = 0
+
+    @property
+    def events_per_s(self) -> float:
+        return events_per_second(self.events, self.seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        payload = {"name": self.name, "seconds": self.seconds}
+        if self.events:
+            payload["events"] = self.events
+            payload["events_per_s"] = self.events_per_s
+        return payload
+
+
+@dataclass
+class PhaseTimer:
+    """Collects named, timed phases of one benchmark run.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("generate") as p:
+            aggregates = generate_aggregates(scenario, jobs=4)
+            p.events = aggregates.events
+        print(timer.total_seconds, timer["generate"].events_per_s)
+    """
+
+    phases: List[Phase] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str, events: int = 0) -> Iterator[Phase]:
+        entry = Phase(name=name, events=events)
+        start = time.perf_counter()
+        try:
+            yield entry
+        finally:
+            entry.seconds = time.perf_counter() - start
+            self.phases.append(entry)
+
+    def __getitem__(self, name: str) -> Phase:
+        for entry in self.phases:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no phase named {name!r}")
+
+    def get(self, name: str) -> Optional[Phase]:
+        try:
+            return self[name]
+        except KeyError:
+            return None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.phases)
+
+    @property
+    def total_events(self) -> int:
+        return sum(entry.events for entry in self.phases)
+
+    def as_dicts(self) -> List[Dict[str, float]]:
+        return [entry.as_dict() for entry in self.phases]

@@ -16,7 +16,11 @@ One executor, three strategies for answering the same set of
     the corpus is dealt round-robin across ``jobs`` shards
     (:func:`repro.stream.sharding.shard_cells`), each shard folds its
     own states, and the shard states merge — the merge-law execution
-    that :mod:`repro.stream` uses for parallel generation.
+    that :mod:`repro.stream` uses for parallel generation.  With
+    ``use_processes=True`` each shard folds in its own worker process
+    and only the (small) mergeable states travel back; because the
+    merge law is associative and commutative, the parallel result is
+    bit-identical to the serial one.
 
 All three agree exactly on every count-derived artifact; fold backends
 answer percentiles from quantile sketches, exact below the sketch
@@ -29,6 +33,7 @@ same questions over an unchanged corpus performs no pass at all.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.reports import BackboneStudyReport, IntraStudyReport
@@ -58,6 +63,7 @@ class Executor:
         backend: str = "batch",
         jobs: int = 4,
         cache: Optional[ResultCache] = None,
+        use_processes: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -68,6 +74,7 @@ class Executor:
         self.backend = backend
         self.jobs = jobs
         self.cache = cache
+        self.use_processes = use_processes
 
     # -- public entry point ------------------------------------------
 
@@ -203,11 +210,42 @@ class Executor:
 
         shards = shard_cells(list(records), self.jobs)
         merged, owners = self._prepare(analyses, context)
-        for shard in shards:
-            shard_states = self._fold_pass(analyses, context, shard)
+        if self.use_processes and len(shards) > 1:
+            shard_states_list = self._fold_shards_parallel(
+                analyses, context, shards
+            )
+        else:
+            shard_states_list = (
+                self._fold_pass(analyses, context, shard)
+                for shard in shards
+            )
+        for shard_states in shard_states_list:
             for key, owner in owners.items():
                 merged[key] = owner.merge(merged[key], shard_states[key])
         return merged
+
+    def _fold_shards_parallel(self, analyses: Sequence[Analysis],
+                              context: RunContext,
+                              shards: List[list]) -> List[Dict[str, Any]]:
+        """Fold each shard in its own worker process.
+
+        Workers receive the analyses, a picklable copy of the context
+        (the live substrates — SQLite store, remediation engine,
+        backbone monitor — are stripped; folding only reads records and
+        the fleet), and their shard of records; they return the folded
+        states, which are small compared to the records they summarize.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        worker_context = replace(
+            context, store=None, engine=None, monitor=None, topology=None,
+        )
+        analyses = list(analyses)
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            return list(pool.map(
+                _fold_shard_worker,
+                [(analyses, worker_context, shard) for shard in shards],
+            ))
 
     @staticmethod
     def _finalize(analyses: Sequence[Analysis], states: Dict[str, Any],
@@ -216,6 +254,17 @@ class Executor:
             a.name: a.finalize(states[a.state_key or a.name], context)
             for a in analyses
         }
+
+
+def _fold_shard_worker(payload) -> Dict[str, Any]:
+    """Top-level worker body for the parallel sharded backend."""
+    analyses, context, shard = payload
+    states, owners = Executor._prepare(analyses, context)
+    folders = list(owners.items())
+    for report in shard:
+        for key, owner in folders:
+            owner.fold(report, states[key])
+    return states
 
 
 # -- report conveniences -----------------------------------------------
@@ -227,13 +276,17 @@ def run_intra_report(
     jobs: int = 4,
     cache: Optional[ResultCache] = None,
     source: Optional[Iterable] = None,
+    use_processes: bool = False,
 ) -> IntraStudyReport:
     """Every intra data center artifact from one corpus, one executor run.
 
     With the default ``stream`` backend the whole report costs exactly
     one corpus pass; with a cache, an unchanged corpus costs none.
+    ``use_processes=True`` makes the ``sharded`` backend fold its
+    shards in parallel worker processes (bit-identical results).
     """
-    executor = Executor(backend=backend, jobs=jobs, cache=cache)
+    executor = Executor(backend=backend, jobs=jobs, cache=cache,
+                        use_processes=use_processes)
     results = executor.run(intra_report_analyses(), context, source=source)
     severity = results["severity_by_device"]
     return IntraStudyReport(

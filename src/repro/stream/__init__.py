@@ -15,7 +15,9 @@ job:
   checkpointing;
 * :mod:`~repro.stream.checkpoint` — JSON snapshots and resume;
 * :mod:`~repro.stream.sharding` — parallel corpus generation whose
-  N-worker merge is bit-identical to the 1-worker run.
+  N-worker merge is bit-identical to the 1-worker run: cost-weighted
+  LPT sharding, a reused worker pool fed the scenario once per worker,
+  and ``jobs="auto"`` with a serial fallback for small corpora.
 
 Quickstart::
 
@@ -31,21 +33,29 @@ from repro.stream.aggregates import StreamAggregates
 from repro.stream.checkpoint import load_checkpoint, save_checkpoint
 from repro.stream.engine import StreamEngine
 from repro.stream.sharding import (
+    AUTO_SERIAL_THRESHOLD,
     aggregate_cells,
+    cell_weights,
     generate_aggregates,
+    resolve_jobs,
     shard_cells,
+    shutdown_pool,
 )
 from repro.stream.sources import live_feed, replay_file, replay_store
 
 __all__ = [
+    "AUTO_SERIAL_THRESHOLD",
     "StreamAggregates",
     "StreamEngine",
     "aggregate_cells",
+    "cell_weights",
     "generate_aggregates",
     "live_feed",
     "load_checkpoint",
     "replay_file",
     "replay_store",
+    "resolve_jobs",
     "save_checkpoint",
     "shard_cells",
+    "shutdown_pool",
 ]

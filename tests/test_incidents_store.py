@@ -94,3 +94,133 @@ class TestRoundTrip:
             store.insert(report(device="mystery.001.u.d.r"))
             loaded = store.get("sev-0")
             assert loaded.device_type is None
+
+
+def corpus(n, causes=(RootCause.HARDWARE, RootCause.BUG)):
+    return [
+        report(sev_id=f"sev-{i:05d}", year_h=float(i), causes=causes)
+        for i in range(n)
+    ]
+
+
+class TestInsertManyTransaction:
+    """Regression: insert_many must commit once, not per row."""
+
+    def test_single_transaction_counted_by_trace(self):
+        with SEVStore() as store:
+            statements = []
+            store.connection.set_trace_callback(statements.append)
+            store.insert_many(corpus(200))
+            begins = [s for s in statements
+                      if s.strip().upper().startswith("BEGIN")]
+            assert len(begins) == 1
+
+    def test_connection_stays_in_transaction_between_rows(self):
+        # Between two yielded rows the connection must still be inside
+        # the one batch transaction; the old per-row insert had
+        # committed (and left autocommit mode) by then.
+        with SEVStore() as store:
+            observed = []
+
+            def feed():
+                for i, entry in enumerate(corpus(50)):
+                    if i:
+                        observed.append(store.connection.in_transaction)
+                    yield entry
+
+            store.insert_many(feed())
+            assert observed and all(observed)
+
+    def test_insert_many_is_atomic(self):
+        # A duplicate id mid-batch rolls back the whole batch.
+        rows = corpus(10) + [report(sev_id="sev-00003")]
+        with SEVStore() as store:
+            with pytest.raises(Exception):
+                store.insert_many(rows)
+            assert len(store) == 0
+
+
+class TestBulkLoad:
+    def test_equivalent_to_insert_many(self):
+        rows = corpus(500, causes=(RootCause.BUG, RootCause.MAINTENANCE))
+        with SEVStore() as rowwise, SEVStore() as bulk:
+            rowwise.insert_many(rows)
+            assert bulk.bulk_load(rows, batch_size=64) == len(rows)
+            assert len(bulk) == len(rowwise)
+            assert list(bulk.all_reports()) == list(rowwise.all_reports())
+            for query in (
+                "SELECT opened_year, COUNT(*) FROM sevs "
+                "GROUP BY opened_year ORDER BY opened_year",
+                "SELECT root_cause, COUNT(*) FROM sev_root_causes "
+                "GROUP BY root_cause ORDER BY root_cause",
+            ):
+                assert (bulk.connection.execute(query).fetchall()
+                        == rowwise.connection.execute(query).fetchall())
+
+    def test_indexes_restored_and_names_intact(self):
+        with SEVStore() as store:
+            before = store.index_names()
+            store.bulk_load(corpus(100))
+            assert store.index_names() == before
+            present = {
+                name for (name,) in store.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index' "
+                    "AND name LIKE 'idx%'"
+                )
+            }
+            assert present == set(before)
+
+    def test_pragmas_restored(self, tmp_path):
+        with SEVStore(str(tmp_path / "sevs.db")) as store:
+            (sync_before,) = store.connection.execute(
+                "PRAGMA synchronous"
+            ).fetchone()
+            (journal_before,) = store.connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()
+            store.bulk_load(corpus(50))
+            (sync_after,) = store.connection.execute(
+                "PRAGMA synchronous"
+            ).fetchone()
+            (journal_after,) = store.connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()
+            assert sync_after == sync_before
+            assert journal_after == journal_before
+
+    def test_mid_load_failure_leaves_store_usable(self):
+        with SEVStore() as store:
+
+            def feed():
+                for entry in corpus(75):
+                    yield entry
+                raise RuntimeError("source died mid-load")
+
+            with pytest.raises(RuntimeError, match="mid-load"):
+                store.bulk_load(feed(), batch_size=10)
+            # Nothing committed, indexes back, store fully writable
+            # and queryable.
+            assert len(store) == 0
+            present = {
+                name for (name,) in store.connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index' "
+                    "AND name LIKE 'idx%'"
+                )
+            }
+            assert present == set(store.index_names())
+            store.insert(report())
+            assert store.get("sev-0") is not None
+            assert store.years() == [2011]
+
+    def test_duplicate_in_bulk_rolls_back(self):
+        with SEVStore() as store:
+            store.insert(report(sev_id="sev-00007"))
+            with pytest.raises(Exception):
+                store.bulk_load(corpus(20))
+            assert len(store) == 1
+            assert store.bulk_load([]) == 0
+
+    def test_rejects_bad_batch_size(self):
+        with SEVStore() as store:
+            with pytest.raises(ValueError, match="batch_size"):
+                store.bulk_load([], batch_size=0)

@@ -42,6 +42,14 @@ class TestBackendsAgree:
         sharded = run_intra_report(context, backend="sharded", jobs=jobs)
         assert sharded == batch_report
 
+    def test_parallel_sharded_equals_batch(self, context, batch_report):
+        # Process-parallel shard folds must be indistinguishable from
+        # the in-process sharded path (and therefore from batch).
+        parallel = run_intra_report(
+            context, backend="sharded", jobs=2, use_processes=True
+        )
+        assert parallel == batch_report
+
     def test_counts_and_rates_fieldwise(self, context, batch_report):
         # Field-level spellings of the acceptance criteria: exact
         # agreement on counts and rates, percentiles within 2%.
