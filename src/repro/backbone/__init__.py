@@ -19,7 +19,12 @@ from repro.backbone.emails import (
     parse_vendor_email,
 )
 from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
-from repro.backbone.monitor import BackboneMonitor, EdgeFailure, LinkOutage
+from repro.backbone.monitor import (
+    BackboneMonitor,
+    EdgeFailure,
+    LinkOutage,
+    failures_from_link_outages,
+)
 from repro.backbone.optical import (
     Channel,
     OpticalCircuit,
@@ -29,6 +34,7 @@ from repro.backbone.optical import (
 from repro.backbone.scorecards import (
     VendorScorecard,
     grade_distribution,
+    scorecards_from_outages,
     shortlist,
     vendor_scorecards,
 )
@@ -74,11 +80,13 @@ __all__ = [
     "VendorEmail",
     "build_circuit",
     "conditional_risk",
+    "failures_from_link_outages",
     "format_completion_email",
     "format_start_email",
     "grade_distribution",
     "parse_vendor_email",
     "route_user_traffic",
+    "scorecards_from_outages",
     "shortlist",
     "vendor_scorecards",
 ]

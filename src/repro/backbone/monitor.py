@@ -38,12 +38,58 @@ class EdgeFailure:
     interval: OutageInterval
 
 
+def failures_from_link_outages(
+    topology: BackboneTopology,
+    outages_by_link: Dict[str, List[OutageInterval]],
+) -> Dict[str, List[OutageInterval]]:
+    """Edge failure intervals from pre-merged per-link outages.
+
+    The section 6 rule — an edge fails only while *every* one of its
+    links is down — as a pure function over the per-link view, so the
+    monitor and the fold-state finalizers of :mod:`repro.runtime` run
+    the identical derivation.  Per-edge intervals come back sorted;
+    edges that never fail are absent.
+    """
+    failures: Dict[str, List[OutageInterval]] = {}
+    for edge_name in topology.edges:
+        links = topology.links_of_edge(edge_name)
+        if not links:
+            continue
+        interval_sets = []
+        complete = True
+        for link in links:
+            outages = outages_by_link.get(link.link_id)
+            if not outages:
+                # A link with no outage at all keeps the edge up.
+                complete = False
+                break
+            interval_sets.append(outages)
+        if not complete:
+            continue
+        intervals = sorted(
+            interval
+            for interval in intersect_all(interval_sets)
+            if interval.duration_h > 0
+        )
+        if intervals:
+            failures[edge_name] = intervals
+    return failures
+
+
 class BackboneMonitor:
     """Derives outages and failures from tickets over a topology."""
 
     def __init__(self, topology: BackboneTopology, tickets: TicketDatabase) -> None:
         self._topology = topology
         self._tickets = tickets
+
+    @property
+    def topology(self) -> BackboneTopology:
+        return self._topology
+
+    @property
+    def tickets(self) -> TicketDatabase:
+        return self._tickets
 
     # -- link level ------------------------------------------------------
 
@@ -85,33 +131,17 @@ class BackboneMonitor:
         Edges with no link outages (or whose links never all overlap)
         produce no failures — path diversity absorbed the events.
         """
-        by_link = self.outages_by_link()
-        failures: List[EdgeFailure] = []
-        for edge_name in self._topology.edges:
-            links = self._topology.links_of_edge(edge_name)
-            if not links:
-                continue
-            interval_sets = []
-            complete = True
-            for link in links:
-                outages = by_link.get(link.link_id)
-                if not outages:
-                    # A link with no outage at all keeps the edge up.
-                    complete = False
-                    break
-                interval_sets.append(outages)
-            if not complete:
-                continue
-            for interval in intersect_all(interval_sets):
-                if interval.duration_h > 0:
-                    failures.append(EdgeFailure(edge_name, interval))
+        failures = [
+            EdgeFailure(edge_name, interval)
+            for edge_name, intervals in self.failures_by_edge().items()
+            for interval in intervals
+        ]
         return sorted(failures, key=lambda f: (f.edge, f.interval))
 
     def failures_by_edge(self) -> Dict[str, List[OutageInterval]]:
-        out: Dict[str, List[OutageInterval]] = {}
-        for failure in self.edge_failures():
-            out.setdefault(failure.edge, []).append(failure.interval)
-        return out
+        return failures_from_link_outages(
+            self._topology, self.outages_by_link()
+        )
 
     def edge_is_up(self, edge: str, at_h: float) -> bool:
         for interval in self.failures_by_edge().get(edge, []):

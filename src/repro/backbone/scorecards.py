@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.backbone.monitor import BackboneMonitor
+from repro.stats.intervals import OutageInterval
 from repro.stats.mtbf import mtbf_from_intervals
 from repro.stats.mttr import mean_time_to_recovery
 
@@ -47,15 +48,22 @@ def _grade(mtbf_h: float) -> str:
     return "F"
 
 
-def vendor_scorecards(
-    monitor: BackboneMonitor, window_h: float,
+def scorecards_from_outages(
+    outages_by_vendor: Dict[str, List[OutageInterval]],
+    window_h: float,
     min_tickets: int = 1,
 ) -> Dict[str, VendorScorecard]:
-    """Score every vendor with at least ``min_tickets`` tickets."""
+    """Scorecards from a pre-derived per-vendor outage view.
+
+    The pure finalizer behind :func:`vendor_scorecards`, shared with
+    the fold states of :mod:`repro.runtime` so batch, streaming, and
+    sharded execution grade vendors identically.  Per-vendor interval
+    lists must be chronologically sorted.
+    """
     if window_h <= 0:
         raise ValueError("window must be positive")
     cards = {}
-    for vendor, intervals in monitor.outages_by_vendor().items():
+    for vendor, intervals in outages_by_vendor.items():
         if len(intervals) < min_tickets:
             continue
         mtbf = mtbf_from_intervals(intervals, window_h)
@@ -68,6 +76,16 @@ def vendor_scorecards(
             grade=_grade(mtbf),
         )
     return cards
+
+
+def vendor_scorecards(
+    monitor: BackboneMonitor, window_h: float,
+    min_tickets: int = 1,
+) -> Dict[str, VendorScorecard]:
+    """Score every vendor with at least ``min_tickets`` tickets."""
+    return scorecards_from_outages(
+        monitor.outages_by_vendor(), window_h, min_tickets=min_tickets
+    )
 
 
 def shortlist(

@@ -4,12 +4,15 @@ Exposes the pipeline without writing Python::
 
     python -m repro report intra            # the intra DC study
     python -m repro report backbone         # the backbone study
+    python -m repro report backbone --backend sharded --jobs auto
     python -m repro export sevs out.csv     # generate + export SEVs
     python -m repro export tickets out.json # generate + export tickets
     python -m repro analyze sevs.csv        # analyze an imported corpus
+    python -m repro analyze tickets.csv     # ticket exports work too
     python -m repro stream --jobs 4         # streaming runtime, sharded
     python -m repro stream --jobs auto      # pick workers from the corpus
     python -m repro stream --replay out.csv # incremental corpus replay
+    python -m repro stream --dataset tickets  # backbone ticket feed
     python -m repro bench --quick           # benchmark suite, JSON records
 """
 
@@ -24,8 +27,6 @@ from repro import (
     BackboneSimulator,
     DeviceType,
     IntraSimulator,
-    backbone_reliability,
-    continent_table,
     paper_backbone_scenario,
     paper_fleet,
     paper_scenario,
@@ -67,28 +68,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="intra corpus scale factor")
     report.add_argument("--backend", choices=BACKEND_CHOICES,
                         default="batch",
-                        help="execution backend for the intra analyses "
-                             "(all agree on every count)")
+                        help="execution backend for the analyses "
+                             "(all agree on every count, for both the "
+                             "intra and the backbone study)")
     report.add_argument("--cache", metavar="DIR", default=None,
                         help="result cache directory: analyses of an "
                              "unchanged corpus are reused, not recomputed")
-    report.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="shard count for --backend sharded; with "
+    report.add_argument("--jobs", type=_parse_jobs, default=None,
+                        metavar="N",
+                        help="shard count for --backend sharded (a count, "
+                             "or 'auto' to size from the host); with "
                              "N > 1 the shards fold in parallel worker "
                              "processes (results are bit-identical)")
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
-    export.add_argument("path", help="output file (.csv, .json, or .jsonl "
-                                     "for SEVs)")
+    export.add_argument("path", help="output file (.csv, .json, or .jsonl)")
     export.add_argument("--seed", type=int, default=None)
     export.add_argument("--scale", type=float, default=1.0,
                         help="intra corpus scale factor (sevs only), "
                              "matching report --scale")
 
-    analyze = sub.add_parser("analyze", help="analyze an exported SEV corpus")
-    analyze.add_argument("path", help="SEV export (.csv, .json, or .jsonl — "
-                                      "every format export emits)")
+    analyze = sub.add_parser("analyze", help="analyze an exported corpus "
+                                             "(SEVs or tickets)")
+    analyze.add_argument("path", help="SEV or ticket export (.csv, .json, "
+                                      "or .jsonl — every format export "
+                                      "emits; the dataset kind is sniffed "
+                                      "from the content)")
     analyze.add_argument("--backend", choices=BACKEND_CHOICES,
                          default="batch",
                          help="execution backend for the analyses")
@@ -113,11 +119,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "and the host); any value produces identical "
                              "aggregates")
     stream.add_argument("--replay", metavar="PATH", default=None,
-                        help="ingest an exported SEV corpus "
-                             "(.csv/.json/.jsonl) instead of generating")
+                        help="ingest an exported corpus (.csv/.json/"
+                             ".jsonl, SEVs or tickets — sniffed from the "
+                             "content) instead of generating")
     stream.add_argument("--checkpoint", metavar="PATH", default=None,
                         help="JSON snapshot: resumed from when present, "
-                             "written when done")
+                             "written when done (SEV streams only)")
+    stream.add_argument("--dataset", choices=["sevs", "tickets"],
+                        default="sevs",
+                        help="which corpus to generate when not "
+                             "replaying: intra SEVs or backbone repair "
+                             "tickets")
 
     bench = sub.add_parser(
         "bench",
@@ -222,45 +234,46 @@ def _print_intra_tables(store: SEVStore, fleet,
               "population-normalized figures)")
 
 
-def _backbone_report(seed: Optional[int]) -> None:
+def _backbone_report(seed: Optional[int],
+                     backend: str = "batch",
+                     cache_dir: Optional[str] = None,
+                     jobs: Optional[int] = None) -> None:
+    """The backbone study through the domain-generic runtime.
+
+    Same executor, same cache, same backends as ``report intra`` —
+    the ticket corpus is just another record source.
+    """
+    from repro.runtime import ResultCache, RunContext, run_backbone_report
+
     scenario = (paper_backbone_scenario(seed=seed)
                 if seed is not None else paper_backbone_scenario())
     corpus = BackboneSimulator(scenario).run()
     monitor = BackboneMonitor(corpus.topology, corpus.tickets)
-    rel = backbone_reliability(monitor, corpus.window_h)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    context = RunContext(
+        monitor=monitor, topology=corpus.topology,
+        window_h=corpus.window_h, corpus_seed=scenario.seed,
+    )
+    report = run_backbone_report(
+        context, cache=cache, backend=backend,
+        jobs=jobs if jobs is not None else 4,
+        use_processes=jobs is not None and jobs > 1,
+    )
 
     print(f"corpus: {len(corpus.tickets)} tickets, "
           f"{len(corpus.topology.edges)} edges, "
           f"{len(corpus.topology.links)} links\n")
-    print(format_table(
-        ["Curve", "p50", "p90", "model"],
-        [
-            ["edge MTBF (h)", f"{rel.edge_mtbf.p50:.0f}",
-             f"{rel.edge_mtbf.p90:.0f}", str(rel.edge_mtbf_model())],
-            ["edge MTTR (h)", f"{rel.edge_mttr.p50:.1f}",
-             f"{rel.edge_mttr.p90:.1f}", str(rel.edge_mttr_model())],
-            ["vendor MTBF (h)", f"{rel.vendor_mtbf.p50:.0f}",
-             f"{rel.vendor_mtbf.p90:.0f}", str(rel.vendor_mtbf_model())],
-            ["vendor MTTR (h)", f"{rel.vendor_mttr.p50:.1f}",
-             f"{rel.vendor_mttr.p90:.1f}", str(rel.vendor_mttr_model())],
-        ],
-        title="Figures 15-18",
-    ))
-    rows = continent_table(monitor, corpus.topology, corpus.window_h)
-    print("\n" + format_table(
-        ["Continent", "Share", "MTBF (h)", "MTTR (h)"],
-        [[r.continent.value, f"{r.share:.0%}",
-          f"{r.mtbf_h:.0f}" if r.mtbf_h else "-",
-          f"{r.mttr_h:.1f}" if r.mttr_h else "-"] for r in rows],
-        title="Table 4: continents",
-    ))
+    print(report.render())
+    if cache is not None and cache.hits:
+        print(f"\n[cache] {cache.hits} analyses reused, "
+              f"{cache.misses} computed")
 
 
 def _export(dataset: str, path: str, seed: Optional[int],
             scale: float = 1.0) -> None:
     from repro.io import (
         export_sevs_csv, export_sevs_json, export_sevs_jsonl,
-        export_tickets_csv, export_tickets_json,
+        export_tickets_csv, export_tickets_json, export_tickets_jsonl,
     )
 
     if dataset == "sevs":
@@ -278,20 +291,51 @@ def _export(dataset: str, path: str, seed: Optional[int],
         scenario = (paper_backbone_scenario(seed=seed) if seed is not None
                     else paper_backbone_scenario())
         corpus = BackboneSimulator(scenario).run()
-        writer = (export_tickets_json if path.endswith(".json")
-                  else export_tickets_csv)
+        if path.endswith(".jsonl"):
+            writer = export_tickets_jsonl
+        elif path.endswith(".json"):
+            writer = export_tickets_json
+        else:
+            writer = export_tickets_csv
         count = writer(corpus.tickets, path)
     print(f"wrote {count} {dataset} to {path}")
 
 
 def _stream(seed: int, scale: float, jobs: int,
-            replay: Optional[str], checkpoint: Optional[str]) -> None:
+            replay: Optional[str], checkpoint: Optional[str],
+            dataset: str = "sevs") -> None:
     import os
 
     from repro.stream import (
         StreamEngine, generate_aggregates, live_feed, replay_file,
     )
     from repro.viz import stream_dashboard
+
+    if replay is not None:
+        from repro.io import sniff_dataset
+
+        if sniff_dataset(replay) == "tickets":
+            from repro.stream import replay_tickets_file
+
+            if checkpoint is not None:
+                print("(checkpointing is SEV-only; ignoring --checkpoint "
+                      "for the ticket stream)")
+            _stream_tickets(
+                replay_tickets_file(replay),
+                "ingested {count} tickets from " + replay,
+            )
+            return
+    elif dataset == "tickets":
+        from repro.stream import live_ticket_feed
+
+        if checkpoint is not None:
+            print("(checkpointing is SEV-only; ignoring --checkpoint "
+                  "for the ticket stream)")
+        scenario = paper_backbone_scenario(seed=seed)
+        _stream_tickets(
+            live_ticket_feed(scenario), "generated {count} tickets"
+        )
+        return
 
     fleet = None
     if replay is not None:
@@ -322,9 +366,31 @@ def _stream(seed: int, scale: float, jobs: int,
     print(stream_dashboard(aggregates, fleet))
 
 
-def _analyze(path: str, backend: str = "batch") -> None:
-    from repro.io import import_sevs_csv, import_sevs_json, import_sevs_jsonl
+def _stream_tickets(source, banner: str) -> None:
+    """Fold a ticket feed into the runtime's mergeable states."""
+    from repro.runtime.states import OutageTallies, TicketDurationSketches
+    from repro.viz import ticket_dashboard
 
+    outages = OutageTallies()
+    durations = TicketDurationSketches()
+    count = 0
+    for ticket in source:
+        outages.fold(ticket)
+        durations.fold(ticket)
+        count += 1
+    print(banner.format(count=count))
+    print()
+    print(ticket_dashboard(outages, durations))
+
+
+def _analyze(path: str, backend: str = "batch") -> None:
+    from repro.io import (
+        import_sevs_csv, import_sevs_json, import_sevs_jsonl, sniff_dataset,
+    )
+
+    if sniff_dataset(path) == "tickets":
+        _analyze_tickets(path, backend)
+        return
     if path.endswith(".jsonl"):
         reader = import_sevs_jsonl
     elif path.endswith(".json"):
@@ -333,6 +399,40 @@ def _analyze(path: str, backend: str = "batch") -> None:
         reader = import_sevs_csv
     store = reader(path)
     _print_intra_tables(store, paper_fleet(), backend=backend)
+
+
+def _analyze_tickets(path: str, backend: str = "batch") -> None:
+    """Analyze an imported ticket corpus through the runtime.
+
+    Without a topology there are no edge-level artifacts; the
+    vendor scorecards and repair-duration percentiles cover what a
+    standalone ticket export can support, on any backend.
+    """
+    from repro.io import (
+        import_tickets_csv, import_tickets_json, import_tickets_jsonl,
+    )
+    from repro.runtime import Executor, RunContext
+    from repro.runtime.analyses import (
+        RepairDurationAnalysis,
+        VendorScorecardAnalysis,
+    )
+    from repro.viz import duration_table, scorecard_table
+
+    if path.endswith(".jsonl"):
+        reader = import_tickets_jsonl
+    elif path.endswith(".json"):
+        reader = import_tickets_json
+    else:
+        reader = import_tickets_csv
+    db = reader(path)
+    print(f"corpus: {len(db.completed())} completed tickets, "
+          f"{len(db.links())} links, {len(db.vendors())} vendors\n")
+    results = Executor(backend=backend).run(
+        [VendorScorecardAnalysis(), RepairDurationAnalysis()],
+        RunContext(tickets=db),
+    )
+    print(scorecard_table(results["vendor_scorecards"]))
+    print("\n" + duration_table(results["repair_durations"]))
 
 
 def _full_report(seed: Optional[int], scale: float,
@@ -370,20 +470,25 @@ def _full_report(seed: Optional[int], scale: float,
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
+        jobs = args.jobs
+        if jobs == "auto":
+            from repro.stream import resolve_jobs
+
+            jobs = resolve_jobs("auto")
         if args.study == "intra":
-            _intra_report(args.seed, args.scale, args.backend, args.jobs)
+            _intra_report(args.seed, args.scale, args.backend, jobs)
         elif args.study == "backbone":
-            _backbone_report(args.seed)
+            _backbone_report(args.seed, args.backend, args.cache, jobs)
         else:
             _full_report(args.seed, args.scale, args.backend, args.cache,
-                         args.jobs)
+                         jobs)
     elif args.command == "export":
         _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
         _analyze(args.path, args.backend)
     elif args.command == "stream":
         _stream(args.seed, args.scale, args.jobs,
-                args.replay, args.checkpoint)
+                args.replay, args.checkpoint, args.dataset)
     elif args.command == "bench":
         from repro.perf import run_bench_suite
 

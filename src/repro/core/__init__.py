@@ -54,8 +54,11 @@ from repro.core.remediation_stats import RemediationTable, remediation_table
 from repro.core.backbone_reliability import (
     BackboneReliability,
     ContinentRow,
+    RepairDurationSummary,
     backbone_reliability,
+    continent_rows_from_failures,
     continent_table,
+    reliability_from_outages,
 )
 from repro.core.conditional_risk import CapacityReport, capacity_report
 from repro.core.fault_tolerance import (
@@ -81,6 +84,7 @@ __all__ = [
     "IntraStudyReport",
     "RedundancyMargin",
     "RemediationTable",
+    "RepairDurationSummary",
     "RootCauseBreakdown",
     "SeverityByDevice",
     "SeverityRateSeries",
@@ -88,6 +92,7 @@ __all__ = [
     "backbone_reliability",
     "backbone_study_report",
     "capacity_report",
+    "continent_rows_from_failures",
     "continent_table",
     "design_comparison",
     "incident_distribution",
@@ -98,6 +103,7 @@ __all__ = [
     "population_breakdown",
     "redundancy_margin",
     "redundancy_report",
+    "reliability_from_outages",
     "remediation_table",
     "root_cause_breakdown",
     "root_causes_by_device",

@@ -7,10 +7,14 @@ from typing import Dict, List, Optional
 
 from repro.backbone.monitor import BackboneMonitor
 from repro.stats.expfit import ExponentialModel
+from repro.stats.intervals import OutageInterval
 from repro.stats.mtbf import mtbf_from_intervals
 from repro.stats.mttr import mean_time_to_recovery
 from repro.stats.percentile import PercentileCurve, curve_of_means
 from repro.topology.backbone import BackboneTopology, Continent
+
+#: Outage intervals keyed by entity (edge name, vendor name, ...).
+IntervalsByEntity = Dict[str, List[OutageInterval]]
 
 
 @dataclass(frozen=True)
@@ -24,43 +28,47 @@ class BackboneReliability:
 
     def edge_mtbf_model(self) -> ExponentialModel:
         """Figure 15's dotted line (462.88 * e^{2.3408 p} in the paper)."""
-        return self.edge_mtbf.fit_exponential()
+        return self.edge_mtbf.fit_exponential(strict=False)
 
     def edge_mttr_model(self) -> ExponentialModel:
         """Figure 16's dotted line (1.513 * e^{4.256 p})."""
-        return self.edge_mttr.fit_exponential()
+        return self.edge_mttr.fit_exponential(strict=False)
 
     def vendor_mtbf_model(self) -> ExponentialModel:
         """Figure 17's dotted line (no constants published)."""
-        return self.vendor_mtbf.fit_exponential()
+        return self.vendor_mtbf.fit_exponential(strict=False)
 
     def vendor_mttr_model(self) -> ExponentialModel:
         """Figure 18's dotted line (1.1345 * e^{4.7709 p})."""
-        return self.vendor_mttr.fit_exponential()
+        return self.vendor_mttr.fit_exponential(strict=False)
 
 
-def backbone_reliability(
-    monitor: BackboneMonitor, window_h: float
+def reliability_from_outages(
+    failures_by_edge: IntervalsByEntity,
+    outages_by_vendor: IntervalsByEntity,
+    window_h: float,
 ) -> BackboneReliability:
-    """Compute the section 6 curves from the ticket-derived outages.
+    """The section 6 curves from pre-derived outage interval views.
 
-    ``window_h`` is the observation window (eighteen months in the
-    study); it provides the MTBF scale for entities observed failing
-    only once.  Entities with no failures at all contribute no point,
-    as in the paper.
+    The pure finalizer behind :func:`backbone_reliability`: the monitor
+    path and the fold states of :mod:`repro.runtime` both reduce to
+    these two views, so every execution backend runs the identical
+    curve math.  Per-entity interval lists must be chronologically
+    sorted (both producers guarantee it) so the float summations agree
+    bit for bit.
     """
     if window_h <= 0:
         raise ValueError("the observation window must be positive")
 
     edge_mtbf: Dict[str, float] = {}
     edge_mttr: Dict[str, float] = {}
-    for edge, intervals in monitor.failures_by_edge().items():
+    for edge, intervals in failures_by_edge.items():
         edge_mtbf[edge] = mtbf_from_intervals(intervals, window_h)
         edge_mttr[edge] = mean_time_to_recovery(intervals)
 
     vendor_mtbf: Dict[str, float] = {}
     vendor_mttr: Dict[str, float] = {}
-    for vendor, intervals in monitor.outages_by_vendor().items():
+    for vendor, intervals in outages_by_vendor.items():
         vendor_mtbf[vendor] = mtbf_from_intervals(intervals, window_h)
         vendor_mttr[vendor] = mean_time_to_recovery(intervals)
 
@@ -74,6 +82,21 @@ def backbone_reliability(
         edge_mttr=curve_of_means(edge_mttr),
         vendor_mtbf=curve_of_means(vendor_mtbf),
         vendor_mttr=curve_of_means(vendor_mttr),
+    )
+
+
+def backbone_reliability(
+    monitor: BackboneMonitor, window_h: float
+) -> BackboneReliability:
+    """Compute the section 6 curves from the ticket-derived outages.
+
+    ``window_h`` is the observation window (eighteen months in the
+    study); it provides the MTBF scale for entities observed failing
+    only once.  Entities with no failures at all contribute no point,
+    as in the paper.
+    """
+    return reliability_from_outages(
+        monitor.failures_by_edge(), monitor.outages_by_vendor(), window_h
     )
 
 
@@ -99,7 +122,17 @@ def continent_table(
     failed at least once; continents whose edges never failed report
     None for both.
     """
-    failures = monitor.failures_by_edge()
+    return continent_rows_from_failures(
+        monitor.failures_by_edge(), topology, window_h
+    )
+
+
+def continent_rows_from_failures(
+    failures: IntervalsByEntity,
+    topology: BackboneTopology,
+    window_h: float,
+) -> List[ContinentRow]:
+    """Table 4 from a pre-derived edge-failure view (pure finalizer)."""
     total_edges = len(topology.edges)
     rows = []
     for continent in Continent:
@@ -124,3 +157,21 @@ def continent_table(
         )
     rows.sort(key=lambda r: -r.share)
     return rows
+
+
+@dataclass(frozen=True)
+class RepairDurationSummary:
+    """Repair-duration percentiles over a ticket corpus.
+
+    The streamed counterpart of section 6's repair-time discussion:
+    how long vendor work items take, overall and split by ticket type
+    (unplanned repair vs planned maintenance).  ``by_type`` maps the
+    :class:`~repro.backbone.tickets.TicketType` value to its ticket
+    count.
+    """
+
+    tickets: int
+    p50_h: float
+    p90_h: float
+    p99_h: float
+    by_type: Dict[str, int]

@@ -77,11 +77,19 @@ class IntraStudyReport:
 
 @dataclass
 class BackboneStudyReport:
-    """Every inter data center artifact from one corpus."""
+    """Every inter data center artifact from one corpus.
+
+    ``vendors`` and ``durations`` are the section 6.2 ride-alongs the
+    runtime's backbone run adds (graded vendor scorecards and
+    repair-duration percentiles); older call sites that build a report
+    without them render the original two sections only.
+    """
 
     reliability: BackboneReliability
     continents: List[ContinentRow]
     window_h: float
+    vendors: Optional[dict] = None
+    durations: Optional[object] = None
 
     def render(self) -> str:
         rel = self.reliability
@@ -109,7 +117,16 @@ class BackboneStudyReport:
              for r in self.continents],
             title="Table 4: edges by continent",
         )
-        return curves + "\n\n" + continents
+        sections = [curves, continents]
+        if self.vendors:
+            from repro.viz.ticket_view import scorecard_table
+
+            sections.append(scorecard_table(self.vendors))
+        if self.durations is not None:
+            from repro.viz.ticket_view import duration_table
+
+            sections.append(duration_table(self.durations))
+        return "\n\n".join(sections)
 
 
 def intra_study_report(

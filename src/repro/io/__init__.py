@@ -1,12 +1,17 @@
 """Dataset interchange.
 
 Export/import for the two corpora — SEV reports and fiber repair
-tickets — as CSV and JSON, so downstream users can analyze generated
-corpora with their own tools or load external incident datasets
-through the same pipeline.  The JSONL format and the ``iter_sevs_*``
-streaming readers feed the online runtime (:mod:`repro.stream`)
-without materializing a corpus in memory.
+tickets — as CSV, JSON, and JSONL, so downstream users can analyze
+generated corpora with their own tools or load external incident
+datasets through the same pipeline.  The JSONL format and the
+``iter_sevs_*``/``iter_tickets_*`` streaming readers feed the online
+runtime (:mod:`repro.stream`) without materializing a corpus in
+memory.  :func:`sniff_dataset` tells the two corpora apart so the CLI
+can dispatch a file of either kind.
 """
+
+from pathlib import Path
+from typing import Union
 
 from repro.io.sev_io import (
     export_sevs_csv,
@@ -20,24 +25,81 @@ from repro.io.sev_io import (
     iter_sevs_jsonl,
 )
 from repro.io.ticket_io import (
+    TICKET_FIELDS,
     export_tickets_csv,
     export_tickets_json,
+    export_tickets_jsonl,
     import_tickets_csv,
     import_tickets_json,
+    import_tickets_jsonl,
+    iter_tickets_csv,
+    iter_tickets_json,
+    iter_tickets_jsonl,
 )
 
 __all__ = [
+    "TICKET_FIELDS",
     "export_sevs_csv",
     "export_sevs_json",
     "export_sevs_jsonl",
     "export_tickets_csv",
     "export_tickets_json",
+    "export_tickets_jsonl",
     "import_sevs_csv",
     "import_sevs_json",
     "import_sevs_jsonl",
     "import_tickets_csv",
     "import_tickets_json",
+    "import_tickets_jsonl",
     "iter_sevs_csv",
     "iter_sevs_json",
     "iter_sevs_jsonl",
+    "iter_tickets_csv",
+    "iter_tickets_json",
+    "iter_tickets_jsonl",
+    "sniff_dataset",
 ]
+
+
+def sniff_dataset(path: Union[str, Path]) -> str:
+    """Which corpus a data file holds: ``"sevs"`` or ``"tickets"``.
+
+    Inspects the first record, not the file name: a CSV header naming
+    ``sev_id`` or ``ticket_id``, a JSON document keyed ``sevs`` or
+    ``tickets``, or a JSONL first line carrying either id field.
+    """
+    import json as _json
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        with open(path, newline="") as handle:
+            header = handle.readline()
+        if "ticket_id" in header:
+            return "tickets"
+        if "sev_id" in header:
+            return "sevs"
+    elif suffix == ".json":
+        payload = _json.loads(path.read_text())
+        if "tickets" in payload:
+            return "tickets"
+        if "sevs" in payload:
+            return "sevs"
+    elif suffix == ".jsonl":
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = _json.loads(line)
+                if "ticket_id" in row:
+                    return "tickets"
+                if "sev_id" in row:
+                    return "sevs"
+                break
+    else:
+        raise ValueError(
+            f"unsupported dataset format {suffix!r} "
+            "(expected .csv, .json, or .jsonl)"
+        )
+    raise ValueError(f"{path}: neither a SEV nor a ticket export")

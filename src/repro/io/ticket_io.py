@@ -1,15 +1,24 @@
-"""Repair ticket interchange."""
+"""Repair ticket interchange.
+
+Mirrors :mod:`repro.io.sev_io` for the section 6 dataset: whole-corpus
+export/import pairs in CSV, JSON, and JSONL, plus ``iter_tickets_*``
+streaming readers that yield one :class:`RepairTicket` at a time
+without materializing the corpus — the ticket replay path of
+:mod:`repro.stream`.  ``TICKET_FIELDS`` is the interchange schema; the
+result cache hashes it into ticket-corpus fingerprints.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
 
-_FIELDS = [
+#: The interchange schema, in column order.
+TICKET_FIELDS = [
     "ticket_id", "link_id", "vendor", "ticket_type", "started_at_h",
     "completed_at_h", "location",
 ]
@@ -33,6 +42,19 @@ def _ticket_row(ticket: RepairTicket) -> dict:
     }
 
 
+def _row_ticket(row: dict) -> RepairTicket:
+    """One exported row back into a ticket, original id preserved."""
+    return RepairTicket(
+        ticket_id=str(row["ticket_id"]),
+        link_id=str(row["link_id"]),
+        vendor=str(row["vendor"]),
+        ticket_type=TicketType(str(row["ticket_type"])),
+        started_at_h=float(row["started_at_h"]),
+        completed_at_h=float(row["completed_at_h"]),
+        location=str(row.get("location", "")),
+    )
+
+
 def _row_into(db: TicketDatabase, row: dict) -> None:
     db.add_completed(
         link_id=str(row["link_id"]),
@@ -47,7 +69,7 @@ def _row_into(db: TicketDatabase, row: dict) -> None:
 def export_tickets_csv(db: TicketDatabase, path: PathLike) -> int:
     count = 0
     with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer = csv.DictWriter(handle, fieldnames=TICKET_FIELDS)
         writer.writeheader()
         for ticket in db.completed():
             writer.writerow(_ticket_row(ticket))
@@ -79,3 +101,57 @@ def import_tickets_json(path: PathLike,
     for row in payload["tickets"]:
         _row_into(db, row)
     return db
+
+
+# -- streaming interchange (repro.stream) ------------------------------
+
+
+def export_tickets_jsonl(db: TicketDatabase, path: PathLike) -> int:
+    """Write every completed ticket as one JSON object per line."""
+    count = 0
+    with open(path, "w") as handle:
+        for ticket in db.completed():
+            handle.write(json.dumps(_ticket_row(ticket)) + "\n")
+            count += 1
+    return count
+
+
+def import_tickets_jsonl(path: PathLike,
+                         db: TicketDatabase = None) -> TicketDatabase:
+    """Load a JSONL export into a ticket database."""
+    db = db or TicketDatabase()
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                _row_into(db, json.loads(line))
+    return db
+
+
+def iter_tickets_jsonl(path: PathLike) -> Iterator[RepairTicket]:
+    """Stream tickets from a JSONL export, one line at a time."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _row_ticket(json.loads(line))
+
+
+def iter_tickets_csv(path: PathLike) -> Iterator[RepairTicket]:
+    """Stream tickets from a CSV export without loading it whole."""
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            yield _row_ticket(row)
+
+
+def iter_tickets_json(path: PathLike) -> Iterator[RepairTicket]:
+    """Stream tickets from a JSON export.
+
+    The single-document format has to be parsed whole; the iterator
+    interface still lets replay consumers treat every format alike.
+    """
+    payload = json.loads(Path(path).read_text())
+    if "tickets" not in payload:
+        raise ValueError(f"{path}: not a ticket export (missing 'tickets')")
+    for row in payload["tickets"]:
+        yield _row_ticket(row)

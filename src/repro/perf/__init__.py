@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.perf.bench import (
+    bench_backbone,
     bench_ingest,
     bench_stream_throughput,
     run_bench_suite,
@@ -34,6 +35,7 @@ __all__ = [
     "BenchRecord",
     "Phase",
     "PhaseTimer",
+    "bench_backbone",
     "bench_ingest",
     "bench_stream_throughput",
     "environment",

@@ -1,6 +1,6 @@
 """The built-in benchmark suite (``python -m repro bench``).
 
-Two hot paths, each measured with :mod:`repro.perf` primitives and
+Three hot paths, each measured with :mod:`repro.perf` primitives and
 recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
 
 ``stream_throughput``
@@ -13,6 +13,12 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     historical behavior), ``insert_many`` (one transaction), and
     ``bulk_load`` (indexes dropped, tuned PRAGMAs, ``executemany``
     batches); reports rows/s and the bulk speedup.
+``backbone_report``
+    the section 6 ticket-domain report answered by every runtime
+    backend — batch (monitor path), streaming fold, sharded fold
+    (serial and process-parallel) — plus a content-addressed cached
+    re-run; reports tickets/s per backend and the cache speedup, and
+    asserts all backends agree bit for bit.
 
 The suite prints rendered tables and writes one record per benchmark
 to the output directory, so successive PRs accumulate a comparable
@@ -165,6 +171,96 @@ def bench_ingest(
     )
 
 
+def bench_backbone(
+    seed: int = 7,
+    links_per_edge: int = 3,
+    rounds: int = 3,
+) -> BenchRecord:
+    """Measure the backbone report across runtime backends.
+
+    One ticket corpus, one :class:`~repro.runtime.RunContext`, and the
+    identical section 6 report answered by each backend; every backend
+    runs ``rounds`` times and keeps the best time.  A cached re-run
+    (second pass against a warm :class:`~repro.runtime.ResultCache`)
+    is timed separately — its corpus pass count is zero, so it bounds
+    the price of the report plumbing itself.
+    """
+    from repro.backbone.monitor import BackboneMonitor
+    from repro.runtime import ResultCache, RunContext, run_backbone_report
+    from repro.simulation.backbone_sim import BackboneSimulator
+    from repro.simulation.scenarios import paper_backbone_scenario
+
+    corpus = BackboneSimulator(
+        paper_backbone_scenario(seed=seed, links_per_edge=links_per_edge)
+    ).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    context = RunContext(
+        monitor=monitor, topology=corpus.topology,
+        window_h=corpus.window_h, corpus_seed=seed,
+    )
+    tickets = len(corpus.tickets)
+
+    backends = [
+        ("batch", {}),
+        ("stream", {}),
+        ("sharded", {"jobs": 4}),
+        ("sharded_processes", {"jobs": 4, "use_processes": True}),
+    ]
+    per_backend = []
+    reports = {}
+    for label, kwargs in backends:
+        backend = "sharded" if label.startswith("sharded") else label
+        best = float("inf")
+        for _ in range(max(1, rounds)):
+            start = time.perf_counter()
+            report = run_backbone_report(context, backend=backend, **kwargs)
+            best = min(best, time.perf_counter() - start)
+        reports[label] = report
+        per_backend.append({
+            "backend": label,
+            "seconds": best,
+            "tickets": tickets,
+            "tickets_per_s": events_per_second(tickets, best),
+        })
+
+    cache = ResultCache()
+    run_backbone_report(context, backend="stream", cache=cache)
+    best_cached = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        cached = run_backbone_report(context, backend="stream", cache=cache)
+        best_cached = min(best_cached, time.perf_counter() - start)
+    reports["cached"] = cached
+    per_backend.append({
+        "backend": "cached",
+        "seconds": best_cached,
+        "tickets": tickets,
+        "tickets_per_s": events_per_second(tickets, best_cached),
+    })
+
+    by_backend = {entry["backend"]: entry for entry in per_backend}
+    stream_s = by_backend["stream"]["seconds"]
+    metrics = {
+        "tickets": tickets,
+        "window_h": corpus.window_h,
+        "backends_identical": all(
+            report == reports["batch"] for report in reports.values()
+        ),
+        "per_backend": per_backend,
+        "cache_speedup_vs_stream": (
+            stream_s / best_cached if best_cached > 0 else 0.0
+        ),
+    }
+    return BenchRecord(
+        name="backbone_report",
+        params={
+            "seed": seed, "links_per_edge": links_per_edge,
+            "rounds": rounds,
+        },
+        metrics=metrics,
+    )
+
+
 def render_stream_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -210,6 +306,27 @@ def render_ingest_record(record: BenchRecord) -> str:
     )
 
 
+def render_backbone_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            entry["backend"],
+            entry["tickets"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['tickets_per_s']:,.0f}",
+        ]
+        for entry in record.metrics["per_backend"]
+    ]
+    return format_table(
+        ["Backend", "Tickets", "Seconds", "Tickets/sec"],
+        rows,
+        title=(f"Backbone report across runtime backends "
+               f"(seed={record.params['seed']}, "
+               f"identical={record.metrics['backends_identical']})"),
+    )
+
+
 def run_bench_suite(
     quick: bool = False,
     out_dir: Optional[Path] = None,
@@ -229,11 +346,14 @@ def run_bench_suite(
         seed=seed, scale=scale, jobs_list=jobs_list, rounds=rounds
     )
     ingest = bench_ingest(seed=seed, scale=scale)
-    records = [stream, ingest]
+    backbone = bench_backbone(rounds=rounds)
+    records = [stream, ingest, backbone]
 
     print(render_stream_record(stream))
     print()
     print(render_ingest_record(ingest))
+    print()
+    print(render_backbone_record(backbone))
     if out_dir is not None:
         for record in records:
             path = write_record(record, out_dir)

@@ -2,18 +2,33 @@
 
 Every paper artifact is declared once as an
 :class:`~repro.runtime.analysis.Analysis` (prepare / fold / merge /
-finalize, optionally a SQL ``batch`` fast path) and the
+finalize, optionally a substrate-querying ``batch`` fast path) and the
 :class:`~repro.runtime.executor.Executor` runs any set of them over
-three interchangeable backends — ``batch`` (per-analysis SQL),
+three interchangeable backends — ``batch`` (per-analysis shortcut),
 ``stream`` (one fused corpus pass), ``sharded`` (fold partitions
-independently, merge states).  A content-addressed
-:class:`~repro.runtime.cache.ResultCache` keyed by corpus fingerprint
-makes repeat runs over unchanged corpora free.
+independently, merge states).  The runtime is domain-generic: a
+:class:`~repro.runtime.domain.Corpus` abstracts the record source, and
+both of the paper's datasets ship as corpora —
+:class:`~repro.runtime.domain.SEVCorpus` over the intra data center
+SEV store (sections 4-5) and :class:`~repro.runtime.domain.TicketCorpus`
+over the backbone repair-ticket database (section 6).  A
+content-addressed :class:`~repro.runtime.cache.ResultCache` keyed by
+domain-tagged corpus fingerprints makes repeat runs over unchanged
+corpora free.
 """
 
 from repro.runtime.analysis import Analysis, RunContext
-from repro.runtime.analyses import intra_report_analyses, registry
-from repro.runtime.cache import ResultCache, corpus_fingerprint
+from repro.runtime.analyses import (
+    backbone_report_analyses,
+    intra_report_analyses,
+    registry,
+)
+from repro.runtime.cache import (
+    ResultCache,
+    corpus_fingerprint,
+    ticket_fingerprint,
+)
+from repro.runtime.domain import Corpus, SEVCorpus, TicketCorpus
 from repro.runtime.executor import (
     BACKENDS,
     Executor,
@@ -23,7 +38,9 @@ from repro.runtime.executor import (
 from repro.runtime.states import (
     CauseTallies,
     DurationSketches,
+    OutageTallies,
     SeverityTallies,
+    TicketDurationSketches,
     YearTypeCounts,
 )
 
@@ -31,15 +48,22 @@ __all__ = [
     "Analysis",
     "BACKENDS",
     "CauseTallies",
+    "Corpus",
     "DurationSketches",
     "Executor",
+    "OutageTallies",
     "ResultCache",
     "RunContext",
+    "SEVCorpus",
     "SeverityTallies",
+    "TicketCorpus",
+    "TicketDurationSketches",
     "YearTypeCounts",
+    "backbone_report_analyses",
     "corpus_fingerprint",
     "intra_report_analyses",
     "registry",
     "run_backbone_report",
     "run_intra_report",
+    "ticket_fingerprint",
 ]

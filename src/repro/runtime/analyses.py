@@ -8,9 +8,12 @@ original SQL implementation as its :meth:`~Analysis.batch` fast path —
 so every backend, SQL or fold, runs the *same* math over the same
 counts and can only differ in how the counts were gathered.
 
-Analyses that never read the SEV corpus — Table 1 reads the
-remediation engine, section 6 reads the backbone ticket monitor — are
-context-only (``requires_corpus = False``).
+Two domains of corpus analysis coexist: the sections 4-5 analyses fold
+SEV reports (``domain = "sev"``), the section 6 analyses fold repair
+tickets (``domain = "ticket"``) — the executor resolves each group's
+record source independently.  Analyses that never read any corpus —
+Table 1 reads the remediation engine — are context-only
+(``requires_corpus = False``).
 
 Analyses that fold the same state declare a shared ``state_key`` so
 the executor folds each record into each distinct state once, not once
@@ -21,7 +24,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.backbone_reliability import backbone_reliability, continent_table
+from repro.backbone.monitor import failures_from_link_outages
+from repro.backbone.scorecards import vendor_scorecards
+from repro.core.backbone_reliability import (
+    backbone_reliability,
+    continent_rows_from_failures,
+    continent_table,
+    reliability_from_outages,
+)
 from repro.core.design_comparison import (
     DesignComparison,
     design_comparison,
@@ -55,7 +65,9 @@ from repro.runtime.analysis import Analysis, RunContext
 from repro.runtime.states import (
     CauseTallies,
     DurationSketches,
+    OutageTallies,
     SeverityTallies,
+    TicketDurationSketches,
     YearTypeCounts,
 )
 from repro.topology.devices import DeviceType
@@ -68,11 +80,14 @@ __all__ = [
     "GrowthAnalysis",
     "IncidentRatesAnalysis",
     "RemediationTableAnalysis",
+    "RepairDurationAnalysis",
     "RootCausesAnalysis",
     "RootCausesByDeviceAnalysis",
     "SeverityByDeviceAnalysis",
     "SeverityOverTimeAnalysis",
     "SwitchReliabilityAnalysis",
+    "VendorScorecardAnalysis",
+    "backbone_report_analyses",
     "intra_report_analyses",
     "registry",
 ]
@@ -332,43 +347,126 @@ class RemediationTableAnalysis(Analysis):
         return self.finalize(None, context)
 
 
-class BackboneReliabilityAnalysis(Analysis):
+# -- ticket-domain (section 6) analyses ---------------------------------
+
+
+class _TicketAnalysis(Analysis):
+    """Shared plumbing of the section 6 corpus analyses."""
+
+    domain = "ticket"
+    state_key = "ticket_outages"
+
+    def prepare(self, context: RunContext) -> OutageTallies:
+        return OutageTallies()
+
+    def fold(self, ticket, state: OutageTallies) -> None:
+        state.fold(ticket)
+
+    @staticmethod
+    def _topology(context: RunContext):
+        topology = context.topology
+        if topology is None:
+            topology = getattr(context.monitor, "topology", None)
+        return topology
+
+    def can_batch(self, context: RunContext) -> bool:
+        # The monitor-path shortcut needs the monitor itself and an
+        # explicit window (the fold path may infer one, the monitor
+        # math cannot).
+        return (
+            self.has_batch_path()
+            and context.monitor is not None
+            and context.window_h is not None
+        )
+
+
+class BackboneReliabilityAnalysis(_TicketAnalysis):
     """Figures 15-18: the four backbone percentile curves."""
 
     name = "backbone_reliability"
-    requires_corpus = False
 
-    def finalize(self, state, context: RunContext):
-        if context.monitor is None or context.window_h is None:
+    def finalize(self, state: OutageTallies, context: RunContext):
+        topology = self._topology(context)
+        if topology is None:
             raise ValueError(
-                "backbone_reliability needs a monitor and window_h "
+                "backbone_reliability needs a topology (or monitor) "
                 "in the context"
             )
-        return backbone_reliability(context.monitor, context.window_h)
-
-    def batch(self, context: RunContext):
-        return self.finalize(None, context)
-
-
-class ContinentTableAnalysis(Analysis):
-    """Table 4: edge distribution and reliability by continent."""
-
-    name = "continent_table"
-    requires_corpus = False
-
-    def finalize(self, state, context: RunContext):
-        if (context.monitor is None or context.topology is None
-                or context.window_h is None):
-            raise ValueError(
-                "continent_table needs a monitor, topology, and window_h "
-                "in the context"
-            )
-        return continent_table(
-            context.monitor, context.topology, context.window_h
+        window = context.resolve_window(state.max_end_h)
+        failures = failures_from_link_outages(
+            topology, state.merged_by_link()
+        )
+        return reliability_from_outages(
+            failures, state.sorted_by_vendor(), window
         )
 
     def batch(self, context: RunContext):
-        return self.finalize(None, context)
+        return backbone_reliability(context.monitor, context.window_h)
+
+
+class ContinentTableAnalysis(_TicketAnalysis):
+    """Table 4: edge distribution and reliability by continent."""
+
+    name = "continent_table"
+
+    def finalize(self, state: OutageTallies, context: RunContext):
+        topology = self._topology(context)
+        if topology is None:
+            raise ValueError(
+                "continent_table needs a topology (or monitor) "
+                "in the context"
+            )
+        window = context.resolve_window(state.max_end_h)
+        failures = failures_from_link_outages(
+            topology, state.merged_by_link()
+        )
+        return continent_rows_from_failures(failures, topology, window)
+
+    def batch(self, context: RunContext):
+        return continent_table(
+            context.monitor, self._topology(context), context.window_h
+        )
+
+
+class VendorScorecardAnalysis(_TicketAnalysis):
+    """Section 6.2's operational consumer: graded vendor scorecards."""
+
+    name = "vendor_scorecards"
+
+    def finalize(self, state: OutageTallies, context: RunContext):
+        from repro.backbone.scorecards import scorecards_from_outages
+
+        window = context.resolve_window(state.max_end_h)
+        return scorecards_from_outages(state.sorted_by_vendor(), window)
+
+    def batch(self, context: RunContext):
+        return vendor_scorecards(context.monitor, context.window_h)
+
+
+class RepairDurationAnalysis(Analysis):
+    """Repair-duration percentiles, overall and by ticket type."""
+
+    name = "repair_durations"
+    domain = "ticket"
+    state_key = "ticket_durations"
+
+    def prepare(self, context: RunContext) -> TicketDurationSketches:
+        return TicketDurationSketches()
+
+    def fold(self, ticket, state: TicketDurationSketches) -> None:
+        state.fold(ticket)
+
+    def finalize(self, state: TicketDurationSketches, context: RunContext):
+        return state.summary()
+
+    def batch(self, context: RunContext):
+        # No faster substrate exists for durations; the shortcut is a
+        # plain fold over the ticket database, kept so the batch
+        # backend needs no special case.
+        state = self.prepare(context)
+        for ticket in context.resolve_tickets().completed():
+            self.fold(ticket, state)
+        return self.finalize(state, context)
 
 
 # -- registry ----------------------------------------------------------
@@ -386,6 +484,8 @@ _ANALYSES = (
     RemediationTableAnalysis,
     BackboneReliabilityAnalysis,
     ContinentTableAnalysis,
+    VendorScorecardAnalysis,
+    RepairDurationAnalysis,
 )
 
 
@@ -405,5 +505,15 @@ def intra_report_analyses():
         DesignComparisonAnalysis(),
         SwitchReliabilityAnalysis(),
         GrowthAnalysis(),
+    ]
+
+
+def backbone_report_analyses():
+    """The analyses :class:`repro.core.BackboneStudyReport` composes."""
+    return [
+        BackboneReliabilityAnalysis(),
+        ContinentTableAnalysis(),
+        VendorScorecardAnalysis(),
+        RepairDurationAnalysis(),
     ]
 

@@ -6,7 +6,7 @@ to scan the corpus for it:
 ``prepare(context)``
     allocate an empty, mergeable state;
 ``fold(report, state)``
-    absorb one SEV record into the state, in place;
+    absorb one record of the analysis' domain into the state, in place;
 ``merge(state, other)``
     absorb another state produced by the same analysis (associative
     and commutative — the sharding law);
@@ -17,13 +17,17 @@ The executor (:mod:`repro.runtime.executor`) chooses the execution
 strategy: one fused streaming pass folds every registered analysis
 simultaneously, the sharded backend folds partitions independently and
 merges, and the batch backend may take an analysis' optional
-:meth:`Analysis.batch` shortcut — the original SQL implementation in
-:mod:`repro.core` — which must return exactly what fold+finalize would.
+:meth:`Analysis.batch` shortcut — the original substrate-querying
+implementation in :mod:`repro.core` — which must return exactly what
+fold+finalize would.
 
-Analyses that do not consume the SEV corpus at all (Table 1 reads the
-remediation engine, section 6 reads the backbone ticket monitor) set
-``requires_corpus = False``; their ``fold`` is a no-op and their result
-comes entirely from the context.
+An analysis declares which record kind it folds with ``domain``
+(``"sev"`` for SEV reports, ``"ticket"`` for backbone repair tickets);
+the executor resolves the matching :class:`~repro.runtime.domain.Corpus`
+from the context via :meth:`RunContext.corpus_for`.  Analyses that do
+not consume any corpus (Table 1 reads the remediation engine) set
+``requires_corpus = False``; their ``fold`` is a no-op and their
+result comes entirely from the context.
 """
 
 from __future__ import annotations
@@ -45,7 +49,9 @@ class RunContext:
     means "the newest year in the corpus", resolved after folding so
     streaming backends need no look-ahead.  ``baseline_year`` defaults
     to the resolved target year.  ``corpus_seed`` travels with the
-    context so the result cache can fingerprint generated corpora.
+    context so the result cache can fingerprint generated corpora —
+    of either domain; the fingerprints themselves are domain-tagged,
+    so a SEV corpus and a ticket corpus sharing a seed never collide.
     """
 
     store: Optional[SEVStore] = None
@@ -61,6 +67,9 @@ class RunContext:
     topology: Any = None
     #: Section 6 observation window in hours.
     window_h: Optional[float] = None
+    #: Section 6 record source (:class:`repro.backbone.tickets.TicketDatabase`);
+    #: defaults to ``monitor.tickets`` when only a monitor is supplied.
+    tickets: Any = None
     #: Free-form extras for user-defined analyses.
     extra: dict = field(default_factory=dict)
 
@@ -78,6 +87,47 @@ class RunContext:
             return self.baseline_year
         return self.resolve_year(years)
 
+    def resolve_window(self, observed_end_h: Optional[float] = None) -> float:
+        """The observation window: explicit, or the last observed end.
+
+        Streaming ticket consumers without a configured window fall
+        back to the newest completion time folded so far — the live
+        analog of "the study window ends now".
+        """
+        if self.window_h is not None:
+            return self.window_h
+        if observed_end_h:
+            return observed_end_h
+        raise ValueError(
+            "no observation window: set window_h in the context "
+            "(or fold at least one completed ticket)"
+        )
+
+    def resolve_tickets(self):
+        """The ticket database: explicit, or the monitor's."""
+        if self.tickets is not None:
+            return self.tickets
+        return getattr(self.monitor, "tickets", None)
+
+    def corpus_for(self, domain: str):
+        """The :class:`~repro.runtime.domain.Corpus` for ``domain``.
+
+        Returns ``None`` when the context carries no record source of
+        that kind (the analysis must then be fed an explicit source).
+        """
+        from repro.runtime.domain import SEVCorpus, TicketCorpus
+
+        if domain == SEVCorpus.domain:
+            if self.store is None:
+                return None
+            return SEVCorpus(self.store, seed=self.corpus_seed)
+        if domain == TicketCorpus.domain:
+            tickets = self.resolve_tickets()
+            if tickets is None:
+                return None
+            return TicketCorpus(tickets, seed=self.corpus_seed)
+        raise ValueError(f"unknown corpus domain {domain!r}")
+
 
 class Analysis:
     """Base class for declarative analyses.
@@ -90,8 +140,12 @@ class Analysis:
 
     #: Registry and cache key; unique among registered analyses.
     name: str = ""
-    #: Whether the analysis folds SEV records (False = context-only).
+    #: Whether the analysis folds corpus records (False = context-only).
     requires_corpus: bool = True
+    #: Which record kind ``fold`` consumes ("sev" or "ticket"); the
+    #: executor resolves the matching corpus via
+    #: :meth:`RunContext.corpus_for`.
+    domain: str = "sev"
     #: Analyses sharing a ``state_key`` must prepare/fold identically;
     #: the executor then folds each record into that state once and
     #: hands every sharer the same folded state.  ``None`` keeps the
@@ -115,9 +169,11 @@ class Analysis:
         raise NotImplementedError
 
     def batch(self, context: RunContext):
-        """Optional SQL fast path over ``context.store``.
+        """Optional fast path over the corpus' batch substrate.
 
-        Must be result-equivalent to folding the store's records and
+        For SEV analyses this is the original SQL implementation over
+        ``context.store``; for ticket analyses it queries the monitor.
+        Must be result-equivalent to folding the corpus' records and
         finalizing.  The default signals "no shortcut" and makes the
         batch backend fall back to fold+finalize.
         """
@@ -125,6 +181,18 @@ class Analysis:
 
     def has_batch_path(self) -> bool:
         return type(self).batch is not Analysis.batch
+
+    def can_batch(self, context: RunContext) -> bool:
+        """Whether ``batch`` can run against this context.
+
+        The default requires the context to carry the analysis'
+        domain substrate; analyses whose shortcut needs more (the
+        ticket analyses query the monitor directly) override this.
+        """
+        return (
+            self.has_batch_path()
+            and context.corpus_for(self.domain) is not None
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

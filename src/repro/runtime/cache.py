@@ -26,19 +26,20 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.incidents.store import SEVStore
 
-__all__ = ["ResultCache", "corpus_fingerprint"]
+__all__ = ["ResultCache", "corpus_fingerprint", "ticket_fingerprint"]
 
 PathLike = Union[str, Path]
 
 
 def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
-    """Fingerprint a corpus: row count + seed + schema hash.
+    """Fingerprint a SEV corpus: domain + row count + seed + schema hash.
 
     Cheap by design (no corpus scan): the generators are deterministic
     in their seed, so (seed, row count, schema) pins the corpus
     content for every corpus this library produces.  Corpora imported
     from elsewhere should pass a caller-chosen ``seed`` surrogate or
-    skip caching.
+    skip caching.  The domain tag keeps a SEV corpus from ever
+    colliding with a ticket corpus of the same size and seed.
     """
     conn = store.connection
     (rows,) = conn.execute("SELECT COUNT(*) FROM sevs").fetchone()
@@ -48,7 +49,29 @@ def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
         )
     ))
     schema_hash = hashlib.sha256(schema.encode()).hexdigest()
-    payload = f"rows={rows};seed={seed};schema={schema_hash}"
+    payload = f"domain=sev;rows={rows};seed={seed};schema={schema_hash}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def ticket_fingerprint(tickets, seed: Optional[int] = None) -> str:
+    """Fingerprint a ticket corpus: domain + row count + seed + schema.
+
+    The ticket analog of :func:`corpus_fingerprint`: completed-ticket
+    count, scenario seed, and a hash of the interchange schema (the
+    exported field list plus the ticket-type vocabulary, the ticket
+    database's equivalent of a SQL schema).  The ``domain=ticket`` tag
+    guarantees a ticket corpus and a SEV corpus of identical size and
+    seed hash to different cache keys.
+    """
+    from repro.backbone.tickets import TicketType
+    from repro.io.ticket_io import TICKET_FIELDS
+
+    rows = len(tickets.completed())
+    schema = ";".join(TICKET_FIELDS) + "|" + ",".join(
+        t.value for t in TicketType
+    )
+    schema_hash = hashlib.sha256(schema.encode()).hexdigest()
+    payload = f"domain=ticket;rows={rows};seed={seed};schema={schema_hash}"
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -73,9 +96,17 @@ class ResultCache:
         backend: str,
         year: Optional[int],
         baseline_year: Optional[int],
+        window_h: Optional[float] = None,
     ) -> str:
+        """One cache key: corpus identity plus the full question.
+
+        ``window_h`` is the ticket domain's context parameter (the
+        observation window the MTBF math scales by), playing the role
+        ``year``/``baseline_year`` play for the SEV domain.
+        """
         payload = (
             f"{fingerprint}:{analysis}:{backend}:{year}:{baseline_year}"
+            f":{window_h}"
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -1,0 +1,135 @@
+"""Corpus domains: the record sources the runtime can execute over.
+
+The paper is two studies over two record kinds — seven years of
+intra data center SEV reports and eighteen months of inter data center
+fiber repair tickets — and the runtime executes both through one
+protocol.  A :class:`Corpus` answers the four questions an execution
+backend asks of a record source:
+
+``records()``
+    iterate every record (the stream/fold input);
+``fingerprint()``
+    a content hash for the result cache, or ``None`` when the corpus
+    cannot be fingerprinted (then nothing is cached);
+``shards(records, jobs)``
+    partition a record iterable into ``jobs`` fold shards — any
+    partitioning is correct under the merge law, so each domain picks
+    the one that balances its workers best;
+``batch_handle()``
+    the substrate an analysis' ``batch`` fast path queries (the SQL
+    store, the ticket database), or ``None``.
+
+Two concrete domains ship: :class:`SEVCorpus` over
+:class:`~repro.incidents.store.SEVStore` and :class:`TicketCorpus`
+over :class:`~repro.backbone.tickets.TicketDatabase`.  An
+:class:`~repro.runtime.analysis.Analysis` names its domain with the
+``domain`` class attribute and the executor resolves the matching
+corpus from the :class:`~repro.runtime.analysis.RunContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.backbone.tickets import TicketDatabase
+from repro.incidents.store import SEVStore
+from repro.runtime.cache import corpus_fingerprint, ticket_fingerprint
+
+__all__ = ["Corpus", "SEVCorpus", "TicketCorpus"]
+
+
+class Corpus:
+    """One record source the executor can run analyses over."""
+
+    #: Domain tag; analyses with a matching ``Analysis.domain`` fold
+    #: this corpus' records.
+    domain: str = ""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        #: Generator seed, folded into the fingerprint (two corpora of
+        #: equal size from different seeds must never share cache
+        #: entries).
+        self.seed = seed
+
+    def records(self) -> Iterable:
+        raise NotImplementedError
+
+    def fingerprint(self) -> Optional[str]:
+        """Content hash for the result cache; ``None`` = uncacheable."""
+        return None
+
+    def shards(self, records: Iterable, jobs: int) -> List[list]:
+        """Partition ``records`` into at most ``jobs`` fold shards."""
+        from repro.stream.sharding import shard_cells
+
+        return shard_cells(list(records), jobs)
+
+    def batch_handle(self) -> Any:
+        """The substrate ``Analysis.batch`` queries, if any."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} domain={self.domain!r}>"
+
+
+class SEVCorpus(Corpus):
+    """The intra data center SEV corpus (sections 4-5)."""
+
+    domain = "sev"
+
+    def __init__(self, store: SEVStore, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.store = store
+
+    def records(self) -> Iterable:
+        return self.store.all_reports()
+
+    def fingerprint(self) -> Optional[str]:
+        return corpus_fingerprint(self.store, seed=self.seed)
+
+    def batch_handle(self) -> SEVStore:
+        return self.store
+
+
+class TicketCorpus(Corpus):
+    """The inter data center repair-ticket corpus (section 6)."""
+
+    domain = "ticket"
+
+    def __init__(self, tickets: TicketDatabase,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.tickets = tickets
+
+    def records(self) -> Iterable:
+        return self.tickets.completed()
+
+    def fingerprint(self) -> Optional[str]:
+        return ticket_fingerprint(self.tickets, seed=self.seed)
+
+    def shards(self, records: Iterable, jobs: int) -> List[list]:
+        """Cost-weighted shards: one cell per link, LPT-balanced.
+
+        Tickets cluster on links (a flaky link files many), so the
+        shards are built from per-link cells weighted by ticket count
+        and packed longest-processing-time-first — the same balancing
+        :mod:`repro.stream.sharding` applies to SEV generation cells.
+        Any partitioning merges to the same states; this one just
+        keeps the workers busy evenly.
+        """
+        from repro.stream.sharding import shard_cells
+
+        cells: dict = {}
+        for ticket in records:
+            cells.setdefault(ticket.link_id, []).append(ticket)
+        ordered = [cells[link] for link in sorted(cells)]
+        weights = [len(cell) for cell in ordered]
+        cell_shards = shard_cells(ordered, jobs, weights=weights)
+        return [
+            [ticket for cell in shard for ticket in cell]
+            for shard in cell_shards
+            if shard
+        ]
+
+    def batch_handle(self) -> TicketDatabase:
+        return self.tickets

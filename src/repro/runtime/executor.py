@@ -4,31 +4,40 @@ One executor, three strategies for answering the same set of
 :class:`~repro.runtime.analysis.Analysis` questions:
 
 ``batch``
-    per-analysis SQL over the :class:`~repro.incidents.store.SEVStore`
-    (each analysis' :meth:`~repro.runtime.analysis.Analysis.batch`
-    shortcut — the original :mod:`repro.core` implementations);
-    analyses without a shortcut share one fold pass.
+    per-analysis shortcut over the corpus' batch substrate (each
+    analysis' :meth:`~repro.runtime.analysis.Analysis.batch` — the
+    original :mod:`repro.core` implementations: SQL over the
+    :class:`~repro.incidents.store.SEVStore` for the SEV domain, the
+    :class:`~repro.backbone.monitor.BackboneMonitor` queries for the
+    ticket domain); analyses without a usable shortcut share one fold
+    pass.
 ``stream``
     one fused pass over the record stream: every analysis' state is
     folded record by record, so a full report costs exactly one corpus
     scan instead of one scan per artifact.
 ``sharded``
-    the corpus is dealt round-robin across ``jobs`` shards
-    (:func:`repro.stream.sharding.shard_cells`), each shard folds its
-    own states, and the shard states merge — the merge-law execution
-    that :mod:`repro.stream` uses for parallel generation.  With
-    ``use_processes=True`` each shard folds in its own worker process
-    and only the (small) mergeable states travel back; because the
-    merge law is associative and commutative, the parallel result is
-    bit-identical to the serial one.
+    the corpus is partitioned across ``jobs`` shards — each
+    :class:`~repro.runtime.domain.Corpus` picks its own partitioning
+    (round-robin for SEV records, per-link cost-weighted cells for
+    tickets); each shard folds its own states, and the shard states
+    merge — the merge-law execution that :mod:`repro.stream` uses for
+    parallel generation.  With ``use_processes=True`` each shard folds
+    in its own worker process and only the (small) mergeable states
+    travel back; because the merge law is associative and commutative,
+    the parallel result is bit-identical to the serial one.
 
-All three agree exactly on every count-derived artifact; fold backends
-answer percentiles from quantile sketches, exact below the sketch
-budget and bounded by the bin width beyond it.
+Analyses of different domains can ride in one run: the executor groups
+them by :attr:`~repro.runtime.analysis.Analysis.domain` and resolves
+each group's :class:`~repro.runtime.domain.Corpus` from the context.
+
+All three backends agree exactly on every count-derived artifact; fold
+backends answer percentiles from quantile sketches, exact below the
+sketch budget and bounded by the bin width beyond it.
 
 Give the executor a :class:`~repro.runtime.cache.ResultCache` and
-finalized results are keyed by the corpus fingerprint: re-running the
-same questions over an unchanged corpus performs no pass at all.
+finalized results are keyed by the corpus fingerprint of the analysis'
+domain: re-running the same questions over an unchanged corpus
+performs no pass at all.
 """
 
 from __future__ import annotations
@@ -39,11 +48,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.core.reports import BackboneStudyReport, IntraStudyReport
 from repro.runtime.analysis import Analysis, RunContext
 from repro.runtime.analyses import (
-    BackboneReliabilityAnalysis,
-    ContinentTableAnalysis,
+    backbone_report_analyses,
     intra_report_analyses,
 )
-from repro.runtime.cache import ResultCache, corpus_fingerprint
+from repro.runtime.cache import ResultCache
 
 __all__ = [
     "BACKENDS",
@@ -56,7 +64,7 @@ BACKENDS = ("batch", "stream", "sharded")
 
 
 class Executor:
-    """Runs a set of analyses over one corpus with one strategy."""
+    """Runs a set of analyses over their corpora with one strategy."""
 
     def __init__(
         self,
@@ -86,11 +94,13 @@ class Executor:
     ) -> Dict[str, Any]:
         """Answer every analysis; returns ``{analysis.name: result}``.
 
-        ``source`` overrides the record stream (any SEVReport
-        iterable); by default fold backends replay
-        ``context.store.all_reports()``.  Results are cached per
-        corpus fingerprint when a cache is configured and the corpus
-        is a store (an anonymous iterator has no fingerprint).
+        ``source`` overrides the record stream (an iterable of the
+        analyses' record kind — valid only when every corpus analysis
+        in the run shares one domain); by default fold backends replay
+        the domain corpus resolved from the context.  Results are
+        cached per corpus fingerprint when a cache is configured and
+        the records come from a fingerprintable corpus (an anonymous
+        iterator has no fingerprint).
         """
         analyses = list(analyses)
         names = [a.name for a in analyses]
@@ -99,18 +109,28 @@ class Executor:
 
         results: Dict[str, Any] = {}
         pending: List[Analysis] = []
-        fingerprint = None
-        if (self.cache is not None and context.store is not None
-                and source is None):
-            fingerprint = corpus_fingerprint(
-                context.store, seed=context.corpus_seed
-            )
+        keys: Dict[str, str] = {}
+        if self.cache is not None and source is None:
+            fingerprints: Dict[str, Optional[str]] = {}
             for analysis in analyses:
-                hit, value = self.cache.lookup(self._key(fingerprint,
-                                                         analysis, context))
+                # Context-only analyses key on the SEV corpus, the
+                # report they ride along with.
+                domain = analysis.domain if analysis.requires_corpus else "sev"
+                if domain not in fingerprints:
+                    corpus = context.corpus_for(domain)
+                    fingerprints[domain] = (
+                        corpus.fingerprint() if corpus is not None else None
+                    )
+                fingerprint = fingerprints[domain]
+                if fingerprint is None:
+                    pending.append(analysis)
+                    continue
+                key = self._key(fingerprint, analysis, context)
+                hit, value = self.cache.lookup(key)
                 if hit:
                     results[analysis.name] = value
                 else:
+                    keys[analysis.name] = key
                     pending.append(analysis)
         else:
             pending = analyses
@@ -120,61 +140,73 @@ class Executor:
             for analysis in pending:
                 value = computed[analysis.name]
                 results[analysis.name] = value
-                if fingerprint is not None:
-                    self.cache.store(
-                        self._key(fingerprint, analysis, context), value
-                    )
+                key = keys.get(analysis.name)
+                if key is not None:
+                    self.cache.store(key, value)
         return results
 
     def _key(self, fingerprint: str, analysis: Analysis,
              context: RunContext) -> str:
         return ResultCache.key(
             fingerprint, analysis.name, self.backend,
-            context.year, context.baseline_year,
+            context.year, context.baseline_year, context.window_h,
         )
 
     # -- strategies --------------------------------------------------
 
     def _execute(self, analyses: Sequence[Analysis], context: RunContext,
                  source: Optional[Iterable]) -> Dict[str, Any]:
-        corpus = [a for a in analyses if a.requires_corpus]
+        corpus_analyses = [a for a in analyses if a.requires_corpus]
         contextual = [a for a in analyses if not a.requires_corpus]
         results = {a.name: a.finalize(None, context) for a in contextual}
 
-        if self.backend == "batch":
-            folded = []
-            for analysis in corpus:
-                if analysis.has_batch_path() and context.store is not None:
-                    results[analysis.name] = analysis.batch(context)
-                else:
-                    folded.append(analysis)
-            if folded:
+        by_domain: Dict[str, List[Analysis]] = {}
+        for analysis in corpus_analyses:
+            by_domain.setdefault(analysis.domain, []).append(analysis)
+        if source is not None and len(by_domain) > 1:
+            raise ValueError(
+                "an explicit source iterable can feed only one domain; "
+                f"this run folds {sorted(by_domain)}"
+            )
+
+        for domain, group in by_domain.items():
+            corpus = context.corpus_for(domain)
+            if self.backend == "batch":
+                folded = []
+                for analysis in group:
+                    if analysis.can_batch(context):
+                        results[analysis.name] = analysis.batch(context)
+                    else:
+                        folded.append(analysis)
+                if folded:
+                    states = self._fold_pass(
+                        folded, context,
+                        self._records(domain, corpus, source),
+                    )
+                    results.update(self._finalize(folded, states, context))
+            elif self.backend == "stream":
                 states = self._fold_pass(
-                    folded, context, self._records(context, source)
+                    group, context, self._records(domain, corpus, source)
                 )
-                results.update(self._finalize(folded, states, context))
-        elif self.backend == "stream":
-            states = self._fold_pass(
-                corpus, context, self._records(context, source)
-            )
-            results.update(self._finalize(corpus, states, context))
-        else:  # sharded
-            states = self._fold_sharded(
-                corpus, context, self._records(context, source)
-            )
-            results.update(self._finalize(corpus, states, context))
+                results.update(self._finalize(group, states, context))
+            else:  # sharded
+                states = self._fold_sharded(
+                    group, context, corpus,
+                    self._records(domain, corpus, source),
+                )
+                results.update(self._finalize(group, states, context))
         return results
 
     @staticmethod
-    def _records(context: RunContext, source: Optional[Iterable]) -> Iterable:
+    def _records(domain: str, corpus, source: Optional[Iterable]) -> Iterable:
         if source is not None:
             return source
-        if context.store is None:
+        if corpus is None:
             raise ValueError(
-                "no record source: provide a store in the context "
-                "or an explicit source iterable"
+                f"no record source for domain {domain!r}: provide its "
+                "substrate in the context or an explicit source iterable"
             )
-        return context.store.all_reports()
+        return corpus.records()
 
     # -- fold machinery ----------------------------------------------
 
@@ -204,11 +236,14 @@ class Executor:
         return states
 
     def _fold_sharded(self, analyses: Sequence[Analysis],
-                      context: RunContext,
+                      context: RunContext, corpus,
                       records: Iterable) -> Dict[str, Any]:
-        from repro.stream.sharding import shard_cells
+        if corpus is not None:
+            shards = corpus.shards(records, self.jobs)
+        else:
+            from repro.stream.sharding import shard_cells
 
-        shards = shard_cells(list(records), self.jobs)
+            shards = shard_cells(list(records), self.jobs)
         merged, owners = self._prepare(analyses, context)
         if self.use_processes and len(shards) > 1:
             shard_states_list = self._fold_shards_parallel(
@@ -231,14 +266,16 @@ class Executor:
 
         Workers receive the analyses, a picklable copy of the context
         (the live substrates — SQLite store, remediation engine,
-        backbone monitor — are stripped; folding only reads records and
-        the fleet), and their shard of records; they return the folded
-        states, which are small compared to the records they summarize.
+        backbone monitor, ticket database — are stripped; folding only
+        reads records and the fleet), and their shard of records; they
+        return the folded states, which are small compared to the
+        records they summarize.
         """
         from concurrent.futures import ProcessPoolExecutor
 
         worker_context = replace(
             context, store=None, engine=None, monitor=None, topology=None,
+            tickets=None,
         )
         analyses = list(analyses)
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
@@ -305,14 +342,26 @@ def run_intra_report(
 def run_backbone_report(
     context: RunContext,
     cache: Optional[ResultCache] = None,
+    backend: str = "batch",
+    jobs: int = 4,
+    source: Optional[Iterable] = None,
+    use_processes: bool = False,
 ) -> BackboneStudyReport:
-    """Every backbone artifact from one ticket corpus via the runtime."""
-    executor = Executor(backend="batch", cache=cache)
-    results = executor.run(
-        [BackboneReliabilityAnalysis(), ContinentTableAnalysis()], context
-    )
+    """Every backbone artifact from one ticket corpus, one executor run.
+
+    The ticket-domain sibling of :func:`run_intra_report`: the same
+    backends, the same merge law, the same cache.  The context needs a
+    ticket source (a monitor, a ticket database, or an explicit
+    ``source`` iterable of completed tickets) and a topology (its own
+    or the monitor's).
+    """
+    executor = Executor(backend=backend, jobs=jobs, cache=cache,
+                        use_processes=use_processes)
+    results = executor.run(backbone_report_analyses(), context, source=source)
     return BackboneStudyReport(
         reliability=results["backbone_reliability"],
         continents=results["continent_table"],
         window_h=context.window_h,
+        vendors=results["vendor_scorecards"],
+        durations=results["repair_durations"],
     )

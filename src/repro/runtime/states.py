@@ -21,16 +21,20 @@ execution all share one implementation of the math.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
+from repro.backbone.tickets import RepairTicket, TicketType
 from repro.incidents.sev import RootCause, Severity, SEVReport
+from repro.stats.intervals import OutageInterval, merge_intervals
 from repro.stats.quantile import QuantileSketch
 from repro.topology.devices import DeviceType
 
 __all__ = [
     "CauseTallies",
     "DurationSketches",
+    "OutageTallies",
     "SeverityTallies",
+    "TicketDurationSketches",
     "YearTypeCounts",
 ]
 
@@ -179,3 +183,114 @@ class DurationSketches:
             else:
                 self.by_year[year] = QuantileSketch.from_dict(sketch.to_dict())
         return self
+
+
+# -- ticket-domain states ----------------------------------------------
+
+
+class OutageTallies:
+    """Per-link and per-vendor outage intervals from repair tickets.
+
+    The section 6 fold state: one completed ticket contributes its
+    outage interval to its link's and its vendor's raw interval list.
+    Merging concatenates lists, so any partitioning of the ticket
+    corpus reaches the same multiset of intervals; the finalize views
+    (:meth:`merged_by_link`, :meth:`sorted_by_vendor`) sort or merge
+    that multiset, which makes every downstream number independent of
+    fold order — the bit-identical cross-backend guarantee.
+    """
+
+    def __init__(self) -> None:
+        self.by_link: Dict[str, List[OutageInterval]] = {}
+        self.by_vendor: Dict[str, List[OutageInterval]] = {}
+        self.tickets = 0
+        self.max_end_h = 0.0
+
+    def fold(self, ticket: RepairTicket) -> None:
+        interval = ticket.interval()
+        self.by_link.setdefault(ticket.link_id, []).append(interval)
+        self.by_vendor.setdefault(ticket.vendor, []).append(interval)
+        self.tickets += 1
+        self.max_end_h = max(self.max_end_h, interval.end_h)
+
+    def merge(self, other: "OutageTallies") -> "OutageTallies":
+        for link, intervals in other.by_link.items():
+            self.by_link.setdefault(link, []).extend(intervals)
+        for vendor, intervals in other.by_vendor.items():
+            self.by_vendor.setdefault(vendor, []).extend(intervals)
+        self.tickets += other.tickets
+        self.max_end_h = max(self.max_end_h, other.max_end_h)
+        return self
+
+    def merged_by_link(self) -> Dict[str, List[OutageInterval]]:
+        """Overlap-merged outages per link, the monitor's link view."""
+        return {
+            link: merge_intervals(intervals)
+            for link, intervals in sorted(self.by_link.items())
+        }
+
+    def sorted_by_vendor(self) -> Dict[str, List[OutageInterval]]:
+        """Chronologically sorted outages per vendor (distinct links
+        overlap legitimately, so nothing is merged — section 6.2)."""
+        return {
+            vendor: sorted(intervals)
+            for vendor, intervals in sorted(self.by_vendor.items())
+        }
+
+
+class TicketDurationSketches:
+    """Repair-duration sketches, overall and per ticket type.
+
+    Reuses the mergeable :class:`~repro.stats.quantile.QuantileSketch`:
+    exact below the sample budget (small corpora stream bit-identical
+    percentiles), bounded by the bin width beyond it, and insensitive
+    to fold and merge order either way.
+    """
+
+    def __init__(self) -> None:
+        self.overall = QuantileSketch()
+        self.by_type: Dict[TicketType, QuantileSketch] = {}
+        self.tickets = 0
+
+    def fold(self, ticket: RepairTicket) -> None:
+        duration = ticket.duration_h
+        self.overall.add(duration)
+        if ticket.ticket_type not in self.by_type:
+            self.by_type[ticket.ticket_type] = QuantileSketch()
+        self.by_type[ticket.ticket_type].add(duration)
+        self.tickets += 1
+
+    def merge(self, other: "TicketDurationSketches") -> "TicketDurationSketches":
+        self.overall.merge(other.overall)
+        for ticket_type, sketch in other.by_type.items():
+            if ticket_type in self.by_type:
+                self.by_type[ticket_type].merge(sketch)
+            else:
+                self.by_type[ticket_type] = QuantileSketch.from_dict(
+                    sketch.to_dict()
+                )
+        self.tickets += other.tickets
+        return self
+
+    def summary(self):
+        """The folded durations as a result dataclass.
+
+        The finalize view shared by the runtime analysis and the live
+        stream dashboard, so both render the identical summary.
+        """
+        from repro.core.backbone_reliability import RepairDurationSummary
+
+        if self.tickets == 0:
+            raise ValueError("no completed tickets observed in the corpus")
+        return RepairDurationSummary(
+            tickets=self.tickets,
+            p50_h=self.overall.quantile(0.5),
+            p90_h=self.overall.quantile(0.9),
+            p99_h=self.overall.quantile(0.99),
+            by_type={
+                ticket_type.value: sketch.n
+                for ticket_type, sketch in sorted(
+                    self.by_type.items(), key=lambda kv: kv[0].value
+                )
+            },
+        )

@@ -22,11 +22,17 @@ import numpy as np
 
 @dataclass(frozen=True)
 class ExponentialModel:
-    """The fitted model ``y(p) = a * exp(b * p)`` with its R²."""
+    """The fitted model ``y(p) = a * exp(b * p)`` with its R².
+
+    ``degenerate`` marks a placeholder produced from a curve that
+    cannot support a fit (fewer than two positive points): a flat
+    model at the only observed level, never a regression output.
+    """
 
     a: float
     b: float
     r2: float
+    degenerate: bool = False
 
     def predict(self, p: float) -> float:
         """Evaluate the model at percentile fraction ``p`` in [0, 1]."""
@@ -41,7 +47,12 @@ class ExponentialModel:
         return self.a * np.exp(self.b * arr)
 
     def __str__(self) -> str:
-        return f"{self.a:.4g} * exp({self.b:.4g} * p)  (R^2 = {self.r2:.2f})"
+        rendered = (
+            f"{self.a:.4g} * exp({self.b:.4g} * p)  (R^2 = {self.r2:.2f})"
+        )
+        if self.degenerate:
+            rendered += "  [degenerate]"
+        return rendered
 
 
 def r_squared(observed: np.ndarray, predicted: np.ndarray) -> float:

@@ -66,12 +66,30 @@ class PercentileCurve:
     def std(self) -> float:
         return float(np.std(np.asarray(self.values)))
 
-    def fit_exponential(self) -> ExponentialModel:
-        """The paper's least-squares exponential model of the curve."""
+    def fit_exponential(self, strict: bool = True) -> ExponentialModel:
+        """The paper's least-squares exponential model of the curve.
+
+        A regression needs at least two positive points; log-space
+        fitting cannot see zeros at all.  On such degenerate curves
+        (a single entity, or all-zero means) the default raises a
+        clear :class:`ValueError`; with ``strict=False`` the method
+        instead returns a flagged flat model
+        (``ExponentialModel(degenerate=True)`` pinned at the only
+        positive level observed, or zero) so report renderers can
+        show *something* without crashing in ``log``.
+        """
         positive = [(p, v) for p, v in zip(self.fractions, self.values)
                     if v > 0]
         if len(positive) < 2:
-            raise ValueError("not enough positive points for a fit")
+            if strict:
+                raise ValueError(
+                    "not enough positive points for a fit: an exponential "
+                    "model needs at least two entities with positive means "
+                    f"(got {len(positive)}); pass strict=False for a "
+                    "flagged degenerate model instead"
+                )
+            level = positive[0][1] if positive else 0.0
+            return ExponentialModel(a=level, b=0.0, r2=0.0, degenerate=True)
         ps, vs = zip(*positive)
         return fit_exponential_percentile(ps, vs)
 

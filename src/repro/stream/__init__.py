@@ -41,7 +41,14 @@ from repro.stream.sharding import (
     shard_cells,
     shutdown_pool,
 )
-from repro.stream.sources import live_feed, replay_file, replay_store
+from repro.stream.sources import (
+    live_feed,
+    live_ticket_feed,
+    replay_file,
+    replay_store,
+    replay_tickets,
+    replay_tickets_file,
+)
 
 __all__ = [
     "AUTO_SERIAL_THRESHOLD",
@@ -51,9 +58,12 @@ __all__ = [
     "cell_weights",
     "generate_aggregates",
     "live_feed",
+    "live_ticket_feed",
     "load_checkpoint",
     "replay_file",
     "replay_store",
+    "replay_tickets",
+    "replay_tickets_file",
     "resolve_jobs",
     "save_checkpoint",
     "shard_cells",

@@ -11,6 +11,12 @@ engine is agnostic to where the stream comes from:
 * :func:`replay_file` — re-stream an exported corpus (``.csv``,
   ``.json``, or ``.jsonl``) through :mod:`repro.io` without loading
   it into a store first.
+
+The ticket domain mirrors all three: :func:`live_ticket_feed` runs the
+backbone simulator as a producer of completed repair tickets,
+:func:`replay_tickets` re-streams a ticket database, and
+:func:`replay_tickets_file` re-streams a ticket export in any format
+:mod:`repro.io` emits.
 """
 
 from __future__ import annotations
@@ -47,6 +53,52 @@ def replay_file(path: PathLike) -> Iterator[SEVReport]:
         return iter_sevs_json(path)
     if suffix == ".csv":
         return iter_sevs_csv(path)
+    raise ValueError(
+        f"cannot replay {path!s}: expected .csv, .json, or .jsonl"
+    )
+
+
+# -- ticket domain -----------------------------------------------------
+
+
+def live_ticket_feed(scenario) -> Iterator:
+    """Completed repair tickets of a backbone scenario as a feed.
+
+    Runs the :class:`~repro.simulation.backbone_sim.BackboneSimulator`
+    and yields the corpus' completed tickets ordered by start time —
+    the order the monitoring pipeline would close them out in, modulo
+    repair overlaps.
+    """
+    from repro.simulation.backbone_sim import BackboneSimulator
+
+    corpus = BackboneSimulator(scenario).run()
+    tickets = sorted(
+        corpus.tickets.completed(),
+        key=lambda t: (t.started_at_h, t.ticket_id),
+    )
+    return iter(tickets)
+
+
+def replay_tickets(tickets) -> Iterator:
+    """Re-stream a ticket database's completed tickets."""
+    return iter(tickets.completed())
+
+
+def replay_tickets_file(path: PathLike) -> Iterator:
+    """Re-stream an exported ticket corpus, dispatching on the suffix."""
+    from repro.io import (
+        iter_tickets_csv,
+        iter_tickets_json,
+        iter_tickets_jsonl,
+    )
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".jsonl":
+        return iter_tickets_jsonl(path)
+    if suffix == ".json":
+        return iter_tickets_json(path)
+    if suffix == ".csv":
+        return iter_tickets_csv(path)
     raise ValueError(
         f"cannot replay {path!s}: expected .csv, .json, or .jsonl"
     )

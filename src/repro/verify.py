@@ -152,6 +152,7 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
 
     checks.extend(stream_smoke_checks(seed=seed))
     checks.extend(runtime_equivalence_checks(seed=seed))
+    checks.extend(backbone_runtime_checks(backbone_seed=backbone_seed))
     return checks
 
 
@@ -192,6 +193,59 @@ def runtime_equivalence_checks(seed: int = 1,
     all_hits = cache.hits == cache.misses and cache.hits > 0
     checks.append(Check(
         "Runtime", "cached re-run identical, zero recomputation", 1.0,
+        float(first == second == batch and all_hits),
+        0.0, relative=False,
+    ))
+    return checks
+
+
+def backbone_runtime_checks(backbone_seed: int = 7) -> List[Check]:
+    """Cross-backend equivalence for the ticket-domain analyses.
+
+    The domain-generic runtime must answer the section 6 artifacts
+    identically however it executes: the streaming fold, the sharded
+    merge (serial and process-parallel), and a cached re-run all have
+    to reproduce the batch (monitor-path) backbone report bit for bit.
+    """
+    from repro.runtime import ResultCache, RunContext, run_backbone_report
+
+    checks: List[Check] = []
+    corpus = BackboneSimulator(
+        paper_backbone_scenario(seed=backbone_seed)
+    ).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    context = RunContext(
+        monitor=monitor, topology=corpus.topology,
+        window_h=corpus.window_h, corpus_seed=backbone_seed,
+    )
+
+    batch = run_backbone_report(context, backend="batch")
+    checks.append(Check(
+        "Backbone", "stream backend equals batch report", 1.0,
+        float(run_backbone_report(context, backend="stream") == batch),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Backbone", "sharded backend equals batch report", 1.0,
+        float(run_backbone_report(
+            context, backend="sharded", jobs=4
+        ) == batch),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Backbone", "process-parallel shards equal batch report", 1.0,
+        float(run_backbone_report(
+            context, backend="sharded", jobs=2, use_processes=True
+        ) == batch),
+        0.0, relative=False,
+    ))
+
+    cache = ResultCache()
+    first = run_backbone_report(context, backend="stream", cache=cache)
+    second = run_backbone_report(context, backend="stream", cache=cache)
+    all_hits = cache.hits == cache.misses and cache.hits > 0
+    checks.append(Check(
+        "Backbone", "cached re-run identical, zero recomputation", 1.0,
         float(first == second == batch and all_hits),
         0.0, relative=False,
     ))

@@ -10,12 +10,20 @@ from repro.viz.tables import format_table
 from repro.viz.ascii import bar_chart, series_chart
 from repro.viz.report_builder import build_report, collect_artifacts
 from repro.viz.stream_view import stream_dashboard
+from repro.viz.ticket_view import (
+    duration_table,
+    scorecard_table,
+    ticket_dashboard,
+)
 
 __all__ = [
     "bar_chart",
     "build_report",
     "collect_artifacts",
+    "duration_table",
     "format_table",
+    "scorecard_table",
     "series_chart",
     "stream_dashboard",
+    "ticket_dashboard",
 ]

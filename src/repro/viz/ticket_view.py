@@ -1,0 +1,80 @@
+"""Plain-text dashboard over streamed ticket aggregates.
+
+The section 6 counterpart of :mod:`repro.viz.stream_view`: renders a
+live snapshot of the ticket-domain fold states
+(:class:`~repro.runtime.states.OutageTallies` and
+:class:`~repro.runtime.states.TicketDurationSketches`) as stacked text
+tables — per-vendor scorecards and repair-duration percentiles.  The
+same two table renderers serve the batch report
+(:class:`~repro.core.reports.BackboneStudyReport`), so the streamed
+and batch views of one corpus are literally the same text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.viz.tables import format_table
+
+__all__ = ["duration_table", "scorecard_table", "ticket_dashboard"]
+
+
+def scorecard_table(cards: Dict[str, object]) -> str:
+    """Vendor scorecards as an aligned table, best availability first."""
+    ranked = sorted(
+        cards.values(), key=lambda c: (-c.availability, c.vendor)
+    )
+    return format_table(
+        ["Vendor", "Tickets", "MTBF (h)", "MTTR (h)", "Avail.", "Grade"],
+        [
+            [card.vendor, card.tickets, f"{card.mtbf_h:.0f}",
+             f"{card.mttr_h:.1f}", f"{card.availability:.3%}", card.grade]
+            for card in ranked
+        ],
+        title="Vendor scorecards (section 6.2)",
+    )
+
+
+def duration_table(durations) -> str:
+    """Repair-duration percentiles and the ticket-type mix."""
+    rows: List[List[object]] = [
+        ["p50", f"{durations.p50_h:.1f}"],
+        ["p90", f"{durations.p90_h:.1f}"],
+        ["p99", f"{durations.p99_h:.1f}"],
+    ]
+    for ticket_type, count in sorted(durations.by_type.items()):
+        rows.append([f"{ticket_type} tickets", count])
+    return format_table(
+        ["Repair durations", f"{durations.tickets} tickets"],
+        rows,
+        title="Repair durations (section 6, streamed percentiles)",
+    )
+
+
+def ticket_dashboard(
+    outages,
+    durations,
+    window_h: Optional[float] = None,
+) -> str:
+    """Render a streamed ticket snapshot as stacked text tables.
+
+    ``outages``/``durations`` are the two ticket fold states; the
+    observation window defaults to the newest completion folded so far
+    (the live "study window ends now" convention).
+    """
+    from repro.backbone.scorecards import scorecards_from_outages
+
+    if outages.tickets == 0:
+        return "stream: no completed tickets ingested yet"
+    window = window_h if window_h is not None else outages.max_end_h
+    sections = [
+        f"stream: {outages.tickets} tickets over "
+        f"{len(outages.by_link)} links and {len(outages.by_vendor)} "
+        f"vendors, window {window:.0f} h"
+    ]
+    cards = scorecards_from_outages(outages.sorted_by_vendor(), window)
+    if cards:
+        sections.append(scorecard_table(cards))
+    if durations is not None and durations.tickets:
+        sections.append(duration_table(durations.summary()))
+    return "\n\n".join(sections)

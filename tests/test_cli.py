@@ -46,6 +46,37 @@ class TestReport:
         second = capsys.readouterr().out
         assert "[cache] 8 analyses reused, 0 computed" in second
 
+    def test_backbone_backends_agree(self, capsys):
+        # The acceptance criterion: every runtime backend prints the
+        # identical backbone report (jobs="auto" included).
+        outputs = set()
+        for extra in (
+            ["--backend", "batch"],
+            ["--backend", "stream"],
+            ["--backend", "sharded", "--jobs", "auto"],
+            ["--backend", "sharded", "--jobs", "3"],
+        ):
+            assert main(["report", "backbone", "--seed", "4"] + extra) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_backbone_report_includes_ticket_artifacts(self, capsys):
+        assert main(["report", "backbone", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Vendor scorecards" in out
+        assert "Repair durations" in out
+
+    def test_backbone_cache_reuses_analyses(self, tmp_path, capsys):
+        args = ["report", "backbone", "--seed", "4",
+                "--backend", "stream",
+                "--cache", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "[cache]" not in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "[cache] 4 analyses reused, 0 computed" in second
+
 
 class TestVerify:
     def test_verify_passes_on_default_seeds(self, capsys):
@@ -120,6 +151,28 @@ class TestExportAnalyze:
             outputs.add(capsys.readouterr().out)
         assert len(outputs) == 1
 
+    @pytest.mark.parametrize("suffix", ["csv", "json", "jsonl"])
+    def test_analyze_accepts_every_ticket_format(self, tmp_path, capsys,
+                                                 suffix):
+        # Ticket exports dispatch through the same analyze entry point.
+        path = str(tmp_path / f"tickets.{suffix}")
+        assert main(["export", "tickets", path, "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "Vendor scorecards" in out
+        assert "Repair durations" in out
+
+    def test_ticket_analyze_backends_agree(self, tmp_path, capsys):
+        path = str(tmp_path / "tickets.jsonl")
+        assert main(["export", "tickets", path, "--seed", "4"]) == 0
+        capsys.readouterr()
+        outputs = set()
+        for backend in ["batch", "stream", "sharded"]:
+            assert main(["analyze", path, "--backend", backend]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
 
 class TestStream:
     def test_generate_with_jobs(self, capsys):
@@ -155,6 +208,34 @@ class TestStream:
         second = capsys.readouterr().out
         assert "resumed from" in second
         assert "ingested 0 new events" in second
+
+    def test_generate_tickets(self, capsys):
+        assert main(["stream", "--seed", "4",
+                     "--dataset", "tickets"]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert "Vendor scorecards" in out
+        assert "Repair durations" in out
+
+    def test_replay_tickets(self, tmp_path, capsys):
+        corpus = str(tmp_path / "tickets.jsonl")
+        assert main(["export", "tickets", corpus, "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["stream", "--replay", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "Vendor scorecards" in out
+
+    def test_ticket_replay_ignores_checkpoint(self, tmp_path, capsys):
+        corpus = str(tmp_path / "tickets.jsonl")
+        snapshot = str(tmp_path / "t.ckpt.json")
+        assert main(["export", "tickets", corpus, "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["stream", "--replay", corpus,
+                     "--checkpoint", snapshot]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointing is SEV-only" in out
+        assert "Vendor scorecards" in out
 
 
 class TestParsing:

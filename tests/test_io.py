@@ -10,10 +10,16 @@ from repro.io import (
     export_sevs_json,
     export_tickets_csv,
     export_tickets_json,
+    export_tickets_jsonl,
     import_sevs_csv,
     import_sevs_json,
     import_tickets_csv,
     import_tickets_json,
+    import_tickets_jsonl,
+    iter_tickets_csv,
+    iter_tickets_json,
+    iter_tickets_jsonl,
+    sniff_dataset,
 )
 
 
@@ -118,3 +124,60 @@ class TestTicketRoundTrip:
         path.write_text('{"wrong": 1}')
         with pytest.raises(ValueError, match="missing"):
             import_tickets_json(path)
+
+    def test_jsonl(self, small_db, tmp_path):
+        path = tmp_path / "tickets.jsonl"
+        assert export_tickets_jsonl(small_db, path) == 2
+        loaded = import_tickets_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.vendors() == ["v0", "v1"]
+        (a, b) = sorted(loaded, key=lambda t: t.started_at_h)
+        assert a.location == "Europe"
+        assert b.ticket_type is TicketType.MAINTENANCE
+
+
+class TestTicketStreaming:
+    def test_iterators_agree_across_formats(self, small_db, tmp_path):
+        export_tickets_jsonl(small_db, tmp_path / "t.jsonl")
+        export_tickets_csv(small_db, tmp_path / "t.csv")
+        export_tickets_json(small_db, tmp_path / "t.json")
+        key = lambda t: (t.started_at_h, t.link_id, t.vendor,
+                         t.ticket_type, t.completed_at_h, t.location)
+        expected = sorted(map(key, small_db.completed()))
+        for tickets in (
+            iter_tickets_jsonl(tmp_path / "t.jsonl"),
+            iter_tickets_csv(tmp_path / "t.csv"),
+            iter_tickets_json(tmp_path / "t.json"),
+        ):
+            assert sorted(map(key, tickets)) == expected
+
+    def test_json_iterator_rejects_sev_export(self, small_store, tmp_path):
+        export_sevs_json(small_store, tmp_path / "sevs.json")
+        with pytest.raises(ValueError, match="not a ticket export"):
+            list(iter_tickets_json(tmp_path / "sevs.json"))
+
+
+class TestSniffDataset:
+    def test_every_export_identified(self, small_store, small_db, tmp_path):
+        export_sevs_csv(small_store, tmp_path / "s.csv")
+        export_sevs_json(small_store, tmp_path / "s.json")
+        export_tickets_csv(small_db, tmp_path / "t.csv")
+        export_tickets_json(small_db, tmp_path / "t.json")
+        export_tickets_jsonl(small_db, tmp_path / "t.jsonl")
+        assert sniff_dataset(tmp_path / "s.csv") == "sevs"
+        assert sniff_dataset(tmp_path / "s.json") == "sevs"
+        assert sniff_dataset(tmp_path / "t.csv") == "tickets"
+        assert sniff_dataset(tmp_path / "t.json") == "tickets"
+        assert sniff_dataset(tmp_path / "t.jsonl") == "tickets"
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "data.xml"
+        path.write_text("<data/>")
+        with pytest.raises(ValueError, match="unsupported dataset format"):
+            sniff_dataset(path)
+
+    def test_unrecognized_content_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="neither a SEV nor a ticket"):
+            sniff_dataset(path)

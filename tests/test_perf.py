@@ -7,6 +7,7 @@ import pytest
 from repro.perf import (
     BenchRecord,
     PhaseTimer,
+    bench_backbone,
     bench_ingest,
     bench_stream_throughput,
     environment,
@@ -102,6 +103,21 @@ class TestBenchSuite:
         # comfortably on durable storage.
         assert record.metrics["bulk_speedup_vs_rowwise"] > 1.0
 
+    def test_backbone_record_covers_every_backend(self):
+        record = bench_backbone(seed=4, rounds=1)
+        assert record.name == "backbone_report"
+        backends = [e["backend"] for e in record.metrics["per_backend"]]
+        assert backends == [
+            "batch", "stream", "sharded", "sharded_processes", "cached",
+        ]
+        assert record.metrics["backends_identical"] is True
+        assert record.metrics["tickets"] > 0
+        assert all(
+            e["tickets"] == record.metrics["tickets"]
+            for e in record.metrics["per_backend"]
+        )
+        assert record.metrics["cache_speedup_vs_stream"] > 0.0
+
 
 class TestBenchCLI:
     def test_bench_quick_writes_records(self, tmp_path, capsys):
@@ -113,7 +129,10 @@ class TestBenchCLI:
         printed = capsys.readouterr().out
         assert "Streaming generation throughput" in printed
         assert "SEV store ingest" in printed
+        assert "Backbone report across runtime backends" in printed
         stream = load_record(out / "stream_throughput.json")
         ingest = load_record(out / "ingest_bulk_load.json")
+        backbone = load_record(out / "backbone_report.json")
         assert stream.metrics["digests_identical"] is True
         assert ingest.metrics["bulk_speedup_vs_rowwise"] > 0.0
+        assert backbone.metrics["backends_identical"] is True

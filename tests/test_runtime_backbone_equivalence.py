@@ -1,0 +1,125 @@
+"""Cross-backend equivalence for the ticket domain.
+
+The domain-generic counterpart of ``test_runtime_equivalence``: for
+any backbone corpus, the batch (monitor path), streaming (one fused
+fold pass), and sharded (fold-then-merge, serial or process-parallel)
+backends must produce the same
+:class:`~repro.core.reports.BackboneStudyReport` — identical outage
+intervals, MTBF/MTTR percentiles, scorecards, and repair-duration
+summaries, bit for bit.  Cache hits must return the stored result
+unchanged, and ticket fingerprints must never collide with SEV ones.
+"""
+
+import pytest
+
+from repro.backbone.monitor import BackboneMonitor
+from repro.runtime import ResultCache, RunContext, run_backbone_report
+from repro.simulation.backbone_sim import BackboneSimulator
+from repro.simulation.scenarios import paper_backbone_scenario
+
+SEEDS = [3, 11, 42]
+
+
+def make_context(seed):
+    corpus = BackboneSimulator(paper_backbone_scenario(seed=seed)).run()
+    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    return RunContext(
+        monitor=monitor, topology=corpus.topology,
+        window_h=corpus.window_h, corpus_seed=seed,
+    )
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def context(request):
+    return make_context(request.param)
+
+
+@pytest.fixture(scope="module")
+def batch_report(context):
+    return run_backbone_report(context, backend="batch")
+
+
+class TestBackendsAgree:
+    def test_stream_equals_batch(self, context, batch_report):
+        streamed = run_backbone_report(context, backend="stream")
+        assert streamed == batch_report
+
+    @pytest.mark.parametrize("jobs", [1, 3, 7])
+    def test_sharded_equals_batch_for_any_worker_count(
+        self, context, batch_report, jobs
+    ):
+        sharded = run_backbone_report(
+            context, backend="sharded", jobs=jobs
+        )
+        assert sharded == batch_report
+
+    def test_parallel_sharded_equals_batch(self, context, batch_report):
+        # Process-parallel shard folds must be indistinguishable from
+        # the in-process sharded path (and therefore from batch).
+        parallel = run_backbone_report(
+            context, backend="sharded", jobs=2, use_processes=True
+        )
+        assert parallel == batch_report
+
+    def test_artifacts_fieldwise(self, context, batch_report):
+        # Field-level spellings of the acceptance criteria: every
+        # section 6 artifact agrees exactly across backends.
+        streamed = run_backbone_report(context, backend="stream")
+        rel, batch_rel = streamed.reliability, batch_report.reliability
+        assert rel.edge_mtbf.values == batch_rel.edge_mtbf.values
+        assert rel.edge_mttr.values == batch_rel.edge_mttr.values
+        assert rel.vendor_mttr.values == batch_rel.vendor_mttr.values
+        assert streamed.continents == batch_report.continents
+        assert streamed.vendors == batch_report.vendors
+        assert streamed.durations == batch_report.durations
+
+
+class TestCacheTransparency:
+    def test_cache_hit_is_bit_identical(self, context, batch_report):
+        cache = ResultCache()
+        first = run_backbone_report(context, backend="stream", cache=cache)
+        assert cache.misses > 0 and cache.hits == 0
+        cached = run_backbone_report(context, backend="stream", cache=cache)
+        assert cache.hits == cache.misses
+        assert cached == first == batch_report
+
+    def test_different_seeds_never_collide(self, context, tmp_path):
+        # A shared disk cache keyed by fingerprint must keep corpora
+        # with different seeds apart even when sizes are close.
+        cache = ResultCache(tmp_path / "shared")
+        mine = run_backbone_report(context, backend="stream", cache=cache)
+        other = run_backbone_report(
+            make_context(context.corpus_seed + 1),
+            backend="stream", cache=cache,
+        )
+        assert other != mine
+        assert run_backbone_report(
+            context, backend="stream", cache=cache
+        ) == mine
+
+
+class TestDomainFingerprints:
+    def test_ticket_and_sev_fingerprints_never_collide(self):
+        # Satellite: a ticket corpus and a SEV corpus with matching
+        # row counts and seeds must hash to different cache keys —
+        # the domain tag inside the hashed payload keeps them apart.
+        from repro.backbone.tickets import TicketDatabase
+        from repro.incidents.store import SEVStore
+        from repro.runtime import corpus_fingerprint, ticket_fingerprint
+        from repro.simulation.generator import iter_scenario_reports
+        from repro.simulation.scenarios import paper_scenario
+
+        store = SEVStore()
+        store.insert_many(
+            iter_scenario_reports(paper_scenario(seed=7, scale=0.2))
+        )
+        tickets = TicketDatabase()
+        for i in range(len(store)):
+            tickets.add_completed(
+                link_id=f"link-{i % 9}", vendor=f"vendor-{i % 3}",
+                started_at_h=float(i), completed_at_h=float(i) + 1.5,
+            )
+        assert len(tickets.completed()) == len(store)
+        sev = corpus_fingerprint(store, seed=7)
+        ticket = ticket_fingerprint(tickets, seed=7)
+        assert sev != ticket

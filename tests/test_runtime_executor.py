@@ -201,7 +201,7 @@ class TestRegistry:
     def test_names_are_unique_and_match_keys(self):
         reg = registry()
         assert all(name == analysis.name for name, analysis in reg.items())
-        assert len(reg) == 12
+        assert len(reg) == 14
 
     def test_every_entry_is_an_analysis(self):
         assert all(isinstance(a, Analysis) for a in registry().values())

@@ -79,6 +79,37 @@ class TestFitting:
         with pytest.raises(ValueError):
             curve.fit_exponential()
 
+    def test_degenerate_input_error_is_actionable(self):
+        # Satellite: a single-entity curve must fail with a message
+        # that says what is wrong and what to do about it.
+        curve = PercentileCurve(entities=("only",), values=(4.0,))
+        with pytest.raises(ValueError, match="at least two entities"):
+            curve.fit_exponential()
+        with pytest.raises(ValueError, match="strict=False"):
+            curve.fit_exponential(strict=True)
+
+    def test_non_strict_returns_flagged_model(self):
+        curve = PercentileCurve(entities=("only",), values=(4.0,))
+        model = curve.fit_exponential(strict=False)
+        assert model.degenerate is True
+        assert model.a == 4.0 and model.b == 0.0 and model.r2 == 0.0
+        assert "degenerate" in str(model)
+        # A flat prediction: no growth information in one point.
+        assert model.predict(0.1) == model.predict(0.9) == 4.0
+
+    def test_non_strict_all_zero_curve(self):
+        curve = PercentileCurve(entities=("a", "b"), values=(0.0, 0.0))
+        model = curve.fit_exponential(strict=False)
+        assert model.degenerate is True
+        assert model.a == 0.0
+
+    def test_healthy_fit_is_not_flagged(self):
+        import math
+
+        per_entity = {f"e{i}": math.exp(i / 4) for i in range(8)}
+        model = curve_of_means(per_entity).fit_exponential()
+        assert model.degenerate is False
+
 
 class TestFromSamples:
     def test_means_computed(self):
