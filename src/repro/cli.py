@@ -14,6 +14,8 @@ Exposes the pipeline without writing Python::
     python -m repro stream --replay out.csv # incremental corpus replay
     python -m repro stream --dataset tickets  # backbone ticket feed
     python -m repro bench --quick           # benchmark suite, JSON records
+    python -m repro chaos --seed 7          # seeded fault-injection drills
+    python -m repro chaos --quick --out r.json  # CI smoke + JSON report
 """
 
 from __future__ import annotations
@@ -143,6 +145,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="directory for the JSON records "
                             "(default: benchmarks/out)")
     bench.add_argument("--seed", type=int, default=2)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection drill suite "
+             "(repro.faultline): inject component faults, verify "
+             "every recovery path, and cross-check the backends",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault plan seed; the same seed replays "
+                            "the same faults (default: 7)")
+    chaos.add_argument("--sites", metavar="SITE[,SITE...]", default=None,
+                       help="comma-separated subset of fault sites to "
+                            "inject (default: all); see "
+                            "repro.faultline.SITES")
+    chaos.add_argument("--quick", action="store_true",
+                       help="smaller corpora, no process pools (the CI "
+                            "smoke configuration)")
+    chaos.add_argument("--out", metavar="PATH", default=None,
+                       help="write the JSON fault report here")
 
     return parser
 
@@ -340,11 +361,14 @@ def _stream(seed: int, scale: float, jobs: int,
     fleet = None
     if replay is not None:
         # Incremental ingestion: replay the exported corpus event by
-        # event, resuming from the checkpoint when one exists.
+        # event, resuming from the checkpoint when one exists.  A
+        # corrupt snapshot (torn write) is ignored with a warning and
+        # the replay restarts from the beginning.
         if checkpoint is not None and os.path.exists(checkpoint):
-            engine = StreamEngine.resume(checkpoint)
-            print(f"resumed from {checkpoint} "
-                  f"({engine.events_ingested} events already ingested)")
+            engine = StreamEngine.resume_or_fresh(checkpoint)
+            if engine.events_ingested:
+                print(f"resumed from {checkpoint} "
+                      f"({engine.events_ingested} events already ingested)")
         else:
             engine = StreamEngine(checkpoint_path=checkpoint)
         consumed = engine.run(replay_file(replay))
@@ -467,6 +491,32 @@ def _full_report(seed: Optional[int], scale: float,
     ).render())
 
 
+def _chaos(seed: int, sites: Optional[str], quick: bool,
+           out: Optional[str]) -> int:
+    """Run the fault-injection drill suite and summarize it."""
+    from repro.faultline.drills import chaos_suite, report_json
+
+    chosen = None
+    if sites is not None:
+        chosen = [site.strip() for site in sites.split(",") if site.strip()]
+    report = chaos_suite(seed=seed, quick=quick, sites=chosen)
+    for drill in report["drills"]:
+        status = "PASS" if drill["passed"] else "FAIL"
+        detail = drill["detail"]
+        fired = detail.get("faults_fired", 0)
+        print(f"[{status}] {drill['name']:<13} "
+              f"sites={','.join(detail['sites']) or '-'} "
+              f"faults={fired}")
+    print(f"\nfault report digest {report['report_digest'][:16]} "
+          f"(seed {report['seed']})")
+    if out is not None:
+        from pathlib import Path
+
+        Path(out).write_text(report_json(report))
+        print(f"report written to {out}")
+    return 0 if report["passed"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "report":
@@ -494,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         run_bench_suite(quick=args.quick, out_dir=args.out,
                         seed=args.seed)
+    elif args.command == "chaos":
+        return _chaos(args.seed, args.sites, args.quick, args.out)
     elif args.command == "verify":
         from repro.verify import render_verification, run_verification
 

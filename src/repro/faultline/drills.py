@@ -1,0 +1,273 @@
+"""The ``python -m repro chaos`` drill suite.
+
+Four drills, each aimed at one hardened failure surface, all driven by
+one seed so a failed run replays exactly:
+
+``differential``
+    the oracle (:mod:`repro.faultline.oracle`): every backend must
+    reproduce the fault-free baseline bit-identically while the cache
+    and shard-worker fault sites fire;
+``checkpoint``
+    kill a cadenced checkpoint save mid-write, resume from the last
+    good snapshot, and demand the resumed aggregates equal an
+    uninterrupted run's;
+``jsonl``
+    tear JSONL lines on the way in and demand the tolerant reader
+    account for every line — yielded plus skipped equals total — while
+    a strict reader under the identical plan refuses loudly;
+``ingest``
+    inject transient SQLite errors into the bulk-load path and demand
+    bounded-backoff retries land every row — and that unbounded faults
+    give up cleanly instead of spinning.
+
+The suite returns a JSON-able fault report that is *deterministic in
+the seed*: no timestamps, no host paths — two runs with the same seed
+produce byte-identical reports, which is itself one of the
+``repro.verify`` anchors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.faultline import hooks
+from repro.faultline.plan import (
+    SITES,
+    CheckpointKilled,
+    FaultPlan,
+    FaultSpec,
+    FaultToleranceError,
+)
+
+__all__ = ["REPORT_FORMAT", "chaos_suite", "report_json"]
+
+REPORT_FORMAT = "repro.faultline-report/1"
+
+
+def _selected(sites: Optional[Sequence[str]],
+              *wanted: str) -> List[str]:
+    """The subset of ``wanted`` sites the caller enabled."""
+    if sites is None:
+        return list(wanted)
+    return [site for site in wanted if site in sites]
+
+
+def _differential_drill(seed: int, quick: bool,
+                        sites: Optional[Sequence[str]]) -> dict:
+    from repro.faultline.oracle import run_differential
+
+    active = _selected(
+        sites, "cache.lookup", "cache.store", "executor.shard",
+    )
+    plan = FaultPlan(seed, [
+        FaultSpec(site, probability=0.5, max_fires=4) for site in active
+    ])
+    detail: dict = {"sites": active}
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            report = run_differential(
+                seed=seed,
+                scale=0.25,
+                plan=plan,
+                jobs=4,
+                use_processes=not quick,
+                cache_dir=Path(tmp) / "cache",
+            )
+        except FaultToleranceError as exc:
+            detail["error"] = str(exc)
+            detail["fault_log"] = plan.summary()["log"]
+            return {"name": "differential", "passed": False,
+                    "detail": detail}
+    detail.update(report.summary())
+    return {"name": "differential", "passed": report.identical,
+            "detail": detail}
+
+
+def _checkpoint_drill(seed: int, quick: bool,
+                      sites: Optional[Sequence[str]]) -> dict:
+    from repro.simulation.scenarios import paper_scenario
+    from repro.stream import StreamEngine, live_feed
+
+    scenario = paper_scenario(seed=seed, scale=0.1 if quick else 0.25)
+    one_shot = StreamEngine()
+    one_shot.run(live_feed(scenario))
+    total = one_shot.events_ingested
+    cadence = max(1, total // 7)
+
+    active = _selected(sites, "checkpoint.save")
+    # skip=1 guarantees one good snapshot exists before a kill can
+    # land, so resume always has something to come back to.
+    plan = FaultPlan(seed, [
+        FaultSpec(site, probability=0.5, max_fires=1, skip=1)
+        for site in active
+    ])
+    crashed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = Path(tmp) / "chaos.ckpt.json"
+        engine = StreamEngine(
+            checkpoint_path=snapshot, checkpoint_every=cadence,
+        )
+        with hooks.injected(plan):
+            try:
+                engine.run(live_feed(scenario))
+            except CheckpointKilled:
+                crashed = True
+            # Recovery: re-attach to the last good snapshot (or start
+            # fresh if the kill landed before any publish) and replay;
+            # max_fires is spent, so the retry cannot be re-killed.
+            resumed = StreamEngine.resume_or_fresh(
+                snapshot, checkpoint_every=cadence,
+            )
+            resumed.run(live_feed(scenario))
+    final = resumed.aggregates.digest()
+    expected = one_shot.aggregates.digest()
+    detail = {
+        "sites": active,
+        "events": total,
+        "checkpoint_every": cadence,
+        "faults_fired": plan.fired(),
+        "crashed": crashed,
+        "uninterrupted_digest": expected,
+        "resumed_digest": final,
+        "fault_log_digest": plan.log_digest(),
+    }
+    return {"name": "checkpoint", "passed": final == expected,
+            "detail": detail}
+
+
+def _jsonl_drill(seed: int, quick: bool,
+                 sites: Optional[Sequence[str]]) -> dict:
+    from repro.io import ReadErrors, export_sevs_jsonl, iter_sevs_jsonl
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+
+    scenario = paper_scenario(seed=seed, scale=0.05)
+    store = IntraSimulator(scenario).run()
+    active = _selected(sites, "io.jsonl.line")
+
+    def line_plan() -> FaultPlan:
+        return FaultPlan(seed, [
+            FaultSpec(site, probability=0.1) for site in active
+        ])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "chaos.jsonl"
+        total = export_sevs_jsonl(store, path)
+
+        tolerant_plan = line_plan()
+        errors = ReadErrors()
+        with hooks.injected(tolerant_plan):
+            survivors = sum(
+                1 for _ in iter_sevs_jsonl(path, strict=False, errors=errors)
+            )
+
+        # The identical plan must fire identically — and a strict read
+        # must then refuse at the first torn line.
+        strict_raised = False
+        if tolerant_plan.fired():
+            try:
+                with hooks.injected(line_plan()):
+                    for _ in iter_sevs_jsonl(path, strict=True):
+                        pass
+            except ValueError:
+                strict_raised = True
+
+    accounted = survivors + errors.skipped == total
+    passed = accounted and (strict_raised or not tolerant_plan.fired())
+    detail = {
+        "sites": active,
+        "lines": total,
+        "faults_fired": tolerant_plan.fired(),
+        "survivors": survivors,
+        "skipped": errors.skipped,
+        "accounted": accounted,
+        "strict_raised": strict_raised,
+        "fault_log_digest": tolerant_plan.log_digest(),
+    }
+    return {"name": "jsonl", "passed": passed, "detail": detail}
+
+
+def _ingest_drill(seed: int, quick: bool,
+                  sites: Optional[Sequence[str]]) -> dict:
+    from repro.incidents.store import SEVStore
+    from repro.simulation.generator import iter_scenario_reports
+    from repro.simulation.scenarios import paper_scenario
+
+    scenario = paper_scenario(seed=seed, scale=0.05)
+    reports = list(iter_scenario_reports(scenario))
+    active = _selected(sites, "store.insert")
+
+    # Transient faults: two injected failures, bounded backoff rides
+    # them out, every row lands.
+    transient = FaultPlan(seed, [
+        FaultSpec(site, probability=1.0, max_fires=2) for site in active
+    ])
+    with hooks.injected(transient), SEVStore() as store:
+        loaded = store.bulk_load(reports, batch_size=50)
+        recovered = loaded == len(reports) and len(store) == len(reports)
+
+    # Unbounded faults: every attempt fails; the retry loop must give
+    # up with the underlying OperationalError, not spin or swallow.
+    gave_up = True
+    if active:
+        hopeless = FaultPlan(seed, [
+            FaultSpec(site, probability=1.0) for site in active
+        ])
+        with hooks.injected(hopeless), SEVStore() as store:
+            try:
+                store.insert_many(reports[:5])
+                gave_up = False
+            except sqlite3.OperationalError:
+                gave_up = True
+
+    detail = {
+        "sites": active,
+        "rows": len(reports),
+        "faults_fired": transient.fired(),
+        "recovered": recovered,
+        "bounded_retries_give_up": gave_up,
+    }
+    return {"name": "ingest", "passed": recovered and gave_up,
+            "detail": detail}
+
+
+def chaos_suite(
+    seed: int = 7,
+    quick: bool = False,
+    sites: Optional[Sequence[str]] = None,
+) -> dict:
+    """Run every drill; returns the (deterministic) fault report."""
+    if sites is not None:
+        unknown = sorted(set(sites) - set(SITES))
+        if unknown:
+            raise ValueError(
+                f"unknown fault sites {unknown}; expected among {SITES}"
+            )
+    drills = [
+        _differential_drill(seed, quick, sites),
+        _checkpoint_drill(seed, quick, sites),
+        _jsonl_drill(seed, quick, sites),
+        _ingest_drill(seed, quick, sites),
+    ]
+    report = {
+        "format": REPORT_FORMAT,
+        "seed": seed,
+        "quick": quick,
+        "sites": list(sites) if sites is not None else list(SITES),
+        "drills": drills,
+        "passed": all(d["passed"] for d in drills),
+    }
+    report["report_digest"] = hashlib.sha256(
+        json.dumps(report, sort_keys=True).encode()
+    ).hexdigest()
+    return report
+
+
+def report_json(report: dict) -> str:
+    """The canonical serialization of a fault report."""
+    return json.dumps(report, indent=1, sort_keys=True)

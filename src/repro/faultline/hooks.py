@@ -1,0 +1,98 @@
+"""The injection-point registry the production modules consult.
+
+Instrumented code calls :func:`fire` with a site name at each failure
+surface; with no active plan that is one global read and a ``None``
+check, so production paths pay nothing.  Activating a
+:class:`~repro.faultline.plan.FaultPlan` — normally through the
+:func:`injected` context manager — routes every draw to the plan's
+seeded, per-site RNG.
+
+This module deliberately imports nothing from the runtime, so any
+layer (io, store, cache, executor, checkpoint) can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faultline.plan import FaultPlan
+
+__all__ = [
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fire",
+    "injected",
+    "suppressed",
+    "torn",
+]
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently injected plan, or ``None``."""
+    return _ACTIVE
+
+
+def activate(plan: FaultPlan) -> None:
+    """Install ``plan`` as the active plan (one at a time)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already active")
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Remove the active plan (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def injected(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Activate ``plan`` for the duration of the block.
+
+    ``None`` is accepted and means "no injection", so callers can
+    thread an optional plan without branching.
+    """
+    if plan is None:
+        yield None
+        return
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        deactivate()
+
+
+def fire(site: str) -> bool:
+    """One draw at ``site`` against the active plan (False when none)."""
+    plan = _ACTIVE
+    return plan is not None and plan.should_fire(site)
+
+
+@contextmanager
+def suppressed(site: str) -> Iterator[None]:
+    """Disable ``site`` for the block — how recovery fallbacks keep an
+    injected fault from re-breaking the very path that repairs it."""
+    plan = _ACTIVE
+    if plan is None:
+        yield
+        return
+    plan.suppress(site)
+    try:
+        yield
+    finally:
+        plan.unsuppress(site)
+
+
+def torn(text: str) -> str:
+    """Deterministically tear a line: keep a proper prefix.
+
+    The canonical torn-write artifact — a process died mid-line — and
+    deterministic in the input, so replays tear identically.
+    """
+    return text[: max(1, len(text) // 2)]

@@ -1,0 +1,209 @@
+"""The differential-testing oracle.
+
+The runtime's core correctness claim is that every backend — batch,
+stream, sharded (serial or process-parallel) — answers the same
+analysis set bit-identically.  The oracle re-asserts that claim *under
+an active fault plan*: it computes a fault-free baseline report, then
+runs every backend with injection enabled and demands each one either
+reproduce the baseline exactly (the recovery paths absorbed every
+fault) or die with a typed :class:`FaultToleranceError` — never a
+silently different answer, never a raw injected exception leaking
+through a path that claims to tolerate it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faultline import hooks
+from repro.faultline.plan import (
+    FaultPlan,
+    FaultToleranceError,
+    InjectedFault,
+)
+
+__all__ = [
+    "BackendRun",
+    "OracleReport",
+    "report_digest",
+    "run_differential",
+]
+
+
+def _canonical(obj) -> str:
+    """A canonical rendering under which ``a == b`` implies equal text.
+
+    Dataclass equality ignores dict insertion order (the batch backend
+    builds its counts in SQL-result order, the fold backends in record
+    order), so a plain ``repr`` distinguishes reports that compare
+    equal.  Canonicalization sorts dict items and set members, renders
+    dataclasses field by field, and round-trips floats through
+    ``repr`` — bitwise-different values stay different.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = ",".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({body})"
+    if isinstance(obj, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(_canonical(x) for x in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(x) for x in obj)) + "}"
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    return repr(obj)
+
+
+def report_digest(report) -> str:
+    """A stable content hash of a report dataclass.
+
+    Equal reports — on any backend, in any process — digest equally;
+    any bitwise difference in any field digests differently.
+    """
+    return hashlib.sha256(_canonical(report).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class BackendRun:
+    """One backend's answer under the plan."""
+
+    backend: str
+    digest: str
+    use_processes: bool = False
+
+    @property
+    def label(self) -> str:
+        if self.backend == "sharded" and self.use_processes:
+            return "sharded+processes"
+        return self.backend
+
+
+@dataclass
+class OracleReport:
+    """What the oracle observed: all identical, provably."""
+
+    seed: int
+    scale: float
+    baseline_digest: str
+    runs: List[BackendRun] = field(default_factory=list)
+    fault_log_digest: str = ""
+    faults_fired: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return all(r.digest == self.baseline_digest for r in self.runs)
+
+    def summary(self) -> dict:
+        """JSON-able record for the chaos fault report."""
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "baseline_digest": self.baseline_digest,
+            "runs": [
+                {"backend": r.label, "digest": r.digest} for r in self.runs
+            ],
+            "fault_log_digest": self.fault_log_digest,
+            "faults_fired": self.faults_fired,
+            "identical": self.identical,
+        }
+
+
+def _backend_matrix(use_processes: bool) -> List[Tuple[str, bool]]:
+    matrix: List[Tuple[str, bool]] = [
+        ("batch", False), ("stream", False), ("sharded", False),
+    ]
+    if use_processes:
+        matrix.append(("sharded", True))
+    return matrix
+
+
+def run_differential(
+    seed: int = 1,
+    scale: float = 0.25,
+    plan: Optional[FaultPlan] = None,
+    jobs: int = 4,
+    use_processes: bool = False,
+    cache_dir=None,
+    backends: Optional[Sequence[str]] = None,
+) -> OracleReport:
+    """Run the intra report on every backend under ``plan``.
+
+    Returns an :class:`OracleReport` whose runs all match the
+    fault-free baseline, or raises :class:`FaultToleranceError` — on
+    divergence, or on an injected fault escaping a recovery path.
+    ``cache_dir`` routes every run through one shared on-disk
+    :class:`~repro.runtime.cache.ResultCache`, putting the
+    ``cache.store``/``cache.lookup`` fault sites in play.
+    """
+    from repro.runtime import (
+        ResultCache,
+        RunContext,
+        run_intra_report,
+    )
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    store = IntraSimulator(scenario).run()
+    context = RunContext(
+        store=store, fleet=scenario.fleet, corpus_seed=scenario.seed,
+    )
+
+    baseline = run_intra_report(context, backend="batch")
+    baseline_digest = report_digest(baseline)
+
+    matrix = _backend_matrix(use_processes)
+    if backends is not None:
+        matrix = [(b, p) for b, p in matrix if b in backends]
+
+    runs: List[BackendRun] = []
+    with hooks.injected(plan):
+        for backend, processes in matrix:
+            # Each run gets a fresh cache *instance* over the shared
+            # directory, so disk entries (and their injected tears)
+            # actually get read back instead of hitting memory.
+            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            try:
+                report = run_intra_report(
+                    context, backend=backend, jobs=jobs, cache=cache,
+                    use_processes=processes,
+                )
+            except InjectedFault as exc:
+                raise FaultToleranceError(
+                    f"backend {backend!r} died on an injected fault its "
+                    f"recovery path should have absorbed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            runs.append(BackendRun(
+                backend, report_digest(report), use_processes=processes,
+            ))
+
+    result = OracleReport(
+        seed=seed,
+        scale=scale,
+        baseline_digest=baseline_digest,
+        runs=runs,
+        fault_log_digest=plan.log_digest() if plan is not None else "",
+        faults_fired=plan.fired() if plan is not None else 0,
+    )
+    if not result.identical:
+        divergent = [
+            f"{r.label}={r.digest[:12]}" for r in runs
+            if r.digest != baseline_digest
+        ]
+        raise FaultToleranceError(
+            "backends diverged under the fault plan: "
+            f"baseline={baseline_digest[:12]} vs {', '.join(divergent)} "
+            f"(seed={seed}, fault log {result.fault_log_digest[:12]})"
+        )
+    return result

@@ -10,9 +10,47 @@ table for the multi-valued root-cause field) and the analysis layer
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, Iterator, List, Optional
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
+from repro.faultline import hooks
 from repro.incidents.sev import RootCause, Severity, SEVReport
+
+_T = TypeVar("_T")
+
+#: Bounded-backoff policy for transient SQLite write errors ("database
+#: is locked" under a concurrent reader, a busy WAL): each batch is
+#: attempted up to this many times, sleeping ``_RETRY_BACKOFF_S * 2**n``
+#: between attempts, and the final failure propagates unchanged.
+_RETRY_ATTEMPTS = 3
+_RETRY_BACKOFF_S = 0.01
+
+
+def _write_with_retry(attempt: Callable[[], _T]) -> _T:
+    """Run a write batch, retrying transient ``OperationalError``.
+
+    Retryable errors are raised *before* any row of the attempt is
+    applied (a lock, a busy journal) or inside a transaction that
+    rolled back whole, so a retry never double-applies.  Integrity
+    errors (duplicate keys, constraint violations) are not transient
+    and propagate immediately.  The ``store.insert`` fault site of
+    :mod:`repro.faultline` injects the transient error at the top of
+    an attempt.
+    """
+    delay = _RETRY_BACKOFF_S
+    for attempts_left in range(_RETRY_ATTEMPTS - 1, -1, -1):
+        try:
+            if hooks.fire("store.insert"):
+                raise sqlite3.OperationalError(
+                    "injected transient fault: database is locked"
+                )
+            return attempt()
+        except sqlite3.OperationalError:
+            if not attempts_left:
+                raise
+            time.sleep(delay)
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS sevs (
@@ -157,14 +195,30 @@ class SEVStore:
         commits pay journal churn and fsync for every report, which is
         the difference between thousands and hundreds of thousands of
         rows per second on durable storage.  Atomic: a failure rolls
-        the whole batch back.
+        the whole batch back.  Transient ``OperationalError`` (a lock
+        held by a concurrent reader) retries the rolled-back batch
+        with bounded backoff before giving up.
         """
-        count = 0
-        with self._conn:
-            for report in reports:
-                self._insert_in_tx(report)
-                count += 1
-        return count
+        iterator = iter(reports)
+        consumed: List[SEVReport] = []
+
+        def attempt() -> int:
+            # Stream rows straight into the transaction (a generator
+            # source is never materialized up front), remembering each
+            # consumed row so a retry after a rollback can replay the
+            # full batch exactly.
+            count = 0
+            with self._conn:
+                for report in consumed:
+                    self._insert_in_tx(report)
+                    count += 1
+                for report in iterator:
+                    consumed.append(report)
+                    self._insert_in_tx(report)
+                    count += 1
+            return count
+
+        return _write_with_retry(attempt)
 
     def bulk_load(
         self, reports: Iterable[SEVReport], batch_size: int = 2000
@@ -192,6 +246,16 @@ class SEVStore:
         conn.execute("PRAGMA synchronous = OFF")
         conn.execute("PRAGMA journal_mode = MEMORY")
         count = 0
+
+        def flush(sev_rows: List[tuple], cause_rows: List[tuple]) -> None:
+            # Retry the chunk on a transient lock; the injected
+            # store.insert fault fires before any row is applied, so a
+            # retry inside the surrounding transaction stays exact.
+            _write_with_retry(lambda: (
+                conn.executemany(self._INSERT_SEV, sev_rows),
+                conn.executemany(self._INSERT_CAUSE, cause_rows),
+            ))
+
         try:
             with conn:  # one transaction; rolls back on error
                 sev_rows: List[tuple] = []
@@ -201,13 +265,11 @@ class SEVStore:
                     cause_rows.extend(self._cause_rows(report))
                     count += 1
                     if len(sev_rows) >= batch_size:
-                        conn.executemany(self._INSERT_SEV, sev_rows)
-                        conn.executemany(self._INSERT_CAUSE, cause_rows)
+                        flush(sev_rows, cause_rows)
                         sev_rows.clear()
                         cause_rows.clear()
                 if sev_rows:
-                    conn.executemany(self._INSERT_SEV, sev_rows)
-                    conn.executemany(self._INSERT_CAUSE, cause_rows)
+                    flush(sev_rows, cause_rows)
         finally:
             conn.execute(f"PRAGMA journal_mode = {journal_mode}")
             conn.execute(f"PRAGMA synchronous = {int(synchronous)}")

@@ -13,6 +13,7 @@ can dispatch a file of either kind.
 from pathlib import Path
 from typing import Union
 
+from repro.io.errors import ReadErrors
 from repro.io.sev_io import (
     export_sevs_csv,
     export_sevs_json,
@@ -38,6 +39,7 @@ from repro.io.ticket_io import (
 )
 
 __all__ = [
+    "ReadErrors",
     "TICKET_FIELDS",
     "export_sevs_csv",
     "export_sevs_json",
@@ -67,6 +69,10 @@ def sniff_dataset(path: Union[str, Path]) -> str:
     Inspects the first record, not the file name: a CSV header naming
     ``sev_id`` or ``ticket_id``, a JSON document keyed ``sevs`` or
     ``tickets``, or a JSONL first line carrying either id field.
+
+    Every way a file can defeat the sniff — empty, nothing but blank
+    lines, an unparseable (torn) first row — raises a plain
+    :class:`ValueError` naming the file, never a raw decoder error.
     """
     import json as _json
 
@@ -75,28 +81,50 @@ def sniff_dataset(path: Union[str, Path]) -> str:
     if suffix == ".csv":
         with open(path, newline="") as handle:
             header = handle.readline()
+        if not header.strip():
+            raise ValueError(f"{path}: empty dataset file")
         if "ticket_id" in header:
             return "tickets"
         if "sev_id" in header:
             return "sevs"
     elif suffix == ".json":
-        payload = _json.loads(path.read_text())
-        if "tickets" in payload:
-            return "tickets"
-        if "sevs" in payload:
-            return "sevs"
+        text = path.read_text()
+        if not text.strip():
+            raise ValueError(f"{path}: empty dataset file")
+        try:
+            payload = _json.loads(text)
+        except _json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}: unreadable dataset (invalid JSON: {exc})"
+            ) from exc
+        if isinstance(payload, dict):
+            if "tickets" in payload:
+                return "tickets"
+            if "sevs" in payload:
+                return "sevs"
     elif suffix == ".jsonl":
+        saw_line = False
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
-                row = _json.loads(line)
-                if "ticket_id" in row:
-                    return "tickets"
-                if "sev_id" in row:
-                    return "sevs"
+                saw_line = True
+                try:
+                    row = _json.loads(line)
+                except _json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}: unreadable dataset "
+                        f"(invalid JSONL first row: {exc})"
+                    ) from exc
+                if isinstance(row, dict):
+                    if "ticket_id" in row:
+                        return "tickets"
+                    if "sev_id" in row:
+                        return "sevs"
                 break
+        if not saw_line:
+            raise ValueError(f"{path}: empty dataset file")
     else:
         raise ValueError(
             f"unsupported dataset format {suffix!r} "

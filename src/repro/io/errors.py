@@ -1,0 +1,35 @@
+"""Counted skip-tracking for tolerant readers.
+
+The JSONL streaming readers accept ``strict=False`` to skip malformed
+lines — torn tails, garbage bytes, wrong-schema rows — instead of
+raising.  Skipping silently would hide data loss, so tolerant reads
+are *counted*: pass a :class:`ReadErrors` and every skipped line is
+recorded with its line number and reason.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["ReadErrors"]
+
+
+class ReadErrors:
+    """Record of lines a tolerant reader skipped."""
+
+    def __init__(self) -> None:
+        #: (line number, reason) per skipped line, in file order.
+        self.lines: List[Tuple[int, str]] = []
+
+    @property
+    def skipped(self) -> int:
+        return len(self.lines)
+
+    def record(self, line_no: int, reason: str) -> None:
+        self.lines.append((line_no, reason))
+
+    def __bool__(self) -> bool:
+        return bool(self.lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReadErrors skipped={self.skipped}>"

@@ -5,6 +5,15 @@ functions stream reports one at a time without materializing the
 corpus — the replay path of :mod:`repro.stream` — and the JSONL
 format (one JSON object per line) supports appending and tailing,
 which the single-document JSON export cannot.
+
+Real feeds are imperfect: a producer dies mid-line, a log rotation
+tears the tail, a foreign row sneaks in.  The JSONL reader therefore
+runs in two modes — ``strict=True`` (the default) raises a
+:class:`ValueError` naming the file and line, ``strict=False`` skips
+the malformed line and counts it in a
+:class:`~repro.io.errors.ReadErrors` — and the ``io.jsonl.line``
+fault site of :mod:`repro.faultline` can tear lines on the way in to
+exercise both.
 """
 
 from __future__ import annotations
@@ -12,10 +21,12 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
+from repro.faultline import hooks
 from repro.incidents.sev import RootCause, SEVReport, Severity
 from repro.incidents.store import SEVStore
+from repro.io.errors import ReadErrors
 
 _FIELDS = [
     "sev_id", "severity", "device_name", "opened_at_h", "resolved_at_h",
@@ -100,20 +111,51 @@ def export_sevs_jsonl(store: SEVStore, path: PathLike) -> int:
     return count
 
 
-def import_sevs_jsonl(path: PathLike, store: SEVStore = None) -> SEVStore:
-    """Load a JSONL export into a store."""
+def import_sevs_jsonl(
+    path: PathLike,
+    store: SEVStore = None,
+    strict: bool = True,
+    errors: Optional[ReadErrors] = None,
+) -> SEVStore:
+    """Load a JSONL export into a store (``strict`` as in the iterator)."""
     store = store or SEVStore()
-    store.bulk_load(iter_sevs_jsonl(path))
+    store.bulk_load(iter_sevs_jsonl(path, strict=strict, errors=errors))
     return store
 
 
-def iter_sevs_jsonl(path: PathLike) -> Iterator[SEVReport]:
-    """Stream reports from a JSONL export, one line at a time."""
+def iter_sevs_jsonl(
+    path: PathLike,
+    strict: bool = True,
+    errors: Optional[ReadErrors] = None,
+) -> Iterator[SEVReport]:
+    """Stream reports from a JSONL export, one line at a time.
+
+    ``strict=True`` raises :class:`ValueError` (naming file and line)
+    on the first malformed line; ``strict=False`` skips malformed
+    lines, recording each in ``errors`` when one is given, so a feed
+    with a torn tail still yields every readable report — counted, not
+    silent.
+    """
     with open(path) as handle:
-        for line in handle:
+        for line_no, line in enumerate(handle, 1):
+            if hooks.fire("io.jsonl.line"):
+                line = hooks.torn(line)
             line = line.strip()
-            if line:
-                yield _row_report(json.loads(line))
+            if not line:
+                continue
+            try:
+                report = _row_report(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed JSONL row "
+                        f"({type(exc).__name__}: {exc})"
+                    ) from exc
+                if errors is not None:
+                    errors.record(line_no, f"{type(exc).__name__}: {exc}")
+                continue
+            yield report
 
 
 def iter_sevs_csv(path: PathLike) -> Iterator[SEVReport]:

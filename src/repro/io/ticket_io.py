@@ -6,6 +6,11 @@ streaming readers that yield one :class:`RepairTicket` at a time
 without materializing the corpus — the ticket replay path of
 :mod:`repro.stream`.  ``TICKET_FIELDS`` is the interchange schema; the
 result cache hashes it into ticket-corpus fingerprints.
+
+The JSONL reader mirrors :func:`repro.io.sev_io.iter_sevs_jsonl`'s
+two modes: ``strict=True`` raises on the first malformed line,
+``strict=False`` skips and counts it in a
+:class:`~repro.io.errors.ReadErrors`.
 """
 
 from __future__ import annotations
@@ -13,9 +18,11 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
+from repro.faultline import hooks
+from repro.io.errors import ReadErrors
 
 #: The interchange schema, in column order.
 TICKET_FIELDS = [
@@ -116,25 +123,57 @@ def export_tickets_jsonl(db: TicketDatabase, path: PathLike) -> int:
     return count
 
 
-def import_tickets_jsonl(path: PathLike,
-                         db: TicketDatabase = None) -> TicketDatabase:
+def import_tickets_jsonl(
+    path: PathLike,
+    db: TicketDatabase = None,
+    strict: bool = True,
+    errors: Optional[ReadErrors] = None,
+) -> TicketDatabase:
     """Load a JSONL export into a ticket database."""
     db = db or TicketDatabase()
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                _row_into(db, json.loads(line))
+    for ticket in iter_tickets_jsonl(path, strict=strict, errors=errors):
+        db.add_completed(
+            link_id=ticket.link_id,
+            vendor=ticket.vendor,
+            started_at_h=ticket.started_at_h,
+            completed_at_h=ticket.completed_at_h,
+            ticket_type=ticket.ticket_type,
+            location=ticket.location,
+        )
     return db
 
 
-def iter_tickets_jsonl(path: PathLike) -> Iterator[RepairTicket]:
-    """Stream tickets from a JSONL export, one line at a time."""
+def iter_tickets_jsonl(
+    path: PathLike,
+    strict: bool = True,
+    errors: Optional[ReadErrors] = None,
+) -> Iterator[RepairTicket]:
+    """Stream tickets from a JSONL export, one line at a time.
+
+    ``strict=True`` raises :class:`ValueError` (naming file and line)
+    on the first malformed line; ``strict=False`` skips malformed
+    lines, counting each in ``errors`` when one is given.
+    """
     with open(path) as handle:
-        for line in handle:
+        for line_no, line in enumerate(handle, 1):
+            if hooks.fire("io.jsonl.line"):
+                line = hooks.torn(line)
             line = line.strip()
-            if line:
-                yield _row_ticket(json.loads(line))
+            if not line:
+                continue
+            try:
+                ticket = _row_ticket(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed JSONL row "
+                        f"({type(exc).__name__}: {exc})"
+                    ) from exc
+                if errors is not None:
+                    errors.record(line_no, f"{type(exc).__name__}: {exc}")
+                continue
+            yield ticket
 
 
 def iter_tickets_csv(path: PathLike) -> Iterator[RepairTicket]:

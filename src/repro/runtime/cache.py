@@ -15,14 +15,25 @@ entries also persist as pickle files named by their key hash, carrying
 hits across processes.  (Pickle is safe here: the cache directory is
 written and read only by this library's own result dataclasses; do not
 point it at untrusted files.)
+
+Disk entries are written atomically (tmp file + ``os.replace``) and
+read defensively: a torn or garbled entry — a crash mid-write, a
+truncated disk — is treated as a miss, unlinked, and warned about, so
+a damaged cache directory can slow a report down but never wrong it.
+Both failure modes are injectable at the ``cache.store`` and
+``cache.lookup`` sites of :mod:`repro.faultline`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.faultline import hooks
 
 from repro.incidents.store import SEVStore
 
@@ -115,29 +126,67 @@ class ResultCache:
         return self._dir / f"{key}.pkl"
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
-        """(hit?, value).  Disk hits are promoted into memory."""
+        """(hit?, value).  Disk hits are promoted into memory.
+
+        A corrupt or unreadable disk entry is a *miss*, not an error:
+        the entry is unlinked (a recompute will rewrite it) and a
+        warning names the dropped file.
+        """
         if key in self._memory:
             self.hits += 1
             return True, self._memory[key]
         if self._dir is not None:
             file = self._file(key)
             if file.exists():
-                value = pickle.loads(file.read_bytes())
-                self._memory[key] = value
-                self.hits += 1
-                return True, value
+                if hooks.fire("cache.lookup"):
+                    # Tear the real on-disk entry so the recovery path
+                    # below is exercised against genuine corruption.
+                    data = file.read_bytes()
+                    file.write_bytes(data[: len(data) // 2])
+                try:
+                    value = pickle.loads(file.read_bytes())
+                except Exception as exc:
+                    warnings.warn(
+                        f"result cache: dropping corrupt entry "
+                        f"{file.name} ({type(exc).__name__}: {exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    try:
+                        file.unlink()
+                    except OSError:
+                        pass
+                else:
+                    self._memory[key] = value
+                    self.hits += 1
+                    return True, value
         self.misses += 1
         return False, None
 
     def store(self, key: str, value: Any) -> None:
+        """Publish a result; the disk write is atomic.
+
+        The pickle goes to a sibling tmp file first and is renamed
+        into place, so a reader concurrent with (or following a crash
+        of) a writer sees the old entry or none — never a torn one.
+        """
         self._memory[key] = value
         if self._dir is not None:
-            self._file(key).write_bytes(
-                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+            file = self._file(key)
+            tmp = file.with_name(file.name + ".tmp")
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            if hooks.fire("cache.store"):
+                # Simulated mid-write kill: a torn tmp file is left
+                # behind and nothing is published.
+                tmp.write_bytes(payload[: len(payload) // 2])
+                return
+            tmp.write_bytes(payload)
+            os.replace(tmp, file)
 
     def clear(self) -> None:
         self._memory.clear()
         if self._dir is not None:
             for file in self._dir.glob("*.pkl"):
                 file.unlink()
+            for tmp in self._dir.glob("*.pkl.tmp"):
+                tmp.unlink()

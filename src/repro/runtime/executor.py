@@ -46,6 +46,8 @@ from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.reports import BackboneStudyReport, IntraStudyReport
+from repro.faultline import hooks
+from repro.faultline.plan import ShardWorkerCrash
 from repro.runtime.analysis import Analysis, RunContext
 from repro.runtime.analyses import (
     backbone_report_analyses,
@@ -251,13 +253,35 @@ class Executor:
             )
         else:
             shard_states_list = (
-                self._fold_pass(analyses, context, shard)
+                self._fold_shard_resilient(analyses, context, shard)
                 for shard in shards
             )
         for shard_states in shard_states_list:
             for key, owner in owners.items():
                 merged[key] = owner.merge(merged[key], shard_states[key])
         return merged
+
+    def _fold_shard_resilient(self, analyses: Sequence[Analysis],
+                              context: RunContext,
+                              shard: list) -> Dict[str, Any]:
+        """Fold one shard, surviving a crashed worker.
+
+        The recovery contract of the sharded backend: a crashed shard
+        fold is retried once, and a second crash drops that shard to a
+        plain serial fold with the ``executor.shard`` fault site
+        suppressed.  Because any partitioning merges to the same
+        states and every attempt starts from freshly prepared states,
+        the recovered result is bit-identical to a healthy run.
+        """
+        for _ in range(2):
+            try:
+                if hooks.fire("executor.shard"):
+                    raise ShardWorkerCrash("injected shard-worker crash")
+                return self._fold_pass(analyses, context, shard)
+            except ShardWorkerCrash:
+                continue
+        with hooks.suppressed("executor.shard"):
+            return self._fold_pass(analyses, context, shard)
 
     def _fold_shards_parallel(self, analyses: Sequence[Analysis],
                               context: RunContext,
@@ -270,6 +294,12 @@ class Executor:
         reads records and the fleet), and their shard of records; they
         return the folded states, which are small compared to the
         records they summarize.
+
+        Crash recovery mirrors the serial path: a shard whose worker
+        dies (a real ``BrokenProcessPool``, or an injected
+        ``executor.shard`` fault drawn in the parent so the fault log
+        stays deterministic) is resubmitted once, and a second failure
+        folds that shard serially in the parent process.
         """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -278,11 +308,37 @@ class Executor:
             tickets=None,
         )
         analyses = list(analyses)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(shards)
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            return list(pool.map(
-                _fold_shard_worker,
-                [(analyses, worker_context, shard) for shard in shards],
-            ))
+            def submit(index: int):
+                if hooks.fire("executor.shard"):
+                    raise ShardWorkerCrash("injected shard-worker crash")
+                return pool.submit(
+                    _fold_shard_worker,
+                    (analyses, worker_context, shards[index]),
+                )
+
+            crashed: List[int] = []
+            pending = {}
+            for index in range(len(shards)):
+                try:
+                    pending[index] = submit(index)
+                except Exception:
+                    crashed.append(index)
+            for index, future in pending.items():
+                try:
+                    results[index] = future.result()
+                except Exception:
+                    crashed.append(index)
+            for index in crashed:
+                try:
+                    results[index] = submit(index).result()
+                except Exception:
+                    with hooks.suppressed("executor.shard"):
+                        results[index] = self._fold_pass(
+                            analyses, context, shards[index]
+                        )
+        return results
 
     @staticmethod
     def _finalize(analyses: Sequence[Analysis], states: Dict[str, Any],

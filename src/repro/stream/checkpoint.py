@@ -4,7 +4,11 @@ A checkpoint is one JSON document: the serialized
 :class:`~repro.stream.aggregates.StreamAggregates` state plus the
 number of events ingested, so a replay can resume exactly where it
 stopped.  Writes go through a temporary file and an atomic rename —
-a crash mid-checkpoint leaves the previous snapshot intact.
+a crash mid-checkpoint (injectable at the ``checkpoint.save`` fault
+site) leaves the previous snapshot intact.  Loading raises a plain
+:class:`ValueError` for every way a snapshot can be bad — unparseable
+JSON, a foreign format tag, an internally inconsistent event count —
+so callers can treat "corrupt checkpoint" as one condition.
 """
 
 from __future__ import annotations
@@ -14,6 +18,8 @@ import os
 from pathlib import Path
 from typing import Tuple, Union
 
+from repro.faultline import hooks
+from repro.faultline.plan import CheckpointKilled
 from repro.stream.aggregates import StreamAggregates
 
 FORMAT = "repro.stream-checkpoint/1"
@@ -35,19 +41,35 @@ def save_checkpoint(
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
     tmp.write_text(json.dumps(payload, sort_keys=True))
+    if hooks.fire("checkpoint.save"):
+        # Simulated kill between the tmp write and the publish: the
+        # tmp file survives, the last good snapshot stays in place.
+        raise CheckpointKilled(
+            f"simulated crash before publishing checkpoint {target}"
+        )
     os.replace(tmp, target)
 
 
 def load_checkpoint(path: PathLike) -> Tuple[StreamAggregates, int]:
     """Load a snapshot; returns (aggregates, events_ingested)."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("format") != FORMAT:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
         raise ValueError(
-            f"{path!s}: not a stream checkpoint "
-            f"(format {payload.get('format')!r})"
+            f"{path!s}: corrupt checkpoint (unparseable JSON: {exc})"
+        ) from exc
+    fmt = payload.get("format") if isinstance(payload, dict) else None
+    if fmt != FORMAT:
+        raise ValueError(
+            f"{path!s}: not a stream checkpoint (format {fmt!r})"
         )
-    aggregates = StreamAggregates.from_state(payload["aggregates"])
-    events = payload["events_ingested"]
+    try:
+        aggregates = StreamAggregates.from_state(payload["aggregates"])
+        events = payload["events_ingested"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"{path!s}: corrupt checkpoint ({type(exc).__name__}: {exc})"
+        ) from exc
     if events != aggregates.events:
         raise ValueError(
             f"{path!s}: corrupt checkpoint (events_ingested={events} "

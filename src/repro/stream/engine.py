@@ -55,6 +55,36 @@ class StreamEngine:
             checkpoint_every=checkpoint_every,
         )
 
+    @classmethod
+    def resume_or_fresh(
+        cls,
+        checkpoint_path: PathLike,
+        checkpoint_every: int = 0,
+    ) -> "StreamEngine":
+        """Resume when a readable snapshot exists; otherwise start fresh.
+
+        A missing checkpoint means a first run; a *corrupt* one (torn
+        write, foreign format) is warned about and ignored rather than
+        crashing the replay — the engine re-ingests from the start and
+        overwrites the bad snapshot at the next save.
+        """
+        import os
+        import warnings
+
+        if os.path.exists(checkpoint_path):
+            try:
+                return cls.resume(checkpoint_path, checkpoint_every)
+            except ValueError as exc:
+                warnings.warn(
+                    f"ignoring unusable checkpoint: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return cls(
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
     def save_checkpoint(self, path: Optional[PathLike] = None) -> None:
         target = path or self.checkpoint_path
         if target is None:

@@ -42,13 +42,20 @@ def replay_store(store: SEVStore) -> Iterator[SEVReport]:
     return store.all_reports()
 
 
-def replay_file(path: PathLike) -> Iterator[SEVReport]:
-    """Re-stream an exported SEV corpus, dispatching on the suffix."""
+def replay_file(path: PathLike, strict: bool = True,
+                errors=None) -> Iterator[SEVReport]:
+    """Re-stream an exported SEV corpus, dispatching on the suffix.
+
+    ``strict``/``errors`` apply to the JSONL format (the append-and-
+    tail feed, the one format that tears line-wise in practice): with
+    ``strict=False`` malformed lines are skipped and counted in the
+    :class:`~repro.io.errors.ReadErrors` instead of raising.
+    """
     from repro.io import iter_sevs_csv, iter_sevs_json, iter_sevs_jsonl
 
     suffix = Path(path).suffix.lower()
     if suffix == ".jsonl":
-        return iter_sevs_jsonl(path)
+        return iter_sevs_jsonl(path, strict=strict, errors=errors)
     if suffix == ".json":
         return iter_sevs_json(path)
     if suffix == ".csv":

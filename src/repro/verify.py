@@ -153,6 +153,7 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(stream_smoke_checks(seed=seed))
     checks.extend(runtime_equivalence_checks(seed=seed))
     checks.extend(backbone_runtime_checks(backbone_seed=backbone_seed))
+    checks.extend(faultline_checks(seed=seed))
     return checks
 
 
@@ -307,6 +308,71 @@ def stream_smoke_checks(seed: int = 1, scale: float = 0.25) -> List[Check]:
     checks.append(Check(
         "Stream", "streamed counts equal batch recomputation", 1.0,
         float(causes_match), 0.0, relative=False,
+    ))
+    return checks
+
+
+def faultline_checks(seed: int = 1) -> List[Check]:
+    """Exercise the fault-injection layer (:mod:`repro.faultline`).
+
+    Three invariants: the chaos drill suite is deterministic in its
+    seed (two runs produce byte-identical fault reports — same fault
+    logs, same digests); every backend reproduces the fault-free
+    report bit-identically while cache and shard-worker faults fire;
+    and a corrupt on-disk cache entry is recovered as a counted miss,
+    never an error or a wrong answer.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faultline import FaultPlan, FaultSpec
+    from repro.faultline.drills import chaos_suite, report_json
+    from repro.faultline.oracle import run_differential
+    from repro.runtime import ResultCache
+
+    checks: List[Check] = []
+
+    first = chaos_suite(seed=seed, quick=True)
+    second = chaos_suite(seed=seed, quick=True)
+    checks.append(Check(
+        "Faultline", "chaos suite deterministic across runs", 1.0,
+        float(report_json(first) == report_json(second) and first["passed"]),
+        0.0, relative=False,
+    ))
+
+    plan = FaultPlan(seed, [
+        FaultSpec("cache.lookup", probability=0.5, max_fires=4),
+        FaultSpec("cache.store", probability=0.5, max_fires=4),
+        FaultSpec("executor.shard", probability=0.5, max_fires=4),
+    ])
+    with tempfile.TemporaryDirectory() as tmp:
+        oracle = run_differential(
+            seed=seed, scale=0.25, plan=plan,
+            cache_dir=Path(tmp) / "cache",
+        )
+    checks.append(Check(
+        "Faultline", "backends identical under injected faults", 1.0,
+        float(oracle.identical), 0.0, relative=False,
+    ))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        writer = ResultCache(tmp)
+        writer.store("anchor-key", {"value": 42})
+        (entry,) = Path(tmp).glob("*.pkl")
+        entry.write_bytes(entry.read_bytes()[:10])
+        import warnings
+
+        reader = ResultCache(tmp)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            hit, _ = reader.lookup("anchor-key")
+        reader.store("anchor-key", {"value": 42})
+        rehit, value = ResultCache(tmp).lookup("anchor-key")
+    checks.append(Check(
+        "Faultline", "corrupt cache entry recovered as miss", 1.0,
+        float(not hit and reader.misses == 1 and rehit
+              and value == {"value": 42}),
+        0.0, relative=False,
     ))
     return checks
 

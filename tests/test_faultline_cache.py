@@ -1,0 +1,121 @@
+"""ResultCache hardening: atomic stores, corrupt entries as misses.
+
+Regression suite for the crash-on-corrupt-pickle bug: a torn or
+garbled ``.pkl`` entry used to raise straight out of
+``ResultCache.lookup``; it must instead count as a miss, be unlinked,
+and be warned about — a damaged cache directory can slow a report
+down but never wrong it or kill it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faultline import FaultPlan, FaultSpec, hooks
+from repro.runtime import ResultCache
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def entry_files(cache_dir):
+    return sorted(cache_dir.glob("*.pkl"))
+
+
+class TestCorruptEntries:
+    def test_truncated_pickle_is_a_miss(self, cache_dir):
+        ResultCache(cache_dir).store("k", {"answer": 42})
+        (entry,) = entry_files(cache_dir)
+        entry.write_bytes(entry.read_bytes()[:10])
+
+        fresh = ResultCache(cache_dir)
+        with pytest.warns(RuntimeWarning, match="corrupt entry"):
+            hit, value = fresh.lookup("k")
+        assert (hit, value) == (False, None)
+        assert fresh.misses == 1
+
+    def test_garbage_bytes_are_a_miss(self, cache_dir):
+        ResultCache(cache_dir).store("k", [1, 2, 3])
+        (entry,) = entry_files(cache_dir)
+        entry.write_bytes(b"\x00not a pickle at all\xff")
+
+        fresh = ResultCache(cache_dir)
+        with pytest.warns(RuntimeWarning):
+            hit, _ = fresh.lookup("k")
+        assert not hit
+
+    def test_corrupt_entry_is_unlinked(self, cache_dir):
+        """The bad file is dropped so a recompute can rewrite it."""
+        ResultCache(cache_dir).store("k", "value")
+        (entry,) = entry_files(cache_dir)
+        entry.write_bytes(b"junk")
+
+        fresh = ResultCache(cache_dir)
+        with pytest.warns(RuntimeWarning):
+            fresh.lookup("k")
+        assert not entry.exists()
+
+        fresh.store("k", "recomputed")
+        rehit, value = ResultCache(cache_dir).lookup("k")
+        assert (rehit, value) == (True, "recomputed")
+
+    def test_memory_hit_shields_disk_corruption(self, cache_dir):
+        """The writing process keeps serving from memory regardless."""
+        cache = ResultCache(cache_dir)
+        cache.store("k", "value")
+        (entry,) = entry_files(cache_dir)
+        entry.write_bytes(b"junk")
+        assert cache.lookup("k") == (True, "value")
+
+
+class TestAtomicStore:
+    def test_store_leaves_no_tmp_file(self, cache_dir):
+        ResultCache(cache_dir).store("k", "value")
+        assert list(cache_dir.glob("*.tmp")) == []
+        (entry,) = entry_files(cache_dir)
+        assert pickle.loads(entry.read_bytes()) == "value"
+
+    def test_injected_torn_store_publishes_nothing(self, cache_dir):
+        """A mid-write kill leaves a torn tmp, never a torn entry."""
+        plan = FaultPlan(1, [FaultSpec("cache.store", probability=1.0,
+                                       max_fires=1)])
+        with hooks.injected(plan):
+            ResultCache(cache_dir).store("k", {"answer": 42})
+        assert plan.fired() == 1
+        assert entry_files(cache_dir) == []
+        assert len(list(cache_dir.glob("*.pkl.tmp"))) == 1
+
+        hit, _ = ResultCache(cache_dir).lookup("k")
+        assert not hit
+
+    def test_torn_store_keeps_previous_entry(self, cache_dir):
+        """Readers see the old value or none — never a torn one."""
+        ResultCache(cache_dir).store("k", "old")
+        plan = FaultPlan(1, [FaultSpec("cache.store", probability=1.0)])
+        with hooks.injected(plan):
+            ResultCache(cache_dir).store("k", "new")
+        assert ResultCache(cache_dir).lookup("k") == (True, "old")
+
+    def test_injected_lookup_tear_recovers(self, cache_dir):
+        """The cache.lookup site tears the real file; recovery absorbs."""
+        ResultCache(cache_dir).store("k", {"answer": 42})
+        plan = FaultPlan(1, [FaultSpec("cache.lookup", probability=1.0,
+                                       max_fires=1)])
+        fresh = ResultCache(cache_dir)
+        with hooks.injected(plan), pytest.warns(RuntimeWarning):
+            hit, _ = fresh.lookup("k")
+        assert not hit
+        assert plan.fired("cache.lookup") == 1
+
+    def test_clear_removes_torn_tmp_files(self, cache_dir):
+        cache = ResultCache(cache_dir)
+        plan = FaultPlan(1, [FaultSpec("cache.store", probability=1.0)])
+        with hooks.injected(plan):
+            cache.store("k", "value")
+        assert list(cache_dir.glob("*.pkl.tmp"))
+        cache.clear()
+        assert list(cache_dir.glob("*.pkl*")) == []

@@ -1,0 +1,141 @@
+"""Checkpoint crash recovery: kills between tmp-write and publish.
+
+The atomic-rename contract under fire: a process killed after the tmp
+write but before ``os.replace`` must leave the previous snapshot
+intact, and resuming from that snapshot must reproduce an
+uninterrupted run bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faultline import FaultPlan, FaultSpec, hooks
+from repro.faultline.plan import CheckpointKilled
+from repro.simulation.scenarios import paper_scenario
+from repro.stream import StreamEngine, live_feed
+from repro.stream.checkpoint import FORMAT, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return paper_scenario(seed=11, scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(scenario):
+    engine = StreamEngine()
+    engine.run(live_feed(scenario))
+    return engine
+
+
+def kill_plan(skip: int = 1) -> FaultPlan:
+    """Kill exactly one checkpoint save, after ``skip`` good ones."""
+    return FaultPlan(11, [
+        FaultSpec("checkpoint.save", probability=1.0, max_fires=1,
+                  skip=skip)
+    ])
+
+
+class TestKillMidSave:
+    def test_kill_preserves_previous_snapshot(self, tmp_path, uninterrupted):
+        """The kill lands between tmp-write and rename: the published
+        snapshot is still the previous (good) one."""
+        path = tmp_path / "snap.json"
+        save_checkpoint(path, uninterrupted.aggregates, uninterrupted.events_ingested)
+        before = path.read_bytes()
+
+        with hooks.injected(kill_plan(skip=0)):
+            with pytest.raises(CheckpointKilled):
+                save_checkpoint(path, StreamEngine().aggregates, 0)
+
+        assert path.read_bytes() == before
+        assert (tmp_path / "snap.json.tmp").exists()
+
+    def test_resume_after_kill_is_bit_identical(self, tmp_path, scenario,
+                                                uninterrupted):
+        """Crash mid-run, resume from the last good snapshot, and the
+        final aggregates equal an uninterrupted run's."""
+        path = tmp_path / "snap.json"
+        cadence = max(1, uninterrupted.events_ingested // 5)
+        engine = StreamEngine(checkpoint_path=path, checkpoint_every=cadence)
+
+        with hooks.injected(kill_plan(skip=1)) as plan:
+            with pytest.raises(CheckpointKilled):
+                engine.run(live_feed(scenario))
+            assert plan.fired("checkpoint.save") == 1
+
+            resumed = StreamEngine.resume_or_fresh(
+                path, checkpoint_every=cadence,
+            )
+            # Resumed from the last *published* snapshot: one cadence
+            # worth of events, not zero and not the crash point.
+            assert resumed.events_ingested == cadence
+            resumed.run(live_feed(scenario))
+
+        assert resumed.events_ingested == uninterrupted.events_ingested
+        assert resumed.aggregates.digest() == uninterrupted.aggregates.digest()
+
+    def test_kill_before_any_publish_starts_fresh(self, tmp_path, scenario,
+                                                  uninterrupted):
+        path = tmp_path / "snap.json"
+        engine = StreamEngine(checkpoint_path=path, checkpoint_every=1)
+        with hooks.injected(kill_plan(skip=0)):
+            with pytest.raises(CheckpointKilled):
+                engine.run(live_feed(scenario))
+            assert not path.exists()
+            resumed = StreamEngine.resume_or_fresh(path)
+            assert resumed.events_ingested == 0
+            resumed.run(live_feed(scenario))
+        assert resumed.aggregates.digest() == uninterrupted.aggregates.digest()
+
+
+class TestCorruptSnapshots:
+    def test_unparseable_json_is_valueerror(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{torn")
+        with pytest.raises(ValueError, match="unparseable JSON"):
+            load_checkpoint(path)
+
+    def test_foreign_format_rejected(self, tmp_path, uninterrupted):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"format": "something-else/9"}))
+        with pytest.raises(ValueError, match="not a stream checkpoint"):
+            load_checkpoint(path)
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="not a stream checkpoint"):
+            load_checkpoint(path)
+
+    def test_inconsistent_event_count_rejected(self, tmp_path, uninterrupted):
+        path = tmp_path / "snap.json"
+        save_checkpoint(path, uninterrupted.aggregates,
+                        uninterrupted.events_ingested)
+        payload = json.loads(path.read_text())
+        payload["events_ingested"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="corrupt checkpoint"):
+            load_checkpoint(path)
+
+    def test_resume_or_fresh_ignores_corrupt_snapshot(self, tmp_path,
+                                                      scenario,
+                                                      uninterrupted):
+        """A torn checkpoint downgrades resume to a fresh replay."""
+        path = tmp_path / "snap.json"
+        path.write_text('{"format": "repro.stream-checkpo')
+        with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
+            engine = StreamEngine.resume_or_fresh(path)
+        assert engine.events_ingested == 0
+        engine.run(live_feed(scenario))
+        assert engine.aggregates.digest() == uninterrupted.aggregates.digest()
+
+    def test_resume_or_fresh_missing_file_is_silent(self, tmp_path):
+        engine = StreamEngine.resume_or_fresh(tmp_path / "absent.json")
+        assert engine.events_ingested == 0
+
+    def test_format_tag_is_current(self):
+        assert FORMAT == "repro.stream-checkpoint/1"

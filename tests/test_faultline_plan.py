@@ -1,0 +1,182 @@
+"""repro.faultline.plan — seeded fault plans and the hooks registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultline import hooks
+from repro.faultline.plan import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    FaultlineError,
+)
+
+
+def drain(plan: FaultPlan, site: str, draws: int) -> list:
+    return [plan.should_fire(site) for _ in range(draws)]
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no.such.site")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cache.store", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("cache.store", probability=-0.1)
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cache.store", max_fires=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("cache.store", skip=-1)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate spec"):
+            FaultPlan(1, [FaultSpec("cache.store"), FaultSpec("cache.store")])
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        """The replayability contract: seed pins every decision."""
+        a = FaultPlan(7, [FaultSpec("io.jsonl.line", probability=0.3)])
+        b = FaultPlan(7, [FaultSpec("io.jsonl.line", probability=0.3)])
+        assert drain(a, "io.jsonl.line", 200) == drain(b, "io.jsonl.line", 200)
+        assert a.log == b.log
+        assert a.log_digest() == b.log_digest()
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1, [FaultSpec("io.jsonl.line", probability=0.3)])
+        b = FaultPlan(2, [FaultSpec("io.jsonl.line", probability=0.3)])
+        assert drain(a, "io.jsonl.line", 200) != drain(b, "io.jsonl.line", 200)
+
+    def test_sites_draw_independently(self):
+        """One site's decision stream never depends on another's draws.
+
+        Interleaving draws at a second site must not perturb the
+        first site's sequence — each site owns its own RNG.
+        """
+        alone = FaultPlan(7, [FaultSpec("cache.store", probability=0.5)])
+        solo = drain(alone, "cache.store", 100)
+
+        mixed = FaultPlan(7, [
+            FaultSpec("cache.store", probability=0.5),
+            FaultSpec("cache.lookup", probability=0.5),
+        ])
+        interleaved = []
+        for _ in range(100):
+            mixed.should_fire("cache.lookup")
+            interleaved.append(mixed.should_fire("cache.store"))
+        assert solo == interleaved
+
+    def test_unspecified_site_never_fires(self):
+        plan = FaultPlan(7, [FaultSpec("cache.store", probability=1.0)])
+        assert not any(drain(plan, "store.insert", 50))
+        assert plan.draws("store.insert") == 0
+
+
+class TestBudgets:
+    def test_max_fires_caps_injections(self):
+        plan = FaultPlan(3, [
+            FaultSpec("cache.store", probability=1.0, max_fires=2)
+        ])
+        fired = drain(plan, "cache.store", 10)
+        assert fired == [True, True] + [False] * 8
+        assert plan.fired("cache.store") == 2
+        assert plan.draws("cache.store") == 10
+
+    def test_skip_lets_early_draws_through(self):
+        """skip pins a fault to a chosen point in the workload."""
+        plan = FaultPlan(3, [
+            FaultSpec("checkpoint.save", probability=1.0, max_fires=1,
+                      skip=2)
+        ])
+        assert drain(plan, "checkpoint.save", 5) == [
+            False, False, True, False, False,
+        ]
+
+    def test_log_records_site_and_draw(self):
+        plan = FaultPlan(3, [
+            FaultSpec("cache.store", probability=1.0, max_fires=1, skip=3)
+        ])
+        drain(plan, "cache.store", 6)
+        assert [(e.site, e.draw) for e in plan.log] == [("cache.store", 3)]
+
+
+class TestSuppression:
+    def test_suppressed_site_never_fires(self):
+        plan = FaultPlan(3, [FaultSpec("executor.shard", probability=1.0)])
+        plan.suppress("executor.shard")
+        assert not any(drain(plan, "executor.shard", 5))
+        plan.unsuppress("executor.shard")
+        assert plan.should_fire("executor.shard")
+
+    def test_suppression_is_reentrant(self):
+        plan = FaultPlan(3, [FaultSpec("executor.shard", probability=1.0)])
+        plan.suppress("executor.shard")
+        plan.suppress("executor.shard")
+        plan.unsuppress("executor.shard")
+        assert not plan.should_fire("executor.shard")
+        plan.unsuppress("executor.shard")
+        assert plan.should_fire("executor.shard")
+
+    def test_unsuppress_without_suppress_rejected(self):
+        plan = FaultPlan(3, [FaultSpec("executor.shard")])
+        with pytest.raises(ValueError):
+            plan.unsuppress("executor.shard")
+
+
+class TestHooks:
+    def test_fire_is_noop_without_plan(self):
+        assert hooks.active_plan() is None
+        assert hooks.fire("cache.store") is False
+
+    def test_injected_scopes_the_plan(self):
+        plan = FaultPlan(1, [FaultSpec("cache.store", probability=1.0)])
+        with hooks.injected(plan):
+            assert hooks.active_plan() is plan
+            assert hooks.fire("cache.store") is True
+        assert hooks.active_plan() is None
+
+    def test_injected_none_is_passthrough(self):
+        with hooks.injected(None) as plan:
+            assert plan is None
+            assert hooks.fire("cache.store") is False
+
+    def test_nested_activation_rejected(self):
+        plan = FaultPlan(1, [FaultSpec("cache.store")])
+        with hooks.injected(plan):
+            with pytest.raises(RuntimeError, match="already active"):
+                hooks.activate(FaultPlan(2, [FaultSpec("cache.lookup")]))
+
+    def test_deactivates_even_on_error(self):
+        plan = FaultPlan(1, [FaultSpec("cache.store")])
+        with pytest.raises(KeyError):
+            with hooks.injected(plan):
+                raise KeyError("boom")
+        assert hooks.active_plan() is None
+
+    def test_suppressed_context_manager(self):
+        plan = FaultPlan(1, [FaultSpec("cache.store", probability=1.0)])
+        with hooks.injected(plan):
+            with hooks.suppressed("cache.store"):
+                assert hooks.fire("cache.store") is False
+            assert hooks.fire("cache.store") is True
+
+    def test_torn_keeps_a_proper_prefix(self):
+        line = '{"sev_id": "SEV-1", "severity": 2}'
+        cut = hooks.torn(line)
+        assert line.startswith(cut)
+        assert 0 < len(cut) < len(line)
+        assert hooks.torn("x") == "x"[:1]
+
+    def test_exception_taxonomy(self):
+        assert issubclass(InjectedFault, FaultlineError)
+
+    def test_every_site_accepts_a_spec(self):
+        plan = FaultPlan.default(1)
+        assert plan.sites == sorted(SITES)
