@@ -16,6 +16,10 @@ Exposes the pipeline without writing Python::
     python -m repro bench --quick           # benchmark suite, JSON records
     python -m repro chaos --seed 7          # seeded fault-injection drills
     python -m repro chaos --quick --out r.json  # CI smoke + JSON report
+    python -m repro serve --port 8351       # reports as a long-lived HTTP
+                                            # service with a job queue
+    python -m repro report intra --digest   # print the canonical digest
+                                            # (matches the serve endpoints)
 """
 
 from __future__ import annotations
@@ -82,6 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "or 'auto' to size from the host); with "
                              "N > 1 the shards fold in parallel worker "
                              "processes (results are bit-identical)")
+    report.add_argument("--digest", action="store_true",
+                        help="also print the canonical report_digest; "
+                             "bit-identical to the digest the serve "
+                             "endpoints embed for the same corpus+seed")
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
@@ -165,17 +173,59 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", metavar="PATH", default=None,
                        help="write the JSON fault report here")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve both studies as a long-lived HTTP service "
+             "(repro.serve): cached JSON report endpoints plus a "
+             "checkpointed job queue",
+    )
+    serve.add_argument("--port", type=int, default=8351,
+                       help="TCP port to bind (default: 8351; 0 picks "
+                            "an ephemeral port)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--seed", type=int, default=1,
+                       help="intra corpus seed (default: 1)")
+    serve.add_argument("--backbone-seed", type=int, default=7,
+                       help="backbone corpus seed (default: 7)")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="intra corpus scale factor")
+    serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="job-queue worker threads (default: 2)")
+    serve.add_argument("--corpus", metavar="PATH", default=None,
+                       help="serve an exported SEV corpus (.jsonl/.json/"
+                            ".csv) instead of generating one")
+    serve.add_argument("--data-dir", metavar="DIR", default=None,
+                       help="directory for the job checkpoint, artifact "
+                            "registry, and result cache; restarting with "
+                            "the same directory resumes pending jobs "
+                            "(default: a temporary directory)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-warming the report cache at startup")
+
     return parser
 
 
 def _intra_report(seed: Optional[int], scale: float,
                   backend: str = "batch",
-                  jobs: Optional[int] = None) -> None:
+                  jobs: Optional[int] = None,
+                  digest: bool = False) -> None:
     scenario = (paper_scenario(seed=seed, scale=scale)
                 if seed is not None else paper_scenario(scale=scale))
     store = IntraSimulator(scenario).run()
     fleet = scenario.fleet
     _print_intra_tables(store, fleet, backend=backend, jobs=jobs)
+    if digest:
+        from repro.faultline.oracle import report_digest
+        from repro.runtime import RunContext, run_intra_report
+
+        report = run_intra_report(
+            RunContext(store=store, fleet=fleet,
+                       corpus_seed=scenario.seed),
+            backend=backend,
+            jobs=jobs if jobs is not None else 4,
+            use_processes=jobs is not None and jobs > 1,
+        )
+        print(f"\nreport_digest: {report_digest(report)}")
 
 
 def _print_intra_tables(store: SEVStore, fleet,
@@ -258,7 +308,8 @@ def _print_intra_tables(store: SEVStore, fleet,
 def _backbone_report(seed: Optional[int],
                      backend: str = "batch",
                      cache_dir: Optional[str] = None,
-                     jobs: Optional[int] = None) -> None:
+                     jobs: Optional[int] = None,
+                     digest: bool = False) -> None:
     """The backbone study through the domain-generic runtime.
 
     Same executor, same cache, same backends as ``report intra`` —
@@ -285,9 +336,21 @@ def _backbone_report(seed: Optional[int],
           f"{len(corpus.topology.edges)} edges, "
           f"{len(corpus.topology.links)} links\n")
     print(report.render())
+    if digest:
+        from repro.faultline.oracle import report_digest
+
+        print(f"\nreport_digest: {report_digest(report)}")
     if cache is not None and cache.hits:
-        print(f"\n[cache] {cache.hits} analyses reused, "
-              f"{cache.misses} computed")
+        _print_cache_stats(cache)
+
+
+def _print_cache_stats(cache) -> None:
+    """The ``[cache]`` summary line, backed by ``ResultCache.stats()``."""
+    stats = cache.stats()
+    print(f"\n[cache] {stats['hits']} analyses reused, "
+          f"{stats['misses']} computed "
+          f"(hit rate {stats['hit_rate']:.0%}, "
+          f"{stats['entries']} entries)")
 
 
 def _export(dataset: str, path: str, seed: Optional[int],
@@ -462,7 +525,8 @@ def _analyze_tickets(path: str, backend: str = "batch") -> None:
 def _full_report(seed: Optional[int], scale: float,
                  backend: str = "batch",
                  cache_dir: Optional[str] = None,
-                 jobs: Optional[int] = None) -> None:
+                 jobs: Optional[int] = None,
+                 digest: bool = False) -> None:
     from repro.core import backbone_study_report
     from repro.runtime import ResultCache, RunContext, run_intra_report
 
@@ -473,22 +537,31 @@ def _full_report(seed: Optional[int], scale: float,
     context = RunContext(
         store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
     )
-    print(run_intra_report(
+    intra = run_intra_report(
         context, backend=backend, cache=cache,
         jobs=jobs if jobs is not None else 4,
         use_processes=jobs is not None and jobs > 1,
-    ).render())
+    )
+    print(intra.render())
+    if digest:
+        from repro.faultline.oracle import report_digest
+
+        print(f"\nreport_digest: {report_digest(intra)}")
     if cache is not None and cache.hits:
-        print(f"\n[cache] {cache.hits} analyses reused, "
-              f"{cache.misses} computed")
+        _print_cache_stats(cache)
 
     backbone_scenario = (paper_backbone_scenario(seed=seed)
                          if seed is not None else paper_backbone_scenario())
     corpus = BackboneSimulator(backbone_scenario).run()
     monitor = BackboneMonitor(corpus.topology, corpus.tickets)
-    print("\n" + backbone_study_report(
+    backbone = backbone_study_report(
         monitor, corpus.topology, corpus.window_h
-    ).render())
+    )
+    print("\n" + backbone.render())
+    if digest:
+        from repro.faultline.oracle import report_digest
+
+        print(f"\nreport_digest: {report_digest(backbone)}")
 
 
 def _chaos(seed: int, sites: Optional[str], quick: bool,
@@ -517,8 +590,46 @@ def _chaos(seed: int, sites: Optional[str], quick: bool,
     return 0 if report["passed"] else 1
 
 
+def _serve(args) -> int:
+    """Start the long-lived report service (blocks until shutdown)."""
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        seed=args.seed, scale=args.scale,
+        backbone_seed=args.backbone_seed,
+        host=args.host, port=args.port,
+        data_dir=args.data_dir, job_workers=args.jobs,
+        prewarm=not args.no_warm, corpus_path=args.corpus,
+    )
+    try:
+        app.start()
+        pending = app.queue.stats()["queued"]
+        if pending:
+            print(f"resumed {pending} pending job(s) from "
+                  f"{app.data_dir / 'jobs.json'}")
+        print(f"serving on {app.url} "
+              f"(seed {args.seed}, scale {args.scale}, "
+              f"{args.jobs} job worker(s))")
+        print(f"  try: curl {app.url}/healthz")
+        print(f"       curl {app.url}/reports/intra")
+        app.serve_forever()
+    finally:
+        app.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # Long-running modes (serve, stream, bench) end at Ctrl-C;
+        # that is a shutdown, not a crash — no traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _dispatch(args) -> int:
     if args.command == "report":
         jobs = args.jobs
         if jobs == "auto":
@@ -526,12 +637,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             jobs = resolve_jobs("auto")
         if args.study == "intra":
-            _intra_report(args.seed, args.scale, args.backend, jobs)
+            _intra_report(args.seed, args.scale, args.backend, jobs,
+                          digest=args.digest)
         elif args.study == "backbone":
-            _backbone_report(args.seed, args.backend, args.cache, jobs)
+            _backbone_report(args.seed, args.backend, args.cache, jobs,
+                             digest=args.digest)
         else:
             _full_report(args.seed, args.scale, args.backend, args.cache,
-                         jobs)
+                         jobs, digest=args.digest)
     elif args.command == "export":
         _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
@@ -546,6 +659,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         seed=args.seed)
     elif args.command == "chaos":
         return _chaos(args.seed, args.sites, args.quick, args.out)
+    elif args.command == "serve":
+        return _serve(args)
     elif args.command == "verify":
         from repro.verify import render_verification, run_verification
 

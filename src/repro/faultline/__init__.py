@@ -30,6 +30,7 @@ from repro.faultline.plan import (
     FaultToleranceError,
     FaultlineError,
     InjectedFault,
+    JobWorkerCrash,
     ShardWorkerCrash,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "FaultToleranceError",
     "FaultlineError",
     "InjectedFault",
+    "JobWorkerCrash",
     "OracleReport",
     "ShardWorkerCrash",
     "active_plan",

@@ -1,6 +1,6 @@
 """The ``python -m repro chaos`` drill suite.
 
-Four drills, each aimed at one hardened failure surface, all driven by
+Five drills, each aimed at one hardened failure surface, all driven by
 one seed so a failed run replays exactly:
 
 ``differential``
@@ -18,7 +18,11 @@ one seed so a failed run replays exactly:
 ``ingest``
     inject transient SQLite errors into the bulk-load path and demand
     bounded-backoff retries land every row — and that unbounded faults
-    give up cleanly instead of spinning.
+    give up cleanly instead of spinning;
+``serve_jobs``
+    crash :mod:`repro.serve` job workers and tear the job-queue
+    checkpoint, then restart the queue over the same data dir and
+    demand every artifact match the fault-free run bit for bit.
 
 The suite returns a JSON-able fault report that is *deterministic in
 the seed*: no timestamps, no host paths — two runs with the same seed
@@ -236,6 +240,76 @@ def _ingest_drill(seed: int, quick: bool,
             "detail": detail}
 
 
+def _serve_jobs_drill(seed: int, quick: bool,
+                      sites: Optional[Sequence[str]]) -> dict:
+    """Crash job workers and tear job checkpoints; artifacts must not care.
+
+    A fault-free :class:`~repro.serve.jobs.JobQueue` run fixes the
+    expected artifact digests.  The same jobs then run under a plan
+    firing ``serve.worker`` (worker crashes mid-job) and
+    ``serve.checkpoint`` (the jobs.json write tears); afterwards a
+    *fresh* queue is attached to the same data dir — the restart after
+    a kill — and must resume whatever the torn checkpoints failed to
+    record.  The drill passes when every job ends ``done`` with an
+    artifact digest bit-identical to the fault-free run's.
+    """
+    from repro.serve.jobs import JobQueue
+
+    scale = 0.05 if quick else 0.1
+    job_specs = [
+        ("report", {"study": "intra", "seed": seed, "scale": scale}),
+        ("report", {"study": "intra", "seed": seed + 1, "scale": scale}),
+    ]
+    active = _selected(sites, "serve.worker", "serve.checkpoint")
+
+    def run_queue(data_dir, start_started=True):
+        queue = JobQueue(data_dir, workers=2)
+        jobs = [queue.submit(kind, params) for kind, params in job_specs]
+        queue.start()
+        completed = queue.join(timeout=300)
+        queue.stop()
+        return queue, jobs, completed
+
+    with tempfile.TemporaryDirectory() as clean_dir, \
+            tempfile.TemporaryDirectory() as faulty_dir:
+        baseline_queue, baseline_jobs, baseline_done = run_queue(clean_dir)
+        expected = [
+            baseline_queue.get(job.id).artifact_digest
+            for job in baseline_jobs
+        ]
+
+        plan = FaultPlan(seed, [
+            FaultSpec(site, probability=0.5, max_fires=2) for site in active
+        ])
+        with hooks.injected(plan):
+            _, faulty_jobs, _ = run_queue(faulty_dir)
+
+        # The restart: a fresh queue over the same data dir picks up
+        # whatever the torn checkpoints left unrecorded and re-runs it.
+        recovery = JobQueue(faulty_dir, workers=2)
+        recovery.start()
+        recovered = recovery.join(timeout=300)
+        recovery.stop()
+        final = [recovery.get(job.id) for job in faulty_jobs]
+        statuses = [job.status for job in final]
+        digests = [job.artifact_digest for job in final]
+
+    matched = digests == expected
+    passed = (baseline_done and recovered and matched
+              and all(status == "done" for status in statuses))
+    detail = {
+        "sites": active,
+        "jobs": len(job_specs),
+        "faults_fired": plan.fired(),
+        "fired_per_site": {site: plan.fired(site) for site in active},
+        "statuses": statuses,
+        "digests_match_fault_free": matched,
+        "artifact_digests": expected,
+        "fault_log_digest": plan.log_digest(),
+    }
+    return {"name": "serve_jobs", "passed": passed, "detail": detail}
+
+
 def chaos_suite(
     seed: int = 7,
     quick: bool = False,
@@ -253,6 +327,7 @@ def chaos_suite(
         _checkpoint_drill(seed, quick, sites),
         _jsonl_drill(seed, quick, sites),
         _ingest_drill(seed, quick, sites),
+        _serve_jobs_drill(seed, quick, sites),
     ]
     report = {
         "format": REPORT_FORMAT,

@@ -33,6 +33,7 @@ __all__ = [
     "FaultToleranceError",
     "FaultlineError",
     "InjectedFault",
+    "JobWorkerCrash",
     "ShardWorkerCrash",
 ]
 
@@ -51,6 +52,11 @@ SITES = (
     "store.insert",
     # runtime.executor sharded backend: a shard worker crashes.
     "executor.shard",
+    # serve.jobs worker threads: a job crashes mid-execution.
+    "serve.worker",
+    # serve.jobs checkpoint: the jobs.json write tears mid-JSON;
+    # nothing is published, the previous checkpoint survives.
+    "serve.checkpoint",
 )
 
 
@@ -68,6 +74,10 @@ class CheckpointKilled(InjectedFault):
 
 class ShardWorkerCrash(InjectedFault):
     """Simulated crash of one shard worker in the sharded backend."""
+
+
+class JobWorkerCrash(InjectedFault):
+    """Simulated crash of one job-queue worker in repro.serve."""
 
 
 class FaultToleranceError(FaultlineError):

@@ -100,8 +100,14 @@ class SEVStore:
     store owns its connection and is also a context manager.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
+    def __init__(self, path: str = ":memory:",
+                 check_same_thread: bool = True) -> None:
+        # ``check_same_thread=False`` lets a long-lived server share
+        # one store across handler threads; callers doing so must
+        # serialize access themselves (repro.serve holds a lock).
+        self._conn = sqlite3.connect(
+            path, check_same_thread=check_same_thread
+        )
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self.create_indexes()

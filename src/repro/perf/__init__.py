@@ -20,6 +20,7 @@ Quickstart::
 from repro.perf.bench import (
     bench_backbone,
     bench_ingest,
+    bench_serve,
     bench_stream_throughput,
     run_bench_suite,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "PhaseTimer",
     "bench_backbone",
     "bench_ingest",
+    "bench_serve",
     "bench_stream_throughput",
     "environment",
     "events_per_second",

@@ -1,6 +1,6 @@
 """The built-in benchmark suite (``python -m repro bench``).
 
-Three hot paths, each measured with :mod:`repro.perf` primitives and
+Four hot paths, each measured with :mod:`repro.perf` primitives and
 recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
 
 ``stream_throughput``
@@ -19,6 +19,10 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     (serial and process-parallel) — plus a content-addressed cached
     re-run; reports tickets/s per backend and the cache speedup, and
     asserts all backends agree bit for bit.
+``serve_latency``
+    a live :mod:`repro.serve` server under concurrent readers plus one
+    job-submitting writer; reports requests/s and p50/p99 latency per
+    endpoint with zero tolerated errors.
 
 The suite prints rendered tables and writes one record per benchmark
 to the output directory, so successive PRs accumulate a comparable
@@ -261,6 +265,139 @@ def bench_backbone(
     )
 
 
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def bench_serve(
+    seed: int = 1,
+    scale: float = 0.25,
+    readers: int = 8,
+    requests_per_reader: int = 25,
+    writer_jobs: int = 3,
+) -> BenchRecord:
+    """Measure the serving layer under concurrent readers + a live writer.
+
+    Starts a real :class:`~repro.serve.ServeApp` (pre-warmed cache) on
+    an ephemeral port, then drives it with ``readers`` threads issuing
+    HTTP GETs round-robin across the report, figure, table, and stats
+    endpoints while one writer thread POSTs ``writer_jobs`` report
+    jobs — the worst realistic mix: every read should be a cache hit
+    even while the job workers grind.  Reports requests/s and p50/p99
+    latency overall and per endpoint; any non-200 response counts as
+    an error (and the suite treats errors as a failed run).
+    """
+    import json as json_mod
+    import threading
+    import urllib.request
+
+    from repro.serve import ServeApp
+
+    endpoints = [
+        "/reports/intra",
+        "/reports/backbone",
+        "/figures/fig3",
+        "/figures/fig15",
+        "/tables/table2",
+        "/stats",
+        "/healthz",
+    ]
+    samples: List[Tuple[str, float]] = []
+    errors: List[str] = []
+    record_lock = threading.Lock()
+
+    with ServeApp(seed=seed, scale=scale, prewarm=True) as app:
+        base = app.url
+
+        def read_worker(worker: int) -> None:
+            for i in range(requests_per_reader):
+                endpoint = endpoints[(worker + i) % len(endpoints)]
+                start = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(base + endpoint) as resp:
+                        resp.read()
+                        ok = resp.status == 200
+                        problem = f"{endpoint}: HTTP {resp.status}"
+                except Exception as exc:  # noqa: BLE001 - recorded below
+                    ok = False
+                    problem = f"{endpoint}: {exc}"
+                ms = (time.perf_counter() - start) * 1e3
+                with record_lock:
+                    if ok:
+                        samples.append((endpoint, ms))
+                    else:
+                        errors.append(problem)
+
+        def write_worker() -> None:
+            payload = json_mod.dumps({
+                "kind": "report",
+                "params": {"study": "intra", "seed": seed, "scale": 0.1},
+            }).encode()
+            for _ in range(writer_jobs):
+                request = urllib.request.Request(
+                    base + "/jobs", data=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(request) as resp:
+                        resp.read()
+                except Exception as exc:  # noqa: BLE001 - recorded below
+                    with record_lock:
+                        errors.append(f"POST /jobs: {exc}")
+
+        threads = [
+            threading.Thread(target=read_worker, args=(worker,))
+            for worker in range(readers)
+        ]
+        writer = threading.Thread(target=write_worker)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        writer.start()
+        for thread in threads:
+            thread.join()
+        writer.join()
+        seconds = time.perf_counter() - start
+        app.queue.join(timeout=300)
+        cache_stats = app.state.cache.stats()
+        job_stats = app.queue.stats()
+
+    latencies = sorted(ms for _, ms in samples)
+    per_endpoint = {}
+    for endpoint in endpoints:
+        subset = sorted(ms for e, ms in samples if e == endpoint)
+        per_endpoint[endpoint] = {
+            "requests": len(subset),
+            "p50_ms": _percentile(subset, 0.50),
+            "p99_ms": _percentile(subset, 0.99),
+        }
+    metrics = {
+        "requests": len(samples),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "seconds": seconds,
+        "requests_per_s": events_per_second(len(samples), seconds),
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "per_endpoint": per_endpoint,
+        "cache": cache_stats,
+        "jobs": job_stats,
+    }
+    return BenchRecord(
+        name="serve_latency",
+        params={
+            "seed": seed, "scale": scale, "readers": readers,
+            "requests_per_reader": requests_per_reader,
+            "writer_jobs": writer_jobs,
+        },
+        metrics=metrics,
+    )
+
+
 def render_stream_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -327,6 +464,33 @@ def render_backbone_record(record: BenchRecord) -> str:
     )
 
 
+def render_serve_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            endpoint,
+            entry["requests"],
+            f"{entry['p50_ms']:.1f}",
+            f"{entry['p99_ms']:.1f}",
+        ]
+        for endpoint, entry in record.metrics["per_endpoint"].items()
+    ]
+    rows.append([
+        "(all)",
+        record.metrics["requests"],
+        f"{record.metrics['p50_ms']:.1f}",
+        f"{record.metrics['p99_ms']:.1f}",
+    ])
+    return format_table(
+        ["Endpoint", "Requests", "p50 ms", "p99 ms"],
+        rows,
+        title=(f"Serve latency ({record.params['readers']} readers + "
+               f"1 writer, {record.metrics['requests_per_s']:,.0f} req/s, "
+               f"errors={record.metrics['errors']})"),
+    )
+
+
 def run_bench_suite(
     quick: bool = False,
     out_dir: Optional[Path] = None,
@@ -347,13 +511,20 @@ def run_bench_suite(
     )
     ingest = bench_ingest(seed=seed, scale=scale)
     backbone = bench_backbone(rounds=rounds)
-    records = [stream, ingest, backbone]
+    serve = (
+        bench_serve(scale=0.1, readers=4, requests_per_reader=10,
+                    writer_jobs=1)
+        if quick else bench_serve()
+    )
+    records = [stream, ingest, backbone, serve]
 
     print(render_stream_record(stream))
     print()
     print(render_ingest_record(ingest))
     print()
     print(render_backbone_record(backbone))
+    print()
+    print(render_serve_record(serve))
     if out_dir is not None:
         for record in records:
             path = write_record(record, out_dir)

@@ -183,6 +183,21 @@ class ResultCache:
             tmp.write_bytes(payload)
             os.replace(tmp, file)
 
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: hits, misses, entries, hit rate.
+
+        The JSON-able shape the serving layer's ``/stats`` endpoint
+        and the CLI's ``[cache]`` line both report.
+        """
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "persistent": self._dir is not None,
+        }
+
     def clear(self) -> None:
         self._memory.clear()
         if self._dir is not None:

@@ -125,7 +125,10 @@ class IntraSimulator:
         largest remainder so the published mixes are met exactly up to
         integer rounding.
         """
-        store = store or SEVStore()
+        # ``is None``, not truthiness: an empty caller-built store
+        # (e.g. a thread-shared one from repro.serve) has len() == 0
+        # and must not be silently replaced.
+        store = SEVStore() if store is None else store
         workflow = SEVAuthoringWorkflow(store)
         for year in self._scenario.years:
             for device_type in sorted(
@@ -151,7 +154,10 @@ class IntraSimulator:
         world where every issue needs a human — the ablation for the
         section 5.6 claim.
         """
-        store = store or SEVStore()
+        # ``is None``, not truthiness: an empty caller-built store
+        # (e.g. a thread-shared one from repro.serve) has len() == 0
+        # and must not be silently replaced.
+        store = SEVStore() if store is None else store
         workflow = SEVAuthoringWorkflow(store)
         issue_seq = 0
         for year in self._scenario.years:

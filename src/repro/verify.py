@@ -154,6 +154,7 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(runtime_equivalence_checks(seed=seed))
     checks.extend(backbone_runtime_checks(backbone_seed=backbone_seed))
     checks.extend(faultline_checks(seed=seed))
+    checks.extend(serve_checks(seed=seed, backbone_seed=backbone_seed))
     return checks
 
 
@@ -372,6 +373,68 @@ def faultline_checks(seed: int = 1) -> List[Check]:
         "Faultline", "corrupt cache entry recovered as miss", 1.0,
         float(not hit and reader.misses == 1 and rehit
               and value == {"value": 42}),
+        0.0, relative=False,
+    ))
+    return checks
+
+
+def serve_checks(seed: int = 1, backbone_seed: int = 7,
+                 scale: float = 0.25) -> List[Check]:
+    """Exercise the serving layer (:mod:`repro.serve`).
+
+    Three invariants: the intra report served over the in-process API
+    carries the same canonical ``report_digest`` as a direct runtime
+    run over the same corpus+seed (what the CLI's ``--digest`` flag
+    prints); the backbone endpoint likewise; and two independent job
+    queues given the identical report job produce bit-identical
+    artifact digests — the determinism that makes kill/resume safe.
+    """
+    import tempfile
+
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import run_backbone_report, run_intra_report
+    from repro.serve import JobQueue, ServeApp
+    from repro.serve.payloads import (
+        build_backbone_context,
+        build_intra_context,
+    )
+
+    checks: List[Check] = []
+
+    with ServeApp(seed=seed, scale=scale, backbone_seed=backbone_seed,
+                  prewarm=False) as app:
+        _, intra = app.handle("GET", "/reports/intra")
+        _, backbone = app.handle("GET", "/reports/backbone")
+    direct_intra = report_digest(run_intra_report(
+        build_intra_context(seed=seed, scale=scale), backend="stream",
+    ))
+    direct_backbone = report_digest(run_backbone_report(
+        build_backbone_context(seed=backbone_seed), backend="stream",
+    ))
+    checks.append(Check(
+        "Serve", "intra endpoint digest equals CLI digest", 1.0,
+        float(intra["report_digest"] == direct_intra),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Serve", "backbone endpoint digest equals CLI digest", 1.0,
+        float(backbone["report_digest"] == direct_backbone),
+        0.0, relative=False,
+    ))
+
+    params = {"study": "intra", "seed": seed, "scale": 0.1}
+    digests = []
+    for _ in range(2):
+        with tempfile.TemporaryDirectory() as tmp:
+            queue = JobQueue(tmp, workers=1)
+            queue.start()
+            job = queue.submit("report", params)
+            queue.join(timeout=300)
+            queue.stop()
+            digests.append(queue.get(job.id).artifact_digest)
+    checks.append(Check(
+        "Serve", "job artifact digest deterministic per seed", 1.0,
+        float(digests[0] is not None and digests[0] == digests[1]),
         0.0, relative=False,
     ))
     return checks

@@ -32,7 +32,7 @@ class TestChaosSuite:
         report = chaos_suite(seed=7, quick=True)
         assert report["passed"]
         assert [d["name"] for d in report["drills"]] == [
-            "differential", "checkpoint", "jsonl", "ingest",
+            "differential", "checkpoint", "jsonl", "ingest", "serve_jobs",
         ]
         assert all(d["passed"] for d in report["drills"])
 
@@ -67,7 +67,7 @@ class TestChaosCLI:
     def test_chaos_command_passes(self, capsys):
         assert main(["chaos", "--quick", "--seed", "7"]) == 0
         out = capsys.readouterr().out
-        assert out.count("[PASS]") == 4
+        assert out.count("[PASS]") == 5
         assert "[FAIL]" not in out
         assert "report digest" in out
 

@@ -9,6 +9,7 @@ from repro.perf import (
     PhaseTimer,
     bench_backbone,
     bench_ingest,
+    bench_serve,
     bench_stream_throughput,
     environment,
     events_per_second,
@@ -119,6 +120,22 @@ class TestBenchSuite:
         assert record.metrics["cache_speedup_vs_stream"] > 0.0
 
 
+    def test_serve_record_measures_concurrent_load(self):
+        record = bench_serve(scale=0.1, readers=4, requests_per_reader=6,
+                             writer_jobs=1)
+        assert record.name == "serve_latency"
+        assert record.metrics["errors"] == 0, record.metrics["error_samples"]
+        assert record.metrics["requests"] == 4 * 6
+        assert record.metrics["requests_per_s"] > 0.0
+        assert record.metrics["p99_ms"] >= record.metrics["p50_ms"] > 0.0
+        per_endpoint = record.metrics["per_endpoint"]
+        assert "/reports/intra" in per_endpoint
+        assert sum(e["requests"] for e in per_endpoint.values()) == 24
+        # The warmed cache took every read; the writer's job ran.
+        assert record.metrics["cache"]["hits"] > 0
+        assert record.metrics["jobs"]["done"] == 1
+
+
 class TestBenchCLI:
     def test_bench_quick_writes_records(self, tmp_path, capsys):
         from repro.cli import main
@@ -130,9 +147,12 @@ class TestBenchCLI:
         assert "Streaming generation throughput" in printed
         assert "SEV store ingest" in printed
         assert "Backbone report across runtime backends" in printed
+        assert "Serve latency" in printed
         stream = load_record(out / "stream_throughput.json")
         ingest = load_record(out / "ingest_bulk_load.json")
         backbone = load_record(out / "backbone_report.json")
+        serve = load_record(out / "serve_latency.json")
         assert stream.metrics["digests_identical"] is True
         assert ingest.metrics["bulk_speedup_vs_rowwise"] > 0.0
         assert backbone.metrics["backends_identical"] is True
+        assert serve.metrics["errors"] == 0

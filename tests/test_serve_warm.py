@@ -1,0 +1,102 @@
+"""The cache pre-warmer: hot reports, live ingest, re-folding.
+
+The serving contract under test: after ``prewarm`` the first request
+is already a cache hit, and after new events land through ``tail``
+the served report reflects them — re-folded off the request path, so
+the next request is again a hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeApp
+from repro.serve.warm import CacheWarmer
+
+
+@pytest.fixture()
+def app():
+    served = ServeApp(seed=1, scale=0.1, prewarm=False)
+    yield served
+    served.stop()
+
+
+class TestPrewarm:
+    def test_first_request_after_prewarm_is_a_hit(self, app):
+        digests = app.warmer.prewarm()
+        assert set(digests) == {"intra", "backbone"}
+        before = app.state.cache.stats()
+        _, payload = app.handle("GET", "/reports/intra")
+        after = app.state.cache.stats()
+        assert payload["report_digest"] == digests["intra"]
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_prewarm_is_idempotent(self, app):
+        first = app.warmer.prewarm()
+        misses_after_first = app.state.cache.stats()["misses"]
+        second = app.warmer.prewarm()
+        assert first == second
+        assert app.state.cache.stats()["misses"] == misses_after_first
+        assert app.warmer.stats()["prewarms"] == 2
+
+    def test_start_prewarms_when_enabled(self):
+        served = ServeApp(seed=1, scale=0.1, prewarm=True)
+        try:
+            served.start()
+            assert served.warmer.stats()["prewarms"] >= 1
+        finally:
+            served.stop()
+
+
+class TestNotifyRefold:
+    def test_notify_triggers_refold_at_cadence(self, app):
+        app.warmer.refold_every = 4
+        assert app.warmer.notify(3) is False
+        assert app.warmer.stats()["dirty"] == 3
+        assert app.warmer.notify(1) is True
+        stats = app.warmer.stats()
+        assert stats["refolds"] == 1
+        assert stats["dirty"] == 0
+
+    def test_refold_every_validated(self, app):
+        with pytest.raises(ValueError, match="refold_every"):
+            CacheWarmer(app.state, refold_every=0)
+
+
+class TestTail:
+    def _new_events(self, count):
+        from repro.simulation.generator import iter_scenario_reports
+        from repro.simulation.scenarios import paper_scenario
+
+        import itertools
+        return itertools.islice(
+            iter_scenario_reports(paper_scenario(seed=99, scale=0.1)), count
+        )
+
+    def test_tail_folds_events_and_rotates_the_report(self, app):
+        app.warmer.prewarm()
+        _, before = app.handle("GET", "/reports/intra")
+        rows_before = len(app.state.intra_context.store)
+
+        ingested = app.warmer.tail(self._new_events(10))
+        assert ingested == 10
+        assert len(app.state.intra_context.store) == rows_before + 10
+        assert app.state.engine.events_ingested == 10
+        assert app.warmer.stats()["events_tailed"] == 10
+
+        # The corpus moved, so the served report moved with it — and
+        # the tail's final refold means the request is still a hit.
+        hits_before = app.state.cache.stats()["hits"]
+        _, after = app.handle("GET", "/reports/intra")
+        assert after["report_digest"] != before["report_digest"]
+        stats = app.state.cache.stats()
+        assert stats["hits"] > hits_before
+
+    def test_tail_respects_limit(self, app):
+        ingested = app.warmer.tail(self._new_events(50), limit=8, batch=4)
+        assert ingested == 8
+
+    def test_tail_of_empty_source_is_a_noop(self, app):
+        assert app.warmer.tail(iter(())) == 0
+        assert app.warmer.stats()["refolds"] == 0
