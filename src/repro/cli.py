@@ -20,6 +20,13 @@ Exposes the pipeline without writing Python::
                                             # service with a job queue
     python -m repro report intra --digest   # print the canonical digest
                                             # (matches the serve endpoints)
+    python -m repro store init st --seed 1  # tiered, partitioned store:
+                                            # (year, region) shards behind
+                                            # a checksummed manifest
+    python -m repro store compact st        # gzip-compress old years
+    python -m repro store status st         # manifest summary as JSON
+    python -m repro report intra --store-dir st  # report off the store
+                                            # (digests match generation)
 """
 
 from __future__ import annotations
@@ -58,6 +65,26 @@ def _parse_jobs(value: str):
     return jobs
 
 
+def _parse_bytes(value: str):
+    """``--cache-prune`` accepts a byte count, with k/m/g suffixes."""
+    text = value.strip().lower()
+    multiplier = 1
+    for suffix, scale in (("k", 1024), ("m", 1024 ** 2), ("g", 1024 ** 3)):
+        if text.endswith(suffix):
+            text, multiplier = text[: -len(suffix)], scale
+            break
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count (optionally suffixed k/m/g), "
+            f"got {value!r}"
+        )
+    if count < 0:
+        raise argparse.ArgumentTypeError("byte count must be non-negative")
+    return count * multiplier
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +117,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also print the canonical report_digest; "
                              "bit-identical to the digest the serve "
                              "endpoints embed for the same corpus+seed")
+    report.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="report over a tiered partitioned store "
+                             "(python -m repro store init) instead of "
+                             "generating a corpus; the stored corpus "
+                             "yields the same digests as a freshly "
+                             "generated one of the same seed")
+    report.add_argument("--cache-prune", metavar="BYTES",
+                        type=_parse_bytes, default=None,
+                        help="after the run, evict the oldest --cache "
+                             "entries until the cache directory holds at "
+                             "most BYTES (k/m/g suffixes accepted)")
 
     export = sub.add_parser("export", help="generate a corpus and export it")
     export.add_argument("dataset", choices=["sevs", "tickets"])
@@ -140,6 +178,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="which corpus to generate when not "
                              "replaying: intra SEVs or backbone repair "
                              "tickets")
+    stream.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="replay a tiered partitioned store "
+                             "(either domain) instead of generating "
+                             "or reading an export")
 
     bench = sub.add_parser(
         "bench",
@@ -201,17 +243,86 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: a temporary directory)")
     serve.add_argument("--no-warm", action="store_true",
                        help="skip pre-warming the report cache at startup")
+    serve.add_argument("--store-dir", metavar="DIR", default=None,
+                       help="serve an existing partitioned SEV store "
+                            "(python -m repro store init) instead of "
+                            "generating the intra corpus")
+
+    store = sub.add_parser(
+        "store",
+        help="manage a tiered, partitioned corpus store "
+             "(repro.storage): per-(year, region) shards behind a "
+             "checksummed manifest, with a gzip cold tier",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    s_init = store_sub.add_parser(
+        "init", help="create a store and ingest a generated corpus"
+    )
+    s_init.add_argument("dir", help="store directory (created)")
+    s_init.add_argument("--dataset", choices=["sevs", "tickets"],
+                        default="sevs")
+    s_init.add_argument("--seed", type=int, default=1)
+    s_init.add_argument("--scale", type=float, default=1.0,
+                        help="intra corpus scale factor (sevs only)")
+
+    s_compact = store_sub.add_parser(
+        "compact", help="demote old partitions to the gzip cold tier "
+                        "(and optionally apply a retention floor)"
+    )
+    s_compact.add_argument("dir", help="store directory")
+    s_compact.add_argument("--keep-hot-years", type=int, default=1,
+                           metavar="N",
+                           help="keep the newest N years hot "
+                                "(default: 1)")
+    s_compact.add_argument("--retain-from", type=int, default=None,
+                           metavar="YEAR",
+                           help="delete partitions older than YEAR "
+                                "before compacting (destructive)")
+
+    s_status = store_sub.add_parser(
+        "status", help="print the manifest summary as JSON"
+    )
+    s_status.add_argument("dir", help="store directory")
 
     return parser
+
+
+def _open_partitioned(store_dir: str):
+    """Open a partitioned store of either domain, from its manifest."""
+    from repro.storage import (
+        Manifest, PartitionedSEVStore, PartitionedTicketStore,
+    )
+
+    manifest = Manifest.load(store_dir)
+    cls = (PartitionedSEVStore if manifest.domain == "sev"
+           else PartitionedTicketStore)
+    return cls.open(store_dir)
 
 
 def _intra_report(seed: Optional[int], scale: float,
                   backend: str = "batch",
                   jobs: Optional[int] = None,
-                  digest: bool = False) -> None:
-    scenario = (paper_scenario(seed=seed, scale=scale)
-                if seed is not None else paper_scenario(scale=scale))
-    store = IntraSimulator(scenario).run()
+                  digest: bool = False,
+                  store_dir: Optional[str] = None) -> None:
+    if store_dir is not None:
+        # Report over a stored corpus: the fleet model (and the cache
+        # fingerprint seed) come from the generator parameters the
+        # manifest recorded at `store init` time.
+        store = _open_partitioned(store_dir)
+        if store.domain != "sev":
+            raise SystemExit(
+                f"{store_dir} holds a {store.domain!r} store; "
+                "'report intra' needs a SEV store"
+            )
+        meta = store.manifest.meta
+        seed = meta.get("seed", seed if seed is not None else 1)
+        scale = meta.get("scale", scale)
+        scenario = paper_scenario(seed=seed, scale=scale)
+    else:
+        scenario = (paper_scenario(seed=seed, scale=scale)
+                    if seed is not None else paper_scenario(scale=scale))
+        store = IntraSimulator(scenario).run()
     fleet = scenario.fleet
     _print_intra_tables(store, fleet, backend=backend, jobs=jobs)
     if digest:
@@ -309,22 +420,44 @@ def _backbone_report(seed: Optional[int],
                      backend: str = "batch",
                      cache_dir: Optional[str] = None,
                      jobs: Optional[int] = None,
-                     digest: bool = False) -> None:
+                     digest: bool = False,
+                     store_dir: Optional[str] = None) -> None:
     """The backbone study through the domain-generic runtime.
 
     Same executor, same cache, same backends as ``report intra`` —
-    the ticket corpus is just another record source.
+    the ticket corpus is just another record source.  With
+    ``store_dir`` the tickets stream from a partitioned store; the
+    topology and window are rebuilt from the seed the manifest
+    recorded (the ticket corpus itself is the store's, not the
+    simulator's).
     """
     from repro.runtime import ResultCache, RunContext, run_backbone_report
 
+    tickets = None
+    if store_dir is not None:
+        store = _open_partitioned(store_dir)
+        if store.domain != "ticket":
+            raise SystemExit(
+                f"{store_dir} holds a {store.domain!r} store; "
+                "'report backbone' needs a ticket store"
+            )
+        seed = store.manifest.meta.get(
+            "seed", seed if seed is not None else 7
+        )
+        tickets = store
     scenario = (paper_backbone_scenario(seed=seed)
                 if seed is not None else paper_backbone_scenario())
     corpus = BackboneSimulator(scenario).run()
-    monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    if tickets is None:
+        tickets = corpus.tickets
+        monitor = BackboneMonitor(corpus.topology, corpus.tickets)
+    else:
+        monitor = BackboneMonitor(corpus.topology, tickets.to_database())
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     context = RunContext(
         monitor=monitor, topology=corpus.topology,
         window_h=corpus.window_h, corpus_seed=scenario.seed,
+        tickets=tickets,
     )
     report = run_backbone_report(
         context, cache=cache, backend=backend,
@@ -332,7 +465,7 @@ def _backbone_report(seed: Optional[int],
         use_processes=jobs is not None and jobs > 1,
     )
 
-    print(f"corpus: {len(corpus.tickets)} tickets, "
+    print(f"corpus: {len(tickets)} tickets, "
           f"{len(corpus.topology.edges)} edges, "
           f"{len(corpus.topology.links)} links\n")
     print(report.render())
@@ -358,15 +491,19 @@ def _export(dataset: str, path: str, seed: Optional[int],
     from repro.io import (
         export_sevs_csv, export_sevs_json, export_sevs_jsonl,
         export_tickets_csv, export_tickets_json, export_tickets_jsonl,
+        strip_gz_suffix,
     )
 
+    # ``.jsonl.gz`` dispatches like ``.jsonl``; the writer compresses
+    # transparently.
+    stem = strip_gz_suffix(path)
     if dataset == "sevs":
         scenario = (paper_scenario(seed=seed, scale=scale)
                     if seed is not None else paper_scenario(scale=scale))
         store = IntraSimulator(scenario).run()
-        if path.endswith(".jsonl"):
+        if stem.endswith(".jsonl"):
             writer = export_sevs_jsonl
-        elif path.endswith(".json"):
+        elif stem.endswith(".json"):
             writer = export_sevs_json
         else:
             writer = export_sevs_csv
@@ -375,9 +512,9 @@ def _export(dataset: str, path: str, seed: Optional[int],
         scenario = (paper_backbone_scenario(seed=seed) if seed is not None
                     else paper_backbone_scenario())
         corpus = BackboneSimulator(scenario).run()
-        if path.endswith(".jsonl"):
+        if stem.endswith(".jsonl"):
             writer = export_tickets_jsonl
-        elif path.endswith(".json"):
+        elif stem.endswith(".json"):
             writer = export_tickets_json
         else:
             writer = export_tickets_csv
@@ -385,15 +522,81 @@ def _export(dataset: str, path: str, seed: Optional[int],
     print(f"wrote {count} {dataset} to {path}")
 
 
+def _store(args) -> int:
+    """The ``store init|compact|status`` operator surface."""
+    import json
+
+    if args.store_command == "init":
+        if args.dataset == "sevs":
+            from repro.storage import PartitionedSEVStore
+
+            scenario = paper_scenario(seed=args.seed, scale=args.scale)
+            mono = IntraSimulator(scenario).run()
+            store = PartitionedSEVStore.init(args.dir, meta={
+                "dataset": "sevs", "seed": args.seed, "scale": args.scale,
+            })
+            count = store.ingest(mono.all_reports())
+        else:
+            from repro.storage import PartitionedTicketStore
+
+            scenario = paper_backbone_scenario(seed=args.seed)
+            corpus = BackboneSimulator(scenario).run()
+            store = PartitionedTicketStore.init(args.dir, meta={
+                "dataset": "tickets", "seed": args.seed,
+                "window_h": corpus.window_h,
+            })
+            count = store.ingest(corpus.tickets.completed())
+        print(f"initialized {store.domain} store at {args.dir}: "
+              f"{count} rows in {len(store.partition_keys())} "
+              f"partitions (years "
+              f"{store.years()[0]}-{store.years()[-1]})")
+    elif args.store_command == "compact":
+        store = _open_partitioned(args.dir)
+        if args.retain_from is not None:
+            dropped = store.apply_retention(args.retain_from)
+            print(f"retention: dropped {len(dropped)} partitions "
+                  f"older than {args.retain_from}")
+        demoted = store.compact(keep_hot_years=args.keep_hot_years)
+        tiers = store.status()["tiers"]
+        print(f"compacted: {len(demoted)} partitions demoted to cold "
+              f"({tiers['hot']} hot / {tiers['cold']} cold)")
+    else:
+        store = _open_partitioned(args.dir)
+        print(json.dumps(store.status(), indent=2, sort_keys=True))
+    return 0
+
+
 def _stream(seed: int, scale: float, jobs: int,
             replay: Optional[str], checkpoint: Optional[str],
-            dataset: str = "sevs") -> None:
+            dataset: str = "sevs",
+            store_dir: Optional[str] = None) -> None:
     import os
 
     from repro.stream import (
         StreamEngine, generate_aggregates, live_feed, replay_file,
     )
     from repro.viz import stream_dashboard
+
+    if store_dir is not None:
+        # Replay a partitioned store: the manifest plans the scan and
+        # the records fold exactly as a file replay of the same rows.
+        store = _open_partitioned(store_dir)
+        if checkpoint is not None:
+            print("(checkpointing is file-replay-only; ignoring "
+                  "--checkpoint for the store replay)")
+        if store.domain == "ticket":
+            _stream_tickets(
+                iter(store.records()),
+                "ingested {count} tickets from " + store_dir,
+            )
+            return
+        engine = StreamEngine()
+        consumed = engine.run(store.records())
+        print(f"ingested {consumed} events from {store_dir} "
+              f"({len(store.partition_keys())} partitions)")
+        print()
+        print(stream_dashboard(engine.aggregates, None))
+        return
 
     if replay is not None:
         from repro.io import sniff_dataset
@@ -472,15 +675,17 @@ def _stream_tickets(source, banner: str) -> None:
 
 def _analyze(path: str, backend: str = "batch") -> None:
     from repro.io import (
-        import_sevs_csv, import_sevs_json, import_sevs_jsonl, sniff_dataset,
+        import_sevs_csv, import_sevs_json, import_sevs_jsonl,
+        sniff_dataset, strip_gz_suffix,
     )
 
     if sniff_dataset(path) == "tickets":
         _analyze_tickets(path, backend)
         return
-    if path.endswith(".jsonl"):
+    stem = strip_gz_suffix(path)
+    if stem.endswith(".jsonl"):
         reader = import_sevs_jsonl
-    elif path.endswith(".json"):
+    elif stem.endswith(".json"):
         reader = import_sevs_json
     else:
         reader = import_sevs_csv
@@ -497,6 +702,7 @@ def _analyze_tickets(path: str, backend: str = "batch") -> None:
     """
     from repro.io import (
         import_tickets_csv, import_tickets_json, import_tickets_jsonl,
+        strip_gz_suffix,
     )
     from repro.runtime import Executor, RunContext
     from repro.runtime.analyses import (
@@ -505,9 +711,10 @@ def _analyze_tickets(path: str, backend: str = "batch") -> None:
     )
     from repro.viz import duration_table, scorecard_table
 
-    if path.endswith(".jsonl"):
+    stem = strip_gz_suffix(path)
+    if stem.endswith(".jsonl"):
         reader = import_tickets_jsonl
-    elif path.endswith(".json"):
+    elif stem.endswith(".json"):
         reader = import_tickets_json
     else:
         reader = import_tickets_csv
@@ -600,6 +807,7 @@ def _serve(args) -> int:
         host=args.host, port=args.port,
         data_dir=args.data_dir, job_workers=args.jobs,
         prewarm=not args.no_warm, corpus_path=args.corpus,
+        store_dir=args.store_dir,
     )
     try:
         app.start()
@@ -638,20 +846,42 @@ def _dispatch(args) -> int:
             jobs = resolve_jobs("auto")
         if args.study == "intra":
             _intra_report(args.seed, args.scale, args.backend, jobs,
-                          digest=args.digest)
+                          digest=args.digest, store_dir=args.store_dir)
         elif args.study == "backbone":
             _backbone_report(args.seed, args.backend, args.cache, jobs,
-                             digest=args.digest)
+                             digest=args.digest, store_dir=args.store_dir)
         else:
+            if args.store_dir is not None:
+                raise SystemExit(
+                    "a partitioned store holds one domain; use "
+                    "--store-dir with 'report intra' or "
+                    "'report backbone'"
+                )
             _full_report(args.seed, args.scale, args.backend, args.cache,
                          jobs, digest=args.digest)
+        if args.cache_prune is not None:
+            if args.cache is None:
+                raise SystemExit(
+                    "--cache-prune needs --cache DIR (nothing to prune "
+                    "without a persistent cache)"
+                )
+            from repro.runtime import ResultCache
+
+            cache = ResultCache(args.cache)
+            evicted = cache.prune(args.cache_prune)
+            print(f"\n[cache] pruned {evicted} entries; "
+                  f"{cache.disk_bytes()} bytes on disk "
+                  f"(limit {args.cache_prune})")
     elif args.command == "export":
         _export(args.dataset, args.path, args.seed, args.scale)
     elif args.command == "analyze":
         _analyze(args.path, args.backend)
     elif args.command == "stream":
         _stream(args.seed, args.scale, args.jobs,
-                args.replay, args.checkpoint, args.dataset)
+                args.replay, args.checkpoint, args.dataset,
+                store_dir=args.store_dir)
+    elif args.command == "store":
+        return _store(args)
     elif args.command == "bench":
         from repro.perf import run_bench_suite
 

@@ -31,6 +31,7 @@ from repro.faultline.plan import (
     FaultlineError,
     InjectedFault,
     JobWorkerCrash,
+    PartitionLost,
     ShardWorkerCrash,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "InjectedFault",
     "JobWorkerCrash",
     "OracleReport",
+    "PartitionLost",
     "ShardWorkerCrash",
     "active_plan",
     "chaos_suite",

@@ -1,6 +1,6 @@
 """The ``python -m repro chaos`` drill suite.
 
-Five drills, each aimed at one hardened failure surface, all driven by
+Six drills, each aimed at one hardened failure surface, all driven by
 one seed so a failed run replays exactly:
 
 ``differential``
@@ -22,7 +22,13 @@ one seed so a failed run replays exactly:
 ``serve_jobs``
     crash :mod:`repro.serve` job workers and tear the job-queue
     checkpoint, then restart the queue over the same data dir and
-    demand every artifact match the fault-free run bit for bit.
+    demand every artifact match the fault-free run bit for bit;
+``storage``
+    delete a partition shard mid-scan (``storage.shard``) and tear the
+    manifest mid-save (``storage.manifest``), then demand the typed
+    recovery paths — ``restore`` from the source corpus, ``recover``
+    rescanning the shards — converge back to the fault-free report
+    digest.
 
 The suite returns a JSON-able fault report that is *deterministic in
 the seed*: no timestamps, no host paths — two runs with the same seed
@@ -46,6 +52,7 @@ from repro.faultline.plan import (
     FaultPlan,
     FaultSpec,
     FaultToleranceError,
+    PartitionLost,
 )
 
 __all__ = ["REPORT_FORMAT", "chaos_suite", "report_json"]
@@ -310,6 +317,118 @@ def _serve_jobs_drill(seed: int, quick: bool,
     return {"name": "serve_jobs", "passed": passed, "detail": detail}
 
 
+def _storage_drill(seed: int, quick: bool,
+                   sites: Optional[Sequence[str]]) -> dict:
+    """Lose a shard, tear the manifest; reports must not change.
+
+    A fault-free partitioned store fixes the expected stream-report
+    digest.  Then two recoveries, each from genuine damage:
+
+    * ``storage.shard`` deletes a partition file mid-scan and raises
+      :class:`PartitionLost`; ``restore`` re-ingests that partition's
+      rows from the source corpus and must reproduce the manifest's
+      recorded digest before publishing;
+    * ``storage.manifest`` tears the manifest save mid-JSON; reopening
+      must refuse with a typed ``ManifestError`` and ``recover`` must
+      rebuild the catalog by rescanning the shards.
+
+    After each recovery the full report digest must equal the
+    fault-free baseline bit for bit.
+    """
+    from repro.runtime import RunContext, run_intra_report
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+    from repro.storage import ManifestError, PartitionedSEVStore
+
+    from repro.faultline.oracle import report_digest
+
+    scenario = paper_scenario(seed=seed, scale=0.05)
+    mono = IntraSimulator(scenario).run()
+    reports = list(mono.all_reports())
+    active = _selected(sites, "storage.shard", "storage.manifest")
+
+    def digest_of(store) -> str:
+        report = run_intra_report(
+            RunContext(store=store, fleet=scenario.fleet,
+                       corpus_seed=seed),
+            backend="stream",
+        )
+        return report_digest(report)
+
+    detail: dict = {"sites": active, "rows": len(reports)}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(Path(tmp) / "sev")
+        store.ingest(reports)
+        # Cold partitions participate too: the oldest year compresses.
+        store.compact(keep_hot_years=len(store.years()) - 1
+                      if len(store.years()) > 1 else 1)
+        baseline = digest_of(store)
+        detail["partitions"] = len(store.manifest)
+        detail["baseline_digest"] = baseline
+
+        # -- shard loss: the file is really deleted mid-scan ---------
+        shard_plan = FaultPlan(seed, [
+            FaultSpec(site, probability=1.0, max_fires=1)
+            for site in _selected(active, "storage.shard")
+        ])
+        lost_key = None
+        crashed = False
+        with hooks.injected(shard_plan):
+            try:
+                digest_of(store)
+            except PartitionLost as exc:
+                crashed = True
+                lost_key = exc.key
+                store.restore(exc.key, iter(reports))
+        after_restore = digest_of(store)
+        shard_converged = after_restore == baseline
+        detail["shard"] = {
+            "faults_fired": shard_plan.fired(),
+            "crashed": crashed,
+            "lost_partition": list(lost_key) if lost_key else None,
+            "converged": shard_converged,
+            "fault_log_digest": shard_plan.log_digest(),
+        }
+
+        # -- torn manifest: the save leaves a checksum-failing file --
+        manifest_plan = FaultPlan(seed, [
+            FaultSpec(site, probability=1.0, max_fires=1)
+            for site in _selected(active, "storage.manifest")
+        ])
+        torn = False
+        refused = False
+        with hooks.injected(manifest_plan):
+            store.manifest.save(store.root)
+        if manifest_plan.fired():
+            torn = True
+            try:
+                PartitionedSEVStore.open(store.root)
+            except ManifestError:
+                refused = True
+        recovered = PartitionedSEVStore.recover(store.root)
+        after_recover = digest_of(recovered)
+        manifest_converged = (
+            after_recover == baseline
+            and len(recovered) == len(reports)
+        )
+        detail["manifest"] = {
+            "faults_fired": manifest_plan.fired(),
+            "torn": torn,
+            "typed_refusal": refused,
+            "converged": manifest_converged,
+            "fault_log_digest": manifest_plan.log_digest(),
+        }
+
+    passed = (
+        shard_converged
+        and manifest_converged
+        and (refused or not torn)
+        and (crashed or not shard_plan.fired())
+    )
+    detail["faults_fired"] = shard_plan.fired() + manifest_plan.fired()
+    return {"name": "storage", "passed": passed, "detail": detail}
+
+
 def chaos_suite(
     seed: int = 7,
     quick: bool = False,
@@ -328,6 +447,7 @@ def chaos_suite(
         _jsonl_drill(seed, quick, sites),
         _ingest_drill(seed, quick, sites),
         _serve_jobs_drill(seed, quick, sites),
+        _storage_drill(seed, quick, sites),
     ]
     report = {
         "format": REPORT_FORMAT,

@@ -34,6 +34,7 @@ __all__ = [
     "FaultlineError",
     "InjectedFault",
     "JobWorkerCrash",
+    "PartitionLost",
     "ShardWorkerCrash",
 ]
 
@@ -57,6 +58,12 @@ SITES = (
     # serve.jobs checkpoint: the jobs.json write tears mid-JSON;
     # nothing is published, the previous checkpoint survives.
     "serve.checkpoint",
+    # repro.storage partition reads: the shard file vanishes (a lost
+    # disk, an interrupted rsync) and the read raises PartitionLost.
+    "storage.shard",
+    # repro.storage manifest saves: the manifest.json write tears
+    # mid-JSON, leaving a checksum-failing file behind.
+    "storage.manifest",
 )
 
 
@@ -78,6 +85,19 @@ class ShardWorkerCrash(InjectedFault):
 
 class JobWorkerCrash(InjectedFault):
     """Simulated crash of one job-queue worker in repro.serve."""
+
+
+class PartitionLost(InjectedFault):
+    """Simulated loss of one partition shard in a tiered store.
+
+    Carries the ``(year, region)`` key of the lost partition so the
+    recovery path (:meth:`repro.storage.PartitionedSEVStore.restore`)
+    knows which rows to re-ingest.
+    """
+
+    def __init__(self, message: str, key=None) -> None:
+        super().__init__(message)
+        self.key = key
 
 
 class FaultToleranceError(FaultlineError):

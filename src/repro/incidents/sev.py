@@ -135,6 +135,18 @@ class SEVReport:
         return device_type_from_name(self.device_name)
 
     @property
+    def region(self) -> str:
+        """The region field of the canonical device name, or ``""``.
+
+        The naming convention puts the region last
+        (``rsw.042.pod7.dc1.regionA``); the tiered store partitions on
+        it.  A non-canonical name (an imported foreign corpus) has no
+        region and lands in the store's catch-all partition.
+        """
+        parts = self.device_name.split(".")
+        return parts[4] if len(parts) == 5 and parts[4] else ""
+
+    @property
     def duration_h(self) -> float:
         """Incident resolution time in hours.
 

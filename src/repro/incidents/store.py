@@ -9,6 +9,7 @@ table for the multi-valued root-cause field) and the analysis layer
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 import time
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
@@ -61,6 +62,7 @@ CREATE TABLE IF NOT EXISTS sevs (
     opened_at_h   REAL NOT NULL CHECK (opened_at_h >= 0),
     resolved_at_h REAL NOT NULL,
     opened_year   INTEGER NOT NULL,
+    region        TEXT NOT NULL DEFAULT '',
     duration_h    REAL NOT NULL CHECK (duration_h >= 0),
     description   TEXT NOT NULL DEFAULT '',
     service_impact TEXT NOT NULL DEFAULT '',
@@ -87,10 +89,49 @@ _INDEXES = {
         "ON sevs(opened_year, device_type)",
     "idx_sevs_device":
         "CREATE INDEX IF NOT EXISTS idx_sevs_device ON sevs(device_name)",
+    "idx_sevs_year_region":
+        "CREATE INDEX IF NOT EXISTS idx_sevs_year_region "
+        "ON sevs(opened_year, region)",
     "idx_rc_cause":
         "CREATE INDEX IF NOT EXISTS idx_rc_cause "
         "ON sev_root_causes(root_cause)",
 }
+
+
+def ensure_region_column(conn: sqlite3.Connection) -> bool:
+    """Migrate a pre-partition database to the current schema.
+
+    Databases written before the tiered store existed have no
+    ``region`` column.  Adds it (default ``''``) and backfills it from
+    the canonical device names already on disk, so old corpora import
+    into partitioned stores cleanly.  Returns True when a migration
+    ran, False when the schema was already current.
+    """
+    columns = {
+        row[1] for row in conn.execute("PRAGMA table_info(sevs)")
+    }
+    if "region" in columns:
+        return False
+    from repro.topology.naming import parse_device_name
+
+    with conn:
+        conn.execute(
+            "ALTER TABLE sevs ADD COLUMN region TEXT NOT NULL DEFAULT ''"
+        )
+        rows = conn.execute(
+            "SELECT sev_id, device_name FROM sevs"
+        ).fetchall()
+        updates = []
+        for sev_id, device_name in rows:
+            try:
+                region = parse_device_name(device_name).region
+            except ValueError:
+                continue
+            updates.append((region, sev_id))
+        conn.executemany(
+            "UPDATE sevs SET region = ? WHERE sev_id = ?", updates
+        )
+    return True
 
 
 class SEVStore:
@@ -110,6 +151,7 @@ class SEVStore:
         )
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
+        ensure_region_column(self._conn)
         self.create_indexes()
 
     # -- indexes -----------------------------------------------------
@@ -156,16 +198,16 @@ class SEVStore:
 
     _INSERT_SEV = (
         "INSERT INTO sevs (sev_id, severity, device_name, "
-        "device_type, opened_at_h, resolved_at_h, opened_year, "
+        "device_type, opened_at_h, resolved_at_h, opened_year, region, "
         "duration_h, description, service_impact, reviewed) "
-        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
     )
     _INSERT_CAUSE = (
         "INSERT INTO sev_root_causes (sev_id, root_cause) VALUES (?, ?)"
     )
 
     @staticmethod
-    def _sev_row(report: SEVReport) -> tuple:
+    def _sev_row(report: SEVReport, default_region: str = "") -> tuple:
         device_type = report.device_type
         return (
             report.sev_id,
@@ -175,6 +217,7 @@ class SEVStore:
             report.opened_at_h,
             report.resolved_at_h,
             report.opened_year,
+            report.region or default_region,
             report.duration_h,
             report.description,
             report.service_impact,
@@ -185,16 +228,20 @@ class SEVStore:
     def _cause_rows(report: SEVReport) -> List[tuple]:
         return [(report.sev_id, rc.value) for rc in report.root_causes]
 
-    def _insert_in_tx(self, report: SEVReport) -> None:
+    def _insert_in_tx(self, report: SEVReport,
+                      default_region: str = "") -> None:
         """Write one report; the caller owns the transaction."""
-        self._conn.execute(self._INSERT_SEV, self._sev_row(report))
+        self._conn.execute(
+            self._INSERT_SEV, self._sev_row(report, default_region)
+        )
         self._conn.executemany(self._INSERT_CAUSE, self._cause_rows(report))
 
     def insert(self, report: SEVReport) -> None:
         with self._conn:
             self._insert_in_tx(report)
 
-    def insert_many(self, reports: Iterable[SEVReport]) -> int:
+    def insert_many(self, reports: Iterable[SEVReport],
+                    default_region: str = "") -> int:
         """Insert reports inside one transaction; returns the count.
 
         One commit for the whole batch, not one per row — per-row
@@ -204,6 +251,10 @@ class SEVStore:
         the whole batch back.  Transient ``OperationalError`` (a lock
         held by a concurrent reader) retries the rolled-back batch
         with bounded backoff before giving up.
+
+        ``default_region`` fills the region column for reports whose
+        device name carries none (pre-partition imports), so foreign
+        corpora land in a chosen partition instead of the catch-all.
         """
         iterator = iter(reports)
         consumed: List[SEVReport] = []
@@ -216,18 +267,19 @@ class SEVStore:
             count = 0
             with self._conn:
                 for report in consumed:
-                    self._insert_in_tx(report)
+                    self._insert_in_tx(report, default_region)
                     count += 1
                 for report in iterator:
                     consumed.append(report)
-                    self._insert_in_tx(report)
+                    self._insert_in_tx(report, default_region)
                     count += 1
             return count
 
         return _write_with_retry(attempt)
 
     def bulk_load(
-        self, reports: Iterable[SEVReport], batch_size: int = 2000
+        self, reports: Iterable[SEVReport], batch_size: int = 2000,
+        default_region: str = "",
     ) -> int:
         """Ingest-tuned fast path for loading a whole corpus.
 
@@ -241,7 +293,8 @@ class SEVStore:
 
         Failure-safe: a mid-load error rolls back every row of the
         batch, and the indexes and PRAGMAs are restored either way, so
-        the store stays fully usable.
+        the store stays fully usable.  ``default_region`` as in
+        :meth:`insert_many`.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -267,7 +320,7 @@ class SEVStore:
                 sev_rows: List[tuple] = []
                 cause_rows: List[tuple] = []
                 for report in reports:
-                    sev_rows.append(self._sev_row(report))
+                    sev_rows.append(self._sev_row(report, default_region))
                     cause_rows.extend(self._cause_rows(report))
                     count += 1
                     if len(sev_rows) >= batch_size:
@@ -336,3 +389,26 @@ class SEVStore:
                 "SELECT DISTINCT opened_year FROM sevs ORDER BY opened_year"
             )
         ]
+
+    def regions(self) -> List[str]:
+        """Distinct region values in the corpus, sorted."""
+        return [
+            r
+            for (r,) in self._conn.execute(
+                "SELECT DISTINCT region FROM sevs ORDER BY region"
+            )
+        ]
+
+    def schema_hash(self) -> str:
+        """Hash of the full SQL schema (tables and indexes), sorted.
+
+        Part of the corpus fingerprint: two stores with the same row
+        count and seed but different schemas (a migration landed in
+        one) must hash to different cache keys.
+        """
+        schema = "\n".join(sorted(
+            sql for (sql,) in self._conn.execute(
+                "SELECT sql FROM sqlite_master WHERE sql IS NOT NULL"
+            )
+        ))
+        return hashlib.sha256(schema.encode()).hexdigest()

@@ -13,6 +13,7 @@ can dispatch a file of either kind.
 from pathlib import Path
 from typing import Union
 
+from repro.io.compression import is_gzip_path, open_text, strip_gz_suffix
 from repro.io.errors import ReadErrors
 from repro.io.sev_io import (
     export_sevs_csv,
@@ -41,6 +42,9 @@ from repro.io.ticket_io import (
 __all__ = [
     "ReadErrors",
     "TICKET_FIELDS",
+    "is_gzip_path",
+    "open_text",
+    "strip_gz_suffix",
     "export_sevs_csv",
     "export_sevs_json",
     "export_sevs_jsonl",
@@ -69,6 +73,7 @@ def sniff_dataset(path: Union[str, Path]) -> str:
     Inspects the first record, not the file name: a CSV header naming
     ``sev_id`` or ``ticket_id``, a JSON document keyed ``sevs`` or
     ``tickets``, or a JSONL first line carrying either id field.
+    ``.jsonl.gz`` is sniffed like ``.jsonl`` (decompressed on the fly).
 
     Every way a file can defeat the sniff — empty, nothing but blank
     lines, an unparseable (torn) first row — raises a plain
@@ -77,7 +82,12 @@ def sniff_dataset(path: Union[str, Path]) -> str:
     import json as _json
 
     path = Path(path)
-    suffix = path.suffix.lower()
+    suffix = Path(strip_gz_suffix(path)).suffix.lower()
+    if is_gzip_path(path) and suffix != ".jsonl":
+        raise ValueError(
+            f"unsupported dataset format {path.suffix!r} "
+            "(only .jsonl.gz is supported compressed)"
+        )
     if suffix == ".csv":
         with open(path, newline="") as handle:
             header = handle.readline()
@@ -104,7 +114,7 @@ def sniff_dataset(path: Union[str, Path]) -> str:
                 return "sevs"
     elif suffix == ".jsonl":
         saw_line = False
-        with open(path) as handle:
+        with open_text(path) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

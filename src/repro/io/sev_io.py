@@ -26,6 +26,7 @@ from typing import Iterator, Optional, Union
 from repro.faultline import hooks
 from repro.incidents.sev import RootCause, SEVReport, Severity
 from repro.incidents.store import SEVStore
+from repro.io.compression import open_text
 from repro.io.errors import ReadErrors
 
 _FIELDS = [
@@ -102,9 +103,13 @@ def import_sevs_json(path: PathLike, store: SEVStore = None) -> SEVStore:
 
 
 def export_sevs_jsonl(store: SEVStore, path: PathLike) -> int:
-    """Write every report as one JSON object per line."""
+    """Write every report as one JSON object per line.
+
+    A ``.jsonl.gz`` path writes the gzip-compressed variant (the cold
+    storage tier's format); everything else is plain text.
+    """
     count = 0
-    with open(path, "w") as handle:
+    with open_text(path, "w") as handle:
         for report in store.all_reports():
             handle.write(json.dumps(_report_row(report)) + "\n")
             count += 1
@@ -134,9 +139,9 @@ def iter_sevs_jsonl(
     on the first malformed line; ``strict=False`` skips malformed
     lines, recording each in ``errors`` when one is given, so a feed
     with a torn tail still yields every readable report — counted, not
-    silent.
+    silent.  ``.jsonl.gz`` paths are decompressed transparently.
     """
-    with open(path) as handle:
+    with open_text(path) as handle:
         for line_no, line in enumerate(handle, 1):
             if hooks.fire("io.jsonl.line"):
                 line = hooks.torn(line)

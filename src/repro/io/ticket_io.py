@@ -22,6 +22,7 @@ from typing import Iterator, Optional, Union
 
 from repro.backbone.tickets import RepairTicket, TicketDatabase, TicketType
 from repro.faultline import hooks
+from repro.io.compression import open_text
 from repro.io.errors import ReadErrors
 
 #: The interchange schema, in column order.
@@ -114,9 +115,13 @@ def import_tickets_json(path: PathLike,
 
 
 def export_tickets_jsonl(db: TicketDatabase, path: PathLike) -> int:
-    """Write every completed ticket as one JSON object per line."""
+    """Write every completed ticket as one JSON object per line.
+
+    A ``.jsonl.gz`` path writes the gzip-compressed variant (the cold
+    storage tier's format); everything else is plain text.
+    """
     count = 0
-    with open(path, "w") as handle:
+    with open_text(path, "w") as handle:
         for ticket in db.completed():
             handle.write(json.dumps(_ticket_row(ticket)) + "\n")
             count += 1
@@ -153,8 +158,9 @@ def iter_tickets_jsonl(
     ``strict=True`` raises :class:`ValueError` (naming file and line)
     on the first malformed line; ``strict=False`` skips malformed
     lines, counting each in ``errors`` when one is given.
+    ``.jsonl.gz`` paths are decompressed transparently.
     """
-    with open(path) as handle:
+    with open_text(path) as handle:
         for line_no, line in enumerate(handle, 1):
             if hooks.fire("io.jsonl.line"):
                 line = hooks.torn(line)

@@ -20,6 +20,7 @@ Quickstart::
 from repro.perf.bench import (
     bench_backbone,
     bench_ingest,
+    bench_partitioned_scan,
     bench_serve,
     bench_stream_throughput,
     run_bench_suite,
@@ -38,6 +39,7 @@ __all__ = [
     "PhaseTimer",
     "bench_backbone",
     "bench_ingest",
+    "bench_partitioned_scan",
     "bench_serve",
     "bench_stream_throughput",
     "environment",

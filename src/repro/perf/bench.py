@@ -12,7 +12,15 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     three ways: row-wise ``insert`` (one transaction per row — the
     historical behavior), ``insert_many`` (one transaction), and
     ``bulk_load`` (indexes dropped, tuned PRAGMAs, ``executemany``
-    batches); reports rows/s and the bulk speedup.
+    batches); plus the tiered store's ``ingest`` routing the same rows
+    to per-(year, region) SQLite shards at multi-shard scale.  Reports
+    rows/s per method and the bulk speedup.
+``partitioned_scan``
+    the full intra report over a monolithic store vs a tiered
+    partitioned store (half its history demoted to the gzip cold
+    tier), on the streaming and sharded backends; asserts every
+    variant's ``report_digest`` is bit-identical and reports the
+    partitioned-scan overhead.
 ``backbone_report``
     the section 6 ticket-domain report answered by every runtime
     backend — batch (monitor path), streaming fold, sharded fold
@@ -154,10 +162,34 @@ def bench_ingest(
         timed_load("insert_many", lambda s: s.insert_many(reports)),
         timed_load("bulk_load", lambda s: s.bulk_load(reports)),
     ]
+
+    # The tiered store routes the same rows to per-(year, region)
+    # SQLite shards — the multi-shard ingest path of repro.storage.
+    from repro.storage import PartitionedSEVStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(
+            Path(tmp) / "tiered", meta={"seed": seed, "scale": scale}
+        )
+        start = time.perf_counter()
+        store.ingest(reports)
+        seconds = time.perf_counter() - start
+        rows = len(store)
+        partitions = len(store.partition_keys())
+    assert rows == len(reports)
+    variants.append({
+        "method": "partitioned_ingest",
+        "seconds": seconds,
+        "rows": rows,
+        "rows_per_s": events_per_second(rows, seconds),
+        "partitions": partitions,
+    })
+
     by_method = {entry["method"]: entry for entry in variants}
     bulk = by_method["bulk_load"]["seconds"]
     metrics = {
         "rows": len(reports),
+        "partitions": partitions,
         "variants": variants,
         "bulk_speedup_vs_rowwise": (
             by_method["insert_rowwise"]["seconds"] / bulk
@@ -261,6 +293,87 @@ def bench_backbone(
             "seed": seed, "links_per_edge": links_per_edge,
             "rounds": rounds,
         },
+        metrics=metrics,
+    )
+
+
+def bench_partitioned_scan(
+    seed: int = 2,
+    scale: float = FULL_SCALE,
+    rounds: int = 3,
+) -> BenchRecord:
+    """Measure the intra report over monolithic vs partitioned storage.
+
+    One corpus, stored twice: the monolithic SQLite file and a tiered
+    partitioned store with roughly half its history demoted to the
+    gzip cold tier.  The identical report runs over each on the
+    streaming backend (and over the partitioned store on the sharded
+    backend, whose shards are the manifest's partitions); every
+    variant must produce the same ``report_digest`` bit for bit — the
+    storage refactor's core acceptance criterion, measured rather
+    than assumed.
+    """
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import RunContext, run_intra_report
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+    from repro.storage import PartitionedSEVStore
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    mono = IntraSimulator(scenario).run()
+    rows = len(mono)
+
+    def timed(label: str, target, backend: str, **kwargs) -> dict:
+        best = float("inf")
+        digest = None
+        for _ in range(max(1, rounds)):
+            context = RunContext(
+                store=target, fleet=scenario.fleet, corpus_seed=seed
+            )
+            start = time.perf_counter()
+            report = run_intra_report(context, backend=backend, **kwargs)
+            best = min(best, time.perf_counter() - start)
+            digest = report_digest(report)
+        return {
+            "variant": label,
+            "backend": backend,
+            "seconds": best,
+            "rows": rows,
+            "rows_per_s": events_per_second(rows, best),
+            "report_digest": digest,
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(
+            Path(tmp) / "tiered", meta={"seed": seed, "scale": scale}
+        )
+        store.ingest(mono.all_reports())
+        years = store.years()
+        if len(years) > 1:
+            store.compact(keep_hot_years=max(1, len(years) // 2))
+        tiers = store.status()["tiers"]
+        variants = [
+            timed("monolithic_stream", mono, "stream"),
+            timed("partitioned_stream", store, "stream"),
+            timed("partitioned_sharded", store, "sharded", jobs=4),
+        ]
+
+    by_variant = {entry["variant"]: entry for entry in variants}
+    mono_s = by_variant["monolithic_stream"]["seconds"]
+    part_s = by_variant["partitioned_stream"]["seconds"]
+    metrics = {
+        "rows": rows,
+        "partitions": tiers["hot"] + tiers["cold"],
+        "tiers": tiers,
+        "digests_identical": len(
+            {entry["report_digest"] for entry in variants}
+        ) == 1,
+        "per_variant": variants,
+        "partitioned_overhead": part_s / mono_s if mono_s > 0 else 0.0,
+    }
+    return BenchRecord(
+        name="partitioned_scan",
+        params={"seed": seed, "scale": scale, "rounds": rounds},
         metrics=metrics,
     )
 
@@ -443,6 +556,29 @@ def render_ingest_record(record: BenchRecord) -> str:
     )
 
 
+def render_partitioned_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            entry["variant"],
+            entry["backend"],
+            entry["rows"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['rows_per_s']:,.0f}",
+        ]
+        for entry in record.metrics["per_variant"]
+    ]
+    tiers = record.metrics["tiers"]
+    return format_table(
+        ["Variant", "Backend", "Rows", "Seconds", "Rows/sec"],
+        rows,
+        title=(f"Partitioned vs monolithic scan "
+               f"({tiers['hot']} hot + {tiers['cold']} cold partitions, "
+               f"identical={record.metrics['digests_identical']})"),
+    )
+
+
 def render_backbone_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -510,17 +646,22 @@ def run_bench_suite(
         seed=seed, scale=scale, jobs_list=jobs_list, rounds=rounds
     )
     ingest = bench_ingest(seed=seed, scale=scale)
+    scan = bench_partitioned_scan(
+        seed=seed, scale=QUICK_SCALE if quick else scale, rounds=rounds
+    )
     backbone = bench_backbone(rounds=rounds)
     serve = (
         bench_serve(scale=0.1, readers=4, requests_per_reader=10,
                     writer_jobs=1)
         if quick else bench_serve()
     )
-    records = [stream, ingest, backbone, serve]
+    records = [stream, ingest, scan, backbone, serve]
 
     print(render_stream_record(stream))
     print()
     print(render_ingest_record(ingest))
+    print()
+    print(render_partitioned_record(scan))
     print()
     print(render_backbone_record(backbone))
     print()

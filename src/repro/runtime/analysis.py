@@ -186,13 +186,17 @@ class Analysis:
         """Whether ``batch`` can run against this context.
 
         The default requires the context to carry the analysis'
-        domain substrate; analyses whose shortcut needs more (the
-        ticket analyses query the monitor directly) override this.
+        domain substrate *and* that substrate to expose a batch
+        handle — a partitioned SEV store has no single SQL connection,
+        so its corpus reports ``batch_handle() is None`` and the batch
+        backend falls back to fold+finalize (result-identical by the
+        merge law).  Analyses whose shortcut needs more (the ticket
+        analyses query the monitor directly) override this.
         """
-        return (
-            self.has_batch_path()
-            and context.corpus_for(self.domain) is not None
-        )
+        if not self.has_batch_path():
+            return False
+        corpus = context.corpus_for(self.domain)
+        return corpus is not None and corpus.batch_handle() is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

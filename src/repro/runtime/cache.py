@@ -51,15 +51,15 @@ def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
     from elsewhere should pass a caller-chosen ``seed`` surrogate or
     skip caching.  The domain tag keeps a SEV corpus from ever
     colliding with a ticket corpus of the same size and seed.
+
+    ``store`` is anything with ``__len__`` and ``schema_hash()`` —
+    the monolithic :class:`~repro.incidents.store.SEVStore` or the
+    partitioned store of :mod:`repro.storage`.  A partitioned store
+    reports the monolith's schema hash, so the same rows under either
+    layout hash to the same cache key.
     """
-    conn = store.connection
-    (rows,) = conn.execute("SELECT COUNT(*) FROM sevs").fetchone()
-    schema = "\n".join(sorted(
-        sql for (sql,) in conn.execute(
-            "SELECT sql FROM sqlite_master WHERE sql IS NOT NULL"
-        )
-    ))
-    schema_hash = hashlib.sha256(schema.encode()).hexdigest()
+    rows = len(store)
+    schema_hash = store.schema_hash()
     payload = f"domain=sev;rows={rows};seed={seed};schema={schema_hash}"
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -96,6 +96,7 @@ class ResultCache:
             self._dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.pruned = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -159,6 +160,12 @@ class ResultCache:
                 else:
                     self._memory[key] = value
                     self.hits += 1
+                    # Touch the entry so LRU-by-mtime pruning sees the
+                    # hit: recently used entries evict last.
+                    try:
+                        os.utime(file)
+                    except OSError:
+                        pass
                     return True, value
         self.misses += 1
         return False, None
@@ -183,20 +190,80 @@ class ResultCache:
             tmp.write_bytes(payload)
             os.replace(tmp, file)
 
+    def _disk_entries(self) -> list:
+        """(mtime, name, size, path) per disk entry, oldest first.
+
+        The name is the tiebreaker so pruning order is deterministic
+        on filesystems with coarse mtime resolution.
+        """
+        assert self._dir is not None
+        entries = []
+        for file in self._dir.glob("*.pkl"):
+            try:
+                stat = file.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, file.name, stat.st_size, file))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Total size of the persistent entries, in bytes (0 if none)."""
+        if self._dir is None:
+            return 0
+        return sum(size for _, _, size, _ in self._disk_entries())
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used disk entries down to a byte budget.
+
+        Content-addressed caches never invalidate, so on disk they only
+        grow; ``prune`` is the retention policy.  Entries are dropped
+        oldest-mtime-first (lookups touch their file, so a recent hit
+        protects an entry) until the directory fits ``max_bytes``.
+        Pruned entries also leave process memory — a next lookup is an
+        honest miss that recomputes and rewrites.  Returns how many
+        entries were evicted.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if self._dir is None:
+            return 0
+        entries = self._disk_entries()
+        total = sum(size for _, _, size, _ in entries)
+        evicted = 0
+        for _, name, size, file in entries:
+            if total <= max_bytes:
+                break
+            try:
+                file.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            self._memory.pop(name[: -len(".pkl")], None)
+        self.pruned += evicted
+        return evicted
+
     def stats(self) -> Dict[str, Any]:
-        """Counter snapshot: hits, misses, entries, hit rate.
+        """Counter snapshot: hits, misses, entries, hit rate, pruning.
 
         The JSON-able shape the serving layer's ``/stats`` endpoint
         and the CLI's ``[cache]`` line both report.
         """
         total = self.hits + self.misses
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._memory),
             "hit_rate": (self.hits / total) if total else 0.0,
             "persistent": self._dir is not None,
+            "pruned": self.pruned,
         }
+        if self._dir is not None:
+            disk = self._disk_entries()
+            stats["disk_entries"] = len(disk)
+            stats["disk_bytes"] = sum(size for _, _, size, _ in disk)
+        return stats
 
     def clear(self) -> None:
         self._memory.clear()

@@ -72,6 +72,32 @@ class Corpus:
         return f"<{type(self).__name__} domain={self.domain!r}>"
 
 
+def _partition_shards(store, records: Iterable, jobs: int) -> List[list]:
+    """Shard a partitioned corpus on its manifest cells.
+
+    Partition = shard cell: records group on the store's
+    ``(year, region)`` partition key and the cells pack into ``jobs``
+    shards longest-processing-time-first, weighted by row count — the
+    same LPT balancing :mod:`repro.stream.sharding` applies to
+    generation cells.  Any partitioning merges to the same states
+    (the merge law); this one mirrors the physical layout, so a shard
+    never straddles more partition files than it must.
+    """
+    from repro.stream.sharding import shard_cells
+
+    cells: dict = {}
+    for record in records:
+        cells.setdefault(store.partition_key(record), []).append(record)
+    ordered = [cells[key] for key in sorted(cells)]
+    weights = [len(cell) for cell in ordered]
+    cell_shards = shard_cells(ordered, jobs, weights=weights)
+    return [
+        [record for cell in shard for record in cell]
+        for shard in cell_shards
+        if shard
+    ]
+
+
 class SEVCorpus(Corpus):
     """The intra data center SEV corpus (sections 4-5)."""
 
@@ -87,7 +113,22 @@ class SEVCorpus(Corpus):
     def fingerprint(self) -> Optional[str]:
         return corpus_fingerprint(self.store, seed=self.seed)
 
-    def batch_handle(self) -> SEVStore:
+    def shards(self, records: Iterable, jobs: int) -> List[list]:
+        """Partition-aware when the store is tiered, else round-robin."""
+        if getattr(self.store, "is_partitioned", False):
+            return _partition_shards(self.store, records, jobs)
+        return super().shards(records, jobs)
+
+    def batch_handle(self) -> Optional[SEVStore]:
+        """The SQL substrate — only the monolithic store has one.
+
+        A partitioned store has no single connection to point SQL at;
+        returning ``None`` makes every batch-capable analysis fall
+        back to fold+finalize, which the cross-backend anchors prove
+        result-identical.
+        """
+        if getattr(self.store, "is_partitioned", False):
+            return None
         return self.store
 
 
@@ -115,10 +156,14 @@ class TicketCorpus(Corpus):
         and packed longest-processing-time-first — the same balancing
         :mod:`repro.stream.sharding` applies to SEV generation cells.
         Any partitioning merges to the same states; this one just
-        keeps the workers busy evenly.
+        keeps the workers busy evenly.  Over a partitioned store the
+        cells are the manifest's (year, location) partitions instead,
+        matching the physical shard layout.
         """
         from repro.stream.sharding import shard_cells
 
+        if getattr(self.tickets, "is_partitioned", False):
+            return _partition_shards(self.tickets, records, jobs)
         cells: dict = {}
         for ticket in records:
             cells.setdefault(ticket.link_id, []).append(ticket)

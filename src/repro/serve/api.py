@@ -84,6 +84,7 @@ class ServeState:
         backend: str = "stream",
         cache_dir: Optional[PathLike] = None,
         corpus_path: Optional[PathLike] = None,
+        store_dir: Optional[PathLike] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -104,7 +105,26 @@ class ServeState:
         #: Live-ingest tail (repro.stream): folded alongside the store
         #: so /stats can answer streaming aggregates for free.
         self.engine = StreamEngine()
-        if corpus_path is not None:
+        if store_dir is not None:
+            # Serve a tiered partitioned store (repro.storage): the
+            # manifest's recorded generator parameters supply the
+            # fleet model and the cache-fingerprint seed, and the
+            # partitioned scan feeds the stream tail like a replay.
+            from repro.runtime import RunContext
+            from repro.simulation.scenarios import paper_scenario
+            from repro.storage import PartitionedSEVStore
+
+            store = PartitionedSEVStore.open(store_dir)
+            meta = store.manifest.meta
+            self.seed = seed = meta.get("seed", seed)
+            self.scale = scale = meta.get("scale", scale)
+            self.engine.run(store.records())
+            self.intra_context = RunContext(
+                store=store,
+                fleet=paper_scenario(seed=seed, scale=scale).fleet,
+                corpus_seed=seed,
+            )
+        elif corpus_path is not None:
             # Serve an exported corpus: replay it into a thread-shared
             # store (and through the stream engine, so the live
             # aggregates cover the replayed history too).
@@ -213,6 +233,7 @@ class ServeApp:
         backend: str = "stream",
         prewarm: bool = True,
         corpus_path: Optional[PathLike] = None,
+        store_dir: Optional[PathLike] = None,
     ) -> None:
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
@@ -225,7 +246,7 @@ class ServeApp:
         self.state = ServeState(
             seed=seed, scale=scale, backbone_seed=backbone_seed,
             backend=backend, cache_dir=self.data_dir / "cache",
-            corpus_path=corpus_path,
+            corpus_path=corpus_path, store_dir=store_dir,
         )
         self.queue = JobQueue(self.data_dir, workers=job_workers)
 

@@ -1,0 +1,239 @@
+"""The partition manifest of a tiered store.
+
+One JSON document per store directory describes every partition —
+keyed by ``(year, region)`` — with its row count, content digest,
+storage tier, and relative file path.  The manifest is the read
+planner's source of truth: corpus scans, shard planning, ``len()``,
+and ``years()`` are all answered from it without opening a single
+shard.
+
+The document embeds a checksum over its own canonical body, so a torn
+or hand-edited manifest fails loudly at :meth:`Manifest.load` with a
+typed :class:`ManifestError` instead of silently planning reads off
+garbage.  The ``storage.manifest`` fault site of
+:mod:`repro.faultline` tears the save mid-JSON to exercise exactly
+that path; recovery is a full rescan of the partition files
+(:meth:`repro.storage.PartitionedSEVStore.recover`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.faultline import hooks
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "Manifest",
+    "ManifestError",
+    "PartitionEntry",
+    "StorageError",
+    "TIERS",
+]
+
+MANIFEST_FORMAT = "repro.storage-manifest/1"
+MANIFEST_NAME = "manifest.json"
+
+#: The two storage tiers: ``hot`` partitions live in the domain's
+#: native random-access format, ``cold`` partitions as gzip JSONL.
+TIERS = ("hot", "cold")
+
+PathLike = Union[str, Path]
+PartitionKey = Tuple[int, str]
+
+
+class StorageError(RuntimeError):
+    """Base class for everything repro.storage raises."""
+
+
+class ManifestError(StorageError):
+    """The manifest is missing, unparseable, or fails its checksum."""
+
+
+@dataclass(frozen=True)
+class PartitionEntry:
+    """One partition of a tiered store.
+
+    ``digest`` is tier-independent (a hash over the partition's sorted
+    canonical interchange rows), so promoting or demoting a partition
+    must not change it — that invariant is what lets ``verify`` prove
+    a tier move lossless.
+    """
+
+    year: int
+    region: str
+    rows: int
+    digest: str
+    tier: str
+    path: str
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; expected one of {TIERS}"
+            )
+        if self.rows < 0:
+            raise ValueError("rows must be non-negative")
+
+    @property
+    def key(self) -> PartitionKey:
+        return (self.year, self.region)
+
+    def to_json(self) -> dict:
+        return {
+            "year": self.year,
+            "region": self.region,
+            "rows": self.rows,
+            "digest": self.digest,
+            "tier": self.tier,
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PartitionEntry":
+        try:
+            return cls(
+                year=int(payload["year"]),
+                region=str(payload["region"]),
+                rows=int(payload["rows"]),
+                digest=str(payload["digest"]),
+                tier=str(payload["tier"]),
+                path=str(payload["path"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"malformed partition entry {payload!r}: {exc}"
+            ) from exc
+
+
+def _canonical(body: dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(body: dict) -> str:
+    return hashlib.sha256(_canonical(body).encode()).hexdigest()
+
+
+class Manifest:
+    """The partition catalog of one store directory."""
+
+    def __init__(
+        self,
+        domain: str,
+        meta: Optional[dict] = None,
+        partitions: Optional[List[PartitionEntry]] = None,
+    ) -> None:
+        self.domain = domain
+        #: Provenance the store records at init (generator seed, scale)
+        #: so ``--store-dir`` consumers can rebuild the matching
+        #: context (fleet model, topology) without guessing.
+        self.meta = dict(meta or {})
+        self._partitions: Dict[PartitionKey, PartitionEntry] = {}
+        for entry in partitions or []:
+            self.upsert(entry)
+
+    # -- catalog -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def get(self, key: PartitionKey) -> Optional[PartitionEntry]:
+        return self._partitions.get(key)
+
+    def upsert(self, entry: PartitionEntry) -> None:
+        self._partitions[entry.key] = entry
+
+    def remove(self, key: PartitionKey) -> PartitionEntry:
+        if key not in self._partitions:
+            raise KeyError(f"no partition {key!r} in the manifest")
+        return self._partitions.pop(key)
+
+    def partitions(self) -> List[PartitionEntry]:
+        """Every entry, ordered by (year, region)."""
+        return [
+            self._partitions[key] for key in sorted(self._partitions)
+        ]
+
+    def total_rows(self) -> int:
+        return sum(e.rows for e in self._partitions.values())
+
+    def years(self) -> List[int]:
+        return sorted({e.year for e in self._partitions.values()})
+
+    def regions(self) -> List[str]:
+        return sorted({e.region for e in self._partitions.values()})
+
+    # -- serialization -----------------------------------------------
+
+    def body(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "domain": self.domain,
+            "meta": self.meta,
+            "partitions": [e.to_json() for e in self.partitions()],
+        }
+
+    def to_json(self) -> str:
+        body = self.body()
+        document = dict(body)
+        document["checksum"] = _checksum(body)
+        return json.dumps(document, indent=1, sort_keys=True)
+
+    def save(self, root: PathLike) -> Path:
+        """Write the manifest atomically; returns its path.
+
+        The ``storage.manifest`` fault site replaces the atomic write
+        with a torn one — half the JSON lands at the *real* path, as a
+        crash between truncate and flush would leave it — so the
+        checksum recovery in :meth:`load` is exercised against genuine
+        corruption.
+        """
+        path = Path(root) / MANIFEST_NAME
+        text = self.to_json()
+        if hooks.fire("storage.manifest"):
+            path.write_text(hooks.torn(text))
+            return path
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, root: PathLike) -> "Manifest":
+        """Read and checksum-verify a manifest; typed errors only."""
+        path = Path(root) / MANIFEST_NAME
+        if not path.exists():
+            raise ManifestError(f"no manifest at {path}")
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(
+                f"unreadable manifest {path}: {type(exc).__name__}: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ManifestError(f"manifest {path} is not a JSON object")
+        if document.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"manifest {path} has format "
+                f"{document.get('format')!r}, expected {MANIFEST_FORMAT!r}"
+            )
+        claimed = document.pop("checksum", None)
+        if claimed != _checksum(document):
+            raise ManifestError(
+                f"manifest {path} fails its checksum "
+                "(torn write or hand edit); rebuild it with recover()"
+            )
+        return cls(
+            domain=str(document["domain"]),
+            meta=dict(document.get("meta", {})),
+            partitions=[
+                PartitionEntry.from_json(row)
+                for row in document.get("partitions", [])
+            ],
+        )

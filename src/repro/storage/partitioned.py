@@ -1,0 +1,638 @@
+"""Tiered, partitioned corpus stores.
+
+One SQLite file cannot hold fleet-scale history; this module shards
+each corpus into per-``(year, region)`` partitions behind a
+:class:`~repro.storage.manifest.Manifest`:
+
+* **hot tier** — the domain's native random-access format: one SQLite
+  shard per partition for SEVs (the same schema as the monolithic
+  :class:`~repro.incidents.store.SEVStore`, so the SQL query layer
+  works on any single shard), plain JSONL for tickets;
+* **cold tier** — gzip JSONL in the interchange schema of
+  :mod:`repro.io`, readable by every replay/import path.
+
+Partition digests hash the *sorted canonical interchange rows*, never
+the container bytes, so a partition's digest is identical on either
+tier — ``promote``/``demote`` verify themselves lossless, and
+``verify`` audits the whole store against the manifest.
+
+Reads are planned off the manifest and merged back into the exact
+global order the monolithic store iterates in (``(opened_at_h,
+sev_id)`` for SEVs), so every execution backend over a partitioned
+store reproduces the monolithic report digests bit for bit.  The
+``storage.shard`` fault site simulates losing a shard file mid-read
+(raising :class:`~repro.faultline.plan.PartitionLost`); ``restore``
+re-ingests one partition from a source corpus and proves the digest
+matches the manifest before publishing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.faultline import hooks
+from repro.faultline.plan import PartitionLost
+from repro.storage.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    ManifestError,
+    PartitionEntry,
+    StorageError,
+)
+
+__all__ = ["PartitionedSEVStore", "PartitionedTicketStore"]
+
+PathLike = Union[str, Path]
+PartitionKey = Tuple[int, str]
+
+#: The catch-all region for records whose identity carries none.
+NO_REGION = "none"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_-]+")
+
+
+def _region_slug(region: str) -> str:
+    """A filesystem-safe, collision-free file-name fragment.
+
+    Sanitizing is lossy (``a/b`` and ``a.b`` both map to ``a-b``), so
+    any region the sanitizer had to touch gets a short content hash
+    appended — two distinct regions can never share a partition file.
+    """
+    value = region or NO_REGION
+    slug = _SLUG_RE.sub("-", value)
+    if slug != value or not slug:
+        digest = hashlib.sha256(value.encode()).hexdigest()[:8]
+        slug = f"{slug.strip('-') or 'region'}-{digest}"
+    return slug
+
+
+def _digest_rows(rows: List[dict]) -> str:
+    """Tier-independent partition digest over sorted canonical rows."""
+    payload = "\n".join(json.dumps(row, sort_keys=True) for row in rows)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class _TieredStore:
+    """Shared machinery of the two domain stores.
+
+    Subclasses define the partition key, the interchange row codec,
+    the global sort key, and the hot-tier container; everything else —
+    manifest bookkeeping, tier moves, retention, recovery, the fault
+    site — lives here.
+    """
+
+    domain: str = ""
+    #: Duck-typing flag the runtime layer keys on (corpus planning,
+    #: batch-path gating) without importing this module.
+    is_partitioned = True
+    #: Hot-tier file extension (cold is always ``.jsonl.gz``).
+    hot_ext: str = ".jsonl"
+
+    def __init__(self, root: PathLike, manifest: Manifest) -> None:
+        self.root = Path(root)
+        self.manifest = manifest
+
+    # -- lifecycle ---------------------------------------------------
+
+    @classmethod
+    def init(cls, root: PathLike, meta: Optional[dict] = None):
+        """Create an empty store (directory + manifest) at ``root``."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        if (root / MANIFEST_NAME).exists():
+            raise StorageError(
+                f"{root} already holds a store; open() or recover() it"
+            )
+        manifest = Manifest(cls.domain, meta=meta)
+        manifest.save(root)
+        return cls(root, manifest)
+
+    @classmethod
+    def open(cls, root: PathLike):
+        """Attach to an existing store; ``ManifestError`` on damage."""
+        manifest = Manifest.load(root)
+        if manifest.domain != cls.domain:
+            raise StorageError(
+                f"{root} holds a {manifest.domain!r} store, "
+                f"not {cls.domain!r}"
+            )
+        return cls(Path(root), manifest)
+
+    @classmethod
+    def recover(cls, root: PathLike, meta: Optional[dict] = None):
+        """Rebuild a lost or corrupt manifest by scanning the shards.
+
+        Every partition file is read in full; its key comes from the
+        rows themselves (a partition holds exactly one key by
+        construction), its tier from the extension, and its row count
+        and digest are recomputed — so the rebuilt manifest describes
+        what is actually on disk, not what a torn write claimed.
+        ``meta`` (generator seed, scale) cannot be recovered from the
+        shards; pass it when known.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise StorageError(f"no store directory at {root}")
+        manifest = Manifest(cls.domain, meta=meta)
+        store = cls(root, manifest)
+        for file in sorted(root.iterdir()):
+            if file.name == MANIFEST_NAME or file.name.endswith(".tmp"):
+                continue
+            if file.name.endswith(".jsonl.gz"):
+                tier = "cold"
+            elif file.name.endswith(cls.hot_ext):
+                tier = "hot"
+            else:
+                continue
+            records = store._read_file(file, tier)
+            if not records:
+                continue
+            keys = {store.partition_key(r) for r in records}
+            if len(keys) != 1:
+                raise StorageError(
+                    f"partition file {file.name} holds {len(keys)} "
+                    f"distinct (year, region) keys; expected exactly 1"
+                )
+            (key,) = keys
+            rows = store._sorted_rows(records)
+            manifest.upsert(PartitionEntry(
+                year=key[0], region=key[1], rows=len(rows),
+                digest=_digest_rows(rows), tier=tier, path=file.name,
+            ))
+        manifest.save(root)
+        return store
+
+    # -- domain hooks (subclass responsibilities) --------------------
+
+    def partition_key(self, record) -> PartitionKey:
+        raise NotImplementedError
+
+    def _record_row(self, record) -> dict:
+        raise NotImplementedError
+
+    def _row_record(self, row: dict):
+        raise NotImplementedError
+
+    def _sort_key(self, record) -> tuple:
+        raise NotImplementedError
+
+    def _read_hot(self, path: Path) -> List:
+        raise NotImplementedError
+
+    def _write_hot(self, path: Path, records: List) -> None:
+        raise NotImplementedError
+
+    # -- partition files ---------------------------------------------
+
+    def _partition_name(self, key: PartitionKey, tier: str) -> str:
+        year, region = key
+        ext = self.hot_ext if tier == "hot" else ".jsonl.gz"
+        return f"{year}_{_region_slug(region)}{ext}"
+
+    def _sorted_rows(self, records: Iterable) -> List[dict]:
+        ordered = sorted(records, key=self._sort_key)
+        return [self._record_row(r) for r in ordered]
+
+    def _read_cold(self, path: Path) -> List:
+        from repro.io.compression import open_text
+
+        records = []
+        with open_text(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(self._row_record(json.loads(line)))
+        records.sort(key=self._sort_key)
+        return records
+
+    def _write_cold(self, path: Path, records: List) -> None:
+        from repro.io.compression import open_text
+
+        ordered = sorted(records, key=self._sort_key)
+        with open_text(path, "w") as handle:
+            for record in ordered:
+                handle.write(
+                    json.dumps(self._record_row(record), sort_keys=True)
+                    + "\n"
+                )
+
+    def _read_file(self, path: Path, tier: str) -> List:
+        return self._read_hot(path) if tier == "hot" \
+            else self._read_cold(path)
+
+    def _read_partition(self, entry: PartitionEntry) -> List:
+        """Every record of one partition, in global sort order.
+
+        The ``storage.shard`` fault site simulates the shard file
+        vanishing mid-plan: the file is actually deleted and a typed
+        :class:`PartitionLost` names the partition, so the recovery
+        drill repairs genuine damage, not a simulation of it.
+        """
+        path = self.root / entry.path
+        if hooks.fire("storage.shard"):
+            if path.exists():
+                path.unlink()
+            raise PartitionLost(
+                f"injected shard loss: partition {entry.key} "
+                f"({entry.path})", key=entry.key,
+            )
+        if not path.exists():
+            raise PartitionLost(
+                f"partition {entry.key} is missing its file "
+                f"{entry.path}; restore() it from a source corpus",
+                key=entry.key,
+            )
+        return self._read_file(path, entry.tier)
+
+    # -- writes ------------------------------------------------------
+
+    def ingest(self, records: Iterable) -> int:
+        """Route records to their ``(year, region)`` partitions.
+
+        Appends to existing partitions (a cold target is promoted
+        first — the hot tier is the only writable one), recomputes
+        each touched partition's row count and digest from disk, and
+        publishes the manifest once at the end.  Returns how many
+        records landed.
+        """
+        groups: Dict[PartitionKey, List] = {}
+        count = 0
+        for record in records:
+            groups.setdefault(self.partition_key(record), []).append(record)
+            count += 1
+        for key in sorted(groups):
+            entry = self.manifest.get(key)
+            if entry is not None and entry.tier == "cold":
+                entry = self._move_tier(entry, "hot", save=False)
+            existing: List = []
+            if entry is not None:
+                existing = self._read_file(
+                    self.root / entry.path, entry.tier
+                )
+            merged = sorted(
+                existing + groups[key], key=self._sort_key
+            )
+            path = self.root / self._partition_name(key, "hot")
+            self._write_hot(path, merged)
+            rows = self._sorted_rows(merged)
+            self.manifest.upsert(PartitionEntry(
+                year=key[0], region=key[1], rows=len(rows),
+                digest=_digest_rows(rows), tier="hot", path=path.name,
+            ))
+        self.manifest.save(self.root)
+        return count
+
+    # ``insert_many`` / ``bulk_load`` aliases keep the monolithic
+    # store's write surface working (io importers, serve ingestion).
+    def insert_many(self, records: Iterable) -> int:
+        return self.ingest(records)
+
+    def bulk_load(self, records: Iterable, **_kwargs) -> int:
+        return self.ingest(records)
+
+    def restore(self, key: PartitionKey, source: Iterable) -> int:
+        """Re-ingest one lost partition from a source corpus.
+
+        Filters ``source`` down to the records belonging to ``key``,
+        rewrites the partition on its manifest tier, and — when the
+        manifest still remembers the partition — refuses to publish a
+        digest mismatch: a restore must reproduce exactly the rows the
+        manifest attests to, or fail loudly.
+        """
+        entry = self.manifest.get(key)
+        tier = entry.tier if entry is not None else "hot"
+        records = [r for r in source if self.partition_key(r) == key]
+        rows = self._sorted_rows(records)
+        digest = _digest_rows(rows)
+        if entry is not None and digest != entry.digest:
+            raise StorageError(
+                f"restore of partition {key} produced digest "
+                f"{digest[:12]}, manifest expects {entry.digest[:12]}; "
+                "wrong source corpus?"
+            )
+        path = self.root / self._partition_name(key, tier)
+        with hooks.suppressed("storage.shard"):
+            if tier == "hot":
+                self._write_hot(path, sorted(records, key=self._sort_key))
+            else:
+                self._write_cold(path, records)
+        self.manifest.upsert(PartitionEntry(
+            year=key[0], region=key[1], rows=len(rows), digest=digest,
+            tier=tier, path=path.name,
+        ))
+        self.manifest.save(self.root)
+        return len(records)
+
+    # -- tiering -----------------------------------------------------
+
+    def _move_tier(self, entry: PartitionEntry, tier: str,
+                   save: bool = True) -> PartitionEntry:
+        records = self._read_partition(entry)
+        new_path = self.root / self._partition_name(entry.key, tier)
+        if tier == "hot":
+            self._write_hot(new_path, records)
+        else:
+            self._write_cold(new_path, records)
+        rows = self._sorted_rows(records)
+        digest = _digest_rows(rows)
+        if digest != entry.digest:
+            new_path.unlink()
+            raise StorageError(
+                f"tier move of partition {entry.key} would change its "
+                f"digest ({entry.digest[:12]} -> {digest[:12]}); "
+                "refusing to publish a lossy move"
+            )
+        old_path = self.root / entry.path
+        if old_path != new_path and old_path.exists():
+            old_path.unlink()
+        moved = PartitionEntry(
+            year=entry.year, region=entry.region, rows=entry.rows,
+            digest=entry.digest, tier=tier, path=new_path.name,
+        )
+        self.manifest.upsert(moved)
+        if save:
+            self.manifest.save(self.root)
+        return moved
+
+    def demote(self, key: PartitionKey) -> PartitionEntry:
+        """Move one partition to the cold tier (gzip JSONL)."""
+        entry = self._require(key)
+        if entry.tier == "cold":
+            return entry
+        return self._move_tier(entry, "cold")
+
+    def promote(self, key: PartitionKey) -> PartitionEntry:
+        """Move one partition back to the hot tier."""
+        entry = self._require(key)
+        if entry.tier == "hot":
+            return entry
+        return self._move_tier(entry, "hot")
+
+    def compact(self, keep_hot_years: int = 1) -> List[PartitionKey]:
+        """Demote every partition older than the newest N years.
+
+        The compaction policy of a corpus whose queries skew heavily
+        recent: the paper's target year is always the newest, so
+        history compresses and the working set stays hot.  Returns
+        the demoted keys.
+        """
+        if keep_hot_years < 0:
+            raise ValueError("keep_hot_years must be non-negative")
+        years = self.manifest.years()
+        if not years:
+            return []
+        threshold = max(years) - keep_hot_years + 1
+        demoted = []
+        for entry in self.manifest.partitions():
+            if entry.tier == "hot" and entry.year < threshold:
+                self._move_tier(entry, "cold", save=False)
+                demoted.append(entry.key)
+        self.manifest.save(self.root)
+        return demoted
+
+    def apply_retention(self, min_year: int) -> List[PartitionKey]:
+        """Drop every partition older than ``min_year`` (any tier).
+
+        The destructive half of the lifecycle: shard files are deleted
+        and their manifest entries removed.  Returns the dropped keys.
+        """
+        dropped = []
+        for entry in self.manifest.partitions():
+            if entry.year < min_year:
+                path = self.root / entry.path
+                if path.exists():
+                    path.unlink()
+                self.manifest.remove(entry.key)
+                dropped.append(entry.key)
+        if dropped:
+            self.manifest.save(self.root)
+        return dropped
+
+    # -- reads -------------------------------------------------------
+
+    def records(self) -> Iterator:
+        """Every record, in the monolithic store's global order.
+
+        A lazy k-way merge over the per-partition iterators: each
+        partition is read (and sorted) on demand, and the heads are
+        merged on the domain sort key — identical output to the
+        monolithic scan, one partition of memory at a time.
+        """
+        streams = [
+            iter(self._read_partition(entry))
+            for entry in self.manifest.partitions()
+        ]
+        return heapq.merge(*streams, key=self._sort_key)
+
+    def partition_records(self, key: PartitionKey) -> List:
+        """One partition's records, in global sort order."""
+        return self._read_partition(self._require(key))
+
+    def __len__(self) -> int:
+        return self.manifest.total_rows()
+
+    def years(self) -> List[int]:
+        return self.manifest.years()
+
+    def regions(self) -> List[str]:
+        return self.manifest.regions()
+
+    def partition_keys(self) -> List[PartitionKey]:
+        return [e.key for e in self.manifest.partitions()]
+
+    def _require(self, key: PartitionKey) -> PartitionEntry:
+        entry = self.manifest.get(key)
+        if entry is None:
+            raise StorageError(f"no partition {key!r} in {self.root}")
+        return entry
+
+    # -- auditing ----------------------------------------------------
+
+    def verify(self) -> Dict[PartitionKey, str]:
+        """Recompute every partition against the manifest.
+
+        Returns a mismatch report — ``{key: reason}`` — empty when the
+        store is healthy.  Missing files are reported, not raised, so
+        one lost shard does not hide the state of the others.
+        """
+        problems: Dict[PartitionKey, str] = {}
+        for entry in self.manifest.partitions():
+            path = self.root / entry.path
+            if not path.exists():
+                problems[entry.key] = f"missing file {entry.path}"
+                continue
+            rows = self._sorted_rows(self._read_file(path, entry.tier))
+            if len(rows) != entry.rows:
+                problems[entry.key] = (
+                    f"row count {len(rows)} != manifest {entry.rows}"
+                )
+            elif _digest_rows(rows) != entry.digest:
+                problems[entry.key] = "content digest mismatch"
+        return problems
+
+    def status(self) -> dict:
+        """JSON-able summary: tiers, rows, bytes, per-partition rows."""
+        tiers = {"hot": 0, "cold": 0}
+        size = 0
+        for entry in self.manifest.partitions():
+            tiers[entry.tier] += 1
+            path = self.root / entry.path
+            if path.exists():
+                size += path.stat().st_size
+        return {
+            "domain": self.domain,
+            "partitions": len(self.manifest),
+            "rows": len(self),
+            "years": self.years(),
+            "regions": self.regions(),
+            "tiers": tiers,
+            "bytes": size,
+            "meta": dict(self.manifest.meta),
+            "entries": [
+                {"year": e.year, "region": e.region, "rows": e.rows,
+                 "tier": e.tier, "path": e.path}
+                for e in self.manifest.partitions()
+            ],
+        }
+
+
+class PartitionedSEVStore(_TieredStore):
+    """The SEV corpus, sharded by (opened year, device region).
+
+    Hot partitions are full :class:`~repro.incidents.store.SEVStore`
+    SQLite files — the SQL query layer works against any one shard —
+    and the global scan merges shards back into the monolithic
+    ``(opened_at_h, sev_id)`` order, so reports over a partitioned
+    corpus are bit-identical to the single-file store's.
+    """
+
+    domain = "sev"
+    hot_ext = ".db"
+
+    _schema_hash: Optional[str] = None
+
+    def partition_key(self, report) -> PartitionKey:
+        return (report.opened_year, report.region or NO_REGION)
+
+    def _record_row(self, report) -> dict:
+        from repro.io.sev_io import _report_row
+
+        return _report_row(report)
+
+    def _row_record(self, row: dict):
+        from repro.io.sev_io import _row_report
+
+        return _row_report(row)
+
+    def _sort_key(self, report) -> tuple:
+        return (report.opened_at_h, report.sev_id)
+
+    def _read_hot(self, path: Path) -> List:
+        from repro.incidents.store import SEVStore
+
+        with SEVStore(str(path)) as shard:
+            return list(shard.all_reports())
+
+    def _write_hot(self, path: Path, records: List) -> None:
+        from repro.incidents.store import SEVStore
+
+        if path.exists():
+            path.unlink()
+        with SEVStore(str(path)) as shard:
+            shard.bulk_load(records)
+
+    def all_reports(self) -> Iterator:
+        """The monolithic store's scan API, answered off the manifest."""
+        return self.records()
+
+    def schema_hash(self) -> str:
+        """The monolithic schema hash, by construction.
+
+        Hot shards *are* monolithic stores, so the partitioned corpus
+        fingerprints exactly as the same rows would in one file — the
+        cache-key stability the tentpole demands.  Computed once from
+        a fresh in-memory store and cached on the class.
+        """
+        if PartitionedSEVStore._schema_hash is None:
+            from repro.incidents.store import SEVStore
+
+            with SEVStore() as empty:
+                PartitionedSEVStore._schema_hash = empty.schema_hash()
+        return PartitionedSEVStore._schema_hash
+
+
+class PartitionedTicketStore(_TieredStore):
+    """The backbone repair-ticket corpus, sharded by (year, location).
+
+    Tickets have no SQL query layer — every consumer folds them in
+    memory — so the hot tier is plain JSONL in the interchange schema
+    and the cold tier its gzip twin.  ``completed()`` and
+    ``to_database()`` keep the :class:`TicketDatabase` surface working
+    for the corpus runtime and the backbone monitor.
+    """
+
+    domain = "ticket"
+    hot_ext = ".jsonl"
+
+    def partition_key(self, ticket) -> PartitionKey:
+        from repro.incidents.sev import year_of_hours
+
+        return (
+            year_of_hours(max(ticket.started_at_h, 0.0)),
+            ticket.location or NO_REGION,
+        )
+
+    def _record_row(self, ticket) -> dict:
+        from repro.io.ticket_io import _ticket_row
+
+        return _ticket_row(ticket)
+
+    def _row_record(self, row: dict):
+        from repro.io.ticket_io import _row_ticket
+
+        return _row_ticket(row)
+
+    def _sort_key(self, ticket) -> tuple:
+        return (ticket.started_at_h, ticket.ticket_id)
+
+    def _read_hot(self, path: Path) -> List:
+        records = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(self._row_record(json.loads(line)))
+        records.sort(key=self._sort_key)
+        return records
+
+    def _write_hot(self, path: Path, records: List) -> None:
+        ordered = sorted(records, key=self._sort_key)
+        with open(path, "w", encoding="utf-8") as handle:
+            for ticket in ordered:
+                handle.write(
+                    json.dumps(self._record_row(ticket), sort_keys=True)
+                    + "\n"
+                )
+
+    def completed(self) -> List:
+        """Every (completed) ticket, in global (start, id) order."""
+        return list(self.records())
+
+    def to_database(self):
+        """Materialize a :class:`TicketDatabase`, ticket ids preserved.
+
+        The backbone monitor's per-link interval queries want the
+        in-memory database; ids must survive the round trip so report
+        digests (which sort on them) cannot shift.
+        """
+        from repro.backbone.tickets import TicketDatabase
+
+        db = TicketDatabase()
+        for ticket in self.records():
+            db.add_ticket(ticket)
+        return db

@@ -51,9 +51,11 @@ def replay_file(path: PathLike, strict: bool = True,
     ``strict=False`` malformed lines are skipped and counted in the
     :class:`~repro.io.errors.ReadErrors` instead of raising.
     """
-    from repro.io import iter_sevs_csv, iter_sevs_json, iter_sevs_jsonl
+    from repro.io import (
+        iter_sevs_csv, iter_sevs_json, iter_sevs_jsonl, strip_gz_suffix,
+    )
 
-    suffix = Path(path).suffix.lower()
+    suffix = Path(strip_gz_suffix(path)).suffix.lower()
     if suffix == ".jsonl":
         return iter_sevs_jsonl(path, strict=strict, errors=errors)
     if suffix == ".json":
@@ -61,7 +63,8 @@ def replay_file(path: PathLike, strict: bool = True,
     if suffix == ".csv":
         return iter_sevs_csv(path)
     raise ValueError(
-        f"cannot replay {path!s}: expected .csv, .json, or .jsonl"
+        f"cannot replay {path!s}: expected .csv, .json, .jsonl, "
+        "or .jsonl.gz"
     )
 
 
@@ -97,9 +100,10 @@ def replay_tickets_file(path: PathLike) -> Iterator:
         iter_tickets_csv,
         iter_tickets_json,
         iter_tickets_jsonl,
+        strip_gz_suffix,
     )
 
-    suffix = Path(path).suffix.lower()
+    suffix = Path(strip_gz_suffix(path)).suffix.lower()
     if suffix == ".jsonl":
         return iter_tickets_jsonl(path)
     if suffix == ".json":
@@ -107,5 +111,6 @@ def replay_tickets_file(path: PathLike) -> Iterator:
     if suffix == ".csv":
         return iter_tickets_csv(path)
     raise ValueError(
-        f"cannot replay {path!s}: expected .csv, .json, or .jsonl"
+        f"cannot replay {path!s}: expected .csv, .json, .jsonl, "
+        "or .jsonl.gz"
     )

@@ -155,6 +155,99 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(backbone_runtime_checks(backbone_seed=backbone_seed))
     checks.extend(faultline_checks(seed=seed))
     checks.extend(serve_checks(seed=seed, backbone_seed=backbone_seed))
+    checks.extend(storage_checks(seed=seed, backbone_seed=backbone_seed))
+    return checks
+
+
+def storage_checks(seed: int = 1, backbone_seed: int = 7,
+                   scale: float = 0.25) -> List[Check]:
+    """Exercise the tiered storage layer (:mod:`repro.storage`).
+
+    Three invariants, all exact: a partitioned store holding the same
+    rows fingerprints identically to the monolithic store (cache keys
+    survive the layout change); every backend over the partitioned SEV
+    store — with part of its history demoted to the gzip cold tier —
+    reproduces the monolithic batch report bit for bit; and the
+    partitioned ticket store does the same for the backbone report.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime import (
+        RunContext, run_backbone_report, run_intra_report,
+    )
+    from repro.runtime.cache import corpus_fingerprint
+    from repro.storage import PartitionedSEVStore, PartitionedTicketStore
+
+    checks: List[Check] = []
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    mono = IntraSimulator(scenario).run()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(Path(tmp) / "sev")
+        store.ingest(mono.all_reports())
+        years = store.years()
+        if len(years) > 1:
+            store.compact(keep_hot_years=max(1, len(years) // 2))
+        checks.append(Check(
+            "Storage", "partitioned fingerprint equals monolithic", 1.0,
+            float(
+                len(store) == len(mono)
+                and corpus_fingerprint(store, seed)
+                == corpus_fingerprint(mono, seed)
+            ),
+            0.0, relative=False,
+        ))
+        batch = run_intra_report(
+            RunContext(store=mono, fleet=scenario.fleet, corpus_seed=seed),
+            backend="batch",
+        )
+        agree = all(
+            run_intra_report(
+                RunContext(store=store, fleet=scenario.fleet,
+                           corpus_seed=seed),
+                backend=backend, **kwargs,
+            ) == batch
+            for backend, kwargs in (
+                ("batch", {}), ("stream", {}), ("sharded", {"jobs": 4}),
+            )
+        )
+        checks.append(Check(
+            "Storage", "backends over partitions equal monolithic", 1.0,
+            float(agree), 0.0, relative=False,
+        ))
+
+    corpus = BackboneSimulator(
+        paper_backbone_scenario(seed=backbone_seed)
+    ).run()
+    base = run_backbone_report(
+        RunContext(
+            monitor=BackboneMonitor(corpus.topology, corpus.tickets),
+            topology=corpus.topology, window_h=corpus.window_h,
+            corpus_seed=backbone_seed,
+        ),
+        backend="batch",
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        tickets = PartitionedTicketStore.init(Path(tmp) / "tickets")
+        tickets.ingest(corpus.tickets.completed())
+        if len(tickets.years()) > 1:
+            tickets.compact(keep_hot_years=1)
+        context = RunContext(
+            monitor=BackboneMonitor(corpus.topology, tickets.to_database()),
+            topology=corpus.topology, window_h=corpus.window_h,
+            corpus_seed=backbone_seed, tickets=tickets,
+        )
+        agree = all(
+            run_backbone_report(context, backend=backend, **kwargs) == base
+            for backend, kwargs in (
+                ("batch", {}), ("stream", {}), ("sharded", {"jobs": 4}),
+            )
+        )
+    checks.append(Check(
+        "Storage", "partitioned tickets equal backbone report", 1.0,
+        float(agree), 0.0, relative=False,
+    ))
     return checks
 
 

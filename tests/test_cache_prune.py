@@ -1,0 +1,104 @@
+"""LRU-by-mtime pruning of the persistent result cache."""
+
+import os
+
+import pytest
+
+from repro.runtime.cache import ResultCache
+
+
+def _fill(cache, n=4, size=100):
+    """Store n entries with strictly increasing mtimes; oldest first."""
+    keys = []
+    for i in range(n):
+        key = ResultCache.key(f"fp{i}", "analysis", "batch", None, None)
+        cache.store(key, "x" * size)
+        # Pin mtimes so LRU order is deterministic regardless of
+        # filesystem timestamp resolution.
+        os.utime(cache._file(key), (1000 + i, 1000 + i))
+        keys.append(key)
+    return keys
+
+
+class TestPrune:
+    def test_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill(cache)
+        sizes = [cache._file(k).stat().st_size for k in keys]
+        # Budget for exactly the two newest entries.
+        evicted = cache.prune(sum(sizes[2:]))
+        assert evicted == 2
+        assert not cache._file(keys[0]).exists()
+        assert not cache._file(keys[1]).exists()
+        assert cache._file(keys[2]).exists()
+        assert cache._file(keys[3]).exists()
+
+    def test_recent_hit_protects_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill(cache)
+        # A lookup touches the file, moving the oldest entry to the
+        # back of the eviction queue.
+        fresh = ResultCache(tmp_path)
+        hit, _ = fresh.lookup(keys[0])
+        assert hit
+        sizes = [fresh._file(k).stat().st_size for k in keys]
+        fresh.prune(sum(sizes) - sizes[0] - 1)
+        assert fresh._file(keys[0]).exists()
+        assert not fresh._file(keys[1]).exists()
+
+    def test_pruned_entries_leave_memory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill(cache)
+        assert len(cache) == len(keys)
+        cache.prune(0)
+        assert len(cache) == 0
+        hit, _ = cache.lookup(keys[0])
+        assert not hit
+
+    def test_zero_budget_clears_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, n=3)
+        assert cache.prune(0) == 3
+        assert cache.disk_bytes() == 0
+
+    def test_within_budget_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, n=2)
+        assert cache.prune(cache.disk_bytes()) == 0
+        assert cache.stats()["disk_entries"] == 2
+
+    def test_negative_budget_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+    def test_memory_only_cache_prunes_nothing(self):
+        cache = ResultCache()
+        cache.store("k", "v")
+        assert cache.prune(0) == 0
+        assert len(cache) == 1
+
+
+class TestStats:
+    def test_stats_report_pruning_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, n=3)
+        cache.prune(0)
+        stats = cache.stats()
+        assert stats["pruned"] == 3
+        assert stats["disk_entries"] == 0
+        assert stats["disk_bytes"] == 0
+
+    def test_pruned_counter_accumulates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, n=2)
+        cache.prune(0)
+        _fill(cache, n=2)
+        cache.prune(0)
+        assert cache.stats()["pruned"] == 4
+
+    def test_memory_cache_has_no_disk_keys(self):
+        stats = ResultCache().stats()
+        assert "disk_entries" not in stats
+        assert "disk_bytes" not in stats
+        assert stats["pruned"] == 0

@@ -98,7 +98,8 @@ class TestBenchSuite:
         record = bench_ingest(seed=4, scale=0.25)
         assert record.name == "ingest_bulk_load"
         methods = [e["method"] for e in record.metrics["variants"]]
-        assert methods == ["insert_rowwise", "insert_many", "bulk_load"]
+        assert methods == ["insert_rowwise", "insert_many", "bulk_load",
+                           "partitioned_ingest"]
         assert record.metrics["rows"] > 0
         # Even at a tiny scale, skipping a transaction per row wins
         # comfortably on durable storage.

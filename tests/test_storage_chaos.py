@@ -1,0 +1,62 @@
+"""Shard-loss and torn-manifest recovery drills (repro.faultline).
+
+Satellite acceptance: after a seeded shard loss and a torn manifest,
+recovery converges back to the fault-free report digests — across
+several seeds — and the drill replays deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro.faultline.drills import _storage_drill
+from repro.faultline.plan import SITES
+
+
+SEEDS = [1, 7, 13]
+
+
+class TestStorageSites:
+    def test_sites_registered(self):
+        assert "storage.shard" in SITES
+        assert "storage.manifest" in SITES
+
+
+class TestStorageDrill:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recovery_converges(self, seed):
+        result = _storage_drill(seed, True, None)
+        assert result["passed"], result
+        detail = result["detail"]
+        # Both injected failures fired and both recoveries landed on
+        # the fault-free digest.
+        assert detail["shard"]["faults_fired"] == 1
+        assert detail["shard"]["converged"]
+        assert detail["manifest"]["faults_fired"] == 1
+        assert detail["manifest"]["converged"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shard_loss_names_the_partition(self, seed):
+        detail = _storage_drill(seed, True, None)["detail"]
+        lost = detail["shard"]["lost_partition"]
+        assert lost is not None
+        year, region = lost
+        assert isinstance(year, int)
+        assert isinstance(region, str)
+
+    def test_torn_manifest_refused_with_typed_error(self):
+        detail = _storage_drill(7, True, None)["detail"]
+        assert detail["manifest"]["torn"]
+        assert detail["manifest"]["typed_refusal"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_drill_replays_deterministically(self, seed):
+        first = _storage_drill(seed, True, None)
+        second = _storage_drill(seed, True, None)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(second, sort_keys=True)
+
+    def test_site_subset_runs_only_selected(self):
+        detail = _storage_drill(7, True, ["storage.shard"])["detail"]
+        assert detail["shard"]["faults_fired"] == 1
+        assert detail["manifest"]["faults_fired"] == 0

@@ -1,0 +1,120 @@
+"""Tests for the partition manifest (repro.storage.manifest)."""
+
+import json
+
+import pytest
+
+from repro.storage import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    Manifest,
+    ManifestError,
+    PartitionEntry,
+)
+
+
+def entry(year=2017, region="regionA", rows=3, tier="hot",
+          path="2017_regionA.db"):
+    return PartitionEntry(year=year, region=region, rows=rows,
+                          digest="d" * 64, tier=tier, path=path)
+
+
+class TestPartitionEntry:
+    def test_key(self):
+        assert entry().key == (2017, "regionA")
+
+    def test_round_trip(self):
+        e = entry()
+        assert PartitionEntry.from_json(e.to_json()) == e
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            PartitionEntry(year=2017, region="a", rows=1,
+                           digest="d", tier="lukewarm", path="x")
+
+    def test_malformed_entry_is_typed(self):
+        with pytest.raises(ManifestError):
+            PartitionEntry.from_json({"year": 2017})
+
+
+class TestManifest:
+    def test_upsert_get_remove(self):
+        m = Manifest("sev")
+        m.upsert(entry())
+        assert m.get((2017, "regionA")).rows == 3
+        m.upsert(entry(rows=5))
+        assert m.get((2017, "regionA")).rows == 5
+        assert len(m) == 1
+        m.remove((2017, "regionA"))
+        assert m.get((2017, "regionA")) is None
+
+    def test_partitions_sorted_by_key(self):
+        m = Manifest("sev")
+        m.upsert(entry(year=2017, region="b", path="b.db"))
+        m.upsert(entry(year=2011, region="z", path="z.db"))
+        m.upsert(entry(year=2017, region="a", path="a.db"))
+        assert [e.key for e in m.partitions()] == [
+            (2011, "z"), (2017, "a"), (2017, "b"),
+        ]
+
+    def test_totals(self):
+        m = Manifest("sev")
+        m.upsert(entry(year=2011, region="a", rows=2, path="a.db"))
+        m.upsert(entry(year=2017, region="b", rows=3, path="b.db"))
+        assert m.total_rows() == 5
+        assert m.years() == [2011, 2017]
+        assert m.regions() == ["a", "b"]
+
+
+class TestManifestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        m = Manifest("sev", meta={"seed": 3, "scale": 0.1})
+        m.upsert(entry())
+        m.save(tmp_path)
+        loaded = Manifest.load(tmp_path)
+        assert loaded.domain == "sev"
+        assert loaded.meta == {"seed": 3, "scale": 0.1}
+        assert loaded.get((2017, "regionA")) == entry()
+
+    def test_missing_manifest_is_typed(self, tmp_path):
+        with pytest.raises(ManifestError):
+            Manifest.load(tmp_path)
+
+    def test_garbage_is_typed(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ManifestError):
+            Manifest.load(tmp_path)
+
+    def test_wrong_format_is_typed(self, tmp_path):
+        doc = {"format": "something/else", "checksum": "x"}
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ManifestError, match="format"):
+            Manifest.load(tmp_path)
+
+    def test_torn_write_fails_checksum(self, tmp_path):
+        m = Manifest("sev")
+        m.upsert(entry())
+        m.save(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        text = path.read_text()
+        path.write_text(text[: max(1, len(text) // 2)])
+        with pytest.raises(ManifestError):
+            Manifest.load(tmp_path)
+
+    def test_tampered_body_fails_checksum(self, tmp_path):
+        m = Manifest("sev")
+        m.upsert(entry(rows=3))
+        m.save(tmp_path)
+        path = tmp_path / MANIFEST_NAME
+        doc = json.loads(path.read_text())
+        doc["partitions"][0]["rows"] = 9999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ManifestError, match="checksum"):
+            Manifest.load(tmp_path)
+
+    def test_format_tag_written(self, tmp_path):
+        Manifest("ticket").save(tmp_path)
+        doc = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert doc["format"] == MANIFEST_FORMAT
+        assert doc["domain"] == "ticket"
+        assert "checksum" in doc

@@ -1,0 +1,123 @@
+"""Schema migration: pre-partition SEV databases gain a region column.
+
+Databases written before the tiered store existed carry no ``region``
+column; opening one with the current :class:`SEVStore` must add the
+column and backfill it from the device names already on disk.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.incidents.sev import RootCause, SEVReport, Severity
+from repro.incidents.store import SEVStore, ensure_region_column
+
+_LEGACY_SCHEMA = """
+CREATE TABLE sevs (
+    sev_id        TEXT PRIMARY KEY,
+    severity      INTEGER NOT NULL CHECK (severity BETWEEN 1 AND 3),
+    device_name   TEXT NOT NULL,
+    device_type   TEXT,
+    opened_at_h   REAL NOT NULL CHECK (opened_at_h >= 0),
+    resolved_at_h REAL NOT NULL,
+    opened_year   INTEGER NOT NULL,
+    duration_h    REAL NOT NULL CHECK (duration_h >= 0),
+    description   TEXT NOT NULL DEFAULT '',
+    service_impact TEXT NOT NULL DEFAULT '',
+    reviewed      INTEGER NOT NULL DEFAULT 1
+);
+CREATE TABLE sev_root_causes (
+    sev_id     TEXT NOT NULL REFERENCES sevs(sev_id) ON DELETE CASCADE,
+    root_cause TEXT NOT NULL,
+    PRIMARY KEY (sev_id, root_cause)
+);
+"""
+
+
+def _write_legacy_db(path, rows):
+    conn = sqlite3.connect(str(path))
+    conn.executescript(_LEGACY_SCHEMA)
+    with conn:
+        conn.executemany(
+            "INSERT INTO sevs (sev_id, severity, device_name, "
+            "device_type, opened_at_h, resolved_at_h, opened_year, "
+            "duration_h) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+    conn.close()
+
+
+@pytest.fixture()
+def legacy_db(tmp_path):
+    path = tmp_path / "legacy.db"
+    _write_legacy_db(path, [
+        ("SEV-1", 2, "rsw.042.pod7.dc1.regionA", "rsw",
+         100.0, 104.0, 2011, 4.0),
+        ("SEV-2", 1, "core.007.pod1.dc2.regionB", "core",
+         200.0, 201.0, 2011, 1.0),
+        ("SEV-3", 3, "not-a-canonical-name", None,
+         300.0, 302.0, 2012, 2.0),
+    ])
+    return path
+
+
+class TestEnsureRegionColumn:
+    def test_migrates_and_backfills(self, legacy_db):
+        conn = sqlite3.connect(str(legacy_db))
+        assert ensure_region_column(conn) is True
+        regions = dict(conn.execute(
+            "SELECT sev_id, region FROM sevs"
+        ).fetchall())
+        conn.close()
+        assert regions["SEV-1"] == "regionA"
+        assert regions["SEV-2"] == "regionB"
+        # Unparseable device names keep the safe default, not garbage.
+        assert regions["SEV-3"] == ""
+
+    def test_idempotent(self, legacy_db):
+        conn = sqlite3.connect(str(legacy_db))
+        assert ensure_region_column(conn) is True
+        assert ensure_region_column(conn) is False
+        conn.close()
+
+    def test_fresh_store_needs_no_migration(self):
+        with SEVStore() as store:
+            assert ensure_region_column(store.connection) is False
+
+
+class TestStoreOpensLegacy:
+    def test_open_migrates_automatically(self, legacy_db):
+        with SEVStore(str(legacy_db)) as store:
+            assert len(store) == 3
+            assert store.regions() == ["", "regionA", "regionB"]
+            ids = {r.sev_id for r in store.all_reports()}
+        assert ids == {"SEV-1", "SEV-2", "SEV-3"}
+
+
+class TestDefaultRegion:
+    @staticmethod
+    def _report(sev_id="SEV-X", device_name="oldfmt-device-1"):
+        return SEVReport(
+            sev_id=sev_id,
+            severity=Severity.SEV2,
+            device_name=device_name,
+            opened_at_h=10.0,
+            resolved_at_h=12.0,
+            root_causes=(RootCause.HARDWARE,),
+        )
+
+    def test_insert_many_fills_default_region(self):
+        with SEVStore() as store:
+            store.insert_many([self._report()], default_region="regionZ")
+            assert store.regions() == ["regionZ"]
+
+    def test_bulk_load_fills_default_region(self):
+        with SEVStore() as store:
+            store.bulk_load([self._report()], default_region="regionZ")
+            assert store.regions() == ["regionZ"]
+
+    def test_canonical_name_wins_over_default(self):
+        report = self._report(device_name="rsw.001.pod2.dc3.regionQ")
+        with SEVStore() as store:
+            store.insert_many([report], default_region="regionZ")
+            assert store.regions() == ["regionQ"]
