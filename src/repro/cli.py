@@ -47,7 +47,7 @@ from repro import (
 from repro.incidents import RootCause, SEVStore, Severity
 from repro.viz import format_table
 
-BACKEND_CHOICES = ["batch", "stream", "sharded"]
+BACKEND_CHOICES = ["batch", "stream", "sharded", "columnar"]
 
 
 def _parse_jobs(value: str):

@@ -1,6 +1,6 @@
 """The ``python -m repro chaos`` drill suite.
 
-Six drills, each aimed at one hardened failure surface, all driven by
+Seven drills, each aimed at one hardened failure surface, all driven by
 one seed so a failed run replays exactly:
 
 ``differential``
@@ -28,7 +28,12 @@ one seed so a failed run replays exactly:
     manifest mid-save (``storage.manifest``), then demand the typed
     recovery paths — ``restore`` from the source corpus, ``recover``
     rescanning the shards — converge back to the fault-free report
-    digest.
+    digest;
+``columnar``
+    make column-batch folds raise mid-batch (``runtime.fold``) and
+    demand the columnar backend fall back to the per-row reference
+    fold — suppressed and counted — with the report digest unchanged
+    from the fault-free run.
 
 The suite returns a JSON-able fault report that is *deterministic in
 the seed*: no timestamps, no host paths — two runs with the same seed
@@ -429,6 +434,75 @@ def _storage_drill(seed: int, quick: bool,
     return {"name": "storage", "passed": passed, "detail": detail}
 
 
+def _columnar_drill(seed: int, quick: bool,
+                    sites: Optional[Sequence[str]]) -> dict:
+    """Break columnar folds mid-batch; digests must not move.
+
+    A fault-free run fixes the stream and columnar report digests
+    (already provably equal).  The same corpus then re-runs on the
+    columnar backend under a plan firing ``runtime.fold`` — each fire
+    makes one ``fold_batch`` raise, which must drop that batch to the
+    per-row reference fold, suppressed and counted.  The drill passes
+    when the faulted report digest equals the fault-free baseline and
+    the executor's fallback count equals the number of fired faults.
+    """
+    from repro.core.reports import IntraStudyReport
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import RunContext, run_intra_report
+    from repro.runtime.analyses import intra_report_analyses
+    from repro.runtime.executor import Executor
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+
+    scenario = paper_scenario(seed=seed, scale=0.05)
+    store = IntraSimulator(scenario).run()
+    context = RunContext(store=store, fleet=scenario.fleet,
+                         corpus_seed=seed)
+    active = _selected(sites, "runtime.fold")
+
+    stream_digest = report_digest(
+        run_intra_report(context, backend="stream")
+    )
+    baseline = report_digest(
+        run_intra_report(context, backend="columnar")
+    )
+
+    plan = FaultPlan(seed, [
+        FaultSpec(site, probability=1.0, max_fires=2) for site in active
+    ])
+    executor = Executor(backend="columnar")
+    with hooks.injected(plan):
+        results = executor.run(intra_report_analyses(), context)
+    severity = results["severity_by_device"]
+    faulted = report_digest(IntraStudyReport(
+        root_causes=results["root_causes"],
+        rates=results["incident_rates"],
+        severity=severity,
+        severity_over_time=results["severity_over_time"],
+        distribution=results["distribution"],
+        designs=results["design_comparison"],
+        switches=results["switch_reliability"],
+        growth=results["growth"],
+        last_year=severity.year,
+    ))
+
+    converged = faulted == baseline == stream_digest
+    accounted = executor.columnar_fallbacks == plan.fired()
+    detail = {
+        "sites": active,
+        "rows": len(store),
+        "faults_fired": plan.fired(),
+        "fallbacks": executor.columnar_fallbacks,
+        "fallbacks_match_fires": accounted,
+        "baseline_digest": baseline,
+        "faulted_digest": faulted,
+        "converged": converged,
+        "fault_log_digest": plan.log_digest(),
+    }
+    return {"name": "columnar", "passed": converged and accounted,
+            "detail": detail}
+
+
 def chaos_suite(
     seed: int = 7,
     quick: bool = False,
@@ -448,6 +522,7 @@ def chaos_suite(
         _ingest_drill(seed, quick, sites),
         _serve_jobs_drill(seed, quick, sites),
         _storage_drill(seed, quick, sites),
+        _columnar_drill(seed, quick, sites),
     ]
     report = {
         "format": REPORT_FORMAT,

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 __all__ = [
     "SITES",
     "CheckpointKilled",
+    "ColumnFoldCrash",
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
@@ -53,6 +54,10 @@ SITES = (
     "store.insert",
     # runtime.executor sharded backend: a shard worker crashes.
     "executor.shard",
+    # runtime.executor columnar backend: a column-batch fold raises
+    # mid-batch; the executor falls back to the per-row reference
+    # fold over the batch's records.
+    "runtime.fold",
     # serve.jobs worker threads: a job crashes mid-execution.
     "serve.worker",
     # serve.jobs checkpoint: the jobs.json write tears mid-JSON;
@@ -85,6 +90,10 @@ class ShardWorkerCrash(InjectedFault):
 
 class JobWorkerCrash(InjectedFault):
     """Simulated crash of one job-queue worker in repro.serve."""
+
+
+class ColumnFoldCrash(InjectedFault):
+    """Simulated failure of one columnar batch fold mid-batch."""
 
 
 class PartitionLost(InjectedFault):

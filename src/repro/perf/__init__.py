@@ -19,6 +19,7 @@ Quickstart::
 
 from repro.perf.bench import (
     bench_backbone,
+    bench_fold_matrix,
     bench_ingest,
     bench_partitioned_scan,
     bench_serve,
@@ -38,6 +39,7 @@ __all__ = [
     "Phase",
     "PhaseTimer",
     "bench_backbone",
+    "bench_fold_matrix",
     "bench_ingest",
     "bench_partitioned_scan",
     "bench_serve",

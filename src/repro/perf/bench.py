@@ -21,6 +21,12 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     tier), on the streaming and sharded backends; asserts every
     variant's ``report_digest`` is bit-identical and reports the
     partitioned-scan overhead.
+``fold_matrix``
+    the fold engine across every execution strategy (per-row serial
+    fold, SQL batch, columnar, sharded and columnar on the shared
+    process pool) × both storage layouts; asserts all ten digests
+    are bit-identical and reports the columnar speedup over the
+    serial fold plus parallel efficiency against ``cpu_count``.
 ``backbone_report``
     the section 6 ticket-domain report answered by every runtime
     backend — batch (monitor path), streaming fold, sharded fold
@@ -378,6 +384,143 @@ def bench_partitioned_scan(
     )
 
 
+def bench_fold_matrix(
+    seed: int = 2,
+    scale: float = FULL_SCALE,
+    jobs: int = 4,
+    rounds: int = 3,
+) -> BenchRecord:
+    """Measure the fold engine across execution strategies and layouts.
+
+    One corpus, stored twice — the monolithic SQLite file and a tiered
+    partitioned store with roughly half its history demoted to the
+    gzip cold tier — answered by every fold strategy the runtime
+    offers:
+
+    ``serial_fold``
+        the per-row reference fold (stream backend) — the baseline
+        every speedup is quoted against
+    ``batch_sql``
+        per-analysis SQL (per-partition pushdown on the tiered store)
+    ``columnar``
+        array-at-a-time folds over ``ColumnBatch`` chunks
+    ``sharded_processes``
+        row shards folded on the shared worker pool
+    ``columnar_processes``
+        chunk-framed column batches shipped to the shared worker pool
+
+    Every variant must produce the identical ``report_digest`` — the
+    columnar engine's core acceptance criterion, measured rather than
+    assumed.  The record carries throughput per variant, the columnar
+    speedup over the serial fold, and parallel efficiency against the
+    recorded ``cpu_count``.
+    """
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import (
+        RunContext,
+        run_intra_report,
+        shutdown_executor_pool,
+    )
+    from repro.simulation.generator import IntraSimulator
+    from repro.simulation.scenarios import paper_scenario
+    from repro.storage import PartitionedSEVStore
+
+    scenario = paper_scenario(seed=seed, scale=scale)
+    mono = IntraSimulator(scenario).run()
+    rows = len(mono)
+
+    strategies = [
+        ("serial_fold", "stream", {}),
+        ("batch_sql", "batch", {}),
+        ("columnar", "columnar", {}),
+        ("sharded_processes", "sharded",
+         {"jobs": jobs, "use_processes": True}),
+        ("columnar_processes", "columnar",
+         {"jobs": jobs, "use_processes": True}),
+    ]
+
+    def timed(layout: str, target, strategy: str, backend: str,
+              kwargs: dict) -> dict:
+        best = float("inf")
+        digest = None
+        for _ in range(max(1, rounds)):
+            context = RunContext(
+                store=target, fleet=scenario.fleet, corpus_seed=seed
+            )
+            start = time.perf_counter()
+            report = run_intra_report(context, backend=backend, **kwargs)
+            best = min(best, time.perf_counter() - start)
+            digest = report_digest(report)
+        return {
+            "layout": layout,
+            "strategy": strategy,
+            "backend": backend,
+            "seconds": best,
+            "rows": rows,
+            "rows_per_s": events_per_second(rows, best),
+            "report_digest": digest,
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(
+            Path(tmp) / "tiered", meta={"seed": seed, "scale": scale}
+        )
+        store.ingest(mono.all_reports())
+        years = store.years()
+        if len(years) > 1:
+            store.compact(keep_hot_years=max(1, len(years) // 2))
+        tiers = store.status()["tiers"]
+        variants = [
+            timed(layout, target, strategy, backend, kwargs)
+            for layout, target in (
+                ("monolithic", mono), ("partitioned", store),
+            )
+            for strategy, backend, kwargs in strategies
+        ]
+    shutdown_executor_pool()
+
+    def seconds(layout: str, strategy: str) -> float:
+        for entry in variants:
+            if entry["layout"] == layout and entry["strategy"] == strategy:
+                return entry["seconds"]
+        raise KeyError((layout, strategy))
+
+    import os
+
+    cores = os.cpu_count() or 1
+    serial_s = seconds("monolithic", "serial_fold")
+    columnar_s = seconds("monolithic", "columnar")
+    parallel_s = seconds("monolithic", "columnar_processes")
+    parallel_speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    metrics = {
+        "rows": rows,
+        "jobs": jobs,
+        "cores": cores,
+        "partitions": tiers["hot"] + tiers["cold"],
+        "tiers": tiers,
+        "digests_identical": len(
+            {entry["report_digest"] for entry in variants}
+        ) == 1,
+        "per_variant": variants,
+        "columnar_speedup_vs_serial": (
+            serial_s / columnar_s if columnar_s > 0 else 0.0
+        ),
+        "batch_sql_speedup_vs_serial": (
+            serial_s / seconds("monolithic", "batch_sql")
+            if seconds("monolithic", "batch_sql") > 0 else 0.0
+        ),
+        "parallel_speedup_vs_serial": parallel_speedup,
+        "parallel_efficiency_vs_cores": parallel_speedup / cores,
+    }
+    return BenchRecord(
+        name="fold_matrix",
+        params={
+            "seed": seed, "scale": scale, "jobs": jobs, "rounds": rounds,
+        },
+        metrics=metrics,
+    )
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile over an already-sorted sample."""
     if not sorted_values:
@@ -579,6 +722,31 @@ def render_partitioned_record(record: BenchRecord) -> str:
     )
 
 
+def render_fold_matrix_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            entry["layout"],
+            entry["strategy"],
+            entry["rows"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['rows_per_s']:,.0f}",
+        ]
+        for entry in record.metrics["per_variant"]
+    ]
+    metrics = record.metrics
+    return format_table(
+        ["Layout", "Strategy", "Rows", "Seconds", "Rows/sec"],
+        rows,
+        title=(f"Fold matrix (scale={record.params['scale']}, "
+               f"columnar {metrics['columnar_speedup_vs_serial']:.1f}x, "
+               f"parallel {metrics['parallel_speedup_vs_serial']:.1f}x "
+               f"on {metrics['cores']} cores, "
+               f"identical={metrics['digests_identical']})"),
+    )
+
+
 def render_backbone_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -649,19 +817,25 @@ def run_bench_suite(
     scan = bench_partitioned_scan(
         seed=seed, scale=QUICK_SCALE if quick else scale, rounds=rounds
     )
+    fold = bench_fold_matrix(
+        seed=seed, scale=QUICK_SCALE if quick else scale,
+        jobs=2 if quick else 4, rounds=rounds,
+    )
     backbone = bench_backbone(rounds=rounds)
     serve = (
         bench_serve(scale=0.1, readers=4, requests_per_reader=10,
                     writer_jobs=1)
         if quick else bench_serve()
     )
-    records = [stream, ingest, scan, backbone, serve]
+    records = [stream, ingest, scan, fold, backbone, serve]
 
     print(render_stream_record(stream))
     print()
     print(render_ingest_record(ingest))
     print()
     print(render_partitioned_record(scan))
+    print()
+    print(render_fold_matrix_record(fold))
     print()
     print(render_backbone_record(backbone))
     print()

@@ -4,9 +4,12 @@ Every paper artifact is declared once as an
 :class:`~repro.runtime.analysis.Analysis` (prepare / fold / merge /
 finalize, optionally a substrate-querying ``batch`` fast path) and the
 :class:`~repro.runtime.executor.Executor` runs any set of them over
-three interchangeable backends — ``batch`` (per-analysis shortcut),
-``stream`` (one fused corpus pass), ``sharded`` (fold partitions
-independently, merge states).  The runtime is domain-generic: a
+four interchangeable backends — ``batch`` (per-analysis shortcut, with
+per-partition SQL pushdown over tiered stores), ``stream`` (one fused
+corpus pass), ``sharded`` (fold partitions independently, merge
+states), ``columnar`` (array-at-a-time folds over
+:class:`~repro.runtime.columns.ColumnBatch` chunks, per-row fallback
+for analyses that don't opt in).  The runtime is domain-generic: a
 :class:`~repro.runtime.domain.Corpus` abstracts the record source, and
 both of the paper's datasets ship as corpora —
 :class:`~repro.runtime.domain.SEVCorpus` over the intra data center
@@ -28,12 +31,19 @@ from repro.runtime.cache import (
     corpus_fingerprint,
     ticket_fingerprint,
 )
+from repro.runtime.columns import (
+    COLUMN_BATCH_ROWS,
+    ColumnBatch,
+    SEVColumnBatch,
+    TicketColumnBatch,
+)
 from repro.runtime.domain import Corpus, SEVCorpus, TicketCorpus
 from repro.runtime.executor import (
     BACKENDS,
     Executor,
     run_backbone_report,
     run_intra_report,
+    shutdown_executor_pool,
 )
 from repro.runtime.states import (
     CauseTallies,
@@ -47,18 +57,23 @@ from repro.runtime.states import (
 __all__ = [
     "Analysis",
     "BACKENDS",
+    "COLUMN_BATCH_ROWS",
     "CauseTallies",
+    "ColumnBatch",
     "Corpus",
     "DurationSketches",
     "Executor",
     "OutageTallies",
     "ResultCache",
     "RunContext",
+    "SEVColumnBatch",
     "SEVCorpus",
     "SeverityTallies",
+    "TicketColumnBatch",
     "TicketCorpus",
     "TicketDurationSketches",
     "YearTypeCounts",
+    "shutdown_executor_pool",
     "backbone_report_analyses",
     "corpus_fingerprint",
     "intra_report_analyses",

@@ -96,7 +96,32 @@ __all__ = [
 # -- corpus analyses ---------------------------------------------------
 
 
-class RootCausesAnalysis(Analysis):
+class _StateColumnar:
+    """Mixin: opt into the columnar fast path by delegation.
+
+    Works for any analysis whose fold state implements ``fold_batch``
+    (every mergeable state in :mod:`repro.runtime.states` does) — the
+    analysis absorbs a whole :class:`~repro.runtime.columns.ColumnBatch`
+    by handing it to the state's array-at-a-time fold.
+    """
+
+    def fold_batch(self, batch, state) -> None:
+        state.fold_batch(batch)
+
+
+class _StateSQL:
+    """Mixin: opt into per-shard SQL pushdown by delegation.
+
+    For analyses whose state implements ``fold_sql(store)`` — the
+    state runs GROUP BY queries against one monolithic-schema SQLite
+    shard and adds the tallies, instead of folding rows in Python.
+    """
+
+    def fold_sql(self, store, state) -> None:
+        state.fold_sql(store)
+
+
+class RootCausesAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Table 2: root-cause counts and fractions over the whole study."""
 
     name = "root_causes"
@@ -115,7 +140,7 @@ class RootCausesAnalysis(Analysis):
         return root_cause_breakdown(context.store)
 
 
-class RootCausesByDeviceAnalysis(Analysis):
+class RootCausesByDeviceAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figure 2: per root cause, incident fractions by device type."""
 
     name = "root_causes_by_device"
@@ -134,7 +159,7 @@ class RootCausesByDeviceAnalysis(Analysis):
         return root_causes_by_device(context.store)
 
 
-class IncidentRatesAnalysis(Analysis):
+class IncidentRatesAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figure 3: per-year, per-type incident rates."""
 
     name = "incident_rates"
@@ -153,7 +178,7 @@ class IncidentRatesAnalysis(Analysis):
         return incident_rates(context.store, context.fleet)
 
 
-class SeverityByDeviceAnalysis(Analysis):
+class SeverityByDeviceAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figure 4: the severity-by-device cross-tabulation for the
     target year (explicit, or the newest year in the corpus)."""
 
@@ -177,7 +202,7 @@ class SeverityByDeviceAnalysis(Analysis):
         return severity_by_device(context.store, year)
 
 
-class SeverityOverTimeAnalysis(Analysis):
+class SeverityOverTimeAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figure 5: yearly SEV rates per device, by severity level."""
 
     name = "severity_over_time"
@@ -196,7 +221,7 @@ class SeverityOverTimeAnalysis(Analysis):
         return severity_rates_over_time(context.store, context.fleet)
 
 
-class DistributionAnalysis(Analysis):
+class DistributionAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figures 7/8: per-year incident counts by device type."""
 
     name = "distribution"
@@ -221,7 +246,7 @@ class DistributionAnalysis(Analysis):
         )
 
 
-class GrowthAnalysis(Analysis):
+class GrowthAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figure 8's headline: total SEV growth from the first corpus
     year to the target year."""
 
@@ -251,7 +276,7 @@ class GrowthAnalysis(Analysis):
         )
 
 
-class DesignComparisonAnalysis(Analysis):
+class DesignComparisonAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figures 9/10: incidents aggregated by network design."""
 
     name = "design_comparison"
@@ -289,18 +314,29 @@ class _SwitchState:
         self.counts.fold(report)
         self.irt.fold(report)
 
+    def fold_batch(self, batch) -> None:
+        self.counts.fold_batch(batch)
+        self.irt.fold_batch(batch)
+
+    def fold_sql(self, store) -> None:
+        self.counts.fold_sql(store)
+        self.irt.fold_sql(store)
+
     def merge(self, other: "_SwitchState") -> "_SwitchState":
         self.counts.merge(other.counts)
         self.irt.merge(other.irt)
         return self
 
 
-class SwitchReliabilityAnalysis(Analysis):
+class SwitchReliabilityAnalysis(_StateColumnar, _StateSQL, Analysis):
     """Figures 12/13: MTBI and p75IRT per year and device type.
 
-    The fold path answers p75IRT from mergeable quantile sketches:
-    exact below the sketch's sample budget, bounded by the bin width
-    (well under the 2% acceptance band) beyond it.
+    Every path answers p75IRT from mergeable quantile sketches: exact
+    below the sketch's sample budget, bounded by the bin width (well
+    under the 2% acceptance band) beyond it.  The batch path feeds the
+    same sketches from SQL group-bys (``fold_sql``) rather than taking
+    exact percentiles, so batch == stream == columnar stays bit-exact
+    at every corpus scale, not just while the sketches are exact.
     """
 
     name = "switch_reliability"
@@ -324,7 +360,9 @@ class SwitchReliabilityAnalysis(Analysis):
         )
 
     def batch(self, context: RunContext):
-        return switch_reliability(context.store, context.fleet)
+        state = self.prepare(context)
+        state.fold_sql(context.store)
+        return self.finalize(state, context)
 
 
 # -- context-only analyses ---------------------------------------------
@@ -350,7 +388,7 @@ class RemediationTableAnalysis(Analysis):
 # -- ticket-domain (section 6) analyses ---------------------------------
 
 
-class _TicketAnalysis(Analysis):
+class _TicketAnalysis(_StateColumnar, Analysis):
     """Shared plumbing of the section 6 corpus analyses."""
 
     domain = "ticket"
@@ -443,7 +481,7 @@ class VendorScorecardAnalysis(_TicketAnalysis):
         return vendor_scorecards(context.monitor, context.window_h)
 
 
-class RepairDurationAnalysis(Analysis):
+class RepairDurationAnalysis(_StateColumnar, Analysis):
     """Repair-duration percentiles, overall and by ticket type."""
 
     name = "repair_durations"

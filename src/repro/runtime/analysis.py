@@ -168,6 +168,42 @@ class Analysis:
     def finalize(self, state, context: RunContext):
         raise NotImplementedError
 
+    def fold_batch(self, batch, state) -> None:
+        """Optional columnar fold: absorb one whole
+        :class:`~repro.runtime.columns.ColumnBatch` into ``state``.
+
+        The array-at-a-time fast path.  Must reach bit-identical
+        finalized results to folding ``batch.records`` one by one —
+        the per-row :meth:`fold` stays the reference implementation,
+        and the executor falls back to it automatically for analyses
+        that don't override this (and for a columnar batch that raises
+        mid-fold, via the ``runtime.fold`` fault site).  Analyses
+        whose state implements ``fold_batch`` opt in by delegating
+        (``state.fold_batch(batch)``).
+        """
+        raise NotImplementedError
+
+    def has_fold_batch(self) -> bool:
+        """Whether the analysis opted into the columnar fast path."""
+        return type(self).fold_batch is not Analysis.fold_batch
+
+    def fold_sql(self, store, state) -> None:
+        """Optional SQL pushdown: absorb one SQLite shard into ``state``.
+
+        ``store`` is a monolithic-schema :class:`SEVStore` (possibly
+        one hot shard of a partitioned store); the implementation runs
+        GROUP BY queries and adds their tallies to the mergeable
+        state.  Must be fold-equivalent over the shard's rows.  The
+        batch backend uses this to push every expressible analysis
+        down to SQLite per partition instead of folding rows in
+        Python.
+        """
+        raise NotImplementedError
+
+    def has_sql_fold(self) -> bool:
+        """Whether the analysis can build its state straight from SQL."""
+        return type(self).fold_sql is not Analysis.fold_sql
+
     def batch(self, context: RunContext):
         """Optional fast path over the corpus' batch substrate.
 

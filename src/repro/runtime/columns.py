@@ -1,0 +1,367 @@
+"""Columnar record batches: the fold engine's fast path.
+
+Per-row folding pays Python dispatch for every record — attribute
+access, name re-parsing, one method call per analysis per record.  A
+:class:`ColumnBatch` instead carries a *chunk* of records as parallel
+arrays, one list per field, so a mergeable state can absorb a whole
+chunk with array-at-a-time operations (``Counter`` tallies over zipped
+columns, quantile sketches fed in blocks) — see the ``fold_batch``
+methods in :mod:`repro.runtime.states`.
+
+Three properties make the layout safe and cheap:
+
+* **Full fidelity.**  A batch carries every field of its records, so
+  :attr:`ColumnBatch.records` can re-materialize the original
+  dataclasses on demand — the per-row fallback path (an analysis that
+  has not opted in, a columnar fold that raised mid-batch) folds those
+  and reaches bit-identical states, because the fold math reads only
+  columns the batch preserves exactly.
+* **Derived columns come from the substrate.**  The SEV scan
+  (:func:`sev_batches_from_store`) reads ``opened_year``,
+  ``device_type`` and ``duration_h`` straight out of SQLite — they
+  were computed from the record once at insert — so a columnar scan
+  never re-parses a device name and never constructs a report object.
+  Batches built from records (:func:`sev_batches_from_records`)
+  compute the same derived columns through the record properties,
+  which is the same math.
+* **Lean transport.**  Pickling a batch ships the column lists only
+  (the memoized record list is dropped and rebuilt lazily), so the
+  sharded backend can frame a corpus into chunks and ship workers
+  columns instead of pickled dataclass streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.backbone.tickets import RepairTicket, TicketType
+from repro.incidents.sev import RootCause, Severity, SEVReport
+from repro.topology.devices import DeviceType
+
+__all__ = [
+    "COLUMN_BATCH_ROWS",
+    "ColumnBatch",
+    "SEVColumnBatch",
+    "TicketColumnBatch",
+    "sev_batches_from_records",
+    "sev_batches_from_store",
+    "ticket_batches_from_records",
+]
+
+#: Default rows per column batch.  Large enough that per-batch
+#: overhead (state scratch allocation, a merge) amortizes to nothing,
+#: small enough that a batch is a cheap unit of work to frame, ship,
+#: and retry.
+COLUMN_BATCH_ROWS = 4096
+
+_UNDETERMINED = (RootCause.UNDETERMINED,)
+
+
+class ColumnBatch:
+    """A chunk of same-domain records as parallel per-field arrays.
+
+    Subclasses define ``_COLUMNS`` (the picklable parallel lists) and
+    ``_materialize`` (columns back into record dataclasses).  Every
+    column has exactly ``len(batch)`` entries, in record order.
+    """
+
+    domain: str = ""
+    _COLUMNS: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._records: Optional[list] = None
+
+    def __len__(self) -> int:
+        return len(getattr(self, self._COLUMNS[0]))
+
+    @property
+    def records(self) -> list:
+        """The batch's records as dataclasses, materialized lazily.
+
+        The per-row fallback input: identical field for field to the
+        records the batch was built from (or scanned out of SQL), and
+        memoized so repeated fallbacks in one batch pay once.
+        """
+        if self._records is None:
+            self._records = self._materialize()
+        return self._records
+
+    def _materialize(self) -> list:
+        raise NotImplementedError
+
+    def __getstate__(self) -> dict:
+        # Ship columns only: the memoized record list is rebuilt
+        # lazily on the other side if a fallback ever needs it.
+        state = {name: getattr(self, name) for name in self._COLUMNS}
+        state["_records"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} rows={len(self)}>"
+
+
+class SEVColumnBatch(ColumnBatch):
+    """SEV reports in columnar form (sections 4-5 fold input)."""
+
+    domain = "sev"
+    _COLUMNS = (
+        "sev_ids", "severities", "device_names", "opened_at_hs",
+        "resolved_at_hs", "root_causes", "descriptions",
+        "service_impacts", "revieweds",
+        # derived once, at scan or build time:
+        "years", "device_types", "durations",
+    )
+
+    def __init__(
+        self,
+        sev_ids: List[str],
+        severities: List[Severity],
+        device_names: List[str],
+        opened_at_hs: List[float],
+        resolved_at_hs: List[float],
+        root_causes: List[Tuple[RootCause, ...]],
+        descriptions: List[str],
+        service_impacts: List[str],
+        revieweds: List[bool],
+        years: List[int],
+        device_types: List[Optional[DeviceType]],
+        durations: List[float],
+    ) -> None:
+        super().__init__()
+        self.sev_ids = sev_ids
+        self.severities = severities
+        self.device_names = device_names
+        self.opened_at_hs = opened_at_hs
+        self.resolved_at_hs = resolved_at_hs
+        self.root_causes = root_causes
+        self.descriptions = descriptions
+        self.service_impacts = service_impacts
+        self.revieweds = revieweds
+        self.years = years
+        self.device_types = device_types
+        self.durations = durations
+
+    def effective_causes(self) -> Iterator[Tuple[RootCause, ...]]:
+        """Per-row causes under the Table 2 rule (none = undetermined)."""
+        return (causes or _UNDETERMINED for causes in self.root_causes)
+
+    @classmethod
+    def from_records(cls, records: Sequence[SEVReport]) -> "SEVColumnBatch":
+        return cls(
+            sev_ids=[r.sev_id for r in records],
+            severities=[r.severity for r in records],
+            device_names=[r.device_name for r in records],
+            opened_at_hs=[r.opened_at_h for r in records],
+            resolved_at_hs=[r.resolved_at_h for r in records],
+            root_causes=[r.root_causes for r in records],
+            descriptions=[r.description for r in records],
+            service_impacts=[r.service_impact for r in records],
+            revieweds=[r.reviewed for r in records],
+            years=[r.opened_year for r in records],
+            device_types=[r.device_type for r in records],
+            durations=[r.duration_h for r in records],
+        )
+
+    def _materialize(self) -> list:
+        return [
+            SEVReport(
+                sev_id=sev_id,
+                severity=severity,
+                device_name=name,
+                opened_at_h=opened,
+                resolved_at_h=resolved,
+                root_causes=causes,
+                description=description,
+                service_impact=impact,
+                reviewed=reviewed,
+            )
+            for sev_id, severity, name, opened, resolved, causes,
+            description, impact, reviewed in zip(
+                self.sev_ids, self.severities, self.device_names,
+                self.opened_at_hs, self.resolved_at_hs, self.root_causes,
+                self.descriptions, self.service_impacts, self.revieweds,
+            )
+        ]
+
+
+class TicketColumnBatch(ColumnBatch):
+    """Completed repair tickets in columnar form (section 6 input)."""
+
+    domain = "ticket"
+    _COLUMNS = (
+        "ticket_ids", "link_ids", "vendors", "ticket_types",
+        "started_at_hs", "completed_at_hs", "locations",
+        "estimated_durations",
+        "durations",
+    )
+
+    def __init__(
+        self,
+        ticket_ids: List[str],
+        link_ids: List[str],
+        vendors: List[str],
+        ticket_types: List[TicketType],
+        started_at_hs: List[float],
+        completed_at_hs: List[float],
+        locations: List[str],
+        estimated_durations: List[Optional[float]],
+        durations: List[float],
+    ) -> None:
+        super().__init__()
+        self.ticket_ids = ticket_ids
+        self.link_ids = link_ids
+        self.vendors = vendors
+        self.ticket_types = ticket_types
+        self.started_at_hs = started_at_hs
+        self.completed_at_hs = completed_at_hs
+        self.locations = locations
+        self.estimated_durations = estimated_durations
+        self.durations = durations
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[RepairTicket]
+    ) -> "TicketColumnBatch":
+        return cls(
+            ticket_ids=[t.ticket_id for t in records],
+            link_ids=[t.link_id for t in records],
+            vendors=[t.vendor for t in records],
+            ticket_types=[t.ticket_type for t in records],
+            started_at_hs=[t.started_at_h for t in records],
+            completed_at_hs=[t.completed_at_h for t in records],
+            locations=[t.location for t in records],
+            estimated_durations=[t.estimated_duration_h for t in records],
+            durations=[t.completed_at_h - t.started_at_h for t in records],
+        )
+
+    def _materialize(self) -> list:
+        return [
+            RepairTicket(
+                ticket_id=ticket_id,
+                link_id=link_id,
+                vendor=vendor,
+                ticket_type=ticket_type,
+                started_at_h=started,
+                completed_at_h=completed,
+                location=location,
+                estimated_duration_h=estimate,
+            )
+            for ticket_id, link_id, vendor, ticket_type, started,
+            completed, location, estimate in zip(
+                self.ticket_ids, self.link_ids, self.vendors,
+                self.ticket_types, self.started_at_hs,
+                self.completed_at_hs, self.locations,
+                self.estimated_durations,
+            )
+        ]
+
+
+_BATCH_OF = {"sev": SEVColumnBatch, "ticket": TicketColumnBatch}
+
+
+def batches_from_records(
+    domain: str, records: Iterable, batch_size: int = COLUMN_BATCH_ROWS
+) -> Iterator[ColumnBatch]:
+    """Chunk any record iterable of ``domain`` into column batches."""
+    try:
+        batch_cls = _BATCH_OF[domain]
+    except KeyError:
+        raise ValueError(f"unknown corpus domain {domain!r}") from None
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    chunk: list = []
+    for record in records:
+        chunk.append(record)
+        if len(chunk) >= batch_size:
+            yield batch_cls.from_records(chunk)
+            chunk = []
+    if chunk:
+        yield batch_cls.from_records(chunk)
+
+
+def sev_batches_from_records(
+    records: Iterable[SEVReport], batch_size: int = COLUMN_BATCH_ROWS
+) -> Iterator[SEVColumnBatch]:
+    return batches_from_records("sev", records, batch_size)  # type: ignore[return-value]
+
+
+def ticket_batches_from_records(
+    records: Iterable[RepairTicket], batch_size: int = COLUMN_BATCH_ROWS
+) -> Iterator[TicketColumnBatch]:
+    return batches_from_records("ticket", records, batch_size)  # type: ignore[return-value]
+
+
+_SEV_SCAN = (
+    "SELECT sev_id, severity, device_name, device_type, opened_at_h, "
+    "resolved_at_h, opened_year, duration_h, description, "
+    "service_impact, reviewed FROM sevs ORDER BY opened_at_h, sev_id"
+)
+
+_CAUSE_SCAN = (
+    "SELECT sev_id, root_cause FROM sev_root_causes "
+    "ORDER BY sev_id, root_cause"
+)
+
+
+def sev_batches_from_store(
+    store, batch_size: int = COLUMN_BATCH_ROWS
+) -> Iterator[SEVColumnBatch]:
+    """Columnar scan of a (monolithic) :class:`SEVStore`.
+
+    Two queries for the whole corpus — the sev rows in the global
+    ``(opened_at_h, sev_id)`` order plus one pass over the root-cause
+    join table — against two *per row* for the record scan it
+    replaces.  The derived columns (year, device type, duration) come
+    off the table, where they were computed from the record at insert
+    time, so no name is re-parsed and no dataclass is built.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    conn = store.connection
+    # Plain dict lookups: `Enum.__call__` costs a method dispatch plus
+    # a `__new__` per row, which at corpus scale is one of the scan's
+    # hottest lines.
+    severity_of = {member.value: member for member in Severity}
+    device_of = {member.value: member for member in DeviceType}
+    cause_of = {member.value: member for member in RootCause}
+    # Most SEVs carry a single cause, so build 1-tuples directly and
+    # concatenate only on the rare multi-cause row — a generator or
+    # groupby per group costs more than the whole loop.
+    causes: dict = {}
+    for sev_id, cause in conn.execute(_CAUSE_SCAN):
+        prev = causes.get(sev_id)
+        if prev is None:
+            causes[sev_id] = (cause_of[cause],)
+        else:
+            causes[sev_id] = prev + (cause_of[cause],)
+    cursor = conn.execute(_SEV_SCAN)
+    empty: tuple = ()
+    causes_of = causes.get
+    while True:
+        rows = cursor.fetchmany(batch_size)
+        if not rows:
+            break
+        # One C-level transpose instead of a listcomp per column.
+        (sev_ids, severities, device_names, device_types, opened_at_hs,
+         resolved_at_hs, years, durations, descriptions, service_impacts,
+         revieweds) = map(list, zip(*rows))
+        yield SEVColumnBatch(
+            sev_ids=sev_ids,
+            severities=[severity_of[v] for v in severities],
+            device_names=device_names,
+            opened_at_hs=opened_at_hs,
+            resolved_at_hs=resolved_at_hs,
+            root_causes=[causes_of(i, empty) for i in sev_ids],
+            descriptions=descriptions,
+            service_impacts=service_impacts,
+            revieweds=[bool(v) for v in revieweds],
+            years=years,
+            device_types=[
+                device_of[v] if v is not None else None
+                for v in device_types
+            ],
+            durations=durations,
+        )

@@ -68,6 +68,52 @@ class Corpus:
         """The substrate ``Analysis.batch`` queries, if any."""
         return None
 
+    def column_batches(self, batch_size: Optional[int] = None):
+        """The corpus as :class:`~repro.runtime.columns.ColumnBatch`
+        chunks — the columnar backend's scan.
+
+        The default frames :meth:`records` into batches; domains with
+        a columnar substrate (the SEV store's SQL scan) override this
+        to build columns without materializing record objects at all.
+        """
+        from repro.runtime.columns import (
+            COLUMN_BATCH_ROWS,
+            batches_from_records,
+        )
+
+        return batches_from_records(
+            self.domain, self.records(), batch_size or COLUMN_BATCH_ROWS
+        )
+
+    def column_shards(self, jobs: int,
+                      batch_size: Optional[int] = None) -> List[list]:
+        """Column batches packed into at most ``jobs`` worker shards.
+
+        The sharded backend's columnar transport: each shard is a list
+        of batches (chunk-framed, cheap to pickle — columns only, no
+        dataclass streams), packed longest-processing-time-first by
+        row count.  Any partitioning of batches merges to the same
+        states under the merge law, so the batch framing need not
+        match the record sharding.
+        """
+        from repro.stream.sharding import shard_cells
+
+        batches = list(self.column_batches(batch_size))
+        weights = [len(batch) for batch in batches]
+        return shard_cells(batches, jobs, weights=weights)
+
+    def sql_shards(self):
+        """Per-shard SQL substrates for query pushdown, or ``None``.
+
+        When the corpus is backed by SQLite shards (the partitioned
+        SEV store), yields ``("store", SEVStore)`` /
+        ``("records", list)`` pairs — see
+        :meth:`~repro.storage.partitioned.PartitionedSEVStore.shard_stores`.
+        ``None`` means no per-shard SQL form exists (monolithic stores
+        answer SQL through :meth:`batch_handle` instead).
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} domain={self.domain!r}>"
 
@@ -124,12 +170,54 @@ class SEVCorpus(Corpus):
 
         A partitioned store has no single connection to point SQL at;
         returning ``None`` makes every batch-capable analysis fall
-        back to fold+finalize, which the cross-backend anchors prove
+        back to per-partition pushdown (:meth:`sql_shards`) or
+        fold+finalize, which the cross-backend anchors prove
         result-identical.
         """
         if getattr(self.store, "is_partitioned", False):
             return None
         return self.store
+
+    def column_batches(self, batch_size: Optional[int] = None):
+        """Columnar scan straight off the SQL substrate.
+
+        Monolithic: two queries for the whole corpus
+        (:func:`~repro.runtime.columns.sev_batches_from_store`) — no
+        report objects, no per-row name parsing.  Partitioned: each
+        hot shard *is* a monolithic store and scans the same way; cold
+        partitions frame their record lists.  Batch order follows the
+        layout (global scan order / manifest order) — any framing
+        merges to the same states.
+        """
+        from repro.runtime.columns import (
+            COLUMN_BATCH_ROWS,
+            sev_batches_from_records,
+            sev_batches_from_store,
+        )
+
+        size = batch_size or COLUMN_BATCH_ROWS
+        if not getattr(self.store, "is_partitioned", False):
+            return sev_batches_from_store(self.store, size)
+
+        def scan():
+            for kind, payload in self.store.shard_stores():
+                if kind == "store":
+                    try:
+                        yield from sev_batches_from_store(payload, size)
+                    finally:
+                        payload.close()
+                else:
+                    yield from sev_batches_from_records(payload, size)
+
+        return scan()
+
+    def sql_shards(self):
+        """Per-partition SQL substrates when the store is tiered."""
+        if getattr(self.store, "is_partitioned", False):
+            shard_stores = getattr(self.store, "shard_stores", None)
+            if shard_stores is not None:
+                return shard_stores()
+        return None
 
 
 class TicketCorpus(Corpus):

@@ -25,6 +25,23 @@ One executor, three strategies for answering the same set of
     in its own worker process and only the (small) mergeable states
     travel back; because the merge law is associative and commutative,
     the parallel result is bit-identical to the serial one.
+``columnar``
+    the corpus is scanned as :class:`~repro.runtime.columns.ColumnBatch`
+    chunks and every opted-in analysis absorbs whole batches with
+    array-at-a-time operations (``Analysis.fold_batch``); analyses
+    that did not opt in — and any batch whose columnar fold raises
+    (the ``runtime.fold`` fault site) — fall back to the per-row
+    reference ``fold`` over the batch's materialized records, so the
+    results are bit-identical by construction.  With
+    ``use_processes=True`` the batches are packed into ``jobs`` worker
+    shards and shipped as chunk-framed columns (no pickled dataclass
+    streams).
+
+Worker processes come from one module-level pool shared across
+executor runs (:func:`shutdown_executor_pool` closes it
+deterministically; it also closes at interpreter exit) — repeat
+reports and ``repro.serve`` jobs pay process spawn cost once, not per
+run.
 
 Analyses of different domains can ride in one run: the executor groups
 them by :attr:`~repro.runtime.analysis.Analysis.domain` and resolves
@@ -42,12 +59,13 @@ performs no pass at all.
 
 from __future__ import annotations
 
+import atexit
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.reports import BackboneStudyReport, IntraStudyReport
 from repro.faultline import hooks
-from repro.faultline.plan import ShardWorkerCrash
+from repro.faultline.plan import ColumnFoldCrash, ShardWorkerCrash
 from repro.runtime.analysis import Analysis, RunContext
 from repro.runtime.analyses import (
     backbone_report_analyses,
@@ -60,9 +78,51 @@ __all__ = [
     "Executor",
     "run_backbone_report",
     "run_intra_report",
+    "shutdown_executor_pool",
 ]
 
-BACKENDS = ("batch", "stream", "sharded")
+BACKENDS = ("batch", "stream", "sharded", "columnar")
+
+
+# -- the shared worker pool --------------------------------------------
+#
+# One ProcessPoolExecutor reused across Executor runs: spawning a pool
+# per run costs more than small parallel folds win, so repeat reports
+# (and every repro.serve job) would pay process startup over and over.
+# The pool grows to the widest request and is torn down only on a
+# broken pool, an explicit shutdown, or interpreter exit.
+
+_POOL = None
+_POOL_WIDTH = 0
+
+
+def _shared_pool(workers: int):
+    """The process pool, (re)built only when too narrow or closed."""
+    global _POOL, _POOL_WIDTH
+    if _POOL is not None and _POOL_WIDTH < workers:
+        shutdown_executor_pool()
+    if _POOL is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WIDTH = workers
+    return _POOL
+
+
+def shutdown_executor_pool() -> None:
+    """Close the shared worker pool; idempotent.
+
+    The next parallel run builds a fresh pool.  Registered atexit, so
+    short-lived processes need not call it themselves.
+    """
+    global _POOL, _POOL_WIDTH
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_WIDTH = 0
+
+
+atexit.register(shutdown_executor_pool)
 
 
 class Executor:
@@ -74,6 +134,7 @@ class Executor:
         jobs: int = 4,
         cache: Optional[ResultCache] = None,
         use_processes: bool = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -81,10 +142,19 @@ class Executor:
             )
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.backend = backend
         self.jobs = jobs
         self.cache = cache
         self.use_processes = use_processes
+        #: Rows per column batch on the columnar paths (None = the
+        #: :data:`~repro.runtime.columns.COLUMN_BATCH_ROWS` default).
+        self.batch_size = batch_size
+        #: How many columnar batch folds fell back to the per-row path
+        #: (a raised ``fold_batch``, e.g. the ``runtime.fold`` fault
+        #: site), cumulative over this executor's serial-path runs.
+        self.columnar_fallbacks = 0
 
     # -- public entry point ------------------------------------------
 
@@ -181,15 +251,23 @@ class Executor:
                     else:
                         folded.append(analysis)
                 if folded:
-                    states = self._fold_pass(
-                        folded, context,
-                        self._records(domain, corpus, source),
+                    states = self._fold_partitions_pushdown(
+                        folded, context, corpus, source
                     )
+                    if states is None:
+                        states = self._fold_pass(
+                            folded, context,
+                            self._records(domain, corpus, source),
+                        )
                     results.update(self._finalize(folded, states, context))
             elif self.backend == "stream":
                 states = self._fold_pass(
                     group, context, self._records(domain, corpus, source)
                 )
+                results.update(self._finalize(group, states, context))
+            elif self.backend == "columnar":
+                states = self._fold_columnar(group, context, corpus,
+                                             source, domain)
                 results.update(self._finalize(group, states, context))
             else:  # sharded
                 states = self._fold_sharded(
@@ -235,6 +313,135 @@ class Executor:
         for report in records:
             for key, owner in folders:
                 owner.fold(report, states[key])
+        return states
+
+    def _fold_columnar(self, analyses: Sequence[Analysis],
+                       context: RunContext, corpus,
+                       source: Optional[Iterable],
+                       domain: str) -> Dict[str, Any]:
+        """The columnar backend: fold whole batches, fall back per row.
+
+        Serial by default; with ``use_processes`` (and every owner
+        opted in) the batches pack into ``jobs`` worker shards and
+        travel as columns.  Either way the states are bit-identical to
+        the per-row stream fold.
+        """
+        states, owners = self._prepare(analyses, context)
+        if source is not None:
+            from repro.runtime.columns import (
+                COLUMN_BATCH_ROWS,
+                batches_from_records,
+            )
+
+            batches: Iterable = batches_from_records(
+                domain, source, self.batch_size or COLUMN_BATCH_ROWS
+            )
+        elif corpus is not None:
+            if (self.use_processes and self.jobs > 1
+                    and all(o.has_fold_batch() for o in owners.values())):
+                shards = corpus.column_shards(self.jobs, self.batch_size)
+                if len(shards) > 1:
+                    return self._fold_columns_parallel(
+                        analyses, context, owners, states, shards
+                    )
+            batches = corpus.column_batches(self.batch_size)
+        else:
+            raise ValueError(
+                f"no record source for domain {domain!r}: provide its "
+                "substrate in the context or an explicit source iterable"
+            )
+        for batch in batches:
+            self.columnar_fallbacks += _fold_batch_into(
+                owners, states, context, batch
+            )
+        return states
+
+    def _fold_columns_parallel(self, analyses: Sequence[Analysis],
+                               context: RunContext,
+                               owners: Dict[str, Analysis],
+                               merged: Dict[str, Any],
+                               shards: List[list]) -> Dict[str, Any]:
+        """Fold column-batch shards in worker processes and merge.
+
+        Workers receive chunk-framed columns (a batch pickles its
+        column lists only — no dataclass streams) and return folded
+        states plus their per-row fallback count.  Crash recovery
+        mirrors the sharded backend: resubmit once, then fold that
+        shard serially in the parent.
+        """
+        analyses = list(analyses)
+        worker_context = self._worker_context(context)
+
+        def serial(index: int) -> tuple:
+            shard_states, _ = self._prepare(analyses, context)
+            fallbacks = 0
+            for batch in shards[index]:
+                fallbacks += _fold_batch_into(
+                    owners, shard_states, context, batch
+                )
+            return shard_states, fallbacks
+
+        outcomes = self._parallel_map(
+            _fold_column_shard_worker,
+            [(analyses, worker_context, shard) for shard in shards],
+            serial,
+        )
+        for shard_states, fallbacks in outcomes:
+            self.columnar_fallbacks += fallbacks
+            for key, owner in owners.items():
+                merged[key] = owner.merge(merged[key], shard_states[key])
+        return merged
+
+    def _fold_partitions_pushdown(
+        self, analyses: Sequence[Analysis], context: RunContext,
+        corpus, source: Optional[Iterable],
+    ) -> Optional[Dict[str, Any]]:
+        """Per-partition SQL pushdown for SQLite-sharded corpora.
+
+        A partitioned SEV store has no single connection for the
+        analyses' ``batch`` shortcuts, but each hot shard *is* a
+        monolithic-schema SQLite file — so every analysis whose state
+        can be built by GROUP BY queries (``fold_sql``) runs them
+        against each shard in turn, the rest fold the shard's columnar
+        scan, and cold partitions fold as column batches.  Returns the
+        folded states, or ``None`` when the corpus has no SQL shards
+        (the caller falls back to a plain fold pass).
+        """
+        if source is not None or corpus is None:
+            return None
+        shards = corpus.sql_shards()
+        if shards is None:
+            return None
+        from repro.runtime.columns import (
+            COLUMN_BATCH_ROWS,
+            batches_from_records,
+            sev_batches_from_store,
+        )
+
+        size = self.batch_size or COLUMN_BATCH_ROWS
+        states, owners = self._prepare(analyses, context)
+        sql_owners = {k: o for k, o in owners.items() if o.has_sql_fold()}
+        scan_owners = {k: o for k, o in owners.items()
+                       if not o.has_sql_fold()}
+        for kind, payload in shards:
+            if kind == "store":
+                try:
+                    for key, owner in sql_owners.items():
+                        owner.fold_sql(payload, states[key])
+                    if scan_owners:
+                        for batch in sev_batches_from_store(payload, size):
+                            self.columnar_fallbacks += _fold_batch_into(
+                                scan_owners, states, context, batch
+                            )
+                finally:
+                    payload.close()
+            else:
+                for batch in batches_from_records(
+                    corpus.domain, payload, size
+                ):
+                    self.columnar_fallbacks += _fold_batch_into(
+                        owners, states, context, batch
+                    )
         return states
 
     def _fold_sharded(self, analyses: Sequence[Analysis],
@@ -283,61 +490,84 @@ class Executor:
         with hooks.suppressed("executor.shard"):
             return self._fold_pass(analyses, context, shard)
 
-    def _fold_shards_parallel(self, analyses: Sequence[Analysis],
-                              context: RunContext,
-                              shards: List[list]) -> List[Dict[str, Any]]:
-        """Fold each shard in its own worker process.
+    @staticmethod
+    def _worker_context(context: RunContext) -> RunContext:
+        """A picklable copy of the context for worker processes.
 
-        Workers receive the analyses, a picklable copy of the context
-        (the live substrates — SQLite store, remediation engine,
+        The live substrates — SQLite store, remediation engine,
         backbone monitor, ticket database — are stripped; folding only
-        reads records and the fleet), and their shard of records; they
-        return the folded states, which are small compared to the
-        records they summarize.
-
-        Crash recovery mirrors the serial path: a shard whose worker
-        dies (a real ``BrokenProcessPool``, or an injected
-        ``executor.shard`` fault drawn in the parent so the fault log
-        stays deterministic) is resubmitted once, and a second failure
-        folds that shard serially in the parent process.
+        reads records and the fleet.
         """
-        from concurrent.futures import ProcessPoolExecutor
-
-        worker_context = replace(
+        return replace(
             context, store=None, engine=None, monitor=None, topology=None,
             tickets=None,
         )
-        analyses = list(analyses)
-        results: List[Optional[Dict[str, Any]]] = [None] * len(shards)
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            def submit(index: int):
-                if hooks.fire("executor.shard"):
-                    raise ShardWorkerCrash("injected shard-worker crash")
-                return pool.submit(
-                    _fold_shard_worker,
-                    (analyses, worker_context, shards[index]),
-                )
 
-            crashed: List[int] = []
-            pending = {}
-            for index in range(len(shards)):
-                try:
-                    pending[index] = submit(index)
-                except Exception:
-                    crashed.append(index)
-            for index, future in pending.items():
-                try:
-                    results[index] = future.result()
-                except Exception:
-                    crashed.append(index)
-            for index in crashed:
-                try:
-                    results[index] = submit(index).result()
-                except Exception:
-                    with hooks.suppressed("executor.shard"):
-                        results[index] = self._fold_pass(
-                            analyses, context, shards[index]
-                        )
+    def _fold_shards_parallel(self, analyses: Sequence[Analysis],
+                              context: RunContext,
+                              shards: List[list]) -> List[Dict[str, Any]]:
+        """Fold each record shard in its own worker process.
+
+        Workers receive the analyses, a picklable context, and their
+        shard of records; they return the folded states, which are
+        small compared to the records they summarize.
+        """
+        analyses = list(analyses)
+        worker_context = self._worker_context(context)
+
+        def serial(index: int) -> Dict[str, Any]:
+            return self._fold_pass(analyses, context, shards[index])
+
+        return self._parallel_map(
+            _fold_shard_worker,
+            [(analyses, worker_context, shard) for shard in shards],
+            serial,
+        )
+
+    def _parallel_map(self, worker, payloads: List,
+                      serial) -> List[Any]:
+        """Run ``worker`` over ``payloads`` in the shared pool.
+
+        The crash-recovery contract of every parallel fold path: a
+        payload whose worker dies (a real ``BrokenProcessPool``, which
+        also tears the poisoned pool down so the retry gets a fresh
+        one, or an injected ``executor.shard`` fault drawn in the
+        parent so the fault log stays deterministic) is resubmitted
+        once, and a second failure runs ``serial(index)`` in the
+        parent with the fault site suppressed.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: List[Any] = [None] * len(payloads)
+
+        def submit(index: int):
+            if hooks.fire("executor.shard"):
+                raise ShardWorkerCrash("injected shard-worker crash")
+            return _shared_pool(len(payloads)).submit(
+                worker, payloads[index]
+            )
+
+        crashed: List[int] = []
+        pending = {}
+        for index in range(len(payloads)):
+            try:
+                pending[index] = submit(index)
+            except Exception:
+                crashed.append(index)
+        for index, future in pending.items():
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                shutdown_executor_pool()
+                crashed.append(index)
+            except Exception:
+                crashed.append(index)
+        for index in crashed:
+            try:
+                results[index] = submit(index).result()
+            except Exception:
+                with hooks.suppressed("executor.shard"):
+                    results[index] = serial(index)
         return results
 
     @staticmethod
@@ -358,6 +588,53 @@ def _fold_shard_worker(payload) -> Dict[str, Any]:
         for key, owner in folders:
             owner.fold(report, states[key])
     return states
+
+
+def _fold_batch_into(owners: Dict[str, Analysis], states: Dict[str, Any],
+                     context: RunContext, batch) -> int:
+    """Fold one column batch into every owner's state.
+
+    Opted-in owners fold the batch array-at-a-time into a fresh
+    scratch state, merged in afterwards — so a fold that raises
+    mid-batch (the ``runtime.fold`` fault site, or a genuine bug in a
+    ``fold_batch``) discards the partial scratch and replays the batch
+    through the per-row reference ``fold``, leaving the merged states
+    exactly as if the fast path had never been tried.  Owners without
+    a columnar fold take the per-row path directly.  Returns how many
+    folds fell back.
+    """
+    fallbacks = 0
+    for key, owner in owners.items():
+        if owner.has_fold_batch():
+            scratch = owner.prepare(context)
+            try:
+                if hooks.fire("runtime.fold"):
+                    raise ColumnFoldCrash(
+                        "injected columnar fold crash"
+                    )
+                owner.fold_batch(batch, scratch)
+            except Exception:
+                fallbacks += 1
+                with hooks.suppressed("runtime.fold"):
+                    scratch = owner.prepare(context)
+                    for record in batch.records:
+                        owner.fold(record, scratch)
+            states[key] = owner.merge(states[key], scratch)
+        else:
+            state = states[key]
+            for record in batch.records:
+                owner.fold(record, state)
+    return fallbacks
+
+
+def _fold_column_shard_worker(payload) -> tuple:
+    """Top-level worker body for the parallel columnar backend."""
+    analyses, context, batches = payload
+    states, owners = Executor._prepare(analyses, context)
+    fallbacks = 0
+    for batch in batches:
+        fallbacks += _fold_batch_into(owners, states, context, batch)
+    return states, fallbacks
 
 
 # -- report conveniences -----------------------------------------------

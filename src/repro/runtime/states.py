@@ -17,10 +17,26 @@ merged in any order, reaches the same state as a single sequential
 pass.  The streaming runtime's :class:`~repro.stream.aggregates.StreamAggregates`
 is a bundle of these states, so batch, streaming, and sharded
 execution all share one implementation of the math.
+
+Each state also speaks two faster dialects of the same math:
+
+``fold_batch(batch)``
+    absorb one :class:`~repro.runtime.columns.ColumnBatch` with
+    array-at-a-time operations — ``Counter`` tallies over zipped
+    columns, sketches fed in blocks.  Every tally is a sum over the
+    batch's rows and every sketch is multiset-determined, so a
+    columnar fold reaches bit-identical finalized results to the
+    per-row reference fold;
+``fold_sql(store)`` (SEV states)
+    absorb one monolithic-schema SQLite shard through GROUP BY
+    queries — the per-partition pushdown the batch backend runs over
+    tiered stores.  Counting rules mirror
+    :mod:`repro.incidents.query` exactly.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List
 
 from repro.backbone.tickets import RepairTicket, TicketType
@@ -60,6 +76,30 @@ class YearTypeCounts:
         per_type = self.counts.setdefault(year, {})
         per_type[device_type] = per_type.get(device_type, 0) + 1
 
+    def fold_batch(self, batch) -> None:
+        """Absorb one SEV column batch: two Counter tallies."""
+        for year, n in Counter(batch.years).items():
+            self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
+        typed = Counter(
+            pair for pair in zip(batch.years, batch.device_types)
+            if pair[1] is not None
+        )
+        for (year, device_type), n in typed.items():
+            per_type = self.counts.setdefault(year, {})
+            per_type[device_type] = per_type.get(device_type, 0) + n
+
+    def fold_sql(self, store) -> None:
+        """Absorb one SQLite shard: the Figure 3/7/8 GROUP BYs."""
+        from repro.incidents.query import SEVQuery
+
+        query = SEVQuery(store)
+        for year, n in query.count_by_year().items():
+            self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
+        for year, per_type in query.count_by_year_and_type().items():
+            mine = self.counts.setdefault(year, {})
+            for device_type, n in per_type.items():
+                mine[device_type] = mine.get(device_type, 0) + n
+
     def merge(self, other: "YearTypeCounts") -> "YearTypeCounts":
         for year, n in other.yearly_totals.items():
             self.yearly_totals[year] = self.yearly_totals.get(year, 0) + n
@@ -92,6 +132,41 @@ class SeverityTallies:
             report.severity, {}
         )
         row[device_type] = row.get(device_type, 0) + 1
+
+    def fold_batch(self, batch) -> None:
+        for (year, severity), n in Counter(
+            zip(batch.years, batch.severities)
+        ).items():
+            per_sev = self.by_year.setdefault(year, {})
+            per_sev[severity] = per_sev.get(severity, 0) + n
+        typed = Counter(
+            triple
+            for triple in zip(
+                batch.years, batch.severities, batch.device_types
+            )
+            if triple[2] is not None
+        )
+        for (year, severity, device_type), n in typed.items():
+            row = self.by_year_type.setdefault(year, {}).setdefault(
+                severity, {}
+            )
+            row[device_type] = row.get(device_type, 0) + n
+
+    def fold_sql(self, store) -> None:
+        from repro.incidents.query import SEVQuery
+
+        query = SEVQuery(store)
+        for year, per_sev in query.count_by_year_and_severity().items():
+            mine = self.by_year.setdefault(year, {})
+            for severity, n in per_sev.items():
+                mine[severity] = mine.get(severity, 0) + n
+        for (year, severity, device_type), n in (
+            query.count_by_year_severity_and_type().items()
+        ):
+            row = self.by_year_type.setdefault(year, {}).setdefault(
+                severity, {}
+            )
+            row[device_type] = row.get(device_type, 0) + n
 
     def merge(self, other: "SeverityTallies") -> "SeverityTallies":
         for year, per_sev in other.by_year.items():
@@ -131,6 +206,36 @@ class CauseTallies:
             per_type = self.by_type.setdefault(cause, {})
             per_type[device_type] = per_type.get(device_type, 0) + 1
 
+    def fold_batch(self, batch) -> None:
+        for cause, n in Counter(
+            cause
+            for causes in batch.effective_causes()
+            for cause in causes
+        ).items():
+            self.counts[cause] = self.counts.get(cause, 0) + n
+        typed = Counter(
+            (cause, device_type)
+            for causes, device_type in zip(
+                batch.effective_causes(), batch.device_types
+            )
+            if device_type is not None
+            for cause in causes
+        )
+        for (cause, device_type), n in typed.items():
+            per_type = self.by_type.setdefault(cause, {})
+            per_type[device_type] = per_type.get(device_type, 0) + n
+
+    def fold_sql(self, store) -> None:
+        from repro.incidents.query import SEVQuery
+
+        query = SEVQuery(store)
+        for cause, n in query.count_by_root_cause().items():
+            self.counts[cause] = self.counts.get(cause, 0) + n
+        for cause, per_type in query.count_by_root_cause_and_type().items():
+            mine = self.by_type.setdefault(cause, {})
+            for device_type, n in per_type.items():
+                mine[device_type] = mine.get(device_type, 0) + n
+
     def merge(self, other: "CauseTallies") -> "CauseTallies":
         for cause, n in other.counts.items():
             self.counts[cause] = self.counts.get(cause, 0) + n
@@ -166,6 +271,53 @@ class DurationSketches:
         if year not in self.by_year:
             self.by_year[year] = QuantileSketch()
         self.by_year[year].add(report.duration_h)
+
+    def _extend_cells(self, blocks: Dict, year_blocks: Dict) -> None:
+        """Feed grouped duration blocks into the (lazily made) sketches."""
+        for (year, device_type), block in blocks.items():
+            cell = self.by_year_type.setdefault(year, {})
+            if device_type not in cell:
+                cell[device_type] = QuantileSketch()
+            cell[device_type].extend(block)
+        for year, block in year_blocks.items():
+            if year not in self.by_year:
+                self.by_year[year] = QuantileSketch()
+            self.by_year[year].extend(block)
+
+    def fold_batch(self, batch) -> None:
+        """Group the typed durations once, then feed blocks.
+
+        Sketch contents are multiset-determined (exact cells sort on
+        query, binned cells count per bucket), so block feeding is
+        bit-identical to per-row adds in any order.
+        """
+        blocks: Dict = {}
+        for year, device_type, duration in zip(
+            batch.years, batch.device_types, batch.durations
+        ):
+            if device_type is None:
+                continue
+            blocks.setdefault((year, device_type), []).append(duration)
+        # The per-year blocks are the typed blocks re-keyed — same
+        # multiset per year, one less append per row.
+        year_blocks: Dict = {}
+        for (year, _), block in blocks.items():
+            year_blocks.setdefault(year, []).extend(block)
+        self._extend_cells(blocks, year_blocks)
+
+    def fold_sql(self, store) -> None:
+        """One column fetch of the typed durations, grouped in SQL order."""
+        blocks: Dict = {}
+        year_blocks: Dict = {}
+        for year, device_type, duration in store.connection.execute(
+            "SELECT opened_year, device_type, duration_h FROM sevs "
+            "WHERE device_type IS NOT NULL "
+            "ORDER BY opened_year, device_type"
+        ):
+            key = (year, DeviceType(device_type))
+            blocks.setdefault(key, []).append(duration)
+            year_blocks.setdefault(year, []).append(duration)
+        self._extend_cells(blocks, year_blocks)
 
     def merge(self, other: "DurationSketches") -> "DurationSketches":
         for year, per_type in other.by_year_type.items():
@@ -213,6 +365,22 @@ class OutageTallies:
         self.tickets += 1
         self.max_end_h = max(self.max_end_h, interval.end_h)
 
+    def fold_batch(self, batch) -> None:
+        """Absorb one ticket column batch: intervals built in one pass."""
+        intervals = [
+            OutageInterval(start, end)
+            for start, end in zip(batch.started_at_hs, batch.completed_at_hs)
+        ]
+        for link, interval in zip(batch.link_ids, intervals):
+            self.by_link.setdefault(link, []).append(interval)
+        for vendor, interval in zip(batch.vendors, intervals):
+            self.by_vendor.setdefault(vendor, []).append(interval)
+        self.tickets += len(intervals)
+        if intervals:
+            self.max_end_h = max(
+                self.max_end_h, max(interval.end_h for interval in intervals)
+            )
+
     def merge(self, other: "OutageTallies") -> "OutageTallies":
         for link, intervals in other.by_link.items():
             self.by_link.setdefault(link, []).extend(intervals)
@@ -259,6 +427,17 @@ class TicketDurationSketches:
             self.by_type[ticket.ticket_type] = QuantileSketch()
         self.by_type[ticket.ticket_type].add(duration)
         self.tickets += 1
+
+    def fold_batch(self, batch) -> None:
+        self.overall.extend(batch.durations)
+        blocks: Dict[TicketType, List[float]] = {}
+        for ticket_type, duration in zip(batch.ticket_types, batch.durations):
+            blocks.setdefault(ticket_type, []).append(duration)
+        for ticket_type, block in blocks.items():
+            if ticket_type not in self.by_type:
+                self.by_type[ticket_type] = QuantileSketch()
+            self.by_type[ticket_type].extend(block)
+        self.tickets += len(batch.durations)
 
     def merge(self, other: "TicketDurationSketches") -> "TicketDurationSketches":
         self.overall.merge(other.overall)

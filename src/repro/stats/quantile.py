@@ -170,16 +170,49 @@ class QuantileSketch:
         if self._counts or self.n > self.exact_budget:
             if not self._counts and self._samples:
                 self._spill()
-            self._counts[self._bin(value)] = (
-                self._counts.get(self._bin(value), 0) + 1
-            )
+            index = self._bin(value)
+            self._counts[index] = self._counts.get(index, 0) + 1
             self._samples = []
         else:
             self._samples.append(value)
 
     def extend(self, values: Sequence[float]) -> None:
+        """Add a block of values; equivalent to ``add`` in a loop.
+
+        The sketch is multiset-determined — its state depends only on
+        the set of values added, never their framing — so the block
+        path takes one pass for ``min``/``max``/negativity and bins
+        with the transcendentals inlined, skipping the per-value
+        method dispatch that dominates ``add``.
+        """
+        values = values if isinstance(values, list) else list(values)
+        if not values:
+            return
+        block_min = min(values)
+        if block_min < 0:
+            raise ValueError("the sketch covers non-negative values")
+        block_max = max(values)
+        self.min = block_min if self.min is None else min(self.min, block_min)
+        self.max = block_max if self.max is None else max(self.max, block_max)
+        self.n += len(values)
+        if not self._counts and self.n <= self.exact_budget:
+            self._samples.extend(values)
+            return
+        if self._samples:
+            self._spill()
+        counts = self._counts
+        lo, hi, bins = self.lo, self.hi, self.bins
+        decades = self._decades
+        log10, top = math.log10, bins - 1
+        # The binning expression must stay exactly `_bin`'s — float
+        # rounding is sensitive to re-association, and a 1-ulp drift
+        # here would put a value in a different bucket than `add`.
         for value in values:
-            self.add(value)
+            clamped = lo if value < lo else (hi if value > hi else value)
+            index = int(log10(clamped / lo) / decades * bins)
+            if index > top:
+                index = top
+            counts[index] = counts.get(index, 0) + 1
 
     def _bin(self, value: float) -> int:
         clamped = min(max(value, self.lo), self.hi)

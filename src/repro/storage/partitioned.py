@@ -225,13 +225,16 @@ class _TieredStore:
         return self._read_hot(path) if tier == "hot" \
             else self._read_cold(path)
 
-    def _read_partition(self, entry: PartitionEntry) -> List:
-        """Every record of one partition, in global sort order.
+    def _check_partition(self, entry: PartitionEntry) -> Path:
+        """The partition's file path, after the fault-site gauntlet.
 
         The ``storage.shard`` fault site simulates the shard file
         vanishing mid-plan: the file is actually deleted and a typed
         :class:`PartitionLost` names the partition, so the recovery
-        drill repairs genuine damage, not a simulation of it.
+        drill repairs genuine damage, not a simulation of it.  Every
+        planned read — row scan or direct shard attach — runs through
+        here, so the columnar and SQL-pushdown paths honor the same
+        fault site as the record scan.
         """
         path = self.root / entry.path
         if hooks.fire("storage.shard"):
@@ -247,7 +250,11 @@ class _TieredStore:
                 f"{entry.path}; restore() it from a source corpus",
                 key=entry.key,
             )
-        return self._read_file(path, entry.tier)
+        return path
+
+    def _read_partition(self, entry: PartitionEntry) -> List:
+        """Every record of one partition, in global sort order."""
+        return self._read_file(self._check_partition(entry), entry.tier)
 
     # -- writes ------------------------------------------------------
 
@@ -549,6 +556,28 @@ class PartitionedSEVStore(_TieredStore):
     def all_reports(self) -> Iterator:
         """The monolithic store's scan API, answered off the manifest."""
         return self.records()
+
+    def shard_stores(self) -> Iterator[tuple]:
+        """Each partition as its best substrate, one at a time.
+
+        Yields ``("store", SEVStore)`` for hot partitions — the shard
+        *is* a monolithic-schema SQLite file, so the SQL query layer
+        and the columnar scan run against it directly, no row
+        materialization — and ``("records", list)`` for cold ones
+        (gzip JSONL has no queryable form).  The caller owns each
+        yielded store and must close it.  Runs the same
+        ``storage.shard`` fault site as the record scan.  Partition
+        order follows the manifest; any per-partition fold merges to
+        the monolithic states under the merge law.
+        """
+        from repro.incidents.store import SEVStore
+
+        for entry in self.manifest.partitions():
+            path = self._check_partition(entry)
+            if entry.tier == "hot":
+                yield "store", SEVStore(str(path))
+            else:
+                yield "records", self._read_cold(path)
 
     def schema_hash(self) -> str:
         """The monolithic schema hash, by construction.

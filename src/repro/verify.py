@@ -156,6 +156,66 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(faultline_checks(seed=seed))
     checks.extend(serve_checks(seed=seed, backbone_seed=backbone_seed))
     checks.extend(storage_checks(seed=seed, backbone_seed=backbone_seed))
+    checks.extend(columnar_checks(seed=seed))
+    return checks
+
+
+def columnar_checks(seed: int = 1, scale: float = 0.25) -> List[Check]:
+    """Exercise the columnar fast path (:mod:`repro.runtime.columns`).
+
+    Three invariants, all exact: the columnar backend — array-at-a-time
+    folds over :class:`~repro.runtime.ColumnBatch` chunks — reproduces
+    the batch SQL report bit for bit over the monolithic store; it does
+    so again over a tiered partitioned store (hot SQLite shards scanned
+    column-wise, cold gzip partitions rebatched), alongside the batch
+    backend's per-partition SQL pushdown; and process-parallel column
+    shards (chunk-framed batches shipped to the shared worker pool)
+    merge to the identical report.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime import RunContext, run_intra_report
+    from repro.storage import PartitionedSEVStore
+
+    checks: List[Check] = []
+    scenario = paper_scenario(seed=seed, scale=scale)
+    mono = IntraSimulator(scenario).run()
+    context = RunContext(
+        store=mono, fleet=scenario.fleet, corpus_seed=scenario.seed
+    )
+
+    batch = run_intra_report(context, backend="batch")
+    checks.append(Check(
+        "Columnar", "columnar backend equals batch report", 1.0,
+        float(run_intra_report(context, backend="columnar") == batch),
+        0.0, relative=False,
+    ))
+    checks.append(Check(
+        "Columnar", "process-parallel column shards equal batch", 1.0,
+        float(run_intra_report(
+            context, backend="columnar", jobs=2, use_processes=True
+        ) == batch),
+        0.0, relative=False,
+    ))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = PartitionedSEVStore.init(Path(tmp) / "sev")
+        store.ingest(mono.all_reports())
+        years = store.years()
+        if len(years) > 1:
+            store.compact(keep_hot_years=max(1, len(years) // 2))
+        tiered = RunContext(
+            store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
+        )
+        agree = (
+            run_intra_report(tiered, backend="columnar") == batch
+            and run_intra_report(tiered, backend="batch") == batch
+        )
+    checks.append(Check(
+        "Columnar", "columnar + SQL pushdown over partitions", 1.0,
+        float(agree), 0.0, relative=False,
+    ))
     return checks
 
 
