@@ -4,24 +4,50 @@
 magnitude between 2014 and 2016."  Without the practice, CSA incidents
 keep scaling with the 2014 per-device rate and the MTBI improvement
 disappears.
+
+Both arms are cells of one declarative what-if grid (the
+``drain_policy`` axis over the paper preset) rather than bespoke
+scenario constructors, so the bench exercises the same expansion,
+digesting, and caching path as ``python -m repro grid run``.
 """
 
 from repro.core.switch_reliability import switch_reliability
+from repro.scenarios import GridRunner, GridSpec, preset
 from repro.simulation.generator import IntraSimulator
-from repro.simulation.scenarios import no_drain_policy_scenario, paper_scenario
 from repro.topology.devices import DeviceType
 from repro.viz.tables import format_table
 
+GRID = GridSpec(
+    base=preset("paper").with_updates(seed=8),
+    axes={"drain_policy": [True, False]},
+)
 
-def run_no_drain():
-    scenario = no_drain_policy_scenario(seed=8)
-    store = IntraSimulator(scenario).run()
-    return switch_reliability(store, scenario.fleet)
+
+def run_grid():
+    return GridRunner(backend="stream").run(GRID)
 
 
-def test_ablation_drain_policy(benchmark, emit, paper_store, fleet):
-    without_drain = benchmark(run_no_drain)
-    with_drain = switch_reliability(paper_store, fleet)
+def test_ablation_drain_policy(benchmark, emit):
+    report = benchmark(run_grid)
+
+    # The grid's two cells are the ablation's two arms; their reports
+    # must differ (the knob is live) under one shared summary digest.
+    by_drain = {
+        cell["params"]["drain_policy"]: cell for cell in report["cells"]
+    }
+    assert set(by_drain) == {True, False}
+    assert (by_drain[True]["report_digest"]
+            != by_drain[False]["report_digest"])
+
+    reliability = {}
+    for cell in GRID.cells():
+        scenario = cell.spec.materialize()
+        store = IntraSimulator(scenario).run()
+        reliability[cell.spec.drain_policy] = switch_reliability(
+            store, scenario.fleet
+        )
+    with_drain = reliability[True]
+    without_drain = reliability[False]
 
     rows = []
     for year in (2014, 2015, 2016, 2017):

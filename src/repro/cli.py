@@ -27,6 +27,16 @@ Exposes the pipeline without writing Python::
     python -m repro store status st         # manifest summary as JSON
     python -m repro report intra --store-dir st  # report off the store
                                             # (digests match generation)
+    python -m repro scenario list           # shipped scenario presets
+    python -m repro scenario show paper     # canonical JSON + digest
+    python -m repro scenario validate s.json  # strict spec validation
+    python -m repro grid expand --axes fabric_year=2013..2017
+                                            # lattice cells + digests
+    python -m repro grid run --axes fabric_year=2015,2016 \
+        --axes hazard.CORE=1.0,1.5 --cache c --out grid.json
+                                            # cached what-if sweep with
+                                            # comparative tables
+    python -m repro grid diff a.json b.json # cell-by-cell comparison
 """
 
 from __future__ import annotations
@@ -284,6 +294,92 @@ def _build_parser() -> argparse.ArgumentParser:
         "status", help="print the manifest summary as JSON"
     )
     s_status.add_argument("dir", help="store directory")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="inspect declarative scenario specs (repro.scenarios): "
+             "shipped presets and spec files with canonical JSON and "
+             "content digests",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_sub.add_parser("list", help="list the shipped presets")
+    sc_show = scenario_sub.add_parser(
+        "show", help="print a spec's canonical JSON and digest"
+    )
+    sc_show.add_argument("spec", help="preset name or spec file path "
+                                      "(.json, or .yaml with PyYAML)")
+    sc_validate = scenario_sub.add_parser(
+        "validate", help="strictly validate spec files (unknown keys, "
+                         "wrong types, torn files all fail loudly)"
+    )
+    sc_validate.add_argument("paths", nargs="+", metavar="PATH",
+                             help="spec files to validate")
+
+    grid = sub.add_parser(
+        "grid",
+        help="what-if grids (repro.scenarios): sweep scenario knobs "
+             "over a parameter lattice, one cached analysis run per "
+             "cell, with comparative tables and per-cell digests",
+    )
+    grid_sub = grid.add_subparsers(dest="grid_command", required=True)
+
+    def _grid_base_args(p):
+        p.add_argument("--preset", default="paper",
+                       help="base preset name (default: paper); see "
+                            "'scenario list'")
+        p.add_argument("--spec", metavar="PATH", default=None,
+                       help="base spec file instead of --preset")
+        p.add_argument("--axes", action="append", required=True,
+                       metavar="PATH=V1,V2|LO..HI",
+                       help="one sweep axis: a dotted knob path and "
+                            "its values, e.g. 'fabric_year=2013..2017' "
+                            "or 'hazard.CORE=1.0,1.5,2.0' (repeatable)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the base spec's seed")
+        p.add_argument("--scale", type=float, default=None,
+                       help="override the base spec's corpus scale")
+
+    g_run = grid_sub.add_parser(
+        "run", help="run every lattice cell and print the comparative "
+                    "tables; re-runs with --cache are cache hits"
+    )
+    _grid_base_args(g_run)
+    g_run.add_argument("--backend", choices=BACKEND_CHOICES,
+                       default="batch",
+                       help="execution backend for every cell (all "
+                            "backends produce bit-identical digests)")
+    g_run.add_argument("--jobs", type=_parse_jobs, default=None,
+                       metavar="N",
+                       help="shard count for --backend sharded; with "
+                            "N > 1 shards fold in worker processes")
+    g_run.add_argument("--cache", metavar="DIR", default=None,
+                       help="result cache directory: whole cells are "
+                            "keyed on their spec digest, so repeated "
+                            "and overlapping sweeps reuse cells")
+    g_run.add_argument("--out", metavar="PATH", default=None,
+                       help="write the JSON grid report here")
+    g_run.add_argument("--table-axis", metavar="PATH", default=None,
+                       help="also print a pivot of --table-metric "
+                            "against this axis (default: the first "
+                            "axis when more than one is swept)")
+    g_run.add_argument("--table-metric", default="csa_rate_last",
+                       help="metric for the pivot table "
+                            "(default: csa_rate_last)")
+
+    g_expand = grid_sub.add_parser(
+        "expand", help="expand the lattice without running it: one "
+                       "line per cell with its parameters and spec "
+                       "digest"
+    )
+    _grid_base_args(g_expand)
+
+    g_diff = grid_sub.add_parser(
+        "diff", help="compare two JSON grid reports cell by cell "
+                     "(cells align on their axis parameters)"
+    )
+    g_diff.add_argument("left", help="grid report JSON (from run --out)")
+    g_diff.add_argument("right", help="grid report JSON to compare")
 
     return parser
 
@@ -826,6 +922,169 @@ def _serve(args) -> int:
     return 0
 
 
+def _coerce_axis_value(text: str):
+    """CLI axis values: bool, int, float, then string — in that order."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_axes(specs: List[str]) -> dict:
+    """``--axes`` strings into a {path: values} mapping.
+
+    Each spec is ``PATH=V1,V2,...`` or ``PATH=LO..HI`` (an inclusive
+    integer range); repeated paths are rejected rather than silently
+    merged.
+    """
+    axes: dict = {}
+    for text in specs:
+        path, sep, values = text.partition("=")
+        path = path.strip()
+        if not sep or not path or not values.strip():
+            raise SystemExit(
+                f"bad --axes {text!r}: expected PATH=V1,V2,... "
+                f"or PATH=LO..HI"
+            )
+        if path in axes:
+            raise SystemExit(f"duplicate --axes path {path!r}")
+        values = values.strip()
+        if ".." in values and "," not in values:
+            lo, _, hi = values.partition("..")
+            try:
+                axes[path] = list(range(int(lo), int(hi) + 1))
+            except ValueError:
+                raise SystemExit(
+                    f"bad --axes range {values!r}: LO..HI needs integers"
+                )
+            if not axes[path]:
+                raise SystemExit(f"empty --axes range {values!r}")
+        else:
+            axes[path] = [
+                _coerce_axis_value(v.strip()) for v in values.split(",")
+            ]
+    return axes
+
+
+def _grid_base_spec(args):
+    """Resolve the base spec of a grid command from its arguments."""
+    from repro.scenarios import load_spec, preset
+
+    base = load_spec(args.spec) if args.spec else preset(args.preset)
+    updates = {}
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    if args.scale is not None:
+        updates["scale"] = args.scale
+    return base.with_updates(**updates) if updates else base
+
+
+def _grid(args) -> int:
+    import json
+
+    from repro.scenarios import GridRunner, GridSpec, grid_diff
+    from repro.viz import axis_table, grid_table
+
+    if args.grid_command == "diff":
+        with open(args.left) as fh:
+            left = json.load(fh)
+        with open(args.right) as fh:
+            right = json.load(fh)
+        diff = grid_diff(left, right)
+        print(json.dumps(diff, indent=1, sort_keys=True))
+        return 0 if diff["identical"] else 1
+
+    grid = GridSpec(base=_grid_base_spec(args),
+                    axes=_parse_axes(args.axes))
+
+    if args.grid_command == "expand":
+        print(f"grid: {grid.cell_count()} cells over "
+              f"{len(grid.axes)} axes (digest {grid.digest()[:12]})")
+        for cell in grid.cells():
+            params = ", ".join(
+                f"{path}={cell.overrides[path]}"
+                for path in sorted(cell.overrides)
+            )
+            print(f"  cell {cell.index:3d}  {params}  "
+                  f"spec={cell.spec.digest()[:12]}")
+        return 0
+
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.cache) if args.cache is not None else None
+    jobs = args.jobs
+    runner = GridRunner(
+        backend=args.backend,
+        jobs=jobs if jobs is not None else 4,
+        use_processes=jobs is not None and jobs > 1,
+        cache=cache,
+    )
+    report = runner.run(grid)
+    print(grid_table(report))
+    table_axis = args.table_axis
+    if table_axis is None and len(grid.axes) > 1:
+        table_axis = grid.axis_paths[0]
+    if table_axis is not None:
+        metrics = report["cells"][0]["metrics"]
+        if args.table_metric in metrics:
+            print()
+            print(axis_table(report, table_axis, args.table_metric))
+    print(f"\nsummary_digest: {report['summary_digest']}")
+    print(f"[grid] {len(report['cells'])} cells, "
+          f"{report['cache']['cell_hits']} cached, "
+          f"{report['cache']['cell_misses']} computed")
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"[grid] report written to {args.out}")
+    return 0
+
+
+def _scenario(args) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import (
+        ScenarioError, list_presets, load_spec, preset,
+    )
+
+    if args.scenario_command == "list":
+        for name in list_presets():
+            spec = preset(name)
+            print(f"{name:20s} kind={spec.kind:9s} "
+                  f"digest={spec.digest()[:12]}")
+        return 0
+    if args.scenario_command == "show":
+        if Path(args.spec).exists():
+            spec = load_spec(args.spec)
+        else:
+            spec = preset(args.spec)
+        import json
+
+        print(json.dumps(spec.to_dict(), indent=1, sort_keys=True))
+        print(f"digest: {spec.digest()}")
+        return 0
+    # validate
+    failed = 0
+    for path in args.paths:
+        try:
+            spec = load_spec(path)
+        except ScenarioError as exc:
+            print(f"[FAIL] {path}: {exc}")
+            failed += 1
+        else:
+            print(f"[OK]   {path}: {spec.name} ({spec.kind}) "
+                  f"digest={spec.digest()[:12]}")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -882,6 +1141,10 @@ def _dispatch(args) -> int:
                 store_dir=args.store_dir)
     elif args.command == "store":
         return _store(args)
+    elif args.command == "scenario":
+        return _scenario(args)
+    elif args.command == "grid":
+        return _grid(args)
     elif args.command == "bench":
         from repro.perf import run_bench_suite
 

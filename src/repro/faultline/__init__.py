@@ -29,6 +29,7 @@ from repro.faultline.plan import (
     FaultSpec,
     FaultToleranceError,
     FaultlineError,
+    GridCellCrash,
     InjectedFault,
     JobWorkerCrash,
     PartitionLost,
@@ -43,6 +44,7 @@ __all__ = [
     "FaultSpec",
     "FaultToleranceError",
     "FaultlineError",
+    "GridCellCrash",
     "InjectedFault",
     "JobWorkerCrash",
     "OracleReport",

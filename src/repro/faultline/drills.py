@@ -1,6 +1,6 @@
 """The ``python -m repro chaos`` drill suite.
 
-Seven drills, each aimed at one hardened failure surface, all driven by
+Eight drills, each aimed at one hardened failure surface, all driven by
 one seed so a failed run replays exactly:
 
 ``differential``
@@ -33,7 +33,12 @@ one seed so a failed run replays exactly:
     make column-batch folds raise mid-batch (``runtime.fold``) and
     demand the columnar backend fall back to the per-row reference
     fold — suppressed and counted — with the report digest unchanged
-    from the fault-free run.
+    from the fault-free run;
+``grid``
+    crash what-if grid cells mid-execution (``grid.cell``) and demand
+    the grid runner's retry-then-suppress recovery re-run each
+    crashed cell from a fresh simulation — counted — with the grid
+    summary digest unchanged from the fault-free sweep.
 
 The suite returns a JSON-able fault report that is *deterministic in
 the seed*: no timestamps, no host paths — two runs with the same seed
@@ -503,6 +508,50 @@ def _columnar_drill(seed: int, quick: bool,
             "detail": detail}
 
 
+def _grid_drill(seed: int, quick: bool,
+                sites: Optional[Sequence[str]]) -> dict:
+    """Crash grid cells; the summary digest must not move.
+
+    A fault-free sweep of a tiny lattice fixes the summary digest.
+    The same lattice then re-runs under a plan firing ``grid.cell``
+    with certainty twice: the first cell crashes, is retried, crashes
+    again, and finally re-runs with the site suppressed — exercising
+    both halves of the recovery contract.  The drill passes when the
+    faulted sweep's summary digest equals the fault-free baseline and
+    the runner's retry count equals the number of fired faults.
+    """
+    from repro.scenarios import GridRunner, GridSpec, preset
+
+    active = _selected(sites, "grid.cell")
+    base = preset("paper").with_updates(seed=seed, scale=0.05)
+    grid = GridSpec(base=base, axes={"fabric_year": [2015, 2016]})
+
+    baseline = GridRunner(backend="stream").run(grid)
+
+    plan = FaultPlan(seed, [
+        FaultSpec(site, probability=1.0, max_fires=2) for site in active
+    ])
+    runner = GridRunner(backend="stream")
+    with hooks.injected(plan):
+        faulted = runner.run(grid)
+
+    converged = (faulted["summary_digest"] == baseline["summary_digest"])
+    accounted = runner.cell_retries == plan.fired()
+    detail = {
+        "sites": active,
+        "cells": grid.cell_count(),
+        "faults_fired": plan.fired(),
+        "cell_retries": runner.cell_retries,
+        "retries_match_fires": accounted,
+        "baseline_digest": baseline["summary_digest"],
+        "faulted_digest": faulted["summary_digest"],
+        "converged": converged,
+        "fault_log_digest": plan.log_digest(),
+    }
+    return {"name": "grid", "passed": converged and accounted,
+            "detail": detail}
+
+
 def chaos_suite(
     seed: int = 7,
     quick: bool = False,
@@ -523,6 +572,7 @@ def chaos_suite(
         _serve_jobs_drill(seed, quick, sites),
         _storage_drill(seed, quick, sites),
         _columnar_drill(seed, quick, sites),
+        _grid_drill(seed, quick, sites),
     ]
     report = {
         "format": REPORT_FORMAT,

@@ -33,6 +33,7 @@ __all__ = [
     "FaultSpec",
     "FaultToleranceError",
     "FaultlineError",
+    "GridCellCrash",
     "InjectedFault",
     "JobWorkerCrash",
     "PartitionLost",
@@ -69,6 +70,10 @@ SITES = (
     # repro.storage manifest saves: the manifest.json write tears
     # mid-JSON, leaving a checksum-failing file behind.
     "storage.manifest",
+    # repro.scenarios grid runner: one lattice cell crashes before its
+    # result is produced; the runner retries it from a fresh
+    # simulation.
+    "grid.cell",
 )
 
 
@@ -94,6 +99,10 @@ class JobWorkerCrash(InjectedFault):
 
 class ColumnFoldCrash(InjectedFault):
     """Simulated failure of one columnar batch fold mid-batch."""
+
+
+class GridCellCrash(InjectedFault):
+    """Simulated crash of one what-if grid cell mid-execution."""
 
 
 class PartitionLost(InjectedFault):

@@ -20,6 +20,7 @@ Quickstart::
 from repro.perf.bench import (
     bench_backbone,
     bench_fold_matrix,
+    bench_grid,
     bench_ingest,
     bench_partitioned_scan,
     bench_serve,
@@ -40,6 +41,7 @@ __all__ = [
     "PhaseTimer",
     "bench_backbone",
     "bench_fold_matrix",
+    "bench_grid",
     "bench_ingest",
     "bench_partitioned_scan",
     "bench_serve",

@@ -37,6 +37,13 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     a live :mod:`repro.serve` server under concurrent readers plus one
     job-submitting writer; reports requests/s and p50/p99 latency per
     endpoint with zero tolerated errors.
+``grid_sweep``
+    a small what-if lattice expanded by :class:`~repro.scenarios.GridSpec`
+    and run through :class:`~repro.scenarios.GridRunner` on the batch,
+    sharded, and columnar backends (fresh :class:`~repro.runtime.ResultCache`
+    per backend) followed by a warm re-run; reports cells/s per backend,
+    the cached re-run's cache-hit ratio, and asserts the grid's
+    ``summary_digest`` is bit-identical across backends.
 
 The suite prints rendered tables and writes one record per benchmark
 to the output directory, so successive PRs accumulate a comparable
@@ -521,6 +528,100 @@ def bench_fold_matrix(
     )
 
 
+def bench_grid(
+    seed: int = 2,
+    scale: float = 0.1,
+    rounds: int = 1,
+) -> BenchRecord:
+    """Measure the what-if grid runner across runtime backends.
+
+    One six-cell lattice (three fabric-rollout years × two CORE hazard
+    multipliers) expanded once and run through a fresh
+    :class:`~repro.runtime.ResultCache` on the batch, sharded
+    (process-parallel), and columnar backends, then re-run warm on the
+    batch backend.  Reports cells/s per backend and the warm re-run's
+    cache-hit ratio, and asserts every backend's ``summary_digest`` is
+    bit-identical — the grid runner's core acceptance criterion,
+    measured rather than assumed.
+    """
+    from repro.runtime import ResultCache, shutdown_executor_pool
+    from repro.scenarios import GridRunner, GridSpec, preset
+
+    base = preset("paper").with_updates(seed=seed, scale=scale)
+    grid = GridSpec(
+        base=base,
+        axes={
+            "fabric_year": [2015, 2016, 2017],
+            "hazard.CORE": [1.0, 1.5],
+        },
+    )
+    cells = grid.cell_count()
+
+    backends = [
+        ("batch", {}),
+        ("sharded_processes", {"jobs": 2, "use_processes": True}),
+        ("columnar", {}),
+    ]
+    per_backend = []
+    digests = set()
+    warm_cache = None
+    for label, kwargs in backends:
+        backend = "sharded" if label.startswith("sharded") else label
+        best = float("inf")
+        digest = None
+        for _ in range(max(1, rounds)):
+            cache = ResultCache()
+            runner = GridRunner(backend=backend, cache=cache, **kwargs)
+            start = time.perf_counter()
+            report = runner.run(grid)
+            best = min(best, time.perf_counter() - start)
+            digest = report["summary_digest"]
+            if label == "batch":
+                # Keep the populated cache for the warm re-run below.
+                warm_cache = cache
+        digests.add(digest)
+        per_backend.append({
+            "backend": label,
+            "seconds": best,
+            "cells": cells,
+            "cells_per_s": events_per_second(cells, best),
+            "summary_digest": digest,
+        })
+    shutdown_executor_pool()
+
+    runner = GridRunner(backend="batch", cache=warm_cache)
+    start = time.perf_counter()
+    warm = runner.run(grid)
+    warm_s = time.perf_counter() - start
+    hits = warm["cache"]["cell_hits"]
+    misses = warm["cache"]["cell_misses"]
+    hit_ratio = hits / (hits + misses) if hits + misses else 0.0
+    digests.add(warm["summary_digest"])
+    per_backend.append({
+        "backend": "cached",
+        "seconds": warm_s,
+        "cells": cells,
+        "cells_per_s": events_per_second(cells, warm_s),
+        "summary_digest": warm["summary_digest"],
+    })
+
+    by_backend = {entry["backend"]: entry for entry in per_backend}
+    batch_s = by_backend["batch"]["seconds"]
+    metrics = {
+        "cells": cells,
+        "axes": grid.axis_paths,
+        "digests_identical": len(digests) == 1,
+        "per_backend": per_backend,
+        "cache_hit_ratio": hit_ratio,
+        "cache_speedup_vs_batch": batch_s / warm_s if warm_s > 0 else 0.0,
+    }
+    return BenchRecord(
+        name="grid_sweep",
+        params={"seed": seed, "scale": scale, "rounds": rounds},
+        metrics=metrics,
+    )
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile over an already-sorted sample."""
     if not sorted_values:
@@ -768,6 +869,29 @@ def render_backbone_record(record: BenchRecord) -> str:
     )
 
 
+def render_grid_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            entry["backend"],
+            entry["cells"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['cells_per_s']:,.1f}",
+            entry["summary_digest"][:12],
+        ]
+        for entry in record.metrics["per_backend"]
+    ]
+    metrics = record.metrics
+    return format_table(
+        ["Backend", "Cells", "Seconds", "Cells/sec", "Summary digest"],
+        rows,
+        title=(f"What-if grid sweep (scale={record.params['scale']}, "
+               f"cache hits {metrics['cache_hit_ratio']:.0%}, "
+               f"identical={metrics['digests_identical']})"),
+    )
+
+
 def render_serve_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -822,12 +946,15 @@ def run_bench_suite(
         jobs=2 if quick else 4, rounds=rounds,
     )
     backbone = bench_backbone(rounds=rounds)
+    grid = bench_grid(
+        seed=seed, scale=0.05 if quick else 0.1, rounds=rounds
+    )
     serve = (
         bench_serve(scale=0.1, readers=4, requests_per_reader=10,
                     writer_jobs=1)
         if quick else bench_serve()
     )
-    records = [stream, ingest, scan, fold, backbone, serve]
+    records = [stream, ingest, scan, fold, backbone, grid, serve]
 
     print(render_stream_record(stream))
     print()
@@ -838,6 +965,8 @@ def run_bench_suite(
     print(render_fold_matrix_record(fold))
     print()
     print(render_backbone_record(backbone))
+    print()
+    print(render_grid_record(grid))
     print()
     print(render_serve_record(serve))
     if out_dir is not None:

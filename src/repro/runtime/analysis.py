@@ -59,6 +59,11 @@ class RunContext:
     year: Optional[int] = None
     baseline_year: Optional[int] = None
     corpus_seed: Optional[int] = None
+    #: Spec digest of the generating scenario
+    #: (:attr:`repro.simulation.scenarios.IntraScenario.spec_digest`);
+    #: travels into the corpus fingerprints so two distinct scenarios
+    #: at identical (rows, seed, schema) never share a cache entry.
+    scenario_digest: Optional[str] = None
     #: Table 1 substrate (:class:`repro.remediation.engine.RemediationEngine`).
     engine: Any = None
     #: Section 6 substrate (:class:`repro.backbone.monitor.BackboneMonitor`).
@@ -120,12 +125,14 @@ class RunContext:
         if domain == SEVCorpus.domain:
             if self.store is None:
                 return None
-            return SEVCorpus(self.store, seed=self.corpus_seed)
+            return SEVCorpus(self.store, seed=self.corpus_seed,
+                             scenario=self.scenario_digest)
         if domain == TicketCorpus.domain:
             tickets = self.resolve_tickets()
             if tickets is None:
                 return None
-            return TicketCorpus(tickets, seed=self.corpus_seed)
+            return TicketCorpus(tickets, seed=self.corpus_seed,
+                                scenario=self.scenario_digest)
         raise ValueError(f"unknown corpus domain {domain!r}")
 
 

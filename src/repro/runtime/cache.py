@@ -42,15 +42,25 @@ __all__ = ["ResultCache", "corpus_fingerprint", "ticket_fingerprint"]
 PathLike = Union[str, Path]
 
 
-def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
-    """Fingerprint a SEV corpus: domain + row count + seed + schema hash.
+def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None,
+                       scenario: Optional[str] = None) -> str:
+    """Fingerprint a SEV corpus: domain, rows, seed, scenario, schema.
 
     Cheap by design (no corpus scan): the generators are deterministic
-    in their seed, so (seed, row count, schema) pins the corpus
-    content for every corpus this library produces.  Corpora imported
-    from elsewhere should pass a caller-chosen ``seed`` surrogate or
-    skip caching.  The domain tag keeps a SEV corpus from ever
-    colliding with a ticket corpus of the same size and seed.
+    in their seed *and scenario*, so (seed, scenario digest, row
+    count, schema) pins the corpus content for every corpus this
+    library produces.  Corpora imported from elsewhere should pass a
+    caller-chosen ``seed`` surrogate or skip caching.  The domain tag
+    keeps a SEV corpus from ever colliding with a ticket corpus of
+    the same size and seed.
+
+    ``scenario`` is the generating scenario's spec digest
+    (:meth:`repro.scenarios.ScenarioSpec.digest`).  Without it, two
+    *different* scenarios that happen to produce the same row count
+    at the same seed — a severity-mix override changes every row but
+    not the count — would collide in a shared cache; the digest keeps
+    them apart.  ``None`` is an honest "unspecified" that hashes like
+    the legacy payload never could collide with a digest-bearing one.
 
     ``store`` is anything with ``__len__`` and ``schema_hash()`` —
     the monolithic :class:`~repro.incidents.store.SEVStore` or the
@@ -60,19 +70,25 @@ def corpus_fingerprint(store: SEVStore, seed: Optional[int] = None) -> str:
     """
     rows = len(store)
     schema_hash = store.schema_hash()
-    payload = f"domain=sev;rows={rows};seed={seed};schema={schema_hash}"
+    payload = (
+        f"domain=sev;rows={rows};seed={seed};scenario={scenario}"
+        f";schema={schema_hash}"
+    )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def ticket_fingerprint(tickets, seed: Optional[int] = None) -> str:
-    """Fingerprint a ticket corpus: domain + row count + seed + schema.
+def ticket_fingerprint(tickets, seed: Optional[int] = None,
+                       scenario: Optional[str] = None) -> str:
+    """Fingerprint a ticket corpus: domain, rows, seed, scenario, schema.
 
     The ticket analog of :func:`corpus_fingerprint`: completed-ticket
-    count, scenario seed, and a hash of the interchange schema (the
-    exported field list plus the ticket-type vocabulary, the ticket
-    database's equivalent of a SQL schema).  The ``domain=ticket`` tag
-    guarantees a ticket corpus and a SEV corpus of identical size and
-    seed hash to different cache keys.
+    count, scenario seed, the generating scenario's spec digest, and
+    a hash of the interchange schema (the exported field list plus
+    the ticket-type vocabulary, the ticket database's equivalent of a
+    SQL schema).  The ``domain=ticket`` tag guarantees a ticket
+    corpus and a SEV corpus of identical size and seed hash to
+    different cache keys, and the scenario digest keeps two distinct
+    backbone scenarios of identical size and seed apart.
     """
     from repro.backbone.tickets import TicketType
     from repro.io.ticket_io import TICKET_FIELDS
@@ -82,7 +98,10 @@ def ticket_fingerprint(tickets, seed: Optional[int] = None) -> str:
         t.value for t in TicketType
     )
     schema_hash = hashlib.sha256(schema.encode()).hexdigest()
-    payload = f"domain=ticket;rows={rows};seed={seed};schema={schema_hash}"
+    payload = (
+        f"domain=ticket;rows={rows};seed={seed};scenario={scenario}"
+        f";schema={schema_hash}"
+    )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

@@ -45,11 +45,16 @@ class Corpus:
     #: this corpus' records.
     domain: str = ""
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(self, seed: Optional[int] = None,
+                 scenario: Optional[str] = None) -> None:
         #: Generator seed, folded into the fingerprint (two corpora of
         #: equal size from different seeds must never share cache
         #: entries).
         self.seed = seed
+        #: Generating scenario's spec digest, folded into the
+        #: fingerprint (two corpora of equal size and seed from
+        #: *different scenarios* must never share entries either).
+        self.scenario = scenario
 
     def records(self) -> Iterable:
         raise NotImplementedError
@@ -149,15 +154,17 @@ class SEVCorpus(Corpus):
 
     domain = "sev"
 
-    def __init__(self, store: SEVStore, seed: Optional[int] = None) -> None:
-        super().__init__(seed)
+    def __init__(self, store: SEVStore, seed: Optional[int] = None,
+                 scenario: Optional[str] = None) -> None:
+        super().__init__(seed, scenario)
         self.store = store
 
     def records(self) -> Iterable:
         return self.store.all_reports()
 
     def fingerprint(self) -> Optional[str]:
-        return corpus_fingerprint(self.store, seed=self.seed)
+        return corpus_fingerprint(self.store, seed=self.seed,
+                                  scenario=self.scenario)
 
     def shards(self, records: Iterable, jobs: int) -> List[list]:
         """Partition-aware when the store is tiered, else round-robin."""
@@ -226,15 +233,17 @@ class TicketCorpus(Corpus):
     domain = "ticket"
 
     def __init__(self, tickets: TicketDatabase,
-                 seed: Optional[int] = None) -> None:
-        super().__init__(seed)
+                 seed: Optional[int] = None,
+                 scenario: Optional[str] = None) -> None:
+        super().__init__(seed, scenario)
         self.tickets = tickets
 
     def records(self) -> Iterable:
         return self.tickets.completed()
 
     def fingerprint(self) -> Optional[str]:
-        return ticket_fingerprint(self.tickets, seed=self.seed)
+        return ticket_fingerprint(self.tickets, seed=self.seed,
+                                  scenario=self.scenario)
 
     def shards(self, records: Iterable, jobs: int) -> List[list]:
         """Cost-weighted shards: one cell per link, LPT-balanced.

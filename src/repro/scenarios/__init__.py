@@ -1,0 +1,42 @@
+"""Declarative scenario specs and the what-if grid runner.
+
+:mod:`repro.scenarios.spec` defines the serializable
+:class:`ScenarioSpec` (canonical JSON, content digest, strict typed
+validation, JSON/optional-YAML loaders, shipped presets);
+:mod:`repro.scenarios.grid` sweeps a lattice of them through the
+analysis executor with whole-cell result caching.
+"""
+
+from repro.scenarios.grid import (
+    GRID_FORMAT,
+    GridCell,
+    GridRunner,
+    GridSpec,
+    grid_diff,
+)
+from repro.scenarios.spec import (
+    SPEC_FORMAT,
+    ScenarioError,
+    ScenarioSpec,
+    canonical_spec_json,
+    list_presets,
+    load_spec,
+    preset,
+    spec_from_dict,
+)
+
+__all__ = [
+    "GRID_FORMAT",
+    "GridCell",
+    "GridRunner",
+    "GridSpec",
+    "SPEC_FORMAT",
+    "ScenarioError",
+    "ScenarioSpec",
+    "canonical_spec_json",
+    "grid_diff",
+    "list_presets",
+    "load_spec",
+    "preset",
+    "spec_from_dict",
+]

@@ -19,7 +19,7 @@ Endpoints (all JSON):
 ``GET /reports/backbone``  the backbone study (``?backend=`` optional)
 ``GET /figures/<id>``      one figure (``fig3`` ... ``fig18``)
 ``GET /tables/<id>``       one table (``table2``, ``table4``)
-``POST /jobs``        submit ``{"kind": report|bench|chaos, "params": {}}``
+``POST /jobs``        submit ``{"kind": report|bench|chaos|grid, "params": {}}``
 ``GET /jobs``         list jobs; ``GET /jobs/<id>`` one job
 ``GET /artifacts/<id>``    a finished job's artifact document
 ====================  =================================================
@@ -425,7 +425,8 @@ class ServeApp:
             raise ApiError(400, f"request body is not JSON: {exc}")
         if not isinstance(payload, dict) or "kind" not in payload:
             raise ApiError(
-                400, 'expected {"kind": "report|bench|chaos", "params": {}}'
+                400,
+                'expected {"kind": "report|bench|chaos|grid", "params": {}}'
             )
         params = payload.get("params", {})
         if not isinstance(params, dict):

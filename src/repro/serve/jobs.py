@@ -1,9 +1,10 @@
 """A checkpointed job queue for expensive serving work.
 
-``POST /jobs`` lands here: report builds, benchmark runs, and chaos
-drills are queued as :class:`Job` records, executed by worker threads,
-and their outputs published to an artifact registry under the serve
-data directory.  The queue checkpoints its full state to ``jobs.json``
+``POST /jobs`` lands here: report builds, benchmark runs, chaos
+drills, and what-if grid sweeps are queued as :class:`Job` records,
+executed by worker threads, and their outputs published to an artifact
+registry under the serve data directory (a grid job additionally
+publishes one artifact per lattice cell).  The queue checkpoints its full state to ``jobs.json``
 on every transition (atomic tmp-write + rename), so a killed server
 picks its queue back up on restart: jobs that were ``queued`` or
 ``running`` when the process died are re-enqueued and produce
@@ -47,7 +48,7 @@ __all__ = ["JOB_KINDS", "Job", "JobQueue"]
 
 PathLike = Union[str, Path]
 
-JOB_KINDS = ("report", "bench", "chaos")
+JOB_KINDS = ("report", "bench", "chaos", "grid")
 
 CHECKPOINT_FORMAT = "repro.serve-jobs/1"
 
@@ -143,6 +144,29 @@ def execute_job(kind: str, params: dict) -> str:
             sites=params.get("sites"),
         )
         return report_json(report)
+    if kind == "grid":
+        from repro.scenarios import GridRunner, GridSpec, spec_from_dict
+        from repro.scenarios import preset as load_preset
+
+        if params.get("spec") is not None:
+            base = spec_from_dict(params["spec"], source="<job params>")
+        else:
+            base = load_preset(params.get("preset", "paper"))
+        updates = {}
+        if params.get("seed") is not None:
+            updates["seed"] = int(params["seed"])
+        if params.get("scale") is not None:
+            updates["scale"] = float(params["scale"])
+        if updates:
+            base = base.with_updates(**updates)
+        axes = params.get("axes")
+        if not isinstance(axes, dict) or not axes:
+            raise ValueError(
+                'grid jobs need params.axes: {"knob.path": [values, ...]}'
+            )
+        grid = GridSpec(base=base, axes=axes)
+        runner = GridRunner(backend=params.get("backend", "stream"))
+        return canonical_json(runner.run(grid))
     raise ValueError(f"unknown job kind {kind!r}; expected one of {JOB_KINDS}")
 
 
@@ -327,6 +351,21 @@ class JobQueue:
         os.replace(tmp, path)
         return hashlib.sha256(text.encode()).hexdigest()
 
+    def _publish_grid_cells(self, job_id: str, text: str) -> None:
+        """Publish each grid cell as its own ``<job>-cellNNN`` artifact.
+
+        A grid sweep's comparative report stays the job artifact;
+        every lattice cell additionally publishes standalone, so a
+        client can fetch one what-if's report record without parsing
+        the whole grid.
+        """
+        from repro.serve.payloads import canonical_json
+
+        report = json.loads(text)
+        for cell in report.get("cells", []):
+            cell_id = f"{job_id}-cell{cell['cell']:03d}"
+            self._publish_artifact(cell_id, canonical_json(cell))
+
     # -- execution ---------------------------------------------------
 
     def _worker(self) -> None:
@@ -357,6 +396,8 @@ class JobQueue:
                 self._idle.notify_all()
             return
         digest = self._publish_artifact(job.id, text)
+        if job.kind == "grid":
+            self._publish_grid_cells(job.id, text)
         with self._lock:
             job.status = "done"
             job.error = None

@@ -72,7 +72,8 @@ def build_intra_context(
     store = SEVStore(check_same_thread=check_same_thread)
     IntraSimulator(scenario).run(store=store)
     return RunContext(
-        store=store, fleet=scenario.fleet, corpus_seed=scenario.seed
+        store=store, fleet=scenario.fleet, corpus_seed=scenario.seed,
+        scenario_digest=scenario.spec_digest,
     )
 
 
@@ -82,11 +83,13 @@ def build_backbone_context(seed: int = 7) -> RunContext:
     from repro.simulation.backbone_sim import BackboneSimulator
     from repro.simulation.scenarios import paper_backbone_scenario
 
-    corpus = BackboneSimulator(paper_backbone_scenario(seed=seed)).run()
+    scenario = paper_backbone_scenario(seed=seed)
+    corpus = BackboneSimulator(scenario).run()
     monitor = BackboneMonitor(corpus.topology, corpus.tickets)
     return RunContext(
         monitor=monitor, topology=corpus.topology,
         window_h=corpus.window_h, corpus_seed=seed,
+        scenario_digest=scenario.spec_digest,
     )
 
 

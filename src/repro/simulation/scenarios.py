@@ -5,13 +5,22 @@ A *scenario* is the full parameterization of a synthetic corpus.  The
 analysis pipeline recovers the published results; custom scenarios
 support the ablation benches (remediation off, shifted fabric rollout,
 different edge redundancy, drain policy off).
+
+Construction lives behind the declarative spec layer: the public
+constructors (``paper_scenario``, ``no_drain_policy_scenario``,
+``shifted_fabric_scenario``, ``paper_backbone_scenario``) are thin
+wrappers over the shipped preset files of :mod:`repro.scenarios`, so
+every scenario — legacy call site or spec file — carries a spec digest
+and materializes through one code path.  The calibration *math* stays
+here, as the ``build_*``/``apply_*``/``shift_*`` builders that
+:meth:`repro.scenarios.ScenarioSpec.materialize` composes.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro import paperdata
 from repro.fleet.population import FleetModel, paper_fleet
@@ -100,6 +109,12 @@ class IntraScenario:
     automated_repair_year: int = paperdata.AUTOMATED_REPAIR_YEAR
     repair_success: Dict[DeviceType, float] = field(default_factory=dict)
     seed: int = 1
+    #: Digest of the :class:`repro.scenarios.ScenarioSpec` this
+    #: scenario materialized from (None for hand-built scenarios).
+    #: Excluded from equality: two identical corpora are the same
+    #: corpus however they were described.
+    spec_digest: Optional[str] = field(default=None, compare=False,
+                                       repr=False)
 
     def __post_init__(self) -> None:
         for year, per_type in self.incident_counts.items():
@@ -139,11 +154,13 @@ class IntraScenario:
         return math.log(target) - 0.67449 * self.irt_sigma
 
 
-def paper_scenario(seed: int = 1, scale: float = 1.0) -> IntraScenario:
-    """The calibrated seven-year corpus matching the paper.
+def build_paper_intra(seed: int = 1, scale: float = 1.0) -> IntraScenario:
+    """Construct the calibrated intra scenario (the raw builder).
 
-    ``scale`` multiplies incident counts and fleet sizes together so
-    property tests can run small corpora through identical logic.
+    This is the calibration math behind the ``paper`` preset;
+    :meth:`repro.scenarios.ScenarioSpec.materialize` starts every
+    intra scenario here.  Call :func:`paper_scenario` instead unless
+    you are the spec layer.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -169,15 +186,15 @@ def paper_scenario(seed: int = 1, scale: float = 1.0) -> IntraScenario:
     )
 
 
-def no_drain_policy_scenario(seed: int = 1) -> IntraScenario:
-    """Ablation: the 2015 drain-before-maintenance practice never lands.
+def apply_no_drain_policy(scenario: IntraScenario) -> IntraScenario:
+    """Mutate a scenario so the 2015 drain-policy change never lands.
 
     Without drained maintenance the CSA incident stream keeps scaling
     with the 2013/2014 per-device rates instead of collapsing, so the
-    CSA MTBI improvement of section 5.6 disappears.
+    CSA MTBI improvement of section 5.6 disappears.  Returns the same
+    (mutated) scenario for chaining.
     """
-    scenario = paper_scenario(seed=seed)
-    rate_2014 = (_PAPER_INCIDENT_COUNTS[2014][DeviceType.CSA]
+    rate_2014 = (scenario.incident_counts[2014][DeviceType.CSA]
                  / scenario.fleet.count(2014, DeviceType.CSA))
     for year in (2015, 2016, 2017):
         population = scenario.fleet.count(year, DeviceType.CSA)
@@ -187,14 +204,15 @@ def no_drain_policy_scenario(seed: int = 1) -> IntraScenario:
     return scenario
 
 
-def shifted_fabric_scenario(fabric_year: int, seed: int = 1) -> IntraScenario:
-    """Ablation: move the fabric rollout year.
+def shift_fabric_rollout(
+    base: IntraScenario, fabric_year: int
+) -> IntraScenario:
+    """A copy of ``base`` with the fabric rollout moved to ``fabric_year``.
 
     All fabric-device incidents (and populations) shift with the
     rollout; the Figure 9/10 inflection should follow.
     """
-    base = paper_scenario(seed=seed)
-    offset = fabric_year - paperdata.FABRIC_DEPLOYMENT_YEAR
+    offset = fabric_year - base.fabric_year
     if offset < 0:
         raise ValueError("the fabric cannot deploy before the study starts")
     counts: Dict[int, Dict[DeviceType, int]] = {}
@@ -226,8 +244,50 @@ def shifted_fabric_scenario(fabric_year: int, seed: int = 1) -> IntraScenario:
         p75_irt_h=base.p75_irt_h,
         fabric_year=fabric_year,
         repair_success=base.repair_success,
-        seed=seed,
+        seed=base.seed,
     )
+
+
+# -- public constructors (routed through the spec layer) --------------------
+
+
+def paper_scenario(seed: int = 1, scale: float = 1.0) -> IntraScenario:
+    """The calibrated seven-year corpus matching the paper.
+
+    ``scale`` multiplies incident counts and fleet sizes together so
+    property tests can run small corpora through identical logic.
+    Routed through the shipped ``paper`` preset of
+    :mod:`repro.scenarios`, so the result carries its spec digest.
+    """
+    from repro.scenarios import preset
+
+    return preset("paper").with_updates(
+        seed=int(seed), scale=float(scale)
+    ).materialize()
+
+
+def no_drain_policy_scenario(seed: int = 1) -> IntraScenario:
+    """Ablation: the 2015 drain-before-maintenance practice never lands.
+
+    The ``no_drain_policy`` preset spec with the caller's seed; see
+    :func:`apply_no_drain_policy` for the mechanics.
+    """
+    from repro.scenarios import preset
+
+    return preset("no_drain_policy").with_updates(seed=int(seed)).materialize()
+
+
+def shifted_fabric_scenario(fabric_year: int, seed: int = 1) -> IntraScenario:
+    """Ablation: move the fabric rollout year.
+
+    The ``shifted_fabric`` preset spec with the caller's rollout year
+    and seed; see :func:`shift_fabric_rollout` for the mechanics.
+    """
+    from repro.scenarios import preset
+
+    return preset("shifted_fabric").with_updates(
+        seed=int(seed), fabric_year=int(fabric_year)
+    ).materialize()
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +363,11 @@ class BackboneScenario:
     #: the paper's curves are smooth empirical aggregates.
     low_noise: bool = True
     seed: int = 7
+    #: Digest of the spec this scenario materialized from (None for
+    #: hand-built scenarios); excluded from equality like the intra
+    #: scenario's.
+    spec_digest: Optional[str] = field(default=None, compare=False,
+                                       repr=False)
 
     def __post_init__(self) -> None:
         if self.links_per_edge < 1:
@@ -317,14 +382,16 @@ class BackboneScenario:
         return sum(self.continent_edges.values())
 
 
-def paper_backbone_scenario(
+def build_paper_backbone(
     seed: int = 7, links_per_edge: int = 3
 ) -> BackboneScenario:
-    """The calibrated eighteen-month backbone corpus.
+    """Construct the calibrated backbone scenario (the raw builder).
 
     Edge failure and recovery targets come straight from the published
     exponential models; one flaky vendor reproduces the 2-hour-MTBF
-    outlier of section 6.2.
+    outlier of section 6.2.  The spec layer starts every backbone
+    scenario here; call :func:`paper_backbone_scenario` instead unless
+    you are the spec layer.
     """
     return BackboneScenario(
         continent_edges=dict(_CONTINENT_EDGE_COUNTS),
@@ -349,3 +416,18 @@ def paper_backbone_scenario(
         continent_mttr_factor=dict(_CONTINENT_MTTR_FACTOR),
         seed=seed,
     )
+
+
+def paper_backbone_scenario(
+    seed: int = 7, links_per_edge: int = 3
+) -> BackboneScenario:
+    """The calibrated eighteen-month backbone corpus.
+
+    The ``paper_backbone`` preset spec with the caller's seed and
+    redundancy; see :func:`build_paper_backbone` for the calibration.
+    """
+    from repro.scenarios import preset
+
+    return preset("paper_backbone").with_updates(
+        seed=int(seed), links_per_edge=int(links_per_edge)
+    ).materialize()

@@ -157,6 +157,84 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(serve_checks(seed=seed, backbone_seed=backbone_seed))
     checks.extend(storage_checks(seed=seed, backbone_seed=backbone_seed))
     checks.extend(columnar_checks(seed=seed))
+    checks.extend(scenario_grid_checks(seed=seed))
+    return checks
+
+
+def scenario_grid_checks(seed: int = 1, scale: float = 0.25) -> List[Check]:
+    """Exercise the scenario-spec and grid layer (:mod:`repro.scenarios`).
+
+    Three invariants, all exact: materializing the shipped presets
+    reproduces the legacy scenario constructors field for field (the
+    declarative layer is a pure re-expression, not a fork); a grid
+    cell's ``report_digest`` equals a standalone runtime run of the
+    same spec (grids add orchestration, never content); and a warm
+    re-run of the grid is 100% cell-cache hits with an identical
+    ``summary_digest``.
+    """
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import ResultCache, RunContext, run_intra_report
+    from repro.scenarios import GridRunner, GridSpec, preset
+    from repro.simulation.scenarios import (
+        apply_no_drain_policy,
+        build_paper_intra,
+        shift_fabric_rollout,
+    )
+
+    checks: List[Check] = []
+
+    legacy_paper = build_paper_intra(seed=seed)
+    legacy_no_drain = apply_no_drain_policy(build_paper_intra(seed=seed))
+    legacy_shifted = shift_fabric_rollout(build_paper_intra(seed=seed), 2016)
+    presets_match = (
+        preset("paper").with_updates(seed=seed).materialize() == legacy_paper
+        and preset("no_drain_policy").with_updates(seed=seed).materialize()
+        == legacy_no_drain
+        and preset("shifted_fabric").with_updates(seed=seed).materialize()
+        == legacy_shifted
+    )
+    checks.append(Check(
+        "Grid", "preset materialization equals legacy scenarios", 1.0,
+        float(presets_match), 0.0, relative=False,
+    ))
+
+    base = preset("paper").with_updates(seed=seed, scale=scale)
+    grid = GridSpec(base=base, axes={"fabric_year": [2015, 2016]})
+    cache = ResultCache()
+    runner = GridRunner(backend="stream", cache=cache)
+    report = runner.run(grid)
+
+    cell_spec = base.with_updates(fabric_year=2016)
+    scenario = cell_spec.materialize()
+    standalone = report_digest(run_intra_report(
+        RunContext(
+            store=IntraSimulator(scenario).run(), fleet=scenario.fleet,
+            corpus_seed=scenario.seed,
+            scenario_digest=scenario.spec_digest,
+        ),
+        backend="stream",
+    ))
+    by_digest = {
+        cell["spec_digest"]: cell["report_digest"]
+        for cell in report["cells"]
+    }
+    checks.append(Check(
+        "Grid", "grid cell digest equals standalone run", 1.0,
+        float(by_digest.get(cell_spec.digest()) == standalone),
+        0.0, relative=False,
+    ))
+
+    rerun_runner = GridRunner(backend="stream", cache=cache)
+    rerun = rerun_runner.run(grid)
+    checks.append(Check(
+        "Grid", "warm grid re-run all cache hits, same digest", 1.0,
+        float(
+            rerun_runner.cell_hits == grid.cell_count()
+            and rerun_runner.cell_misses == 0
+            and rerun["summary_digest"] == report["summary_digest"]
+        ),
+        0.0, relative=False,
+    ))
     return checks
 
 

@@ -8,6 +8,7 @@ dashboard renders the live counterparts from incremental aggregates.
 
 from repro.viz.tables import format_table
 from repro.viz.ascii import bar_chart, series_chart
+from repro.viz.grid_view import axis_table, grid_table
 from repro.viz.report_builder import build_report, collect_artifacts
 from repro.viz.stream_view import stream_dashboard
 from repro.viz.ticket_view import (
@@ -17,11 +18,13 @@ from repro.viz.ticket_view import (
 )
 
 __all__ = [
+    "axis_table",
     "bar_chart",
     "build_report",
     "collect_artifacts",
     "duration_table",
     "format_table",
+    "grid_table",
     "scorecard_table",
     "series_chart",
     "stream_dashboard",

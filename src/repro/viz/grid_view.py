@@ -1,0 +1,77 @@
+"""Comparative views of a what-if grid report.
+
+:func:`grid_table` lists every lattice cell with its axis parameters,
+headline metrics, and report digest; :func:`axis_table` pivots one
+axis against the rest — the "incident rate vs rollout pace" view: rows
+are the swept axis' values, columns are the remaining-axis
+combinations, cells are one chosen metric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.viz.tables import format_table
+
+__all__ = ["axis_table", "grid_table"]
+
+
+def grid_table(report: Dict[str, Any], title: str = "What-if grid") -> str:
+    """One row per lattice cell: parameters, metrics, report digest."""
+    cells = report.get("cells", [])
+    if not cells:
+        raise ValueError("the grid report has no cells")
+    axes = sorted(report.get("axes", {}))
+    metric_keys = sorted(cells[0].get("metrics", {}))
+    headers = ["Cell", *axes, *metric_keys, "Report digest"]
+    rows = [
+        [
+            cell["cell"],
+            *(cell["params"].get(axis, "") for axis in axes),
+            *(cell["metrics"].get(key, "") for key in metric_keys),
+            cell["report_digest"][:12],
+        ]
+        for cell in cells
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def axis_table(report: Dict[str, Any], axis: str, metric: str,
+               title: str = "") -> str:
+    """Pivot ``metric`` with ``axis`` as rows, other axes as columns.
+
+    With one axis the table is a two-column series; with more, each
+    remaining-axis combination becomes a column labelled by its
+    parameters, which is how "incident rate vs rollout pace" reads
+    when a hazard axis is swept alongside ``fabric_year``.
+    """
+    axes = report.get("axes", {})
+    if axis not in axes:
+        raise ValueError(
+            f"unknown axis {axis!r}; the grid swept {sorted(axes)}"
+        )
+    others = [a for a in sorted(axes) if a != axis]
+
+    def column_label(params: Dict[str, Any]) -> str:
+        if not others:
+            return metric
+        return ", ".join(f"{a}={params[a]}" for a in others)
+
+    columns: List[str] = []
+    values: Dict[Any, Dict[str, Any]] = {}
+    for cell in report.get("cells", []):
+        label = column_label(cell["params"])
+        if label not in columns:
+            columns.append(label)
+        row_key = cell["params"][axis]
+        values.setdefault(row_key, {})[label] = (
+            cell["metrics"].get(metric, "")
+        )
+    rows = [
+        [row_key, *(values[row_key].get(label, "") for label in columns)]
+        for row_key in sorted(values)
+    ]
+    return format_table(
+        [axis, *columns], rows,
+        title=title or f"{metric} vs {axis}",
+    )

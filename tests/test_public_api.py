@@ -24,6 +24,7 @@ class TestPublicSurface:
         import repro.io
         import repro.remediation
         import repro.runtime
+        import repro.scenarios
         import repro.services
         import repro.simulation
         import repro.stats
@@ -33,8 +34,8 @@ class TestPublicSurface:
         for module in (repro.backbone, repro.config, repro.core,
                        repro.drtest, repro.fleet, repro.incidents,
                        repro.io, repro.remediation, repro.runtime,
-                       repro.services, repro.simulation, repro.stats,
-                       repro.topology, repro.viz):
+                       repro.scenarios, repro.services, repro.simulation,
+                       repro.stats, repro.topology, repro.viz):
             for name in module.__all__:
                 assert hasattr(module, name), (
                     f"{module.__name__} missing {name}"
