@@ -38,10 +38,12 @@ from repro.core import (
     severity_by_device,
     severity_rates_over_time,
     sevs_per_employee,
+    survivable_capacity,
     switch_reliability,
     switches_vs_employees,
 )
 from repro.backbone import BackboneMonitor, TicketDatabase, TrafficEngineer
+from repro.survivability import generate_trials, run_survivability_report
 from repro.config import DeploymentPipeline, ReviewPolicy
 from repro.drtest import DatacenterDrainDrill, FaultInjector, StormDrill
 from repro.fleet import paper_employees, paper_fleet
@@ -105,6 +107,7 @@ __all__ = [
     "compare_root_causes",
     "continent_table",
     "design_comparison",
+    "generate_trials",
     "incident_distribution",
     "incident_growth",
     "incident_rates",
@@ -120,9 +123,11 @@ __all__ = [
     "remediation_table",
     "root_cause_breakdown",
     "root_causes_by_device",
+    "run_survivability_report",
     "severity_by_device",
     "severity_rates_over_time",
     "sevs_per_employee",
+    "survivable_capacity",
     "switch_reliability",
     "switches_vs_employees",
 ]

@@ -105,7 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="generate a corpus and print "
                                            "the study's key results")
-    report.add_argument("study", choices=["intra", "backbone", "full"])
+    report.add_argument("study",
+                        choices=["intra", "backbone", "survivability",
+                                 "full"])
     report.add_argument("--seed", type=int, default=None)
     report.add_argument("--scale", type=float, default=1.0,
                         help="intra corpus scale factor")
@@ -512,6 +514,48 @@ def _print_intra_tables(store: SEVStore, fleet,
               "population-normalized figures)")
 
 
+def _survivability_report(seed: Optional[int],
+                          backend: str = "batch",
+                          cache_dir: Optional[str] = None,
+                          jobs: Optional[int] = None,
+                          digest: bool = False) -> None:
+    """The survivability study: correlated failures over both designs.
+
+    Same executor, same cache, same backends as ``report intra`` —
+    the generated trial corpus is just another record source, and
+    every backend answers it bit-identically.
+    """
+    from repro.runtime import ResultCache, RunContext
+    from repro.survivability import generate_trials, run_survivability_report
+
+    seed = seed if seed is not None else 1
+    trials = generate_trials(seed=seed)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    context = RunContext(trials=trials, corpus_seed=seed)
+    report = run_survivability_report(
+        context, backend=backend,
+        jobs=jobs if jobs is not None else 4,
+        cache=cache,
+        use_processes=jobs is not None and jobs > 1,
+    )
+    print(f"corpus: {len(trials)} trial records, seed {seed}, "
+          f"designs cluster+fabric\n")
+    print(report.render())
+    from repro.core import survivable_capacity
+
+    rows = survivable_capacity(report)
+    floor = rows[0].floor if rows else 0.5
+    print(f"\ncapacity floor {floor:.0%} survivable up to: " + "; ".join(
+        f"{row.design} {row.max_survivable_pct}%" for row in rows
+    ))
+    if cache is not None and cache.hits:
+        _print_cache_stats(cache)
+    if digest:
+        from repro.faultline.oracle import report_digest
+
+        print(f"\nreport_digest: {report_digest(report)}")
+
+
 def _backbone_report(seed: Optional[int],
                      backend: str = "batch",
                      cache_dir: Optional[str] = None,
@@ -866,6 +910,9 @@ def _full_report(seed: Optional[int], scale: float,
 
         print(f"\nreport_digest: {report_digest(backbone)}")
 
+    print()
+    _survivability_report(seed, backend, cache_dir, jobs, digest=digest)
+
 
 def _chaos(seed: int, sites: Optional[str], quick: bool,
            out: Optional[str]) -> int:
@@ -1109,6 +1156,14 @@ def _dispatch(args) -> int:
         elif args.study == "backbone":
             _backbone_report(args.seed, args.backend, args.cache, jobs,
                              digest=args.digest, store_dir=args.store_dir)
+        elif args.study == "survivability":
+            if args.store_dir is not None:
+                raise SystemExit(
+                    "survivability trials are generated, not stored; "
+                    "'report survivability' does not take --store-dir"
+                )
+            _survivability_report(args.seed, args.backend, args.cache,
+                                  jobs, digest=args.digest)
         else:
             if args.store_dir is not None:
                 raise SystemExit(

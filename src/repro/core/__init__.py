@@ -60,7 +60,12 @@ from repro.core.backbone_reliability import (
     continent_table,
     reliability_from_outages,
 )
-from repro.core.conditional_risk import CapacityReport, capacity_report
+from repro.core.conditional_risk import (
+    CapacityReport,
+    SurvivableCapacityRow,
+    capacity_report,
+    survivable_capacity,
+)
 from repro.core.fault_tolerance import (
     RedundancyMargin,
     redundancy_margin,
@@ -88,6 +93,7 @@ __all__ = [
     "RootCauseBreakdown",
     "SeverityByDevice",
     "SeverityRateSeries",
+    "SurvivableCapacityRow",
     "SwitchReliability",
     "backbone_reliability",
     "backbone_study_report",
@@ -110,6 +116,7 @@ __all__ = [
     "severity_by_device",
     "severity_rates_over_time",
     "sevs_per_employee",
+    "survivable_capacity",
     "switch_reliability",
     "switches_vs_employees",
 ]

@@ -13,7 +13,7 @@ edges need more links to meet the availability target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.backbone.traffic import CapacityPlan, TrafficEngineer
 from repro.core.backbone_reliability import BackboneReliability
@@ -21,6 +21,11 @@ from repro.topology.backbone import BackboneTopology
 
 #: The paper's planning target: the 99.99th percentile of conditional risk.
 PLANNING_PERCENTILE = 0.9999
+
+#: The survivability planner's default capacity floor: a design is
+#: survivable at a failed fraction while it keeps at least this share
+#: of its links up.
+CAPACITY_FLOOR = 0.5
 
 
 @dataclass(frozen=True)
@@ -73,3 +78,47 @@ def capacity_report(
         for edge in topology.edges
     }
     return CapacityReport(plans=plans, percentile=percentile)
+
+
+@dataclass(frozen=True)
+class SurvivableCapacityRow:
+    """One design's correlated-failure capacity margin."""
+
+    design: str
+    #: The capacity-remaining floor the row was planned against.
+    floor: float
+    #: Largest swept failed percent at which mean surviving capacity
+    #: still meets the floor (0 when even the smallest fraction
+    #: breaches it).
+    max_survivable_pct: int
+    #: Mean surviving-capacity share at that percent (1.0 when no
+    #: fraction survives the floor, i.e. the intact network).
+    capacity_at_pct: float
+
+
+def survivable_capacity(
+    survivability, floor: float = CAPACITY_FLOOR,
+) -> Tuple[SurvivableCapacityRow, ...]:
+    """Join the survivability curves into the capacity-planning view.
+
+    The intra data center analog of the conditional-risk planner: where
+    :func:`capacity_report` asks how many backbone links an edge needs
+    to tolerate the modeled failure percentile, this asks how large a
+    *correlated* device-failure fraction each design tolerates before
+    mean remaining capacity breaches ``floor``.  ``survivability`` is a
+    :class:`~repro.survivability.analysis.SurvivabilityStudyReport`
+    (duck-typed: anything with a ``capacity`` curve family serves).
+    """
+    if not 0.0 < floor <= 1.0:
+        raise ValueError("capacity floor must be within (0, 1]")
+    rows = []
+    for curve in survivability.capacity.curves:
+        best_pct, best_value = 0, 1.0
+        for point in curve.points:
+            if point.value >= floor and point.fraction_pct > best_pct:
+                best_pct, best_value = point.fraction_pct, point.value
+        rows.append(SurvivableCapacityRow(
+            design=curve.design, floor=floor,
+            max_survivable_pct=best_pct, capacity_at_pct=best_value,
+        ))
+    return tuple(rows)

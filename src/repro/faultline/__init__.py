@@ -34,6 +34,7 @@ from repro.faultline.plan import (
     JobWorkerCrash,
     PartitionLost,
     ShardWorkerCrash,
+    SurvivabilitySweepCrash,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "OracleReport",
     "PartitionLost",
     "ShardWorkerCrash",
+    "SurvivabilitySweepCrash",
     "active_plan",
     "chaos_suite",
     "fire",

@@ -1,6 +1,6 @@
 """The ``python -m repro chaos`` drill suite.
 
-Eight drills, each aimed at one hardened failure surface, all driven by
+Nine drills, each aimed at one hardened failure surface, all driven by
 one seed so a failed run replays exactly:
 
 ``differential``
@@ -38,7 +38,13 @@ one seed so a failed run replays exactly:
     crash what-if grid cells mid-execution (``grid.cell``) and demand
     the grid runner's retry-then-suppress recovery re-run each
     crashed cell from a fresh simulation — counted — with the grid
-    summary digest unchanged from the fault-free sweep.
+    summary digest unchanged from the fault-free sweep;
+``survivability``
+    crash correlated-failure trial sweeps mid-trial
+    (``survivability.sweep``) and demand the generator's re-draw
+    recovery rebuild each crashed sweep from its seeded RNG —
+    counted — with the survivability report digest unchanged from the
+    fault-free run.
 
 The suite returns a JSON-able fault report that is *deterministic in
 the seed*: no timestamps, no host paths — two runs with the same seed
@@ -552,6 +558,59 @@ def _grid_drill(seed: int, quick: bool,
             "detail": detail}
 
 
+def _survivability_drill(seed: int, quick: bool,
+                         sites: Optional[Sequence[str]]) -> dict:
+    """Crash survivability sweeps; the report digest must not move.
+
+    A fault-free run over a reduced trial corpus fixes the report
+    digest.  The same corpus then regenerates under a plan firing
+    ``survivability.sweep`` with certainty twice: each design's sweep
+    crashes mid-trial and is retried with the site suppressed.  The
+    drill passes when the faulted corpus's report digest equals the
+    fault-free baseline and the generator's retry count equals the
+    number of fired faults — a crashed sweep is re-drawn from the same
+    seeded RNG, never resumed from a half-built trial.
+    """
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import RunContext
+    from repro.survivability import generate_trials, run_survivability_report
+
+    active = _selected(sites, "survivability.sweep")
+    knobs = {"trials": 4 if quick else 8}
+
+    def run(trials):
+        context = RunContext(trials=trials, corpus_seed=seed)
+        return report_digest(
+            run_survivability_report(context, backend="stream")
+        )
+
+    baseline_trials = generate_trials(seed=seed, correlated=knobs)
+    baseline = run(baseline_trials)
+
+    plan = FaultPlan(seed, [
+        FaultSpec(site, probability=1.0, max_fires=2) for site in active
+    ])
+    with hooks.injected(plan):
+        faulted_trials = generate_trials(seed=seed, correlated=knobs)
+    faulted = run(faulted_trials)
+
+    converged = faulted == baseline
+    accounted = faulted_trials.retries == plan.fired()
+    detail = {
+        "sites": active,
+        "rows": len(faulted_trials),
+        "faults_fired": plan.fired(),
+        "sweep_retries": faulted_trials.retries,
+        "retries_match_fires": accounted,
+        "baseline_digest": baseline,
+        "faulted_digest": faulted,
+        "converged": converged,
+        "fault_log_digest": plan.log_digest(),
+    }
+    return {"name": "survivability", "passed": converged and accounted,
+            "detail": detail}
+
+
 def chaos_suite(
     seed: int = 7,
     quick: bool = False,
@@ -573,6 +632,7 @@ def chaos_suite(
         _storage_drill(seed, quick, sites),
         _columnar_drill(seed, quick, sites),
         _grid_drill(seed, quick, sites),
+        _survivability_drill(seed, quick, sites),
     ]
     report = {
         "format": REPORT_FORMAT,

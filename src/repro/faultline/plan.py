@@ -38,6 +38,7 @@ __all__ = [
     "JobWorkerCrash",
     "PartitionLost",
     "ShardWorkerCrash",
+    "SurvivabilitySweepCrash",
 ]
 
 #: Every named injection point, with the layer it lives in.
@@ -74,6 +75,10 @@ SITES = (
     # result is produced; the runner retries it from a fresh
     # simulation.
     "grid.cell",
+    # repro.survivability trial generation: one (design, trial) sweep
+    # crashes before its records are produced; the generator retries
+    # that trial once under suppression.
+    "survivability.sweep",
 )
 
 
@@ -103,6 +108,10 @@ class ColumnFoldCrash(InjectedFault):
 
 class GridCellCrash(InjectedFault):
     """Simulated crash of one what-if grid cell mid-execution."""
+
+
+class SurvivabilitySweepCrash(InjectedFault):
+    """Simulated crash of one survivability trial sweep mid-trial."""
 
 
 class PartitionLost(InjectedFault):

@@ -25,6 +25,7 @@ from repro.perf.bench import (
     bench_partitioned_scan,
     bench_serve,
     bench_stream_throughput,
+    bench_survivability,
     run_bench_suite,
 )
 from repro.perf.record import (
@@ -46,6 +47,7 @@ __all__ = [
     "bench_partitioned_scan",
     "bench_serve",
     "bench_stream_throughput",
+    "bench_survivability",
     "environment",
     "events_per_second",
     "load_record",

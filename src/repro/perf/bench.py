@@ -44,6 +44,12 @@ recorded as a JSON :class:`~repro.perf.record.BenchRecord`:
     per backend) followed by a warm re-run; reports cells/s per backend,
     the cached re-run's cache-hit ratio, and asserts the grid's
     ``summary_digest`` is bit-identical across backends.
+``survivability``
+    the correlated-failure survivability study over one generated
+    trial corpus, answered by the batch, sharded (process-parallel),
+    and columnar backends plus a warm cached re-run; asserts every
+    backend's ``report_digest`` is bit-identical and reports rows/s
+    per backend and the cache-hit ratio.
 
 The suite prints rendered tables and writes one record per benchmark
 to the output directory, so successive PRs accumulate a comparable
@@ -622,6 +628,101 @@ def bench_grid(
     )
 
 
+def bench_survivability(
+    seed: int = 2,
+    trials: int = 24,
+    rounds: int = 1,
+) -> BenchRecord:
+    """Measure the survivability study across runtime backends.
+
+    One correlated-failure trial corpus (generated once, timed
+    separately) answered by the batch, sharded (process-parallel), and
+    columnar backends through a fresh
+    :class:`~repro.runtime.ResultCache`, then re-run warm on the batch
+    backend.  Reports rows/s per backend and the warm re-run's
+    cache-hit ratio, and asserts every backend's ``report_digest`` is
+    bit-identical — the survivability family's core acceptance
+    criterion, measured rather than assumed.
+    """
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import ResultCache, RunContext, shutdown_executor_pool
+    from repro.survivability import generate_trials, run_survivability_report
+
+    start = time.perf_counter()
+    corpus = generate_trials(seed=seed, correlated={"trials": trials})
+    generate_s = time.perf_counter() - start
+    rows = len(corpus)
+    context = RunContext(trials=corpus, corpus_seed=seed)
+
+    backends = [
+        ("batch", {}),
+        ("sharded_processes", {"jobs": 2, "use_processes": True}),
+        ("columnar", {}),
+    ]
+    per_backend = []
+    digests = set()
+    warm_cache = None
+    for label, kwargs in backends:
+        backend = "sharded" if label.startswith("sharded") else label
+        best = float("inf")
+        digest = None
+        for _ in range(max(1, rounds)):
+            cache = ResultCache()
+            start = time.perf_counter()
+            report = run_survivability_report(
+                context, backend=backend, cache=cache, **kwargs
+            )
+            best = min(best, time.perf_counter() - start)
+            digest = report_digest(report)
+            if label == "batch":
+                # Keep the populated cache for the warm re-run below.
+                warm_cache = cache
+        digests.add(digest)
+        per_backend.append({
+            "backend": label,
+            "seconds": best,
+            "rows": rows,
+            "rows_per_s": events_per_second(rows, best),
+            "report_digest": digest,
+        })
+    shutdown_executor_pool()
+
+    hits_before = warm_cache.hits
+    misses_before = warm_cache.misses
+    start = time.perf_counter()
+    warm = run_survivability_report(
+        context, backend="batch", cache=warm_cache
+    )
+    warm_s = time.perf_counter() - start
+    hits = warm_cache.hits - hits_before
+    misses = warm_cache.misses - misses_before
+    hit_ratio = hits / (hits + misses) if hits + misses else 0.0
+    digests.add(report_digest(warm))
+    per_backend.append({
+        "backend": "cached",
+        "seconds": warm_s,
+        "rows": rows,
+        "rows_per_s": events_per_second(rows, warm_s),
+        "report_digest": report_digest(warm),
+    })
+
+    by_backend = {entry["backend"]: entry for entry in per_backend}
+    batch_s = by_backend["batch"]["seconds"]
+    metrics = {
+        "rows": rows,
+        "generate_seconds": generate_s,
+        "digests_identical": len(digests) == 1,
+        "per_backend": per_backend,
+        "cache_hit_ratio": hit_ratio,
+        "cache_speedup_vs_batch": batch_s / warm_s if warm_s > 0 else 0.0,
+    }
+    return BenchRecord(
+        name="survivability",
+        params={"seed": seed, "trials": trials, "rounds": rounds},
+        metrics=metrics,
+    )
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile over an already-sorted sample."""
     if not sorted_values:
@@ -892,6 +993,31 @@ def render_grid_record(record: BenchRecord) -> str:
     )
 
 
+def render_survivability_record(record: BenchRecord) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [
+        [
+            entry["backend"],
+            entry["rows"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['rows_per_s']:,.1f}",
+            entry["report_digest"][:12],
+        ]
+        for entry in record.metrics["per_backend"]
+    ]
+    metrics = record.metrics
+    return format_table(
+        ["Backend", "Rows", "Seconds", "Rows/sec", "Report digest"],
+        rows,
+        title=(f"Survivability study "
+               f"(trials={record.params['trials']}, "
+               f"gen {metrics['generate_seconds']:.3f}s, "
+               f"cache hits {metrics['cache_hit_ratio']:.0%}, "
+               f"identical={metrics['digests_identical']})"),
+    )
+
+
 def render_serve_record(record: BenchRecord) -> str:
     from repro.viz.tables import format_table
 
@@ -949,12 +1075,16 @@ def run_bench_suite(
     grid = bench_grid(
         seed=seed, scale=0.05 if quick else 0.1, rounds=rounds
     )
+    survivability = bench_survivability(
+        seed=seed, trials=8 if quick else 24, rounds=rounds
+    )
     serve = (
         bench_serve(scale=0.1, readers=4, requests_per_reader=10,
                     writer_jobs=1)
         if quick else bench_serve()
     )
-    records = [stream, ingest, scan, fold, backbone, grid, serve]
+    records = [stream, ingest, scan, fold, backbone, grid,
+               survivability, serve]
 
     print(render_stream_record(stream))
     print()
@@ -967,6 +1097,8 @@ def run_bench_suite(
     print(render_backbone_record(backbone))
     print()
     print(render_grid_record(grid))
+    print()
+    print(render_survivability_record(survivability))
     print()
     print(render_serve_record(serve))
     if out_dir is not None:

@@ -30,14 +30,16 @@ from repro.runtime.cache import (
     ResultCache,
     corpus_fingerprint,
     ticket_fingerprint,
+    trial_fingerprint,
 )
 from repro.runtime.columns import (
     COLUMN_BATCH_ROWS,
     ColumnBatch,
     SEVColumnBatch,
     TicketColumnBatch,
+    TrialColumnBatch,
 )
-from repro.runtime.domain import Corpus, SEVCorpus, TicketCorpus
+from repro.runtime.domain import Corpus, SEVCorpus, TicketCorpus, TrialCorpus
 from repro.runtime.executor import (
     BACKENDS,
     Executor,
@@ -72,6 +74,8 @@ __all__ = [
     "TicketColumnBatch",
     "TicketCorpus",
     "TicketDurationSketches",
+    "TrialColumnBatch",
+    "TrialCorpus",
     "YearTypeCounts",
     "shutdown_executor_pool",
     "backbone_report_analyses",
@@ -81,4 +85,5 @@ __all__ = [
     "run_backbone_report",
     "run_intra_report",
     "ticket_fingerprint",
+    "trial_fingerprint",
 ]

@@ -75,6 +75,9 @@ class RunContext:
     #: Section 6 record source (:class:`repro.backbone.tickets.TicketDatabase`);
     #: defaults to ``monitor.tickets`` when only a monitor is supplied.
     tickets: Any = None
+    #: Survivability record source
+    #: (:class:`repro.survivability.trials.TrialSet`).
+    trials: Any = None
     #: Free-form extras for user-defined analyses.
     extra: dict = field(default_factory=dict)
 
@@ -120,7 +123,7 @@ class RunContext:
         Returns ``None`` when the context carries no record source of
         that kind (the analysis must then be fed an explicit source).
         """
-        from repro.runtime.domain import SEVCorpus, TicketCorpus
+        from repro.runtime.domain import SEVCorpus, TicketCorpus, TrialCorpus
 
         if domain == SEVCorpus.domain:
             if self.store is None:
@@ -133,6 +136,11 @@ class RunContext:
                 return None
             return TicketCorpus(tickets, seed=self.corpus_seed,
                                 scenario=self.scenario_digest)
+        if domain == TrialCorpus.domain:
+            if self.trials is None:
+                return None
+            return TrialCorpus(self.trials, seed=self.corpus_seed,
+                               scenario=self.scenario_digest)
         raise ValueError(f"unknown corpus domain {domain!r}")
 
 

@@ -37,7 +37,12 @@ from repro.faultline import hooks
 
 from repro.incidents.store import SEVStore
 
-__all__ = ["ResultCache", "corpus_fingerprint", "ticket_fingerprint"]
+__all__ = [
+    "ResultCache",
+    "corpus_fingerprint",
+    "ticket_fingerprint",
+    "trial_fingerprint",
+]
 
 PathLike = Union[str, Path]
 
@@ -100,6 +105,39 @@ def ticket_fingerprint(tickets, seed: Optional[int] = None,
     schema_hash = hashlib.sha256(schema.encode()).hexdigest()
     payload = (
         f"domain=ticket;rows={rows};seed={seed};scenario={scenario}"
+        f";schema={schema_hash}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def trial_fingerprint(trials, seed: Optional[int] = None,
+                      scenario: Optional[str] = None) -> str:
+    """Fingerprint a survivability trial corpus.
+
+    The trial analog of :func:`corpus_fingerprint`: row count, seed,
+    the generating scenario's spec digest, the record schema (the
+    :class:`~repro.survivability.trials.FailureTrial` field list),
+    *and the correlation knobs* — a trial corpus is a pure function of
+    (seed, knobs), so two corpora of equal size and seed under
+    different power-domain/storm/maintenance settings must hash apart
+    even without a scenario digest.  The ``domain=trial`` tag keeps
+    trial corpora from ever colliding with the SEV or ticket domains.
+    """
+    from dataclasses import fields
+
+    from repro.survivability.trials import FailureTrial
+
+    rows = len(trials)
+    schema = ";".join(f.name for f in fields(FailureTrial))
+    knobs = ",".join(
+        f"{key}={value!r}"
+        for key, value in sorted(getattr(trials, "knobs", {}).items())
+    )
+    schema_hash = hashlib.sha256(
+        f"{schema}|{knobs}".encode()
+    ).hexdigest()
+    payload = (
+        f"domain=trial;rows={rows};seed={seed};scenario={scenario}"
         f";schema={schema_hash}"
     )
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -43,6 +43,7 @@ __all__ = [
     "ColumnBatch",
     "SEVColumnBatch",
     "TicketColumnBatch",
+    "TrialColumnBatch",
     "sev_batches_from_records",
     "sev_batches_from_store",
     "ticket_batches_from_records",
@@ -259,7 +260,85 @@ class TicketColumnBatch(ColumnBatch):
         ]
 
 
-_BATCH_OF = {"sev": SEVColumnBatch, "ticket": TicketColumnBatch}
+class TrialColumnBatch(ColumnBatch):
+    """Survivability failure trials in columnar form.
+
+    All-integer counts plus the design tag — the cheapest batch in the
+    fleet to frame, ship, and fold (``fold_batch`` on
+    :class:`~repro.survivability.analysis.SurvivabilityTallies` sums
+    zipped columns straight into the per-cell tallies).
+    """
+
+    domain = "trial"
+    _COLUMNS = (
+        "designs", "trials", "fraction_idxs", "fraction_pcts",
+        "connected_rsws", "total_rsws", "surviving_linkss",
+        "total_linkss",
+    )
+
+    def __init__(
+        self,
+        designs: List[str],
+        trials: List[int],
+        fraction_idxs: List[int],
+        fraction_pcts: List[int],
+        connected_rsws: List[int],
+        total_rsws: List[int],
+        surviving_linkss: List[int],
+        total_linkss: List[int],
+    ) -> None:
+        super().__init__()
+        self.designs = designs
+        self.trials = trials
+        self.fraction_idxs = fraction_idxs
+        self.fraction_pcts = fraction_pcts
+        self.connected_rsws = connected_rsws
+        self.total_rsws = total_rsws
+        self.surviving_linkss = surviving_linkss
+        self.total_linkss = total_linkss
+
+    @classmethod
+    def from_records(cls, records) -> "TrialColumnBatch":
+        return cls(
+            designs=[r.design for r in records],
+            trials=[r.trial for r in records],
+            fraction_idxs=[r.fraction_idx for r in records],
+            fraction_pcts=[r.fraction_pct for r in records],
+            connected_rsws=[r.connected_rsw for r in records],
+            total_rsws=[r.total_rsw for r in records],
+            surviving_linkss=[r.surviving_links for r in records],
+            total_linkss=[r.total_links for r in records],
+        )
+
+    def _materialize(self) -> list:
+        from repro.survivability.trials import FailureTrial
+
+        return [
+            FailureTrial(
+                design=design,
+                trial=trial,
+                fraction_idx=idx,
+                fraction_pct=pct,
+                connected_rsw=connected,
+                total_rsw=rsw,
+                surviving_links=surviving,
+                total_links=links,
+            )
+            for design, trial, idx, pct, connected, rsw, surviving,
+            links in zip(
+                self.designs, self.trials, self.fraction_idxs,
+                self.fraction_pcts, self.connected_rsws,
+                self.total_rsws, self.surviving_linkss,
+                self.total_linkss,
+            )
+        ]
+
+
+_BATCH_OF = {
+    "sev": SEVColumnBatch,
+    "ticket": TicketColumnBatch,
+    "trial": TrialColumnBatch,
+}
 
 
 def batches_from_records(

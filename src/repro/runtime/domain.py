@@ -33,9 +33,13 @@ from typing import Any, Iterable, List, Optional
 
 from repro.backbone.tickets import TicketDatabase
 from repro.incidents.store import SEVStore
-from repro.runtime.cache import corpus_fingerprint, ticket_fingerprint
+from repro.runtime.cache import (
+    corpus_fingerprint,
+    ticket_fingerprint,
+    trial_fingerprint,
+)
 
-__all__ = ["Corpus", "SEVCorpus", "TicketCorpus"]
+__all__ = ["Corpus", "SEVCorpus", "TicketCorpus", "TrialCorpus"]
 
 
 class Corpus:
@@ -275,3 +279,28 @@ class TicketCorpus(Corpus):
 
     def batch_handle(self) -> TicketDatabase:
         return self.tickets
+
+
+class TrialCorpus(Corpus):
+    """The survivability trial corpus (the section 6.1 workload).
+
+    Wraps a :class:`~repro.survivability.trials.TrialSet` (duck-typed:
+    anything with ``records()``, ``__len__`` and ``knobs`` serves).
+    Trials are generated, never stored, so there is no batch substrate
+    — every backend folds; the default round-robin sharding balances
+    fine because every record folds at the same cost.
+    """
+
+    domain = "trial"
+
+    def __init__(self, trials, seed: Optional[int] = None,
+                 scenario: Optional[str] = None) -> None:
+        super().__init__(seed, scenario)
+        self.trials = trials
+
+    def records(self) -> Iterable:
+        return self.trials.records()
+
+    def fingerprint(self) -> Optional[str]:
+        return trial_fingerprint(self.trials, seed=self.seed,
+                                 scenario=self.scenario)

@@ -500,7 +500,7 @@ class Executor:
         """
         return replace(
             context, store=None, engine=None, monitor=None, topology=None,
-            tickets=None,
+            tickets=None, trials=None,
         )
 
     def _fold_shards_parallel(self, analyses: Sequence[Analysis],

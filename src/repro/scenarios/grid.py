@@ -251,7 +251,7 @@ class GridRunner:
             report.designs.count(year, NetworkDesign.CLUSTER)
             for year in report.designs.years
         )
-        return {
+        record = {
             "kind": "intra",
             "name": spec.name,
             "spec_digest": spec.digest(),
@@ -266,6 +266,48 @@ class GridRunner:
                 "cluster_incidents": cluster,
             },
         }
+        if spec.correlated is not None:
+            self._add_survivability(record, spec, scenario)
+        return record
+
+    def _add_survivability(self, record: Dict[str, Any],
+                           spec: ScenarioSpec, scenario) -> None:
+        """Ride the survivability workload along an intra cell.
+
+        A cell with a ``correlated`` block also runs the trial corpus
+        (a pure function of the cell's seed and knobs) through the
+        same backend; its digest folds into the cell's report digest,
+        so the grid summary digest covers survivability too and the
+        correlated knobs are sweepable axes like any other.
+        """
+        from repro.faultline.oracle import report_digest
+        from repro.runtime import RunContext
+        from repro.survivability import (
+            generate_trials,
+            run_survivability_report,
+        )
+
+        trials = generate_trials(seed=scenario.seed,
+                                 correlated=spec.correlated)
+        context = RunContext(
+            trials=trials, corpus_seed=scenario.seed,
+            scenario_digest=scenario.spec_digest,
+        )
+        report = run_survivability_report(
+            context, backend=self.backend, jobs=self.jobs,
+            use_processes=self.use_processes, cache=self.cache,
+        )
+        digest = report_digest(report)
+        record["survivability_digest"] = digest
+        record["report_digest"] = hashlib.sha256(
+            (record["report_digest"] + digest).encode()
+        ).hexdigest()
+        summary = report.summary
+        record["metrics"]["fabric_advantage"] = summary.fabric_advantage
+        for row in summary.designs:
+            record["metrics"][f"{row.design}_connectivity_auc"] = (
+                row.connectivity_auc
+            )
 
     def _execute_backbone_cell(self, spec: ScenarioSpec) -> Dict[str, Any]:
         from repro.backbone.monitor import BackboneMonitor

@@ -169,6 +169,9 @@ def _severity_map(value, source: str, path: str) -> Dict[str, Dict[str, float]]:
 _STORM_KEYS = ("year", "multiplier")
 _VENDOR_KEYS = ("include_flaky", "flaky_mtbf_h", "flaky_mttr_h")
 _REGION_KEYS = ("continent", "fraction")
+_CORRELATED_KEYS = (
+    "maintenance_clustering", "power_domain_size", "storm_bias", "trials",
+)
 
 
 def _storm_knob(value, source: str, path: str) -> Dict[str, Any]:
@@ -198,6 +201,37 @@ def _vendor_knob(value, source: str, path: str) -> Dict[str, Any]:
         if key in vendor:
             out[key] = _want(float, vendor[key], source,
                              f"{path}.{key}", "a number")
+    return out
+
+
+def _correlated_knob(value, source: str, path: str) -> Dict[str, Any]:
+    """The correlated-failure block; every key optional, all typed."""
+    correlated = _want_mapping(value, source, path)
+    _check_keys(correlated, _CORRELATED_KEYS, source, path)
+    out: Dict[str, Any] = {}
+    for key in ("power_domain_size", "trials"):
+        if key in correlated:
+            out[key] = _want(int, correlated[key], source,
+                             f"{path}.{key}", "an integer")
+            if out[key] < 1:
+                raise ScenarioError(f"{key} must be at least 1",
+                                    source, f"{path}.{key}")
+    if "storm_bias" in correlated:
+        out["storm_bias"] = _want(float, correlated["storm_bias"],
+                                  source, f"{path}.storm_bias", "a number")
+        if out["storm_bias"] < 0:
+            raise ScenarioError("storm_bias must be non-negative",
+                                source, f"{path}.storm_bias")
+    if "maintenance_clustering" in correlated:
+        out["maintenance_clustering"] = _want(
+            float, correlated["maintenance_clustering"], source,
+            f"{path}.maintenance_clustering", "a number",
+        )
+        if not 0.0 <= out["maintenance_clustering"] <= 1.0:
+            raise ScenarioError(
+                "maintenance_clustering outside [0, 1]",
+                source, f"{path}.maintenance_clustering",
+            )
     return out
 
 
@@ -255,7 +289,15 @@ class ScenarioSpec:
     ``maintenance_fraction``
         backbone knobs: fiber links per edge, the flaky-vendor mix,
         losing a fraction of a continent's edges, and the
-        maintenance share of tickets.
+        maintenance share of tickets;
+    ``correlated``
+        the correlated-failure block for the survivability workload
+        (:mod:`repro.survivability`): ``power_domain_size`` (devices
+        per shared power domain), ``storm_bias`` (blast-radius-
+        weighted failure order), ``maintenance_clustering`` (the
+        maintenance-window share), ``trials`` (orders per design) —
+        every key optional; at the defaults the draws degrade
+        bit-identically to the independent failure model.
     """
 
     name: str
@@ -273,6 +315,7 @@ class ScenarioSpec:
     vendor_mix: Optional[Dict[str, Any]] = None
     region_loss: Optional[Dict[str, Any]] = None
     maintenance_fraction: Optional[float] = None
+    correlated: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # Normalize numerics so int-vs-float spelling of the same knob
@@ -292,6 +335,36 @@ class ScenarioSpec:
                 "year": int(self.storm["year"]),
                 "multiplier": float(self.storm["multiplier"]),
             })
+        if self.correlated is not None:
+            unknown = sorted(set(self.correlated) - set(_CORRELATED_KEYS))
+            if unknown:
+                raise ScenarioError(
+                    f"unknown key (expected among "
+                    f"{sorted(_CORRELATED_KEYS)})",
+                    "<spec>", f"correlated.{unknown[0]}",
+                )
+            normalized: Dict[str, Any] = {}
+            for key in ("power_domain_size", "trials"):
+                if key in self.correlated:
+                    normalized[key] = int(self.correlated[key])
+                    if normalized[key] < 1:
+                        raise ScenarioError(
+                            f"{key} must be at least 1",
+                            "<spec>", f"correlated.{key}",
+                        )
+            for key in ("storm_bias", "maintenance_clustering"):
+                if key in self.correlated:
+                    normalized[key] = float(self.correlated[key])
+            if normalized.get("storm_bias", 0.0) < 0:
+                raise ScenarioError("storm_bias must be non-negative",
+                                    "<spec>", "correlated.storm_bias")
+            if not 0.0 <= normalized.get(
+                    "maintenance_clustering", 0.0) <= 1.0:
+                raise ScenarioError(
+                    "maintenance_clustering outside [0, 1]",
+                    "<spec>", "correlated.maintenance_clustering",
+                )
+            object.__setattr__(self, "correlated", normalized)
         object.__setattr__(self, "severity_mix", {
             device: {level: float(share) for level, share in mix.items()}
             for device, mix in self.severity_mix.items()
@@ -350,6 +423,10 @@ class ScenarioSpec:
             "region_loss": (dict(self.region_loss)
                             if self.region_loss else None),
             "maintenance_fraction": self.maintenance_fraction,
+            "correlated": (
+                {k: self.correlated[k] for k in sorted(self.correlated)}
+                if self.correlated else None
+            ),
         }
 
     def canonical_json(self) -> str:
@@ -484,7 +561,7 @@ _FIELD_NAMES = (
     "format", "name", "kind", "seed", "scale", "growth", "hazard",
     "fabric_year", "fabric_pace", "severity_mix", "drain_policy",
     "storm", "links_per_edge", "vendor_mix", "region_loss",
-    "maintenance_fraction",
+    "maintenance_fraction", "correlated",
 )
 
 
@@ -549,6 +626,9 @@ def spec_from_dict(payload: Any, source: str = "<dict>") -> ScenarioSpec:
             float, payload["maintenance_fraction"], source,
             "maintenance_fraction", "a number",
         )
+    if payload.get("correlated") is not None:
+        fields["correlated"] = _correlated_knob(payload["correlated"],
+                                                source, "correlated")
     try:
         return ScenarioSpec(**fields)
     except ScenarioError as exc:

@@ -17,6 +17,7 @@ Endpoints (all JSON):
                       stream statistics
 ``GET /reports/intra``     the intra study (``?backend=`` optional)
 ``GET /reports/backbone``  the backbone study (``?backend=`` optional)
+``GET /reports/survivability``  correlated-failure survivability curves
 ``GET /figures/<id>``      one figure (``fig3`` ... ``fig18``)
 ``GET /tables/<id>``       one table (``table2``, ``table4``)
 ``POST /jobs``        submit ``{"kind": report|bench|chaos|grid, "params": {}}``
@@ -47,10 +48,12 @@ from repro.serve.payloads import (
     backbone_report_payload,
     build_backbone_context,
     build_intra_context,
+    build_survivability_context,
     canonical_json,
     figure_ids,
     intra_report_payload,
     payload_digest,
+    survivability_report_payload,
 )
 
 __all__ = ["ApiError", "ServeApp", "ServeState"]
@@ -145,6 +148,9 @@ class ServeState:
                 seed=seed, scale=scale, check_same_thread=False
             )
         self.backbone_context = build_backbone_context(seed=backbone_seed)
+        self.survivability_context = build_survivability_context(
+            seed=self.seed
+        )
 
     # -- accounting --------------------------------------------------
 
@@ -180,8 +186,13 @@ class ServeState:
                 return backbone_report_payload(
                     self.backbone_context, backend=backend, cache=self.cache
                 )
-        raise ApiError(404, f"unknown study {study!r}; "
-                            f"expected 'intra' or 'backbone'")
+            if study == "survivability":
+                return survivability_report_payload(
+                    self.survivability_context,
+                    backend=backend, cache=self.cache,
+                )
+        raise ApiError(404, f"unknown study {study!r}; expected "
+                            f"'intra', 'backbone', or 'survivability'")
 
     def figure_payload(self, fig_id: str) -> dict:
         entry = FIGURES.get(fig_id)
@@ -386,6 +397,7 @@ class ServeApp:
             "endpoints": [
                 "GET /healthz", "GET /stats",
                 "GET /reports/intra", "GET /reports/backbone",
+                "GET /reports/survivability",
                 *(f"GET /figures/{i}" for i in figure_ids("fig")),
                 *(f"GET /tables/{i}" for i in figure_ids("table")),
                 "POST /jobs", "GET /jobs", "GET /jobs/<id>",

@@ -107,8 +107,10 @@ def execute_job(kind: str, params: dict) -> str:
         backbone_report_payload,
         build_backbone_context,
         build_intra_context,
+        build_survivability_context,
         canonical_json,
         intra_report_payload,
+        survivability_report_payload,
     )
 
     if kind == "report":
@@ -118,6 +120,9 @@ def execute_job(kind: str, params: dict) -> str:
         if study == "backbone":
             context = build_backbone_context(seed=seed)
             payload = backbone_report_payload(context, backend=backend)
+        elif study == "survivability":
+            context = build_survivability_context(seed=seed)
+            payload = survivability_report_payload(context, backend=backend)
         elif study == "intra":
             scale = float(params.get("scale", 1.0))
             context = build_intra_context(seed=seed, scale=scale)

@@ -32,10 +32,12 @@ __all__ = [
     "backbone_report_payload",
     "build_backbone_context",
     "build_intra_context",
+    "build_survivability_context",
     "canonical_json",
     "figure_ids",
     "intra_report_payload",
     "payload_digest",
+    "survivability_report_payload",
 ]
 
 
@@ -75,6 +77,19 @@ def build_intra_context(
         store=store, fleet=scenario.fleet, corpus_seed=scenario.seed,
         scenario_digest=scenario.spec_digest,
     )
+
+
+def build_survivability_context(seed: int = 1) -> RunContext:
+    """Generate the seeded correlated-failure trial corpus + context.
+
+    The trial corpus is a pure function of ``(seed, knobs)``, so the
+    context carries the seed as the corpus fingerprint seed and no
+    scenario digest (the server serves the default knobs).
+    """
+    from repro.survivability import generate_trials
+
+    trials = generate_trials(seed=seed)
+    return RunContext(trials=trials, corpus_seed=seed)
 
 
 def build_backbone_context(seed: int = 7) -> RunContext:
@@ -259,6 +274,70 @@ def intra_report_payload(
         "corpus_seed": context.corpus_seed,
         "last_year": report.last_year,
         "figures": figures,
+        "report_digest": _digest(report),
+    }
+
+
+def _curves_payload(curves) -> dict:
+    return {
+        curve.design: [
+            {
+                "fraction_pct": point.fraction_pct,
+                "value": point.value,
+                "trials": point.trials,
+            }
+            for point in curve.points
+        ]
+        for curve in curves.curves
+    }
+
+
+def survivability_report_payload(
+    context: RunContext,
+    backend: str = "stream",
+    cache=None,
+) -> dict:
+    """The survivability study as JSON, digest-pinned like the others.
+
+    Curves ride inline (they have no paper figure id); the
+    ``survivable_capacity`` join gives the capacity-planner view of
+    the same curves, so one response answers both "how fast does
+    connectivity decay" and "how much correlated failure can each
+    design absorb".
+    """
+    from repro.core import survivable_capacity
+    from repro.survivability import run_survivability_report
+
+    report = run_survivability_report(context, backend=backend, cache=cache)
+    capacity_rows = survivable_capacity(report)
+    return {
+        "study": "survivability",
+        "backend": backend,
+        "corpus_seed": context.corpus_seed,
+        "designs": [row.design for row in report.summary.designs],
+        "connectivity": _curves_payload(report.connectivity),
+        "capacity": _curves_payload(report.capacity),
+        "summary": {
+            "fabric_advantage": report.summary.fabric_advantage,
+            "designs": [
+                {
+                    "design": row.design,
+                    "connectivity_auc": row.connectivity_auc,
+                    "capacity_auc": row.capacity_auc,
+                    "half_connectivity_pct": row.half_connectivity_pct,
+                }
+                for row in report.summary.designs
+            ],
+        },
+        "survivable_capacity": [
+            {
+                "design": row.design,
+                "floor": row.floor,
+                "max_survivable_pct": row.max_survivable_pct,
+                "capacity_at_pct": row.capacity_at_pct,
+            }
+            for row in capacity_rows
+        ],
         "report_digest": _digest(report),
     }
 

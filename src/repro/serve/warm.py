@@ -5,7 +5,7 @@ report request is a corpus fingerprint plus a cache lookup.  That
 only holds if someone else already paid for the fold.  This module is
 that someone:
 
-* :meth:`CacheWarmer.prewarm` folds both studies through the shared
+* :meth:`CacheWarmer.prewarm` folds every study through the shared
   :class:`~repro.runtime.cache.ResultCache` at startup, so even the
   *first* HTTP request is a cache hit.
 * :meth:`CacheWarmer.tail` consumes a live SEV source through the
@@ -23,8 +23,10 @@ from typing import Iterable, Optional, Sequence
 
 __all__ = ["CacheWarmer"]
 
-#: Both studies, in warm order.
-STUDIES = ("intra", "backbone")
+#: Every served study, in warm order.  Only the intra corpus can move
+#: under live ingest; the backbone and survivability corpora are
+#: static, so one startup fold keeps them warm for the process's life.
+STUDIES = ("intra", "backbone", "survivability")
 
 
 class CacheWarmer:

@@ -10,13 +10,16 @@ Two ways to place events in time:
   count exactly rather than in expectation.
 
 Plus :func:`largest_remainder_allocation`, the integer apportionment
-used to split a count across categories with published fractions.
+used to split a count across categories with published fractions, and
+:func:`independent_failure_order` — the independent-draw failure order
+that :mod:`repro.survivability`'s correlated generators must degrade
+to bit-identically when every correlation knob sits at its default.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, TypeVar
+from typing import Dict, Hashable, Iterable, List, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 
@@ -89,6 +92,24 @@ def largest_remainder_allocation(
     for k in by_remainder[:shortfall]:
         counts[k] += 1
     return counts
+
+
+def independent_failure_order(
+    devices: Iterable[str], rng: random.Random
+) -> List[str]:
+    """A uniformly random failure order over ``devices``.
+
+    The canonical independent-draw model: every permutation is equally
+    likely, one Fisher-Yates pass over the sorted device names.  The
+    sort makes the result a function of the device *set* and the RNG
+    state alone, independent of input ordering — the exact sequence
+    :func:`repro.survivability.correlated_failure_order` must reproduce
+    when ``power_domain_size == 1`` and the storm/maintenance knobs are
+    off (the degradation law the property suite pins).
+    """
+    order = sorted(devices)
+    rng.shuffle(order)
+    return order
 
 
 def interleave_categories(

@@ -1,0 +1,266 @@
+"""Survivability trials: the corpus the survivability analyses fold.
+
+One :class:`FailureTrial` record is one (design, trial, fraction)
+observation: draw a correlated failure order over a design's topology
+graph (:mod:`repro.survivability.correlated`), fail the order's prefix
+at the fraction, and count what survives — RSWs still reaching a live
+Core, and links with both endpoints alive.  The counts are *integers*:
+the analyses sum them across any shard/batch partition and divide once
+at finalize, which is why batch == stream == sharded(+processes) ==
+columnar holds bit-identically for every survivability artifact.
+
+The trial corpus is generated, not simulated over time: the two
+reference networks (one classic cluster design, one fabric design,
+fixed small dimensions) are rebuilt from the seed on demand, so a
+:class:`TrialSet` is a pure function of ``(seed, correlated knobs)``
+and fingerprints content-addressably for the result cache.
+
+``survivability.sweep`` is this module's fault site: chaos drills
+crash a per-trial computation mid-sweep and the generator retries that
+trial once under suppression — the retried trial is the same pure
+function of the seed, so the finalized report digest cannot move.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.survivability.correlated import correlated_failure_order
+from repro.topology.cluster import build_cluster_network
+from repro.topology.fabric import build_fabric_network
+from repro.topology.graph import build_graph, downstream_devices
+
+__all__ = [
+    "DESIGNS",
+    "FRACTION_PERCENTS",
+    "FailureTrial",
+    "TrialSet",
+    "default_correlated_knobs",
+    "design_networks",
+    "generate_trials",
+]
+
+#: The two intra data center designs the study compares (section 3.1).
+DESIGNS = ("cluster", "fabric")
+
+#: Failed-fraction sweep points, in percent (5% steps up to half the
+#: fleet).  Integers so trial records stay float-free.
+FRACTION_PERCENTS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+#: Correlation knob defaults; all-defaults degrades to the independent
+#: failure model bit-identically.
+_KNOB_DEFAULTS = {
+    "power_domain_size": 1,
+    "storm_bias": 0.0,
+    "maintenance_clustering": 0.0,
+    "trials": 24,
+}
+
+# Reference network dimensions: small enough that a full sweep is
+# sub-second, large enough that both designs have every aggregation
+# layer and a two-digit rack count.
+_CLUSTER_DIMS = dict(clusters=2, racks_per_cluster=8, csas=2, cores=4)
+_FABRIC_DIMS = dict(pods=2, racks_per_pod=8, ssws=4, esws=2, cores=4)
+
+
+@dataclass(frozen=True)
+class FailureTrial:
+    """One survivability observation — integer counts only."""
+
+    design: str
+    trial: int
+    fraction_idx: int
+    #: The failed fraction as an integer percent (5, 10, ... 50).
+    fraction_pct: int
+    #: RSWs alive and connected to at least one alive Core.
+    connected_rsw: int
+    total_rsw: int
+    #: Links with both endpoints alive — the capacity-remaining proxy.
+    surviving_links: int
+    total_links: int
+
+
+def default_correlated_knobs(
+    correlated: Optional[Dict] = None,
+) -> Dict:
+    """The full knob mapping with defaults applied, strictly validated."""
+    knobs = dict(_KNOB_DEFAULTS)
+    for key, value in (correlated or {}).items():
+        if key not in _KNOB_DEFAULTS:
+            raise ValueError(
+                f"unknown correlated-failure knob {key!r} "
+                f"(expected among {sorted(_KNOB_DEFAULTS)})"
+            )
+        knobs[key] = value
+    if not isinstance(knobs["power_domain_size"], int) \
+            or isinstance(knobs["power_domain_size"], bool) \
+            or knobs["power_domain_size"] < 1:
+        raise ValueError("power_domain_size must be an integer >= 1")
+    if not isinstance(knobs["trials"], int) \
+            or isinstance(knobs["trials"], bool) or knobs["trials"] < 1:
+        raise ValueError("trials must be an integer >= 1")
+    if knobs["storm_bias"] < 0:
+        raise ValueError("storm_bias must be non-negative")
+    if not 0.0 <= knobs["maintenance_clustering"] <= 1.0:
+        raise ValueError("maintenance_clustering must be within [0, 1]")
+    return knobs
+
+
+def design_networks():
+    """The two reference networks, rebuilt fresh (deterministically)."""
+    return {
+        "cluster": build_cluster_network("dc1", "region1", **_CLUSTER_DIMS),
+        "fabric": build_fabric_network("dc2", "region1", **_FABRIC_DIMS),
+    }
+
+
+class TrialSet:
+    """A generated trial corpus plus its provenance.
+
+    ``records()`` yields :class:`FailureTrial` rows in canonical order
+    (design, trial, fraction); ``retries`` counts per-trial recoveries
+    from the ``survivability.sweep`` fault site (never part of the
+    content — a retried trial recomputes the identical records).
+    """
+
+    def __init__(
+        self,
+        records: List[FailureTrial],
+        seed: int,
+        knobs: Dict,
+        retries: int = 0,
+    ) -> None:
+        self._records = tuple(records)
+        self.seed = seed
+        self.knobs = dict(knobs)
+        self.retries = retries
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Iterator[FailureTrial]:
+        return iter(self._records)
+
+
+def _survival_counts(
+    graph,
+    rsws: List[str],
+    cores: List[str],
+    links: List[Tuple[str, str]],
+    failed: frozenset,
+) -> Tuple[int, int]:
+    """(connected RSWs, surviving links) after removing ``failed``."""
+    import networkx as nx
+
+    surviving_links = sum(
+        1 for a, b in links if a not in failed and b not in failed
+    )
+    alive = graph.subgraph(n for n in graph.nodes if n not in failed)
+    reachable = set()
+    for component in nx.connected_components(alive):
+        if any(core in component for core in cores):
+            reachable |= component
+    connected_rsw = sum(1 for rsw in rsws if rsw in reachable)
+    return connected_rsw, surviving_links
+
+
+def _trial_records(
+    design: str,
+    trial: int,
+    seed: int,
+    knobs: Dict,
+    graph,
+    rsws: List[str],
+    cores: List[str],
+    links: List[Tuple[str, str]],
+    blast_radius: Dict[str, int],
+) -> List[FailureTrial]:
+    """All fraction points of one trial — one correlated order, nested
+    prefixes, so per-trial counts are monotone non-increasing."""
+    from repro.faultline import hooks
+    from repro.faultline.plan import SurvivabilitySweepCrash
+
+    if hooks.fire("survivability.sweep"):
+        raise SurvivabilitySweepCrash(
+            f"injected crash in survivability sweep "
+            f"({design} trial {trial})"
+        )
+    rng = random.Random(f"{seed}:{design}:{trial}")
+    order = correlated_failure_order(
+        graph.nodes,
+        rng,
+        power_domain_size=knobs["power_domain_size"],
+        storm_bias=knobs["storm_bias"],
+        maintenance_clustering=knobs["maintenance_clustering"],
+        blast_radius=blast_radius,
+    )
+    n = len(order)
+    records = []
+    for idx, pct in enumerate(FRACTION_PERCENTS):
+        failed = frozenset(order[: (pct * n) // 100])
+        connected, surviving = _survival_counts(
+            graph, rsws, cores, links, failed
+        )
+        records.append(FailureTrial(
+            design=design,
+            trial=trial,
+            fraction_idx=idx,
+            fraction_pct=pct,
+            connected_rsw=connected,
+            total_rsw=len(rsws),
+            surviving_links=surviving,
+            total_links=len(links),
+        ))
+    return records
+
+
+def generate_trials(
+    seed: int = 1,
+    correlated: Optional[Dict] = None,
+) -> TrialSet:
+    """Generate the survivability trial corpus for ``seed``.
+
+    A pure function of ``(seed, correlated knobs)``: both reference
+    networks are rebuilt, each design runs ``trials`` correlated
+    failure orders, and every order is evaluated at every
+    :data:`FRACTION_PERCENTS` point.  A trial crashed through the
+    ``survivability.sweep`` fault site is retried once under
+    suppression (counted in :attr:`TrialSet.retries`).
+    """
+    from repro.faultline import hooks
+    from repro.faultline.plan import SurvivabilitySweepCrash
+    from repro.topology.devices import DeviceType
+
+    knobs = default_correlated_knobs(correlated)
+    records: List[FailureTrial] = []
+    retries = 0
+    for design, network in sorted(design_networks().items()):
+        graph = build_graph(network)
+        rsws = sorted(
+            d.name for d in network.devices_of_type(DeviceType.RSW)
+        )
+        cores = sorted(
+            d.name for d in network.devices_of_type(DeviceType.CORE)
+        )
+        links = list(network.links)
+        blast_radius = {
+            name: len(downstream_devices(graph, name))
+            for name in graph.nodes
+        }
+        for trial in range(knobs["trials"]):
+            try:
+                rows = _trial_records(
+                    design, trial, seed, knobs,
+                    graph, rsws, cores, links, blast_radius,
+                )
+            except SurvivabilitySweepCrash:
+                retries += 1
+                with hooks.suppressed("survivability.sweep"):
+                    rows = _trial_records(
+                        design, trial, seed, knobs,
+                        graph, rsws, cores, links, blast_radius,
+                    )
+            records.extend(rows)
+    return TrialSet(records, seed=seed, knobs=knobs, retries=retries)

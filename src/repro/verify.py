@@ -158,6 +158,72 @@ def run_verification(seed: int = 1, backbone_seed: int = 7) -> List[Check]:
     checks.extend(storage_checks(seed=seed, backbone_seed=backbone_seed))
     checks.extend(columnar_checks(seed=seed))
     checks.extend(scenario_grid_checks(seed=seed))
+    checks.extend(survivability_checks(seed=seed))
+    return checks
+
+
+def survivability_checks(seed: int = 1) -> List[Check]:
+    """Exercise the correlated-failure model (:mod:`repro.survivability`).
+
+    Three invariants, all exact: the correlated failure order at
+    all-default knobs degrades to the independent shuffle bit for bit
+    (over three seeds — the property the whole knob family is anchored
+    to); every survivability curve is monotone non-increasing in the
+    failed fraction (trials share nested failure prefixes, so more
+    failure can never help); and every runtime backend answers the
+    survivability study with the identical ``report_digest``.
+    """
+    import random
+
+    from repro.faultline.oracle import report_digest
+    from repro.runtime import BACKENDS, RunContext
+    from repro.simulation.failures import independent_failure_order
+    from repro.survivability import (
+        correlated_failure_order,
+        generate_trials,
+        run_survivability_report,
+    )
+
+    checks: List[Check] = []
+
+    devices = [f"rsw.{i:03d}" for i in range(40)] + ["core.001", "csw.007"]
+    degrades = all(
+        correlated_failure_order(devices, random.Random(s))
+        == independent_failure_order(devices, random.Random(s))
+        for s in (seed, seed + 6, seed + 12)
+    )
+    checks.append(Check(
+        "Surv", "correlated order degrades to independent", 1.0,
+        float(degrades), 0.0, relative=False,
+    ))
+
+    trials = generate_trials(seed=seed, correlated={"trials": 8})
+    context = RunContext(trials=trials, corpus_seed=seed)
+    report = run_survivability_report(context, backend="stream")
+    monotone = all(
+        all(
+            earlier.value >= later.value
+            for earlier, later in zip(curve.points, curve.points[1:])
+        )
+        for family in (report.connectivity, report.capacity)
+        for curve in family.curves
+    )
+    checks.append(Check(
+        "Surv", "survivability curves monotone non-increasing", 1.0,
+        float(monotone), 0.0, relative=False,
+    ))
+
+    digests = {
+        report_digest(run_survivability_report(
+            context, backend=backend,
+            use_processes=backend == "sharded", jobs=2,
+        ))
+        for backend in BACKENDS
+    }
+    checks.append(Check(
+        "Surv", "survivability digest identical on all backends", 1.0,
+        float(len(digests) == 1), 0.0, relative=False,
+    ))
     return checks
 
 

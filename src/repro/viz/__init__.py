@@ -11,6 +11,10 @@ from repro.viz.ascii import bar_chart, series_chart
 from repro.viz.grid_view import axis_table, grid_table
 from repro.viz.report_builder import build_report, collect_artifacts
 from repro.viz.stream_view import stream_dashboard
+from repro.viz.survivability_view import (
+    survivability_curve_table,
+    survivability_table,
+)
 from repro.viz.ticket_view import (
     duration_table,
     scorecard_table,
@@ -28,5 +32,7 @@ __all__ = [
     "scorecard_table",
     "series_chart",
     "stream_dashboard",
+    "survivability_curve_table",
+    "survivability_table",
     "ticket_dashboard",
 ]

@@ -1,0 +1,67 @@
+"""Plain-text rendering of the survivability study.
+
+Renders the per-design survivability curves
+(:class:`~repro.survivability.analysis.SurvivabilityCurves`) and the
+cross-design summary as stacked aligned tables — the terminal version
+of the related work's survivability figures (curves of connectivity /
+capacity remaining vs. fraction of devices failed).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.viz.tables import format_table
+
+__all__ = ["survivability_curve_table", "survivability_table"]
+
+
+def survivability_curve_table(curves, title: str) -> str:
+    """One curve family as a table: failed % rows, one design column."""
+    designs = list(curves.designs)
+    by_design = {d: curves.curve(d) for d in designs}
+    percents: List[int] = sorted({
+        point.fraction_pct
+        for curve in curves.curves
+        for point in curve.points
+    })
+    rows = []
+    for pct in percents:
+        row: List[object] = [f"{pct}%"]
+        for design in designs:
+            try:
+                row.append(f"{by_design[design].value_at(pct):.1%}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(["Failed", *designs], rows, title=title)
+
+
+def survivability_table(report) -> str:
+    """The full survivability report as stacked text tables."""
+    sections = [
+        survivability_curve_table(
+            report.connectivity,
+            "Survivability: RSWs connected to a Core vs. fraction failed",
+        ),
+        survivability_curve_table(
+            report.capacity,
+            "Survivability: links surviving vs. fraction failed",
+        ),
+        format_table(
+            ["Design", "Connectivity AUC", "Capacity AUC", "50% conn. at"],
+            [
+                [row.design,
+                 f"{row.connectivity_auc:.1%}",
+                 f"{row.capacity_auc:.1%}",
+                 (f"{row.half_connectivity_pct}%"
+                  if row.half_connectivity_pct is not None else "-")]
+                for row in report.summary.designs
+            ],
+            title=(
+                "Design summary (fabric advantage: "
+                f"{report.summary.fabric_advantage:+.1%})"
+            ),
+        ),
+    ]
+    return "\n\n".join(sections)

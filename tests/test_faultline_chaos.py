@@ -33,7 +33,7 @@ class TestChaosSuite:
         assert report["passed"]
         assert [d["name"] for d in report["drills"]] == [
             "differential", "checkpoint", "jsonl", "ingest", "serve_jobs",
-            "storage", "columnar", "grid",
+            "storage", "columnar", "grid", "survivability",
         ]
         assert all(d["passed"] for d in report["drills"])
 
@@ -68,7 +68,7 @@ class TestChaosCLI:
     def test_chaos_command_passes(self, capsys):
         assert main(["chaos", "--quick", "--seed", "7"]) == 0
         out = capsys.readouterr().out
-        assert out.count("[PASS]") == 8
+        assert out.count("[PASS]") == 9
         assert "[FAIL]" not in out
         assert "report digest" in out
 

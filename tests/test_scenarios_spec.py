@@ -226,3 +226,116 @@ class TestFingerprintCollision:
             corpus.tickets, 7, scenario=preset("paper_backbone").digest()
         )
         assert plain != scoped
+
+
+class TestCorrelatedKnobValidation:
+    """The ``correlated`` block: strict keys, typed values, ranges."""
+
+    def test_unknown_key_names_the_dotted_path(self):
+        with pytest.raises(ScenarioError, match="correlated.typo"):
+            spec_from_dict({"name": "x", "correlated": {"typo": 3}})
+
+    def test_block_must_be_an_object(self):
+        with pytest.raises(ScenarioError, match="correlated"):
+            spec_from_dict({"name": "x", "correlated": 3})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ScenarioError,
+                           match="correlated.power_domain_size"):
+            spec_from_dict({
+                "name": "x",
+                "correlated": {"power_domain_size": True},
+            })
+
+    def test_domain_size_below_one_rejected(self):
+        with pytest.raises(ScenarioError, match="at least 1"):
+            spec_from_dict({
+                "name": "x", "correlated": {"power_domain_size": 0},
+            })
+
+    def test_negative_storm_bias_rejected(self):
+        with pytest.raises(ScenarioError, match="storm_bias"):
+            spec_from_dict({
+                "name": "x", "correlated": {"storm_bias": -1.0},
+            })
+
+    def test_clustering_outside_unit_interval_rejected(self):
+        with pytest.raises(ScenarioError,
+                           match="maintenance_clustering"):
+            spec_from_dict({
+                "name": "x",
+                "correlated": {"maintenance_clustering": 1.5},
+            })
+
+    def test_constructor_validates_like_the_loader(self):
+        with pytest.raises(ScenarioError, match="correlated.bogus"):
+            ScenarioSpec(name="x", correlated={"bogus": 1})
+
+    def test_digest_moves_when_block_set(self):
+        plain = spec_from_dict({"name": "x"})
+        knobbed = spec_from_dict({
+            "name": "x", "correlated": {"storm_bias": 2.0},
+        })
+        assert plain.digest() != knobbed.digest()
+
+    def test_int_spelling_digests_like_float(self):
+        a = spec_from_dict({"name": "x",
+                            "correlated": {"storm_bias": 2}})
+        b = spec_from_dict({"name": "x",
+                            "correlated": {"storm_bias": 2.0}})
+        assert a.digest() == b.digest()
+
+    def test_round_trip_preserves_block(self):
+        spec = spec_from_dict({
+            "name": "x",
+            "correlated": {"power_domain_size": 4, "trials": 8},
+        })
+        again = spec_from_dict(spec.to_dict())
+        assert again == spec
+        assert again.correlated == {"power_domain_size": 4, "trials": 8}
+
+
+class TestNestedMapNegatives:
+    """Unknown keys inside every nested knob block must fail loudly."""
+
+    def test_storm_unknown_key(self):
+        with pytest.raises(ScenarioError, match="storm.category"):
+            spec_from_dict({
+                "name": "x",
+                "storm": {"year": 2016, "multiplier": 2.0,
+                          "category": 5},
+            })
+
+    def test_storm_missing_key(self):
+        with pytest.raises(ScenarioError, match="multiplier"):
+            spec_from_dict({"name": "x", "storm": {"year": 2016}})
+
+    def test_vendor_mix_unknown_key(self):
+        with pytest.raises(ScenarioError, match="vendor_mix.flaky_count"):
+            spec_from_dict({
+                "name": "x", "kind": "backbone",
+                "vendor_mix": {"flaky_count": 3},
+            })
+
+    def test_region_loss_unknown_key(self):
+        with pytest.raises(ScenarioError, match="region_loss.planet"):
+            spec_from_dict({
+                "name": "x", "kind": "backbone",
+                "region_loss": {"planet": "mars"},
+            })
+
+    def test_severity_mix_unknown_level(self):
+        with pytest.raises(ScenarioError, match="MEGA"):
+            spec_from_dict({
+                "name": "x",
+                "severity_mix": {"RSW": {"MEGA": 1.0}},
+            })
+
+    def test_severity_mix_level_value_must_be_numeric(self):
+        with pytest.raises(ScenarioError, match="SEV1"):
+            spec_from_dict({
+                "name": "x",
+                "severity_mix": {
+                    "RSW": {"SEV1": "most", "SEV2": 0.0, "SEV3": 0.0},
+                },
+            })

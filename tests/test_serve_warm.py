@@ -24,7 +24,7 @@ def app():
 class TestPrewarm:
     def test_first_request_after_prewarm_is_a_hit(self, app):
         digests = app.warmer.prewarm()
-        assert set(digests) == {"intra", "backbone"}
+        assert set(digests) == {"intra", "backbone", "survivability"}
         before = app.state.cache.stats()
         _, payload = app.handle("GET", "/reports/intra")
         after = app.state.cache.stats()

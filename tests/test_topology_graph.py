@@ -129,3 +129,66 @@ class TestFailureConnectivity:
         assert bisection_links(graph, core) == graph.degree[core]
         with pytest.raises(KeyError):
             bisection_links(graph, "ghost")
+
+
+class TestTwoPlaneRegression:
+    """Hand-computed anchors on a fixed two-plane fixture graph.
+
+    Two cores, one aggregation switch per plane, three racks; every
+    blast radius and connectivity verdict below is worked out by hand,
+    so a behavior change in the graph analyses fails loudly here.
+    """
+
+    @pytest.fixture()
+    def two_plane(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        types = {
+            "core.1": DeviceType.CORE, "core.2": DeviceType.CORE,
+            "agg.a": DeviceType.CSA, "agg.b": DeviceType.CSA,
+            "rsw.1": DeviceType.RSW, "rsw.2": DeviceType.RSW,
+            "rsw.3": DeviceType.RSW,
+        }
+        for name, device_type in types.items():
+            graph.add_node(name, device_type=device_type)
+        graph.add_edges_from([
+            ("core.1", "agg.a"), ("core.2", "agg.b"),
+            ("agg.a", "rsw.1"), ("agg.a", "rsw.2"),
+            ("agg.b", "rsw.2"), ("agg.b", "rsw.3"),
+        ])
+        return graph
+
+    def test_hand_computed_blast_radii(self, two_plane):
+        # Losing a plane's aggregation switch strands only the rack
+        # homed exclusively on that plane; everything else re-routes.
+        assert downstream_devices(two_plane, "agg.a") == {"rsw.1"}
+        assert downstream_devices(two_plane, "agg.b") == {"rsw.3"}
+        for survivor in ("core.1", "core.2", "rsw.1", "rsw.2", "rsw.3"):
+            assert downstream_devices(two_plane, survivor) == set()
+
+    def test_hand_computed_ranking(self, two_plane):
+        # Aggs (radius 1) outrank everything (radius 0); ties by name.
+        assert rank_by_blast_radius(two_plane) == [
+            "agg.a", "agg.b",
+            "core.1", "core.2", "rsw.1", "rsw.2", "rsw.3",
+        ]
+
+    def test_hand_computed_connectivity_verdicts(self, two_plane):
+        # Intact: the dual-homed rack bridges the planes.
+        assert is_connected_under_failures(two_plane, [], "rsw.1", "core.2")
+        # Plane A down: its exclusive rack is stranded, and core.1 is
+        # unreachable even from the dual-homed rack.
+        assert not is_connected_under_failures(
+            two_plane, ["agg.a"], "rsw.1", "core.1"
+        )
+        assert not is_connected_under_failures(
+            two_plane, ["agg.a"], "rsw.2", "core.1"
+        )
+        assert is_connected_under_failures(
+            two_plane, ["agg.a"], "rsw.2", "core.2"
+        )
+        # Both planes down: nothing reaches anything.
+        assert not is_connected_under_failures(
+            two_plane, ["agg.a", "agg.b"], "rsw.2", "core.2"
+        )

@@ -41,7 +41,7 @@ class TestRunVerification:
         checks = run_verification()
         failed = [c for c in checks if not c.passed]
         assert not failed, render_verification(failed)
-        assert len(checks) >= 48
+        assert len(checks) >= 51
 
     def test_render(self):
         checks = run_verification()
